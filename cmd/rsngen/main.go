@@ -1,0 +1,120 @@
+// Command rsngen generates RSN benchmark networks in the textual ICL
+// format of this repository.
+//
+// Usage:
+//
+//	rsngen -list
+//	rsngen -name p22810 [-o out.icl] [-spec -seed 42]
+//	rsngen -random -seed 7 -prims 80 [-ctrl]
+//	rsngen -mbist 5,20,20
+//
+// With -spec, the paper's randomized criticality specification
+// (Section VI: 70 % / 70 % non-zero weights, 10 % / 10 % critical) is
+// generated and embedded into the instrument annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/icl"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list all Table I benchmark names")
+		name    = flag.String("name", "", "generate the named Table I benchmark")
+		random  = flag.Bool("random", false, "generate a random series-parallel RSN")
+		mbist   = flag.String("mbist", "", "generate an MBIST family member from 'a,b,c' levels")
+		seed    = flag.Int64("seed", 1, "random seed")
+		prims   = flag.Int("prims", 50, "approximate primitive count for -random")
+		ctrl    = flag.Bool("ctrl", false, "give some multiplexers in-network control segments (-random)")
+		genSpec = flag.Bool("spec", false, "embed the paper's randomized criticality specification")
+		dot     = flag.Bool("dot", false, "emit Graphviz dot instead of ICL")
+		tree    = flag.Bool("tree", false, "print the binary decomposition tree (paper Fig. 3 view) to stderr")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range benchnets.Names() {
+			e, _ := benchnets.Lookup(n)
+			fmt.Printf("%-18s %8d segments %6d muxes  (%s)\n", n, e.Segments, e.Muxes, e.Shape)
+		}
+		return
+	}
+
+	var net *rsn.Network
+	var err error
+	switch {
+	case *name != "":
+		net, err = benchnets.Generate(*name)
+	case *mbist != "":
+		net, err = genMBIST(*mbist, *seed)
+	case *random:
+		net = benchnets.Random(benchnets.RandomOptions{Seed: *seed, TargetPrims: *prims, SegmentControls: *ctrl})
+	default:
+		fmt.Fprintln(os.Stderr, "rsngen: need one of -list, -name, -random or -mbist (see -h)")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsngen:", err)
+		os.Exit(1)
+	}
+
+	if *genSpec {
+		if _, err := spec.Generate(net, spec.PaperGenOptions(*seed)); err != nil {
+			fmt.Fprintln(os.Stderr, "rsngen:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *tree {
+		tr, err := sptree.Build(net)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsngen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "decomposition tree (%d nodes, depth %d):\n%s\n", tr.Size(), tr.Depth(), tr)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsngen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	var writeErr error
+	if *dot {
+		writeErr = rsn.WriteDot(w, net)
+	} else {
+		writeErr = icl.Write(w, net)
+	}
+	if writeErr != nil {
+		fmt.Fprintln(os.Stderr, "rsngen:", writeErr)
+		os.Exit(1)
+	}
+}
+
+func genMBIST(levels string, seed int64) (*rsn.Network, error) {
+	name := "MBIST_" + strings.ReplaceAll(levels, ",", "_")
+	a, b, c, err := benchnets.ParseMBISTName(name)
+	if err != nil {
+		return nil, err
+	}
+	segs, muxes := benchnets.MBISTFamily(a, b, c)
+	return benchnets.Sized(benchnets.SizedOptions{
+		Name: name, Segments: segs, Muxes: muxes,
+		Shape: benchnets.ShapeMBIST, Controllers: a, Groups: b, Seed: seed,
+	})
+}

@@ -1,0 +1,206 @@
+// Command rsnharden runs the full robust-RSN synthesis pipeline of the
+// paper on one network: criticality analysis, multi-objective selective
+// hardening, and constrained solution extraction.
+//
+// Usage:
+//
+//	rsnharden -name p22810 -generations 1000
+//	rsnharden -in net.icl -generations 500 -algo nsga2 -front
+//	rsnharden -in net.icl -pick damage10 -o hardened.icl
+//
+// Input networks carry their criticality specification in the
+// instrument annotations; with -genspec the paper's randomized
+// specification is generated instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rsnrobust/internal/baseline"
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/icl"
+	"rsnrobust/internal/report"
+	"rsnrobust/internal/robust"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+)
+
+func main() {
+	var (
+		in      = flag.String("in", "", "input network in ICL format")
+		name    = flag.String("name", "", "Table I benchmark name instead of -in")
+		gens    = flag.Int("generations", 0, "evolutionary generations (default: Table I column 6, else 500)")
+		seed    = flag.Int64("seed", 42, "random seed")
+		algo    = flag.String("algo", "spea2", "optimizer: spea2 or nsga2")
+		genspec = flag.Bool("genspec", false, "generate the paper's randomized specification")
+		front   = flag.Bool("front", false, "print the full Pareto front")
+		pick    = flag.String("pick", "", "apply a constrained pick to the output: damage10 or cost10")
+		out     = flag.String("o", "", "write the (optionally hardened) network to this file")
+		force   = flag.Bool("critical", false, "force hardening of every critical-hitting primitive")
+		greedy  = flag.Bool("greedy", false, "also report the greedy and exact baselines")
+		rep     = flag.Bool("report", false, "print the robustness report of the damage<=10% solution (single- and double-fault)")
+		stag    = flag.Int("stagnation", 0, "stop early after N generations without hypervolume improvement (0 = full budget)")
+		scope   = flag.String("universe", "all", "fault universe: all or control")
+	)
+	flag.Parse()
+
+	net, entry, err := loadNetwork(*in, *name)
+	if err != nil {
+		fail(err)
+	}
+	generations := *gens
+	if generations == 0 {
+		generations = 500
+		if entry != nil {
+			generations = entry.Generations
+		}
+	}
+
+	var sp *spec.Spec
+	if *genspec || *name != "" {
+		sp, err = spec.Generate(net, spec.PaperGenOptions(*seed))
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		sp = spec.FromNetwork(net, spec.DefaultCostModel)
+	}
+
+	opt := core.DefaultOptions(generations, *seed)
+	opt.ForceCritical = *force
+	opt.Stagnation = *stag
+	if *scope == "control" {
+		opt.Analysis.Scope = faults.ScopeControl
+	}
+	if *algo == "nsga2" {
+		opt.Algorithm = core.AlgoNSGA2
+	} else if *algo != "spea2" {
+		fail(fmt.Errorf("unknown algorithm %q", *algo))
+	}
+
+	s, err := core.Synthesize(net, sp, opt)
+	if err != nil {
+		fail(err)
+	}
+
+	st := net.Stats()
+	fmt.Printf("network        %s\n", net.Name)
+	fmt.Printf("segments       %d\n", st.Segments)
+	fmt.Printf("multiplexers   %d\n", st.Muxes)
+	fmt.Printf("instruments    %d\n", st.Instruments)
+	fmt.Printf("max cost       %d  (all primitives hardened)\n", s.MaxCost)
+	fmt.Printf("max damage     %d  (nothing hardened)\n", s.MaxDamage)
+	fmt.Printf("generations    %d  (%s, %d evaluations)\n", s.Generations, opt.Algorithm, s.Evaluations)
+	fmt.Printf("front size     %d\n", len(s.Front))
+	fmt.Printf("must-harden    %d primitives protect all critical instruments\n", len(s.Analysis.MustHarden()))
+	fmt.Printf("synthesis time %v\n", s.Elapsed.Round(1000000))
+
+	if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {
+		fmt.Printf("min cost  | damage<=10%%:  cost %6d  damage %10d  critical covered %v\n",
+			sol.Cost, sol.Damage, sol.CriticalCovered)
+	} else {
+		fmt.Println("min cost  | damage<=10%:  no front solution meets the constraint")
+	}
+	if sol, ok := s.MinDamageWithCostAtMost(0.10); ok {
+		fmt.Printf("min damage|   cost<=10%%:  cost %6d  damage %10d  critical covered %v\n",
+			sol.Cost, sol.Damage, sol.CriticalCovered)
+	} else {
+		fmt.Println("min damage|   cost<=10%:  no front solution meets the constraint")
+	}
+
+	if *greedy {
+		g := baseline.GreedyFront(s.Analysis)
+		fmt.Printf("greedy front   %d prefix solutions\n", len(g))
+		if baseline.ExactTractable(s.Analysis, 200_000_000) {
+			e := baseline.NewExact(s.Analysis)
+			optDamage := e.MinDamageWithCostAtMost(s.MaxCost / 10)
+			optCost, _ := e.MinCostWithDamageAtMost(s.MaxDamage / 10)
+			fmt.Printf("exact optimum  cost<=10%%: damage %d;  damage<=10%%: cost %d\n", optDamage, optCost)
+		}
+		fmt.Printf("full TMR       overhead %d (vs. selective hardening above)\n",
+			baseline.TMROverhead(s.Analysis, 1))
+	}
+
+	if *front {
+		tb := report.New("cost", "damage", "hardened", "critical")
+		for _, sol := range s.Front {
+			tb.Add(sol.Cost, sol.Damage, len(sol.Hardened), sol.CriticalCovered)
+		}
+		fmt.Println()
+		if err := tb.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+
+	if *rep {
+		if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {
+			core.Apply(net, sol)
+			m := robust.FromAnalysis(s.Analysis)
+			fmt.Println("\nrobustness report (damage<=10% solution applied):")
+			fmt.Println(m)
+			mf := faults.SampleMultiFault(net, sp, opt.Analysis, 2, 500, *seed)
+			fmt.Printf("double-fault Monte Carlo (%d samples): mean damage %.1f, worst %d, mean accessible %.1f%%, critical failures %d\n",
+				mf.Samples, mf.MeanDamage, mf.WorstDamage, 100*mf.MeanAccessible, mf.CriticalFailures)
+		} else {
+			fmt.Println("\nrobustness report: no damage<=10% solution on the front")
+		}
+	}
+
+	if *out != "" {
+		switch *pick {
+		case "damage10":
+			if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {
+				core.Apply(net, sol)
+			}
+		case "cost10":
+			if sol, ok := s.MinDamageWithCostAtMost(0.10); ok {
+				core.Apply(net, sol)
+			}
+		case "":
+		default:
+			fail(fmt.Errorf("unknown pick %q (want damage10 or cost10)", *pick))
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		if err := icl.Write(f, net); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func loadNetwork(in, name string) (*rsn.Network, *benchnets.Entry, error) {
+	switch {
+	case in != "" && name != "":
+		return nil, nil, fmt.Errorf("use either -in or -name, not both")
+	case name != "":
+		e, ok := benchnets.Lookup(name)
+		if !ok {
+			return nil, nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		net, err := benchnets.GenerateEntry(e)
+		return net, &e, err
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer f.Close()
+		net, err := icl.Parse(f)
+		return net, nil, err
+	default:
+		return nil, nil, fmt.Errorf("need -in or -name (see -h)")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rsnharden:", err)
+	os.Exit(1)
+}

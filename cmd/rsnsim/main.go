@@ -1,0 +1,192 @@
+// Command rsnsim drives the register-level RSN access simulator:
+// retargeting, fault injection and accessibility reporting.
+//
+// Usage:
+//
+//	rsnsim -in net.icl -target tempsensor             # access one instrument
+//	rsnsim -in net.icl -target x -fault break:i1      # under a broken segment
+//	rsnsim -name TreeFlat -fault stuck:sib3.mux:0 -summary
+//	rsnsim -in hardened.icl -campaign                 # all single faults
+//
+// The -campaign mode injects every single fault of the fault universe
+// and reports, per fault, how many instruments stay observable and
+// settable — on a hardened network the faults of hardened primitives
+// are avoided entirely.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rsnrobust/internal/access"
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/icl"
+	"rsnrobust/internal/report"
+	"rsnrobust/internal/rsn"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input network in ICL format")
+		name     = flag.String("name", "", "Table I benchmark name instead of -in")
+		target   = flag.String("target", "", "instrument segment to access")
+		faultArg = flag.String("fault", "", "inject a fault: break:<segment> or stuck:<mux>:<port>")
+		campaign = flag.Bool("campaign", false, "run a full single-fault accessibility campaign")
+		summary  = flag.Bool("summary", false, "print only totals for -campaign")
+		strict   = flag.Bool("strict", false, "use the strict (transitive control-coupling) policy")
+	)
+	flag.Parse()
+
+	net, err := load(*in, *name)
+	if err != nil {
+		fail(err)
+	}
+	policy := access.PolicyPaper
+	if *strict {
+		policy = access.PolicyStrict
+	}
+
+	var flt *faults.Fault
+	if *faultArg != "" {
+		f, err := parseFault(net, *faultArg)
+		if err != nil {
+			fail(err)
+		}
+		flt = &f
+	}
+
+	switch {
+	case *campaign:
+		runCampaign(net, policy, *summary)
+	case *target != "":
+		runAccess(net, flt, *target, policy)
+	default:
+		fail(fmt.Errorf("need -target or -campaign (see -h)"))
+	}
+}
+
+func runAccess(net *rsn.Network, flt *faults.Fault, target string, policy access.Policy) {
+	seg := net.Lookup(target)
+	if seg == rsn.None || net.Node(seg).Kind != rsn.KindSegment {
+		fail(fmt.Errorf("no segment named %q", target))
+	}
+	sim := access.New(net, policy)
+	if flt != nil {
+		if err := sim.InjectFault(*flt); err != nil {
+			fmt.Printf("fault %s avoided: primitive is hardened\n", flt.String(net))
+		} else {
+			fmt.Printf("fault %s injected\n", flt.String(net))
+		}
+	}
+	rounds, err := sim.Configure([]rsn.NodeID{seg})
+	if err != nil {
+		fmt.Printf("retargeting failed: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("retargeted to %s in %d CSU rounds, active path %d bits\n", target, rounds, sim.PathBits())
+
+	obs, set := access.Accessible(net, flt, seg, policy)
+	fmt.Printf("observable %v, settable %v\n", obs, set)
+}
+
+func runCampaign(net *rsn.Network, policy access.Policy, summaryOnly bool) {
+	instr := net.Instruments()
+	universe := faults.Universe(net)
+	fmt.Printf("network %s: %d instruments, %d single faults\n", net.Name, len(instr), len(universe))
+
+	tb := report.New("fault", "avoided", "observable", "settable")
+	avoided, totalObs, totalSet := 0, 0, 0
+	worstObs, worstSet := len(instr), len(instr)
+	for _, f := range universe {
+		if net.Node(f.Node).Hardened {
+			avoided++
+			totalObs += len(instr)
+			totalSet += len(instr)
+			if !summaryOnly {
+				tb.Add(f.String(net), true, len(instr), len(instr))
+			}
+			continue
+		}
+		nObs, nSet := 0, 0
+		for _, seg := range instr {
+			obs, set := access.Accessible(net, &f, seg, policy)
+			if obs {
+				nObs++
+			}
+			if set {
+				nSet++
+			}
+		}
+		totalObs += nObs
+		totalSet += nSet
+		if nObs < worstObs {
+			worstObs = nObs
+		}
+		if nSet < worstSet {
+			worstSet = nSet
+		}
+		if !summaryOnly {
+			tb.Add(f.String(net), false, nObs, nSet)
+		}
+	}
+	if !summaryOnly {
+		if err := tb.WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+	n := len(universe) * len(instr)
+	fmt.Printf("avoided faults: %d of %d\n", avoided, len(universe))
+	fmt.Printf("mean observable: %.1f%%  mean settable: %.1f%%\n",
+		100*float64(totalObs)/float64(n), 100*float64(totalSet)/float64(n))
+	fmt.Printf("worst-case observable: %d of %d  settable: %d of %d\n",
+		worstObs, len(instr), worstSet, len(instr))
+}
+
+func parseFault(net *rsn.Network, s string) (faults.Fault, error) {
+	parts := strings.Split(s, ":")
+	switch {
+	case len(parts) == 2 && parts[0] == "break":
+		id := net.Lookup(parts[1])
+		if id == rsn.None || net.Node(id).Kind != rsn.KindSegment {
+			return faults.Fault{}, fmt.Errorf("no segment named %q", parts[1])
+		}
+		return faults.Fault{Kind: faults.SegmentBreak, Node: id}, nil
+	case len(parts) == 3 && parts[0] == "stuck":
+		id := net.Lookup(parts[1])
+		if id == rsn.None || net.Node(id).Kind != rsn.KindMux {
+			return faults.Fault{}, fmt.Errorf("no mux named %q", parts[1])
+		}
+		port, err := strconv.Atoi(parts[2])
+		if err != nil || port < 0 || port >= len(net.Pred(id)) {
+			return faults.Fault{}, fmt.Errorf("bad port %q for mux %q", parts[2], parts[1])
+		}
+		return faults.Fault{Kind: faults.MuxStuck, Node: id, Port: port}, nil
+	default:
+		return faults.Fault{}, fmt.Errorf("bad fault %q (want break:<segment> or stuck:<mux>:<port>)", s)
+	}
+}
+
+func load(in, name string) (*rsn.Network, error) {
+	switch {
+	case name != "":
+		return benchnets.Generate(name)
+	case in != "":
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return icl.Parse(f)
+	default:
+		return nil, fmt.Errorf("need -in or -name")
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "rsnsim:", err)
+	os.Exit(1)
+}

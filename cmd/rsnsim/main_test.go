@@ -1,0 +1,60 @@
+package main
+
+import (
+	"testing"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+)
+
+func TestParseFault(t *testing.T) {
+	net := fixture.PaperExample()
+
+	f, err := parseFault(net, "break:i1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != faults.SegmentBreak || f.Node != net.Lookup("i1") {
+		t.Errorf("parsed %+v", f)
+	}
+
+	f, err = parseFault(net, "stuck:m0:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != faults.MuxStuck || f.Node != net.Lookup("m0") || f.Port != 1 {
+		t.Errorf("parsed %+v", f)
+	}
+
+	for _, bad := range []string{
+		"",
+		"break:nosuch",
+		"break:m0",      // not a segment
+		"stuck:i1:0",    // not a mux
+		"stuck:m0:7",    // port out of range
+		"stuck:m0:x",    // not a number
+		"explode:m0",    // unknown kind
+		"stuck:m0",      // missing port
+		"break:i1:oops", // extra field
+	} {
+		if _, err := parseFault(net, bad); err == nil {
+			t.Errorf("parseFault accepted %q", bad)
+		}
+	}
+}
+
+func TestLoadRejectsNothing(t *testing.T) {
+	if _, err := load("", ""); err == nil {
+		t.Fatal("load with no source succeeded")
+	}
+}
+
+func TestLoadBenchmark(t *testing.T) {
+	net, err := load("", "TreeFlat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "TreeFlat" {
+		t.Errorf("loaded %q", net.Name)
+	}
+}

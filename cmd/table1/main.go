@@ -1,0 +1,301 @@
+// Command table1 regenerates Table I of the paper: for every benchmark
+// network it reports the size (columns 1-2), the initial assessment
+// (max cost, max damage; columns 4-5), the evolutionary budget (column
+// 6), the two constrained picks from the SPEA-2 front (columns 7-10)
+// and the synthesis wall time (column 11).
+//
+// Usage:
+//
+//	table1                       # all 23 rows, full budgets
+//	table1 -quick                # scaled-down budgets for a fast pass
+//	table1 -run 'Tree|q12710'    # row filter
+//	table1 -paper                # include the paper's published values
+//	table1 -format markdown      # text (default), markdown or csv
+//	table1 -ablate               # optimizer ablation instead of Table I
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"time"
+
+	"rsnrobust/internal/baseline"
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/moea"
+	"rsnrobust/internal/report"
+	"rsnrobust/internal/spec"
+)
+
+func main() {
+	var (
+		quick  = flag.Bool("quick", false, "scale down generation budgets for a fast pass")
+		run    = flag.String("run", "", "regexp filter on benchmark names")
+		paper  = flag.Bool("paper", false, "append the paper's published values to every row")
+		format = flag.String("format", "text", "output format: text, markdown or csv")
+		seed   = flag.Int64("seed", 42, "random seed for specification and optimizer")
+		algo   = flag.String("algo", "spea2", "optimizer: spea2 or nsga2")
+		scope  = flag.String("universe", "control", "fault universe: control (paper harness) or all")
+		ablate = flag.Bool("ablate", false, "run the optimizer ablation instead of Table I")
+		maxP   = flag.Int("maxprims", 0, "skip benchmarks with more primitives (0 = no limit)")
+		refine = flag.Bool("refine", false, "apply greedy 1-opt refinement to the constrained picks")
+	)
+	flag.Parse()
+
+	var filter *regexp.Regexp
+	if *run != "" {
+		var err error
+		filter, err = regexp.Compile(*run)
+		if err != nil {
+			fail(err)
+		}
+	}
+
+	if *ablate {
+		runAblation(filter, *seed, *quick)
+		return
+	}
+
+	header := []string{"design", "segs", "muxes", "maxcost", "maxdamage", "gens",
+		"cost|d10", "dmg|d10", "cost|c10", "dmg|c10", "time"}
+	if *paper {
+		header = append(header, "p.maxcost", "p.maxdmg", "p.cost|d10", "p.dmg|d10", "p.cost|c10", "p.dmg|c10", "p.time")
+	}
+	tb := report.New(header...)
+
+	grand := time.Now()
+	for _, nm := range benchnets.Names() {
+		e, _ := benchnets.Lookup(nm)
+		if filter != nil && !filter.MatchString(e.Name) {
+			continue
+		}
+		if *maxP > 0 && e.Segments+e.Muxes > *maxP {
+			continue
+		}
+		row, err := runRow(e, *seed, *quick, *algo, *scope, *refine)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", e.Name, err))
+		}
+		cells := []any{e.Name, e.Segments, e.Muxes, row.maxCost, row.maxDamage, row.gens,
+			row.costD10, row.dmgD10, row.costC10, row.dmgC10, row.elapsed.Round(time.Second / 10)}
+		if *paper {
+			cells = append(cells, e.PaperMaxCost, e.PaperMaxDamage,
+				e.PaperCostAt10Dmg, e.PaperDamageAt10Dmg, e.PaperCostAt10Cost, e.PaperDmgAt10Cost, e.PaperTime)
+		}
+		tb.Add(cells...)
+		fmt.Fprintf(os.Stderr, "done %-18s in %v\n", e.Name, row.elapsed.Round(time.Second/10))
+	}
+	if err := tb.Write(os.Stdout, *format); err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(grand).Round(time.Second))
+}
+
+type rowResult struct {
+	maxCost, maxDamage int64
+	gens               int
+	costD10, dmgD10    int64
+	costC10, dmgC10    int64
+	critD10, critC10   bool
+	elapsed            time.Duration
+}
+
+// budget scales the paper's generation budget in quick mode: large
+// networks get at most 60 generations, small ones at most 150. Even in
+// full mode the two giant rows (above 400k primitives) run at a tenth
+// of the published budget — objective evaluations on million-bit
+// genomes cost proportionally more on this single-core harness than on
+// the authors' testbed; EXPERIMENTS.md discusses the scaling.
+func budget(e benchnets.Entry, quick bool) int {
+	prims := e.Segments + e.Muxes
+	if !quick {
+		if prims > 400000 {
+			g := e.Generations / 10
+			if g < 60 {
+				g = 60
+			}
+			return g
+		}
+		return e.Generations
+	}
+	cap := 150
+	if prims > 10000 {
+		cap = 60
+	}
+	if e.Generations < cap {
+		return e.Generations
+	}
+	return cap
+}
+
+func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refine bool) (rowResult, error) {
+	var res rowResult
+	net, err := benchnets.GenerateEntry(e)
+	if err != nil {
+		return res, err
+	}
+	sp, err := spec.Generate(net, spec.PaperGenOptions(seed))
+	if err != nil {
+		return res, err
+	}
+	opt := core.DefaultOptions(budget(e, quick), seed)
+	if algo == "nsga2" {
+		opt.Algorithm = core.AlgoNSGA2
+	}
+	if scope != "all" {
+		opt.Analysis.Scope = faults.ScopeControl
+	}
+	s, err := core.Synthesize(net, sp, opt)
+	if err != nil {
+		return res, err
+	}
+	res.maxCost = s.MaxCost
+	res.maxDamage = s.MaxDamage
+	res.gens = s.Generations
+	res.elapsed = s.Elapsed
+	pickCost := s.MinCostWithDamageAtMost
+	pickDamage := s.MinDamageWithCostAtMost
+	if refine {
+		pickCost = s.RefinedMinCostWithDamageAtMost
+		pickDamage = s.RefinedMinDamageWithCostAtMost
+	}
+	if sol, ok := pickCost(0.10); ok {
+		res.costD10, res.dmgD10, res.critD10 = sol.Cost, sol.Damage, sol.CriticalCovered
+	} else {
+		res.costD10, res.dmgD10 = -1, -1
+	}
+	if sol, ok := pickDamage(0.10); ok {
+		res.costC10, res.dmgC10, res.critC10 = sol.Cost, sol.Damage, sol.CriticalCovered
+	} else {
+		res.costC10, res.dmgC10 = -1, -1
+	}
+	return res, nil
+}
+
+// runAblation compares SPEA-2 against NSGA-II, the greedy ratio
+// heuristic, uniform random sampling and (where tractable) the exact
+// knapsack optimum, on the small and medium Table I networks.
+func runAblation(filter *regexp.Regexp, seed int64, quick bool) {
+	names := []string{"TreeFlat", "TreeUnbalanced", "TreeBalanced", "TreeFlat_Ex", "q12710", "a586710", "p34392", "t512505", "p22810"}
+	tb := report.New("design", "method", "hypervol%", "cost|d10", "dmg|c10", "time")
+	for _, nm := range names {
+		e, ok := benchnets.Lookup(nm)
+		if !ok || (filter != nil && !filter.MatchString(nm)) {
+			continue
+		}
+		net, err := benchnets.GenerateEntry(e)
+		if err != nil {
+			fail(err)
+		}
+		sp, err := spec.Generate(net, spec.PaperGenOptions(seed))
+		if err != nil {
+			fail(err)
+		}
+		gens := budget(e, quick)
+
+		type method struct {
+			name string
+			run  func() ([]core.Solution, *core.Synthesis, error)
+		}
+		var analysisRef *core.Synthesis
+		methods := []method{
+			{"spea2", func() ([]core.Solution, *core.Synthesis, error) {
+				s, err := core.Synthesize(net, sp, core.DefaultOptions(gens, seed))
+				if s != nil {
+					analysisRef = s
+				}
+				return frontOf(s), s, err
+			}},
+			{"nsga2", func() ([]core.Solution, *core.Synthesis, error) {
+				opt := core.DefaultOptions(gens, seed)
+				opt.Algorithm = core.AlgoNSGA2
+				s, err := core.Synthesize(net, sp, opt)
+				return frontOf(s), s, err
+			}},
+		}
+		methods = append(methods, method{"spea2-uniform", func() ([]core.Solution, *core.Synthesis, error) {
+			opt := core.DefaultOptions(gens, seed)
+			p := moea.Defaults(net.Stats().Muxes, gens, seed)
+			p.Crossover = moea.Uniform
+			opt.Params = &p
+			s, err := core.Synthesize(net, sp, opt)
+			return frontOf(s), s, err
+		}})
+		for _, m := range methods {
+			start := time.Now()
+			front, s, err := m.run()
+			if err != nil {
+				fail(err)
+			}
+			addAblationRow(tb, e.Name, m.name, front, s, time.Since(start))
+		}
+		// Greedy, random and exact reuse the SPEA-2 run's analysis.
+		a := analysisRef.Analysis
+		start := time.Now()
+		greedy := baseline.GreedyFront(a)
+		addAblationRow(tb, e.Name, "greedy", greedy, analysisRef, time.Since(start))
+		start = time.Now()
+		rnd := baseline.RandomFront(a, seed, 2000)
+		addAblationRow(tb, e.Name, "random", rnd, analysisRef, time.Since(start))
+		if baseline.ExactTractable(a, 500_000_000) {
+			start = time.Now()
+			ex := baseline.NewExact(a)
+			costD10, _ := ex.MinCostWithDamageAtMost(analysisRef.MaxDamage / 10)
+			dmgC10 := ex.MinDamageWithCostAtMost(analysisRef.MaxCost / 10)
+			tb.Add(e.Name, "exact", "100.0", costD10, dmgC10, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Fprintf(os.Stderr, "done %s\n", e.Name)
+	}
+	if err := tb.WriteText(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+func frontOf(s *core.Synthesis) []core.Solution {
+	if s == nil {
+		return nil
+	}
+	return s.Front
+}
+
+// addAblationRow computes the hypervolume of a solution front relative
+// to the exact optimum's hypervolume (or the raw reference box if the
+// exact DP is intractable) and the two constrained picks.
+func addAblationRow(tb *report.Table, design, method string, front []core.Solution, s *core.Synthesis, elapsed time.Duration) {
+	ref := [2]float64{float64(s.MaxDamage) * 1.01, float64(s.MaxCost) * 1.01}
+	inds := make([]moea.Individual, len(front))
+	for i, sol := range front {
+		inds[i] = moea.Individual{Obj: []float64{float64(sol.Damage), float64(sol.Cost)}}
+	}
+	hv := moea.Hypervolume(inds, ref)
+
+	// Normalize against the exact front's hypervolume when tractable.
+	norm := ref[0] * ref[1]
+	if baseline.ExactTractable(s.Analysis, 500_000_000) {
+		ex := baseline.NewExact(s.Analysis)
+		var exInds []moea.Individual
+		for c := int64(0); c <= s.MaxCost; c++ {
+			exInds = append(exInds, moea.Individual{Obj: []float64{float64(ex.MinDamageWithCostAtMost(c)), float64(c)}})
+		}
+		norm = moea.Hypervolume(moea.ParetoFilter(exInds), ref)
+	}
+
+	costD10, dmgC10 := int64(-1), int64(-1)
+	for _, sol := range front {
+		if float64(sol.Damage) <= 0.10*float64(s.MaxDamage) && (costD10 < 0 || sol.Cost < costD10) {
+			costD10 = sol.Cost
+		}
+		if float64(sol.Cost) <= 0.10*float64(s.MaxCost) && (dmgC10 < 0 || sol.Damage < dmgC10) {
+			dmgC10 = sol.Damage
+		}
+	}
+	tb.Add(design, method, fmt.Sprintf("%.1f", 100*hv/norm), costD10, dmgC10, elapsed.Round(time.Millisecond))
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "table1:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Fault diagnosis scenario: a board returns from the field with a
+// misbehaving scan network. The structural test suite generated for the
+// original (fault-free) design is applied, the failing-test syndrome is
+// collected, and the fault dictionary narrows the defect down to a
+// handful of candidate primitives — the diagnosis flow of the paper's
+// reference [17], demonstrated end to end on this library's simulator.
+//
+// Run with: go run ./examples/diagnosis
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rsnrobust/internal/access"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsntest"
+)
+
+func main() {
+	golden := fixture.NestedSIBs()
+	suite, err := rsntest.Generate(golden, rsntest.Options{Scope: faults.ScopeAll, Seed: 99})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("test suite: %d tests, fault coverage %.0f%%\n",
+		len(suite.Tests), 100*suite.Coverage())
+
+	// The "field return": the same design with a defect nobody knows.
+	hidden := faults.Fault{Kind: faults.MuxStuck, Node: golden.Node(golden.Lookup("childB")).Partner, Port: 0}
+	fmt.Printf("(hidden defect: %s)\n", hidden.String(golden))
+
+	syndrome := suite.Apply(func() *access.Simulator {
+		sim := access.New(fixture.NestedSIBs(), access.PolicyStrict)
+		if err := sim.InjectFault(hidden); err != nil {
+			log.Fatal(err)
+		}
+		return sim
+	})
+	failing := 0
+	for _, f := range syndrome {
+		if f {
+			failing++
+		}
+	}
+	fmt.Printf("applied suite: %d of %d tests fail\n", failing, len(syndrome))
+
+	candidates := suite.Diagnose(syndrome, faults.ScopeAll)
+	fmt.Printf("diagnosis: %d candidate fault(s):\n", len(candidates))
+	hit := false
+	for _, c := range candidates {
+		fmt.Printf("  %s\n", c.String(golden))
+		if c == hidden {
+			hit = true
+		}
+	}
+	if hit {
+		fmt.Println("the hidden defect is among the candidates — replace or harden that spot")
+	}
+}

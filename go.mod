@@ -1,0 +1,3 @@
+module rsnrobust
+
+go 1.22

@@ -1,0 +1,153 @@
+package rsnrobust_test
+
+import (
+	"bytes"
+	"testing"
+
+	"rsnrobust/internal/access"
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/icl"
+	"rsnrobust/internal/robust"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/rsntest"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/yield"
+)
+
+// TestEndToEndPipeline drives the complete reproduction flow on one
+// benchmark, crossing every module boundary the way a downstream user
+// would:
+//
+//	generate -> specify -> synthesize -> pick -> apply -> serialize ->
+//	re-parse -> verify compatibility -> fault campaign -> structural
+//	tests -> robustness & yield reports.
+func TestEndToEndPipeline(t *testing.T) {
+	const benchmark = "TreeUnbalanced"
+
+	// 1. Reconstruct the benchmark and its randomized specification.
+	net, err := benchnets.Generate(benchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := spec.Generate(net, spec.PaperGenOptions(2026))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Synthesize with the paper's setup plus critical forcing.
+	opt := core.DefaultOptions(300, 2026)
+	opt.ForceCritical = true
+	opt.Analysis.Scope = faults.ScopeControl
+	syn, err := core.Synthesize(net, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, ok := syn.RefinedMinCostWithDamageAtMost(0.10)
+	if !ok {
+		t.Fatal("no damage<=10% solution")
+	}
+	if !sol.CriticalCovered {
+		t.Fatal("pick does not cover the critical instruments")
+	}
+	core.Apply(net, sol)
+
+	// 3. Serialize the hardened network and read it back.
+	var buf bytes.Buffer
+	if err := icl.Write(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := icl.Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardCount := 0
+	reloaded.Nodes(func(nd *rsn.Node) {
+		if nd.Hardened {
+			hardCount++
+		}
+	})
+	if hardCount != len(sol.Hardened) {
+		t.Fatalf("serialization lost hardening marks: %d vs %d", hardCount, len(sol.Hardened))
+	}
+
+	// 4. The hardened network answers the original's access patterns.
+	pristine, err := benchnets.Generate(benchmark)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.VerifyCompatibility(pristine, reloaded); err != nil {
+		t.Fatalf("pattern compatibility broken: %v", err)
+	}
+
+	// 5. Fault campaign by simulation: every critical instrument stays
+	// accessible in its protected direction under every remaining fault
+	// of the hardening scope (control primitives; instrument data
+	// registers are protected by the orthogonal conventional means the
+	// paper's Section I cites).
+	var campaign []faults.Fault
+	for _, id := range syn.Analysis.Prims {
+		campaign = append(campaign, faults.FaultsOf(net, id)...)
+	}
+	var criticalViolations int
+	for _, f := range campaign {
+		if reloaded.Node(f.Node).Hardened {
+			continue
+		}
+		f := f
+		for _, seg := range reloaded.Instruments() {
+			in := reloaded.Node(seg).Instr
+			if !in.CriticalObs && !in.CriticalSet {
+				continue
+			}
+			obs, set := access.Accessible(reloaded, &f, seg, access.PolicyPaper)
+			if in.CriticalObs && !obs {
+				criticalViolations++
+			}
+			if in.CriticalSet && !set {
+				criticalViolations++
+			}
+		}
+	}
+	if criticalViolations != 0 {
+		t.Fatalf("%d critical accessibility violations under single faults", criticalViolations)
+	}
+
+	// 6. The structural test suite generated for the pristine network
+	// passes unchanged on the hardened one.
+	suite, err := rsntest.Generate(pristine, rsntest.Options{Scope: faults.ScopeControl, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, failed := range suite.Apply(func() *access.Simulator {
+		return access.New(reloaded, access.PolicyStrict)
+	}) {
+		if failed {
+			t.Fatalf("hardened network fails original structural test %d", i)
+		}
+	}
+
+	// 7. Reports: robustness metrics and yield model agree with the
+	// synthesis bookkeeping.
+	opts := faults.DefaultOptions()
+	opts.Scope = faults.ScopeControl
+	m, err := robust.Evaluate(reloaded, spec.FromNetwork(reloaded, spec.DefaultCostModel), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.CriticalCovered {
+		t.Fatal("robust metrics disagree on critical coverage")
+	}
+	if float64(m.ResidualDamage) > 0.10*float64(m.MaxDamage) {
+		t.Fatalf("residual damage %d exceeds 10%% of %d after reload", m.ResidualDamage, m.MaxDamage)
+	}
+	rep := yield.Evaluate(syn.Analysis, yield.DefaultModel)
+	if rep.CriticalFailure != 0 {
+		// The analysis object still refers to the same (hardened)
+		// network, so the critical-failure probability must be zero.
+		t.Fatalf("yield model sees critical failure probability %v", rep.CriticalFailure)
+	}
+	t.Logf("%s: hardened %d of %d control primitives (cost %d of %d), residual damage %d of %d",
+		benchmark, len(sol.Hardened), len(syn.Analysis.Prims), sol.Cost, syn.MaxCost, sol.Damage, syn.MaxDamage)
+}

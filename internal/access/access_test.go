@@ -1,0 +1,313 @@
+package access
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+)
+
+func TestShiftThroughChain(t *testing.T) {
+	b := rsn.NewBuilder("chain")
+	b.Segment("a", 3, nil)
+	b.Segment("b", 2, nil)
+	net := b.Finish()
+	sim := New(net, PolicyPaper)
+
+	if got := sim.PathBits(); got != 5 {
+		t.Fatalf("PathBits = %d, want 5", got)
+	}
+	in := []Bit{B1, B0, B1, B1, B0} // v[0] first
+	out := sim.Shift(in)
+	// The registers were zero, so the first 5 out bits are all zero.
+	for i, o := range out {
+		if o != B0 {
+			t.Errorf("out[%d] = %v, want 0", i, o)
+		}
+	}
+	// Shifting 5 more zeros must eject the vector in FIFO order.
+	out = sim.Shift([]Bit{B0, B0, B0, B0, B0})
+	if !equalBits(out, in) {
+		t.Errorf("ejected %v, want %v", out, in)
+	}
+}
+
+func TestWriteReadInstrument(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	i2 := net.Lookup("i2")
+
+	data := []Bit{B1, B0, B1, B1}
+	if err := sim.WriteInstrument(i2, data); err != nil {
+		t.Fatalf("WriteInstrument: %v", err)
+	}
+	if got := sim.UpdateValue(i2); !equalBits(got, data) {
+		t.Errorf("update register = %v, want %v", got, data)
+	}
+	// The path must route through i2's branch: m1 select 0, m0 select 0.
+	if !sim.OnPath(i2) {
+		t.Error("i2 not on path after write")
+	}
+	if sim.OnPath(net.Lookup("i3")) {
+		t.Error("i3 on path while targeting i2")
+	}
+
+	cap := []Bit{B0, B1, B1, B0}
+	if err := sim.SetCapture(i2, cap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := sim.ReadInstrument(i2)
+	if err != nil {
+		t.Fatalf("ReadInstrument: %v", err)
+	}
+	if !equalBits(got, cap) {
+		t.Errorf("read %v, want %v", got, cap)
+	}
+}
+
+func TestConflictDetected(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	_, err := sim.Configure([]rsn.NodeID{net.Lookup("i2"), net.Lookup("i3")})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("Configure(i2,i3) error = %v, want ErrConflict", err)
+	}
+	// i2 together with the lower branch c1 is also a conflict at m0...
+	// no: c1 needs m0 port 1, i2 needs m0 port 0.
+	_, err = sim.Configure([]rsn.NodeID{net.Lookup("i2"), net.Lookup("c1")})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("Configure(i2,c1) error = %v, want ErrConflict", err)
+	}
+	// i1 and i2 share the upper branch: compatible.
+	if _, err := sim.Configure([]rsn.NodeID{net.Lookup("i1"), net.Lookup("i2")}); err != nil {
+		t.Fatalf("Configure(i1,i2): %v", err)
+	}
+}
+
+func TestSIBIterativeOpening(t *testing.T) {
+	net := fixture.NestedSIBs()
+	sim := New(net, PolicyPaper)
+	ia := net.Lookup("ia")
+	rounds, err := sim.Configure([]rsn.NodeID{ia})
+	if err != nil {
+		t.Fatalf("Configure: %v", err)
+	}
+	if rounds < 2 {
+		t.Errorf("nested SIBs opened in %d rounds, expected at least 2 (level by level)", rounds)
+	}
+	if !sim.OnPath(ia) {
+		t.Error("ia not on path")
+	}
+	// The sibling SIB stays closed.
+	if sim.OnPath(net.Lookup("ib")) {
+		t.Error("ib on path although never requested")
+	}
+	// Writing works through two SIB levels.
+	if err := sim.WriteInstrument(ia, Bits(0xA5, 8)); err != nil {
+		t.Fatalf("WriteInstrument(ia): %v", err)
+	}
+}
+
+func TestHardenedRejectsFault(t *testing.T) {
+	net := fixture.PaperExample()
+	m0 := net.Lookup("m0")
+	net.Node(m0).Hardened = true
+	sim := New(net, PolicyPaper)
+	err := sim.InjectFault(faults.Fault{Kind: faults.MuxStuck, Node: m0, Port: 1})
+	if !errors.Is(err, ErrHardened) {
+		t.Fatalf("InjectFault on hardened mux: %v, want ErrHardened", err)
+	}
+}
+
+func TestFig4BySimulation(t *testing.T) {
+	// The paper's Fig. 4: m0 stuck-at-1 makes i1..i3 inaccessible, c1
+	// stays accessible.
+	net := fixture.PaperExample()
+	f := &faults.Fault{Kind: faults.MuxStuck, Node: net.Lookup("m0"), Port: 1}
+	for _, name := range []string{"i1", "i2", "i3"} {
+		obs, set := Accessible(net, f, net.Lookup(name), PolicyPaper)
+		if obs || set {
+			t.Errorf("%s: obs=%v set=%v under m0 stuck-at-1, want false/false", name, obs, set)
+		}
+	}
+}
+
+func TestSegmentBreakDirectionsBySimulation(t *testing.T) {
+	b := rsn.NewBuilder("chain3")
+	b.Segment("up", 4, &rsn.Instrument{Name: "up"})
+	b.Segment("mid", 4, &rsn.Instrument{Name: "mid"})
+	b.Segment("down", 4, &rsn.Instrument{Name: "down"})
+	net := b.Finish()
+	f := &faults.Fault{Kind: faults.SegmentBreak, Node: net.Lookup("mid")}
+
+	obs, set := Accessible(net, f, net.Lookup("up"), PolicyPaper)
+	if obs || !set {
+		t.Errorf("up: obs=%v set=%v, want false/true", obs, set)
+	}
+	obs, set = Accessible(net, f, net.Lookup("down"), PolicyPaper)
+	if !obs || set {
+		t.Errorf("down: obs=%v set=%v, want true/false", obs, set)
+	}
+	obs, set = Accessible(net, f, net.Lookup("mid"), PolicyPaper)
+	if obs || set {
+		t.Errorf("mid: obs=%v set=%v, want false/false", obs, set)
+	}
+}
+
+func TestRouteAroundBrokenBranch(t *testing.T) {
+	// A broken segment inside a parallel branch must not poison access
+	// to targets outside the branch: the retargeter routes around it.
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	if err := sim.InjectFault(faults.Fault{Kind: faults.SegmentBreak, Node: net.Lookup("i1")}); err != nil {
+		t.Fatal(err)
+	}
+	// c0 sits on the trunk after m0; the default path runs through the
+	// broken upper branch, so the retargeter must flip m0 to port 1.
+	if err := sim.WriteInstrument(net.Lookup("c0"), Bits(0b10, 2)); err != nil {
+		t.Fatalf("WriteInstrument(c0) with broken i1: %v", err)
+	}
+	if sim.OnPath(net.Lookup("i1")) {
+		t.Error("broken i1 still on the active path")
+	}
+}
+
+// TestSimulationMatchesAnalysis is the end-to-end validation: for every
+// fault and every instrument of deterministic and random networks, the
+// simulated accessibility must equal the analytical verdict of
+// faults.Effect under the paper's semantics (SIB and control coupling).
+func TestSimulationMatchesAnalysis(t *testing.T) {
+	opts := faults.Options{Combine: faults.CombineMax, SIBCoupling: true, CtrlCoupling: true}
+	nets := []*rsn.Network{
+		fixture.PaperExample(),
+		fixture.SIBChain(4),
+		fixture.NestedSIBs(),
+	}
+	for _, net := range nets {
+		compareNet(t, net, opts, net.Name)
+	}
+
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 22, SegmentControls: true})
+		return compareNet(t, net, opts, net.Name)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func compareNet(t *testing.T, net *rsn.Network, opts faults.Options, label string) bool {
+	ok := true
+	instr := net.Instruments()
+	for _, f := range faults.Universe(net) {
+		obsLost, setLost := faults.Effect(net, f, opts)
+		for _, seg := range instr {
+			obs, set := Accessible(net, &f, seg, PolicyPaper)
+			if obs == obsLost[seg] || set == setLost[seg] {
+				t.Logf("%s: fault %s, instrument %s: sim obs=%v set=%v, analysis obsLost=%v setLost=%v",
+					label, f.String(net), net.Node(seg).Name, obs, set, obsLost[seg], setLost[seg])
+				ok = false
+			}
+		}
+	}
+	return ok
+}
+
+func TestPolicyStrictIsMorePessimistic(t *testing.T) {
+	// Under PolicyStrict, a break of the trunk instrument upstream of a
+	// SIB register prevents programming the SIB at all: instruments in
+	// the gated sub-network lose observability too, which the paper's
+	// structural model (PolicyPaper) does not capture.
+	b := rsn.NewBuilder("strict")
+	b.Segment("front", 4, &rsn.Instrument{Name: "front"})
+	b.SIB("s0", nil, func(sb *rsn.Builder) {
+		sb.Segment("inner", 4, &rsn.Instrument{Name: "inner"})
+	})
+	net := b.Finish()
+	f := &faults.Fault{Kind: faults.SegmentBreak, Node: net.Lookup("front")}
+
+	inner := net.Lookup("inner")
+	obsPaper, _ := Accessible(net, f, inner, PolicyPaper)
+	obsStrict, _ := Accessible(net, f, inner, PolicyStrict)
+	if !obsPaper {
+		t.Error("paper policy: inner should stay observable (structural model)")
+	}
+	if obsStrict {
+		t.Error("strict policy: inner should be unobservable (SIB cannot be programmed)")
+	}
+}
+
+func TestTraceReplayOnHardenedNetwork(t *testing.T) {
+	// The pattern-compatibility claim: a trace recorded on the original
+	// network replays bit-identically on the hardened network.
+	orig := fixture.PaperExample()
+	sim := New(orig, PolicyPaper)
+	if err := sim.SetCapture(orig.Lookup("i3"), Bits(0x6, 4)); err != nil {
+		t.Fatal(err)
+	}
+	tr := sim.StartTrace()
+	if err := sim.WriteInstrument(orig.Lookup("i3"), Bits(0x9, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.ReadInstrument(orig.Lookup("i3")); err != nil {
+		t.Fatal(err)
+	}
+	sim.StopTrace()
+	if len(tr.Ops) == 0 {
+		t.Fatal("empty trace")
+	}
+
+	hardened := fixture.PaperExample()
+	hardened.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true // harden everything: topology unchanged
+		}
+	})
+	sim2 := New(hardened, PolicyPaper)
+	if err := sim2.SetCapture(hardened.Lookup("i3"), Bits(0x6, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(sim2, tr); err != nil {
+		t.Fatalf("replay on hardened network: %v", err)
+	}
+}
+
+func TestTraceReplayDetectsDivergence(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	tr := sim.StartTrace()
+	if err := sim.WriteInstrument(net.Lookup("i2"), Bits(0x5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	sim.StopTrace()
+
+	// Replay against a faulty network must diverge.
+	faulty := fixture.PaperExample()
+	sim2 := New(faulty, PolicyPaper)
+	if err := sim2.InjectFault(faults.Fault{Kind: faults.SegmentBreak, Node: faulty.Lookup("i1")}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Replay(sim2, tr); !errors.Is(err, ErrTraceMismatch) {
+		t.Fatalf("replay on faulty network: %v, want ErrTraceMismatch", err)
+	}
+}
+
+func TestBitsHelper(t *testing.T) {
+	b := Bits(0b1011, 4)
+	want := []Bit{B1, B1, B0, B1}
+	if !equalBits(b, want) {
+		t.Errorf("Bits(0b1011,4) = %v, want %v", b, want)
+	}
+}
+
+func TestCSULengthChecked(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	if _, err := sim.CSU([]Bit{B0}); err == nil {
+		t.Fatal("CSU accepted a wrong-length vector")
+	}
+}

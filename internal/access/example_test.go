@@ -1,0 +1,28 @@
+package access_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/access"
+	"rsnrobust/internal/fixture"
+)
+
+// ExampleSimulator_WriteInstrument retargets the network to instrument
+// i2 (opening the right multiplexer branches) and writes a value into
+// its update register through the scan path.
+func ExampleSimulator_WriteInstrument() {
+	net := fixture.PaperExample()
+	sim := access.New(net, access.PolicyPaper)
+
+	i2 := net.Lookup("i2")
+	if err := sim.WriteInstrument(i2, access.Bits(0b1011, 4)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("i2 update register: %v%v%v%v\n",
+		sim.UpdateValue(i2)[0], sim.UpdateValue(i2)[1], sim.UpdateValue(i2)[2], sim.UpdateValue(i2)[3])
+	fmt.Printf("path length: %d bits\n", sim.PathBits())
+	// Output:
+	// i2 update register: 1101
+	// path length: 12 bits
+}

@@ -1,0 +1,107 @@
+package access
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/rsn"
+)
+
+// accessibleMulti determines accessibility under a set of faults by
+// simulation, mirroring Accessible for the multi-fault case.
+func accessibleMulti(net *rsn.Network, fs []faults.Fault, seg rsn.NodeID) (obs, set bool) {
+	marker := make([]Bit, net.Node(seg).Length)
+	for i := range marker {
+		marker[i] = Bit(uint8(i+1) % 2)
+	}
+	{
+		sim := New(net, PolicyPaper)
+		for _, f := range fs {
+			if err := sim.InjectFault(f); err != nil {
+				return true, true
+			}
+		}
+		if err := sim.SetCapture(seg, marker); err == nil {
+			got, err := sim.ReadInstrument(seg)
+			obs = err == nil && equalBits(got, marker)
+		}
+	}
+	{
+		sim := New(net, PolicyPaper)
+		for _, f := range fs {
+			if err := sim.InjectFault(f); err != nil {
+				return true, true
+			}
+		}
+		set = sim.WriteInstrument(seg, marker) == nil
+	}
+	return obs, set
+}
+
+// TestMultiFaultSimulationMatchesAnalysis cross-validates the
+// analytical MultiEffect against double-fault-injected simulation on
+// random networks — the multi-fault counterpart of the central
+// single-fault equivalence test.
+func TestMultiFaultSimulationMatchesAnalysis(t *testing.T) {
+	opts := faults.Options{Combine: faults.CombineMax, SIBCoupling: true, CtrlCoupling: true}
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 16, SegmentControls: true})
+		universe := faults.Universe(net)
+		instr := net.Instruments()
+		if len(universe) < 2 {
+			return true
+		}
+		// Sample a handful of fault pairs deterministically.
+		for k := 0; k < len(universe)-1 && k < 6; k++ {
+			f1, f2 := universe[k], universe[len(universe)-1-k]
+			if f1.Node == f2.Node {
+				continue
+			}
+			fs := []faults.Fault{f1, f2}
+			obsLost, setLost := faults.MultiEffect(net, fs, opts)
+			for _, seg := range instr {
+				obs, set := accessibleMulti(net, fs, seg)
+				if obs == obsLost[seg] || set == setLost[seg] {
+					t.Logf("seed %d: faults %s+%s instrument %s: sim obs=%v set=%v, analysis obsLost=%v setLost=%v",
+						seed, f1.String(net), f2.String(net), net.Node(seg).Name,
+						obs, set, obsLost[seg], setLost[seg])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDoubleFaultRouting: with two breaks in different branches of one
+// section, a trunk target stays writable only if a healthy branch
+// remains.
+func TestDoubleFaultRouting(t *testing.T) {
+	b := rsn.NewBuilder("double")
+	bs := b.Fork("f", 3)
+	bs.Branch(0).Segment("a", 2, &rsn.Instrument{Name: "a"})
+	bs.Branch(1).Segment("bb", 2, &rsn.Instrument{Name: "bb"})
+	bs.Branch(2).Segment("c", 2, &rsn.Instrument{Name: "c"})
+	bs.Join("m", rsn.External())
+	b.Segment("tail", 4, &rsn.Instrument{Name: "tail"})
+	net := b.Finish()
+
+	sim := New(net, PolicyPaper)
+	for _, name := range []string{"a", "bb"} {
+		if err := sim.InjectFault(faults.Fault{Kind: faults.SegmentBreak, Node: net.Lookup(name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Both default branches broken: the retargeter must route through c.
+	if err := sim.WriteInstrument(net.Lookup("tail"), Bits(0x9, 4)); err != nil {
+		t.Fatalf("tail unwritable with branch c healthy: %v", err)
+	}
+	if !sim.OnPath(net.Lookup("c")) {
+		t.Error("path does not run through the healthy branch c")
+	}
+}

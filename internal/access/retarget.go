@@ -1,0 +1,364 @@
+package access
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/rsn"
+)
+
+// muxPort is a branch requirement: mux must select port.
+type muxPort struct {
+	mux  rsn.NodeID
+	port int
+}
+
+// MuxPort is a public branch requirement: Mux must select Port to keep
+// a node on the active path.
+type MuxPort struct {
+	Mux  rsn.NodeID
+	Port int
+}
+
+// RouteConstraints returns the ancestor multiplexers of a node together
+// with the ports that keep it on the active path — the sections it is
+// nested in, innermost first. Test generation and session planning use
+// it to reason about branch selection explicitly.
+func RouteConstraints(net *rsn.Network, id rsn.NodeID) []MuxPort {
+	cs := routeConstraints(net, id)
+	out := make([]MuxPort, len(cs))
+	for i, c := range cs {
+		out[i] = MuxPort{Mux: c.mux, Port: c.port}
+	}
+	return out
+}
+
+// routeConstraints returns the ancestor multiplexers of a node together
+// with the port that keeps the node on the active path: exactly the
+// multiplexers of the parallel sections the node is nested in. The walk
+// runs forward toward scan-out, tracking section nesting depth: a fanout
+// opens a pass-through section (whose join does not constrain the node),
+// a mux at depth zero closes an enclosing section and is an ancestor.
+func routeConstraints(net *rsn.Network, id rsn.NodeID) []muxPort {
+	var out []muxPort
+	depth := 0
+	cur := id
+	for cur != net.ScanOut {
+		// Choose the next hop: segments and muxes have one successor;
+		// at a fanout prefer a direct bypass edge to the join.
+		var next rsn.NodeID
+		nd := net.Node(cur)
+		if nd.Kind == rsn.KindFanout {
+			depth++
+			succs := net.Succ(cur)
+			next = succs[0]
+			for _, t := range succs {
+				if net.Node(t).Kind == rsn.KindMux {
+					next = t
+					break
+				}
+			}
+		} else {
+			next = net.Succ(cur)[0]
+		}
+		if net.Node(next).Kind == rsn.KindMux {
+			if depth > 0 {
+				depth-- // closes a pass-through section
+			} else {
+				out = append(out, muxPort{mux: next, port: arrivalPort(net, next, cur)})
+			}
+		}
+		cur = next
+	}
+	return out
+}
+
+// arrivalPort returns the port of mux fed by from; with parallel edges
+// the first matching port is used.
+func arrivalPort(net *rsn.Network, mux, from rsn.NodeID) int {
+	p := net.PortOf(mux, from)
+	if p < 0 {
+		panic(fmt.Sprintf("access: node %d does not feed mux %d", from, mux))
+	}
+	return p
+}
+
+// Configure steers the network so that every target segment lies on the
+// active scan path, using iterative CSU cycles to program control
+// registers level by level (the classic IEEE 1687 retargeting flow).
+// External multiplexer controls are written directly. It returns the
+// number of CSU rounds used.
+//
+// If a broken segment sits on the resulting path but is not needed by
+// any target, Configure routes around it (best effort): payload data
+// then stays clean. An unavoidable break is accepted — the subsequent
+// read/write verdicts reflect the corruption.
+func (s *Simulator) Configure(targets []rsn.NodeID) (int, error) {
+	return s.configure(targets, nil)
+}
+
+// ConfigureSelects steers the given multiplexers to the given ports
+// using the same iterative CSU flow as Configure, with no target
+// segments. Structural test generation uses it to force specific
+// branches regardless of instrument placement.
+func (s *Simulator) ConfigureSelects(desired map[rsn.NodeID]int) (int, error) {
+	return s.configure(nil, desired)
+}
+
+func (s *Simulator) configure(targets []rsn.NodeID, extra map[rsn.NodeID]int) (int, error) {
+	required := map[rsn.NodeID]int{}
+	for _, t := range targets {
+		nd := s.net.Node(t)
+		if nd.Kind != rsn.KindSegment {
+			return 0, fmt.Errorf("access: target %q is not a segment", nd.Name)
+		}
+		for _, c := range routeConstraints(s.net, t) {
+			if have, ok := required[c.mux]; ok && have != c.port {
+				return 0, fmt.Errorf("%w: mux %q needed at ports %d and %d",
+					ErrConflict, s.net.Node(c.mux).Name, have, c.port)
+			}
+			required[c.mux] = c.port
+		}
+	}
+	for mux, port := range extra {
+		if have, ok := required[mux]; ok && have != port {
+			return 0, fmt.Errorf("%w: mux %q needed at ports %d and %d",
+				ErrConflict, s.net.Node(mux).Name, have, port)
+		}
+		if s.net.Node(mux).Kind != rsn.KindMux {
+			return 0, fmt.Errorf("access: %q is not a mux", s.net.Node(mux).Name)
+		}
+		if port < 0 || port >= len(s.net.Pred(mux)) {
+			return 0, fmt.Errorf("access: mux %q has no port %d", s.net.Node(mux).Name, port)
+		}
+		required[mux] = port
+	}
+
+	// Externally controlled multiplexers are programmed directly.
+	pending := map[rsn.NodeID]int{}
+	for mux, port := range required {
+		if s.net.Node(mux).Ctrl.Source == rsn.None {
+			s.SetExternal(mux, port)
+		} else {
+			pending[mux] = port
+		}
+	}
+
+	// Ancestor sections of the broken segments, for routing around
+	// them (innermost sections first, per break).
+	var avoid []muxPort
+	var breaks []rsn.NodeID
+	for _, f := range s.flts {
+		if f.Kind == faults.SegmentBreak {
+			avoid = append(avoid, routeConstraints(s.net, f.Node)...)
+			breaks = append(breaks, f.Node)
+		}
+	}
+	attempted := map[muxPort]bool{}
+
+	onPath := func() bool {
+		for _, t := range targets {
+			if !s.OnPath(t) {
+				return false
+			}
+		}
+		return true
+	}
+
+	maxRounds := len(s.net.Primitives()) + 2
+	for round := 0; round <= maxRounds; round++ {
+		if onPath() && s.selectsSatisfied(pending) {
+			brokenOnPath := false
+			for _, b := range breaks {
+				if s.OnPath(b) {
+					brokenOnPath = true
+					break
+				}
+			}
+			if !brokenOnPath || !s.tryAvoid(avoid, required, attempted) {
+				return round, nil
+			}
+			continue // an avoidance write was issued; re-check
+		}
+		// Program every reachable control register whose mux is not yet
+		// selecting the desired port.
+		image := map[rsn.NodeID][]Bit{}
+		for mux, port := range pending {
+			if s.SelectOf(mux) == port {
+				continue
+			}
+			src := s.net.Node(mux).Ctrl
+			if s.segOffset(src.Source) < 0 {
+				continue // control register not on the current path yet
+			}
+			s.writeCtrlImage(image, src, port)
+		}
+		if len(image) == 0 {
+			break // no further progress possible
+		}
+		if _, err := s.CSU(s.composeVector(image)); err != nil {
+			return round, err
+		}
+	}
+	return 0, fmt.Errorf("%w: targets %v", ErrInaccessible, s.net.SortedNames(targets))
+}
+
+// writeCtrlImage merges the bits that make ctrl select port into the
+// per-segment write image.
+func (s *Simulator) writeCtrlImage(image map[rsn.NodeID][]Bit, ctrl rsn.Control, port int) {
+	img, ok := image[ctrl.Source]
+	if !ok {
+		img = append([]Bit(nil), s.updInt[ctrl.Source]...)
+		for i, b := range img {
+			if b == BX {
+				img[i] = B0
+			}
+		}
+	}
+	for k := 0; k < ctrl.Width; k++ {
+		img[ctrl.Bit+k] = Bit((port >> uint(k)) & 1)
+	}
+	image[ctrl.Source] = img
+}
+
+// tryAvoid attempts to flip one ancestor section of the broken segment
+// so the active path no longer crosses it, preferring the innermost
+// section. Sections claimed by target requirements are left alone. It
+// reports whether an avoidance action was issued; false means the break
+// is unavoidable (or all options were already tried) and the caller
+// should proceed with the break on the path.
+func (s *Simulator) tryAvoid(avoid []muxPort, required map[rsn.NodeID]int, attempted map[muxPort]bool) bool {
+	for _, c := range avoid {
+		if attempted[c] {
+			continue
+		}
+		if _, claimed := required[c.mux]; claimed {
+			continue // the target needs this branch; corruption verdicts apply
+		}
+		ports := len(s.net.Pred(c.mux))
+		if ports < 2 || s.SelectOf(c.mux) != c.port {
+			continue
+		}
+		attempted[c] = true
+		alt := (c.port + 1) % ports
+		nd := s.net.Node(c.mux)
+		if nd.Ctrl.Source == rsn.None {
+			s.SetExternal(c.mux, alt)
+			return true
+		}
+		if s.segOffset(nd.Ctrl.Source) >= 0 {
+			image := map[rsn.NodeID][]Bit{}
+			s.writeCtrlImage(image, nd.Ctrl, alt)
+			if _, err := s.CSU(s.composeVector(image)); err == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// selectsSatisfied reports whether every pending mux currently selects
+// its desired port.
+func (s *Simulator) selectsSatisfied(pending map[rsn.NodeID]int) bool {
+	for mux, port := range pending {
+		if s.SelectOf(mux) != port {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteInstrument retargets the network to the instrument segment and
+// shifts data into its update register. It fails with ErrInaccessible if
+// the segment cannot be put on a path and with ErrCorrupted if a fault
+// corrupted the written value.
+func (s *Simulator) WriteInstrument(seg rsn.NodeID, data []Bit) error {
+	nd := s.net.Node(seg)
+	if len(data) != nd.Length {
+		return fmt.Errorf("access: data for %q has %d bits, segment has %d", nd.Name, len(data), nd.Length)
+	}
+	if _, err := s.Configure([]rsn.NodeID{seg}); err != nil {
+		return err
+	}
+	if _, err := s.CSU(s.composeVector(map[rsn.NodeID][]Bit{seg: data})); err != nil {
+		return err
+	}
+	got := s.updVal[seg]
+	for i := range data {
+		if got[i] != data[i] {
+			return fmt.Errorf("%w: wrote %v to %q, update register holds %v",
+				ErrCorrupted, fmtBits(data), nd.Name, fmtBits(got))
+		}
+	}
+	return nil
+}
+
+// ReadInstrument retargets the network to the instrument segment,
+// captures, and shifts the captured data out. The result is the
+// instrument's capture data as observed at scan-out (X where corrupted).
+func (s *Simulator) ReadInstrument(seg rsn.NodeID) ([]Bit, error) {
+	if _, err := s.Configure([]rsn.NodeID{seg}); err != nil {
+		return nil, err
+	}
+	s.Capture()
+	out := s.Shift(s.composeVector(nil)) // shift out, preserving controls
+	s.Update()
+	return s.extract(out, seg), nil
+}
+
+func fmtBits(b []Bit) string {
+	buf := make([]byte, len(b))
+	for i, x := range b {
+		buf[i] = x.String()[0]
+	}
+	return string(buf)
+}
+
+// Accessible determines, by full fault-injected simulation, whether the
+// instrument segment remains observable and settable under the given
+// fault (nil for the fault-free case). Observation succeeds when a
+// marker capture pattern arrives uncorrupted at scan-out; setting
+// succeeds when a marker pattern lands uncorrupted in the instrument's
+// update register.
+func Accessible(net *rsn.Network, f *faults.Fault, seg rsn.NodeID, policy Policy) (obs, set bool) {
+	marker := make([]Bit, net.Node(seg).Length)
+	for i := range marker {
+		marker[i] = Bit(uint8(i+1) % 2)
+	}
+
+	{
+		sim := New(net, policy)
+		if f != nil {
+			if err := sim.InjectFault(*f); err != nil {
+				// Fault avoided by hardening: full access.
+				return true, true
+			}
+		}
+		if err := sim.SetCapture(seg, marker); err == nil {
+			got, err := sim.ReadInstrument(seg)
+			obs = err == nil && equalBits(got, marker)
+		}
+	}
+	{
+		sim := New(net, policy)
+		if f != nil {
+			if err := sim.InjectFault(*f); err != nil {
+				return true, true
+			}
+		}
+		set = sim.WriteInstrument(seg, marker) == nil
+	}
+	return obs, set
+}
+
+func equalBits(a, b []Bit) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package access
+
+import (
+	"errors"
+	"testing"
+
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+)
+
+func TestSelectOfClampsWideControlValues(t *testing.T) {
+	// A 2-bit control field can encode 3 for a 3-port mux: the select
+	// must wrap rather than crash or pick a phantom port.
+	b := rsn.NewBuilder("clamp")
+	cfg := b.Segment("cfg", 2, nil)
+	bs := b.Fork("f", 3)
+	bs.Branch(0).Segment("a", 1, nil)
+	bs.Branch(1).Segment("x", 1, nil)
+	bs.Branch(2).Segment("y", 1, nil)
+	m := bs.Join("m", rsn.Control{Source: cfg, Bit: 0, Width: 2})
+	net := b.Finish()
+
+	sim := New(net, PolicyPaper)
+	// Write value 3 into cfg through the scan path.
+	if _, err := sim.CSU(sim.composeVector(map[rsn.NodeID][]Bit{cfg: {B1, B1}})); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.SelectOf(m); got < 0 || got > 2 {
+		t.Fatalf("SelectOf = %d, out of port range", got)
+	}
+}
+
+func TestConfigureSelectsValidation(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	if _, err := sim.ConfigureSelects(map[rsn.NodeID]int{net.Lookup("i1"): 0}); err == nil {
+		t.Error("accepted a segment as a mux")
+	}
+	if _, err := sim.ConfigureSelects(map[rsn.NodeID]int{net.Lookup("m0"): 5}); err == nil {
+		t.Error("accepted an out-of-range port")
+	}
+	if _, err := sim.ConfigureSelects(map[rsn.NodeID]int{net.Lookup("m0"): 1}); err != nil {
+		t.Errorf("valid select rejected: %v", err)
+	}
+	if !sim.OnPath(net.Lookup("c1")) {
+		t.Error("m0 port 1 did not route through c1")
+	}
+}
+
+func TestConfigureSelectsConflictsWithTargets(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	_, err := sim.configure([]rsn.NodeID{net.Lookup("i2")}, map[rsn.NodeID]int{net.Lookup("m0"): 1})
+	if !errors.Is(err, ErrConflict) {
+		t.Fatalf("conflicting target/select accepted: %v", err)
+	}
+}
+
+func TestSetCaptureValidation(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	if err := sim.SetCapture(net.Lookup("m0"), Bits(0, 1)); err == nil {
+		t.Error("accepted capture data for a mux")
+	}
+	if err := sim.SetCapture(net.Lookup("i1"), Bits(0, 2)); err == nil {
+		t.Error("accepted wrong-width capture data")
+	}
+}
+
+func TestUpdatePreservesOffPathSegments(t *testing.T) {
+	// Writing through one branch must not disturb update registers in
+	// the other branch.
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	if err := sim.WriteInstrument(net.Lookup("i2"), Bits(0xF, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if got := sim.UpdateValue(net.Lookup("i3")); !equalBits(got, Bits(0, 4)) {
+		t.Errorf("i3 update register disturbed: %v", got)
+	}
+	if err := sim.WriteInstrument(net.Lookup("i3"), Bits(0x5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	// i2 keeps its value even though the path switched branches.
+	if got := sim.UpdateValue(net.Lookup("i2")); !equalBits(got, Bits(0xF, 4)) {
+		t.Errorf("i2 update register lost its value after reconfiguration: %v", got)
+	}
+}

@@ -1,0 +1,149 @@
+package access
+
+import (
+	"fmt"
+	"sort"
+
+	"rsnrobust/internal/rsn"
+)
+
+// PlanSessions partitions target instrument segments into groups that
+// can share one scan configuration: two targets conflict when they need
+// different ports of the same multiplexer (for example the two branches
+// of one parallel section). Grouping uses first-fit-decreasing greedy
+// coloring of the conflict relation — the classic session-minimization
+// step of RSN pattern generation.
+//
+// The returned sessions preserve a deterministic order: targets sorted
+// by node ID within each session, sessions by their first target.
+func PlanSessions(net *rsn.Network, targets []rsn.NodeID) ([][]rsn.NodeID, error) {
+	type constrained struct {
+		id   rsn.NodeID
+		need map[rsn.NodeID]int
+	}
+	cons := make([]constrained, 0, len(targets))
+	for _, t := range targets {
+		nd := net.Node(t)
+		if nd.Kind != rsn.KindSegment {
+			return nil, fmt.Errorf("access: target %q is not a segment", nd.Name)
+		}
+		need := map[rsn.NodeID]int{}
+		for _, c := range routeConstraints(net, t) {
+			if have, ok := need[c.mux]; ok && have != c.port {
+				return nil, fmt.Errorf("access: target %q needs two ports of mux %q", nd.Name, net.Node(c.mux).Name)
+			}
+			need[c.mux] = c.port
+		}
+		cons = append(cons, constrained{id: t, need: need})
+	}
+	// First-fit decreasing by constraint count.
+	sort.SliceStable(cons, func(i, j int) bool {
+		if len(cons[i].need) != len(cons[j].need) {
+			return len(cons[i].need) > len(cons[j].need)
+		}
+		return cons[i].id < cons[j].id
+	})
+
+	type session struct {
+		need    map[rsn.NodeID]int
+		members []rsn.NodeID
+	}
+	var sessions []*session
+place:
+	for _, c := range cons {
+		for _, s := range sessions {
+			ok := true
+			for mux, port := range c.need {
+				if have, exists := s.need[mux]; exists && have != port {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				for mux, port := range c.need {
+					s.need[mux] = port
+				}
+				s.members = append(s.members, c.id)
+				continue place
+			}
+		}
+		ns := &session{need: map[rsn.NodeID]int{}, members: []rsn.NodeID{c.id}}
+		for mux, port := range c.need {
+			ns.need[mux] = port
+		}
+		sessions = append(sessions, ns)
+	}
+
+	out := make([][]rsn.NodeID, len(sessions))
+	for i, s := range sessions {
+		sort.Slice(s.members, func(a, b int) bool { return s.members[a] < s.members[b] })
+		out[i] = s.members
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out, nil
+}
+
+// ReadAll reads the capture data of every target instrument, planning
+// the minimum number of shared scan sessions and running one
+// capture-shift cycle per session. It returns the per-segment data and
+// the number of sessions used.
+func (s *Simulator) ReadAll(targets []rsn.NodeID) (map[rsn.NodeID][]Bit, int, error) {
+	sessions, err := PlanSessions(s.net, targets)
+	if err != nil {
+		return nil, 0, err
+	}
+	out := make(map[rsn.NodeID][]Bit, len(targets))
+	for _, sess := range sessions {
+		if _, err := s.Configure(sess); err != nil {
+			return nil, 0, err
+		}
+		s.Capture()
+		stream := s.Shift(s.composeVector(nil))
+		s.Update()
+		for _, seg := range sess {
+			out[seg] = s.extract(stream, seg)
+		}
+	}
+	return out, len(sessions), nil
+}
+
+// WriteAll writes the given data into every target instrument's update
+// register using the minimum number of shared sessions. Data images
+// must match each segment's length.
+func (s *Simulator) WriteAll(data map[rsn.NodeID][]Bit) (int, error) {
+	targets := make([]rsn.NodeID, 0, len(data))
+	for seg, bits := range data {
+		if len(bits) != s.net.Node(seg).Length {
+			return 0, fmt.Errorf("access: data for %q has %d bits, segment has %d",
+				s.net.Node(seg).Name, len(bits), s.net.Node(seg).Length)
+		}
+		targets = append(targets, seg)
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+	sessions, err := PlanSessions(s.net, targets)
+	if err != nil {
+		return 0, err
+	}
+	for _, sess := range sessions {
+		if _, err := s.Configure(sess); err != nil {
+			return 0, err
+		}
+		image := map[rsn.NodeID][]Bit{}
+		for _, seg := range sess {
+			image[seg] = data[seg]
+		}
+		if _, err := s.CSU(s.composeVector(image)); err != nil {
+			return 0, err
+		}
+		for _, seg := range sess {
+			got := s.updVal[seg]
+			for i, b := range data[seg] {
+				if got[i] != b {
+					return 0, fmt.Errorf("%w: segment %q holds %s, wrote %s",
+						ErrCorrupted, s.net.Node(seg).Name, fmtBits(got), fmtBits(data[seg]))
+				}
+			}
+		}
+	}
+	return len(sessions), nil
+}

@@ -1,0 +1,67 @@
+package access
+
+import (
+	"testing"
+
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+)
+
+func TestStatsAccounting(t *testing.T) {
+	net := fixture.NestedSIBs()
+	sim := New(net, PolicyPaper)
+	if sim.Stats() != (Stats{}) {
+		t.Fatal("fresh simulator has non-zero stats")
+	}
+	if err := sim.WriteInstrument(net.Lookup("ia"), Bits(0x5A, 8)); err != nil {
+		t.Fatal(err)
+	}
+	st := sim.Stats()
+	if st.ShiftClocks <= 0 {
+		t.Error("no shift clocks counted")
+	}
+	if st.Updates < 3 {
+		t.Errorf("expected at least 3 update cycles (two SIB levels + payload), got %d", st.Updates)
+	}
+	if st.Captures != st.Updates {
+		t.Errorf("CSU symmetry broken: %d captures, %d updates", st.Captures, st.Updates)
+	}
+	sim.ResetStats()
+	if sim.Stats() != (Stats{}) {
+		t.Error("ResetStats did not zero counters")
+	}
+}
+
+func TestStatsCountExternalWrites(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	if _, err := sim.Configure([]rsn.NodeID{net.Lookup("i3")}); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Stats().ExternalWrites == 0 {
+		t.Error("external mux configuration not counted")
+	}
+}
+
+func TestHardenedAccessCostUnchanged(t *testing.T) {
+	// The paper's compatibility claim in cost terms: hardening changes
+	// neither paths nor cycles, so the exact same access costs the same.
+	cost := func(net *rsn.Network) Stats {
+		sim := New(net, PolicyPaper)
+		if err := sim.WriteInstrument(net.Lookup("ib"), Bits(0x3C, 8)); err != nil {
+			t.Fatal(err)
+		}
+		return sim.Stats()
+	}
+	plain := cost(fixture.NestedSIBs())
+	hardenedNet := fixture.NestedSIBs()
+	hardenedNet.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	hardened := cost(hardenedNet)
+	if plain != hardened {
+		t.Errorf("access cost changed by hardening: %+v vs %+v", plain, hardened)
+	}
+}

@@ -1,0 +1,93 @@
+package access
+
+import (
+	"errors"
+	"fmt"
+
+	"rsnrobust/internal/rsn"
+)
+
+// OpKind enumerates recorded operations.
+type OpKind uint8
+
+// Trace operation kinds.
+const (
+	OpCapture OpKind = iota
+	OpShift
+	OpUpdate
+	OpExternal
+)
+
+// String names the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpCapture:
+		return "capture"
+	case OpShift:
+		return "shift"
+	case OpUpdate:
+		return "update"
+	case OpExternal:
+		return "external"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(k))
+	}
+}
+
+// TraceOp is one recorded simulator operation. Shift operations record
+// both the stimulus and the observed response.
+type TraceOp struct {
+	Kind OpKind
+	Data []Bit // shift stimulus
+	Out  []Bit // observed scan-out response
+	Mux  rsn.NodeID
+	Port int
+}
+
+// Trace is a recorded access-pattern sequence: the exact stimuli applied
+// to a network and the responses observed. Traces recorded on the
+// original RSN must replay bit-identically on the selectively hardened
+// RSN — the paper's pattern-compatibility property.
+type Trace struct {
+	Ops []TraceOp
+}
+
+// ErrTraceMismatch is returned by Replay when a response diverges.
+var ErrTraceMismatch = errors.New("access: replayed response differs from recorded trace")
+
+// StartTrace begins recording every subsequent operation and returns
+// the live trace.
+func (s *Simulator) StartTrace() *Trace {
+	s.trace = &Trace{}
+	return s.trace
+}
+
+// StopTrace ends recording.
+func (s *Simulator) StopTrace() {
+	s.trace = nil
+}
+
+// Replay applies a recorded trace to the simulator and verifies that
+// every shift response matches the recording. It returns the index of
+// the first diverging operation inside ErrTraceMismatch.
+func Replay(s *Simulator, tr *Trace) error {
+	for i, op := range tr.Ops {
+		switch op.Kind {
+		case OpCapture:
+			s.Capture()
+		case OpUpdate:
+			s.Update()
+		case OpExternal:
+			s.SetExternal(op.Mux, op.Port)
+		case OpShift:
+			out := s.Shift(op.Data)
+			if !equalBits(out, op.Out) {
+				return fmt.Errorf("%w: op %d response %s, recorded %s",
+					ErrTraceMismatch, i, fmtBits(out), fmtBits(op.Out))
+			}
+		default:
+			return fmt.Errorf("access: unknown trace op %v", op.Kind)
+		}
+	}
+	return nil
+}

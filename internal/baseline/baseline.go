@@ -1,0 +1,252 @@
+// Package baseline provides reference optimizers and comparators for the
+// selective-hardening problem:
+//
+//   - a greedy damage/cost-ratio heuristic whose prefix solutions trace
+//     the convex hull of the Pareto front (the objectives are separable
+//     sums, so greedy-by-ratio is the fractional-knapsack relaxation);
+//   - exact constrained optima via 0/1-knapsack dynamic programming over
+//     the integral cost axis (tractable whenever primitives × total cost
+//     is moderate), used to calibrate how close the evolutionary fronts
+//     come to optimal;
+//   - a random-sampling front as the sanity-check lower bar;
+//   - the hardware overhead of conventional full triple-modular
+//     redundancy (TMR), the paper's state-of-the-art comparator.
+package baseline
+
+import (
+	"math/rand"
+	"sort"
+
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/moea"
+	"rsnrobust/internal/rsn"
+)
+
+// GreedyFront hardens primitives in decreasing damage-per-cost order and
+// returns the n+1 prefix solutions (from nothing hardened to everything
+// hardened). The result is sorted by increasing cost and is mutually
+// nondominated.
+func GreedyFront(a *faults.Analysis) []core.Solution {
+	type item struct {
+		id   rsn.NodeID
+		d, c int64
+	}
+	items := make([]item, 0, len(a.Prims))
+	for _, id := range a.Prims {
+		items = append(items, item{id: id, d: a.Damage[id], c: a.Spec.Cost[id]})
+	}
+	// Decreasing d/c; free items (c == 0) first, zero-damage items last.
+	sort.SliceStable(items, func(i, j int) bool {
+		// Compare d_i/c_i > d_j/c_j without division: d_i*c_j > d_j*c_i.
+		// Zero costs sort as infinite ratio when damage > 0.
+		li := items[i].d * items[j].c
+		lj := items[j].d * items[i].c
+		if li != lj {
+			return li > lj
+		}
+		return items[i].d > items[j].d
+	})
+
+	front := make([]core.Solution, 0, len(items)+1)
+	mask := make([]bool, a.Net.NumNodes())
+	var cost int64
+	damage := a.TotalDamage
+	appendSol := func() {
+		cp := make([]bool, len(mask))
+		copy(cp, mask)
+		var hardened []rsn.NodeID
+		for _, id := range a.Prims {
+			if cp[id] {
+				hardened = append(hardened, id)
+			}
+		}
+		front = append(front, core.Solution{
+			Hardened:        hardened,
+			Mask:            cp,
+			Cost:            cost,
+			Damage:          damage,
+			CriticalCovered: criticalCovered(a, cp),
+		})
+	}
+	appendSol()
+	for _, it := range items {
+		mask[it.id] = true
+		cost += it.c
+		damage -= it.d
+		appendSol()
+	}
+	return dedupe(front)
+}
+
+// dedupe removes dominated prefixes from the greedy staircase. The
+// input has non-decreasing cost and non-increasing damage, so a prefix
+// is dominated iff a later one has the same cost (strictly less damage)
+// or it fails to reduce damage over its predecessor.
+func dedupe(front []core.Solution) []core.Solution {
+	out := front[:0]
+	for _, s := range front {
+		for len(out) > 0 && out[len(out)-1].Cost == s.Cost {
+			out = out[:len(out)-1]
+		}
+		if len(out) > 0 && out[len(out)-1].Damage <= s.Damage {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func criticalCovered(a *faults.Analysis, mask []bool) bool {
+	for _, id := range a.Prims {
+		if a.CritHit[id] && !mask[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// RandomFront samples random hardening masks at mixed densities and
+// returns their nondominated subset — the sanity-check baseline any real
+// optimizer must beat.
+func RandomFront(a *faults.Analysis, seed int64, samples int) []core.Solution {
+	rng := rand.New(rand.NewSource(seed))
+	n := len(a.Prims)
+	var pop []moea.Genome
+	for s := 0; s < samples; s++ {
+		g := moea.NewGenome(n)
+		g.Randomize(rng, rng.Float64()*0.5, n)
+		pop = append(pop, g)
+	}
+	var sols []core.Solution
+	for _, g := range pop {
+		mask := make([]bool, a.Net.NumNodes())
+		var hardened []rsn.NodeID
+		for i, id := range a.Prims {
+			if g.Get(i) {
+				mask[id] = true
+				hardened = append(hardened, id)
+			}
+		}
+		sols = append(sols, core.Solution{
+			Hardened: hardened,
+			Mask:     mask,
+			Cost:     a.HardeningCost(mask),
+			Damage:   a.ResidualDamage(mask),
+		})
+	}
+	return paretoSolutions(sols)
+}
+
+// paretoSolutions filters solutions to the nondominated subset, sorted
+// by cost.
+func paretoSolutions(sols []core.Solution) []core.Solution {
+	var front []core.Solution
+	for i := range sols {
+		dominated := false
+		for j := range sols {
+			if i == j {
+				continue
+			}
+			if (sols[j].Cost < sols[i].Cost && sols[j].Damage <= sols[i].Damage) ||
+				(sols[j].Cost <= sols[i].Cost && sols[j].Damage < sols[i].Damage) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, sols[i])
+		}
+	}
+	sort.Slice(front, func(i, j int) bool {
+		if front[i].Cost != front[j].Cost {
+			return front[i].Cost < front[j].Cost
+		}
+		return front[i].Damage < front[j].Damage
+	})
+	// Drop duplicates.
+	out := front[:0]
+	for i, s := range front {
+		if i > 0 && s.Cost == front[i-1].Cost && s.Damage == front[i-1].Damage {
+			continue
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Exact computes exact constrained optima of the separable
+// selective-hardening problem by 0/1-knapsack dynamic programming over
+// the cost axis. Construction is O(primitives × total cost) in time and
+// O(total cost) in space.
+type Exact struct {
+	a *faults.Analysis
+	// removed[c] is the maximum total damage removable with hardening
+	// cost at most c.
+	removed []int64
+}
+
+// ExactTractable reports whether the DP fits the given operation budget
+// (primitives × (total cost + 1) <= maxOps).
+func ExactTractable(a *faults.Analysis, maxOps int64) bool {
+	return int64(len(a.Prims))*(a.Spec.MaxCost()+1) <= maxOps
+}
+
+// NewExact builds the DP table.
+func NewExact(a *faults.Analysis) *Exact {
+	maxCost := a.Spec.MaxCost()
+	removed := make([]int64, maxCost+1)
+	for _, id := range a.Prims {
+		c, d := a.Spec.Cost[id], a.Damage[id]
+		if d == 0 {
+			continue
+		}
+		if c == 0 {
+			// Free hardening: always taken.
+			for b := int64(0); b <= maxCost; b++ {
+				removed[b] += d
+			}
+			continue
+		}
+		for b := maxCost; b >= c; b-- {
+			if v := removed[b-c] + d; v > removed[b] {
+				removed[b] = v
+			}
+		}
+	}
+	return &Exact{a: a, removed: removed}
+}
+
+// MinDamageWithCostAtMost returns the optimal residual damage under a
+// cost budget.
+func (e *Exact) MinDamageWithCostAtMost(budget int64) int64 {
+	if budget < 0 {
+		return e.a.TotalDamage
+	}
+	if budget > int64(len(e.removed)-1) {
+		budget = int64(len(e.removed) - 1)
+	}
+	return e.a.TotalDamage - e.removed[budget]
+}
+
+// MinCostWithDamageAtMost returns the minimum hardening cost that pushes
+// the residual damage to at most limit; ok is false if even full
+// hardening cannot (only possible for limit < 0).
+func (e *Exact) MinCostWithDamageAtMost(limit int64) (cost int64, ok bool) {
+	need := e.a.TotalDamage - limit
+	for c := int64(0); c < int64(len(e.removed)); c++ {
+		if e.removed[c] >= need {
+			return c, true
+		}
+	}
+	return 0, false
+}
+
+// TMROverhead returns the hardware overhead of protecting the entire
+// network by triple modular redundancy, in the same cost units as the
+// specification: every cell is triplicated (2× extra) and every
+// primitive receives one voter of the given cost. This is the
+// conventional fault-tolerance comparator of the paper's Section I.
+func TMROverhead(a *faults.Analysis, voterCost int64) int64 {
+	return 2*a.Spec.MaxCost() + voterCost*int64(len(a.Prims))
+}

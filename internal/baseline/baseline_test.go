@@ -1,0 +1,183 @@
+package baseline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+func analyze(t testing.TB, net *rsn.Network) *faults.Analysis {
+	t.Helper()
+	tree, err := sptree.Build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, err := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestGreedyFrontShape(t *testing.T) {
+	a := analyze(t, fixture.PaperExample())
+	front := GreedyFront(a)
+	if len(front) < 2 {
+		t.Fatalf("front too small: %d", len(front))
+	}
+	if front[0].Cost != 0 || front[0].Damage != a.TotalDamage {
+		t.Errorf("first solution = (%d,%d), want (0,%d)", front[0].Cost, front[0].Damage, a.TotalDamage)
+	}
+	last := front[len(front)-1]
+	if last.Damage != 0 {
+		t.Errorf("last solution damage = %d, want 0", last.Damage)
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Cost <= front[i-1].Cost {
+			t.Errorf("cost not strictly increasing at %d", i)
+		}
+		if front[i].Damage >= front[i-1].Damage {
+			t.Errorf("damage not strictly decreasing at %d", i)
+		}
+	}
+	// Objectives must recompute from the masks.
+	for _, s := range front {
+		if a.ResidualDamage(s.Mask) != s.Damage || a.HardeningCost(s.Mask) != s.Cost {
+			t.Errorf("solution bookkeeping inconsistent: %+v", s)
+		}
+	}
+}
+
+func TestExactMatchesBruteForceOnTinyNetworks(t *testing.T) {
+	// Property: DP optima equal exhaustive-enumeration optima for tiny
+	// random networks.
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 10})
+		a := analyze(t, net)
+		n := len(a.Prims)
+		if n > 16 {
+			return true // keep enumeration cheap
+		}
+		e := NewExact(a)
+		maxCost := a.Spec.MaxCost()
+		// Enumerate all subsets.
+		type point struct{ cost, damage int64 }
+		best := map[int64]int64{} // cost budget -> min damage (filled below)
+		points := make([]point, 0, 1<<n)
+		for m := 0; m < 1<<n; m++ {
+			var cost, removed int64
+			for i := 0; i < n; i++ {
+				if m&(1<<i) != 0 {
+					cost += a.Spec.Cost[a.Prims[i]]
+					removed += a.Damage[a.Prims[i]]
+				}
+			}
+			points = append(points, point{cost, a.TotalDamage - removed})
+		}
+		_ = best
+		for _, budget := range []int64{0, maxCost / 10, maxCost / 3, maxCost} {
+			var bruteMin int64 = a.TotalDamage
+			for _, p := range points {
+				if p.cost <= budget && p.damage < bruteMin {
+					bruteMin = p.damage
+				}
+			}
+			if got := e.MinDamageWithCostAtMost(budget); got != bruteMin {
+				t.Logf("seed %d budget %d: DP %d, brute force %d", seed, budget, got, bruteMin)
+				return false
+			}
+		}
+		for _, limit := range []int64{0, a.TotalDamage / 10, a.TotalDamage / 2, a.TotalDamage} {
+			var bruteCost int64 = -1
+			for _, p := range points {
+				if p.damage <= limit && (bruteCost < 0 || p.cost < bruteCost) {
+					bruteCost = p.cost
+				}
+			}
+			got, ok := e.MinCostWithDamageAtMost(limit)
+			if !ok {
+				t.Logf("seed %d limit %d: DP found no solution", seed, limit)
+				return false
+			}
+			if got != bruteCost {
+				t.Logf("seed %d limit %d: DP cost %d, brute force %d", seed, limit, got, bruteCost)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedyNeverBeatsExact(t *testing.T) {
+	// Property: the exact DP is at least as good as any greedy prefix.
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 40})
+		a := analyze(t, net)
+		e := NewExact(a)
+		for _, s := range GreedyFront(a) {
+			if opt := e.MinDamageWithCostAtMost(s.Cost); opt > s.Damage {
+				t.Logf("seed %d: greedy (%d,%d) beats DP optimum %d", seed, s.Cost, s.Damage, opt)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomFrontNondominated(t *testing.T) {
+	a := analyze(t, fixture.SIBChain(8))
+	front := RandomFront(a, 3, 200)
+	if len(front) == 0 {
+		t.Fatal("empty random front")
+	}
+	for i := range front {
+		for j := range front {
+			if i == j {
+				continue
+			}
+			if front[j].Cost <= front[i].Cost && front[j].Damage <= front[i].Damage &&
+				(front[j].Cost < front[i].Cost || front[j].Damage < front[i].Damage) {
+				t.Fatalf("random front member %d dominated by %d", i, j)
+			}
+		}
+	}
+}
+
+func TestExactTractable(t *testing.T) {
+	a := analyze(t, fixture.PaperExample())
+	if !ExactTractable(a, 1<<20) {
+		t.Error("tiny instance reported intractable")
+	}
+	if ExactTractable(a, 1) {
+		t.Error("instance fits in 1 operation")
+	}
+}
+
+func TestTMROverheadExceedsSelective(t *testing.T) {
+	a := analyze(t, fixture.SIBChain(10))
+	tmr := TMROverhead(a, 1)
+	if tmr <= a.Spec.MaxCost() {
+		t.Errorf("TMR overhead %d not above full hardening cost %d", tmr, a.Spec.MaxCost())
+	}
+	// Selective hardening at 10% cost is far below TMR.
+	e := NewExact(a)
+	if d := e.MinDamageWithCostAtMost(a.Spec.MaxCost() / 10); d >= a.TotalDamage {
+		t.Errorf("10%% budget removed no damage (%d of %d)", d, a.TotalDamage)
+	}
+}
+
+var _ = core.Solution{} // keep the core dependency explicit

@@ -1,0 +1,29 @@
+package baseline_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/baseline"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+// ExampleNewExact computes exact constrained optima of the
+// selective-hardening problem by knapsack dynamic programming — the
+// calibration baseline for the evolutionary fronts.
+func ExampleNewExact() {
+	net := fixture.PaperExample()
+	tree, _ := sptree.Build(net)
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, _ := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+
+	e := baseline.NewExact(a)
+	cost, _ := e.MinCostWithDamageAtMost(a.TotalDamage / 10)
+	fmt.Printf("min cost for damage<=10%%: %d\n", cost)
+	fmt.Printf("min damage for cost<=10 units: %d\n", e.MinDamageWithCostAtMost(10))
+	// Output:
+	// min cost for damage<=10%: 14
+	// min damage for cost<=10 units: 18
+}

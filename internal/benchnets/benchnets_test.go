@@ -1,0 +1,162 @@
+package benchnets
+
+import (
+	"testing"
+
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/sptree"
+)
+
+// TestTable1CountsExact verifies that every reconstructed benchmark has
+// exactly the segment and multiplexer counts of Table I columns 1-2,
+// validates and parses into a decomposition tree. The two giant rows are
+// covered by TestTable1GiantRows under -short exclusion.
+func TestTable1CountsExact(t *testing.T) {
+	for _, e := range Table1 {
+		if e.Segments > 200000 {
+			continue // giant rows tested separately
+		}
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			net, err := GenerateEntry(e)
+			if err != nil {
+				t.Fatalf("GenerateEntry: %v", err)
+			}
+			st := net.Stats()
+			if st.Segments != e.Segments || st.Muxes != e.Muxes {
+				t.Fatalf("counts = %d/%d, want %d/%d", st.Segments, st.Muxes, e.Segments, e.Muxes)
+			}
+			if err := rsn.Validate(net); err != nil {
+				t.Fatalf("Validate: %v", err)
+			}
+			if _, err := sptree.Build(net); err != nil {
+				t.Fatalf("sptree.Build: %v", err)
+			}
+			if st.Instruments == 0 {
+				t.Error("benchmark has no instruments")
+			}
+		})
+	}
+}
+
+func TestTable1GiantRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("giant benchmarks skipped in -short mode")
+	}
+	for _, name := range []string{"MBIST_5_100_100", "MBIST_100_100_5", "MBIST_55_20_5"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing entry %s", name)
+		}
+		net, err := GenerateEntry(e)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := net.Stats()
+		if st.Segments != e.Segments || st.Muxes != e.Muxes {
+			t.Fatalf("%s: counts = %d/%d, want %d/%d", name, st.Segments, st.Muxes, e.Segments, e.Muxes)
+		}
+		if _, err := sptree.Build(net); err != nil {
+			t.Fatalf("%s: sptree.Build: %v", name, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate("TreeBalanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate("TreeBalanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumNodes() != b.NumNodes() {
+		t.Fatalf("node counts differ: %d vs %d", a.NumNodes(), b.NumNodes())
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(rsn.NodeID(i)), b.Node(rsn.NodeID(i))
+		if na.Kind != nb.Kind || na.Length != nb.Length || na.Name != nb.Name {
+			t.Fatalf("node %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("NoSuchNetwork"); err == nil {
+		t.Fatal("Generate accepted an unknown name")
+	}
+}
+
+func TestLookupAndNames(t *testing.T) {
+	if _, ok := Lookup("p93791"); !ok {
+		t.Error("Lookup(p93791) failed")
+	}
+	names := Names()
+	if len(names) != len(Table1) {
+		t.Fatalf("Names() returned %d entries, want %d", len(names), len(Table1))
+	}
+	if names[0] != "TreeFlat" {
+		t.Errorf("smallest benchmark = %s, want TreeFlat", names[0])
+	}
+}
+
+func TestParseMBISTName(t *testing.T) {
+	a, b, c, err := ParseMBISTName("MBIST_5_100_20")
+	if err != nil || a != 5 || b != 100 || c != 20 {
+		t.Errorf("ParseMBISTName = (%d,%d,%d,%v)", a, b, c, err)
+	}
+	if _, _, _, err := ParseMBISTName("TreeFlat"); err == nil {
+		t.Error("ParseMBISTName accepted a non-MBIST name")
+	}
+	if _, _, _, err := ParseMBISTName("MBIST_0_1_1"); err == nil {
+		t.Error("ParseMBISTName accepted a zero level")
+	}
+}
+
+func TestMBISTFamilyFormula(t *testing.T) {
+	// The fitted formula must reproduce the published counts of the
+	// self-consistent rows.
+	cases := []struct {
+		a, b, c    int
+		segs, muxs int
+	}{
+		{1, 5, 20, 1523, 15},
+		{1, 20, 20, 6068, 45},
+		{2, 5, 5, 1091, 28},
+		{2, 20, 20, 12131, 88},
+		{5, 5, 5, 2720, 67},
+		{5, 20, 20, 30320, 217},
+		{5, 100, 20, 151520, 1017},
+		{5, 100, 100, 671520, 1017},
+		{20, 20, 20, 121265, 862},
+	}
+	for _, cse := range cases {
+		s, m := MBISTFamily(cse.a, cse.b, cse.c)
+		if s != cse.segs || m != cse.muxs {
+			t.Errorf("MBISTFamily(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				cse.a, cse.b, cse.c, s, m, cse.segs, cse.muxs)
+		}
+	}
+}
+
+func TestSizedRejectsImpossible(t *testing.T) {
+	if _, err := Sized(SizedOptions{Name: "x", Segments: 0, Muxes: 5, Shape: ShapeFlat}); err == nil {
+		t.Error("Sized accepted zero data segments")
+	}
+	if _, err := Sized(SizedOptions{Name: "x", Segments: 3, Muxes: 0, Shape: ShapeFlat}); err == nil {
+		t.Error("Sized accepted zero muxes")
+	}
+	if _, err := Sized(SizedOptions{Name: "x", Segments: 10, Muxes: 8, Shape: ShapeMBIST, Controllers: 3, Groups: 4}); err == nil {
+		t.Error("Sized accepted an over-constrained MBIST hierarchy")
+	}
+}
+
+func TestRandomValid(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		net := Random(RandomOptions{Seed: seed, TargetPrims: 40, SegmentControls: true})
+		if err := rsn.Validate(net); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,22 @@
+package benchnets_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/benchnets"
+)
+
+// ExampleGenerate reconstructs a Table I benchmark and prints its size
+// (columns 1-2 of the paper's Table I).
+func ExampleGenerate() {
+	net, err := benchnets.Generate("p22810")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	st := net.Stats()
+	fmt.Printf("%s: %d segments, %d muxes, %d instruments\n",
+		net.Name, st.Segments, st.Muxes, st.Instruments)
+	// Output:
+	// p22810: 537 segments, 283 muxes, 537 instruments
+}

@@ -1,0 +1,78 @@
+package benchnets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rsnrobust/internal/rsn"
+)
+
+// NxD generates a network in the style of the DATE'19 secure-data-flow
+// suite's N<n>D<d> family: n instrument segments arranged in randomly
+// nested bypassable sections of maximum nesting depth d. The same
+// (n, d, seed) triple always yields the same network.
+func NxD(n, d int, seed int64) (*rsn.Network, error) {
+	if n < 1 || d < 1 {
+		return nil, fmt.Errorf("benchnets: NxD needs n >= 1 and d >= 1, got (%d,%d)", n, d)
+	}
+	g := &nxdGen{rng: rand.New(rand.NewSource(seed)), maxDepth: d}
+	b := rsn.NewBuilder(fmt.Sprintf("N%dD%d", n, d))
+	g.fill(b, n, 1)
+	net := b.Finish()
+	if err := rsn.Validate(net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+type nxdGen struct {
+	rng      *rand.Rand
+	maxDepth int
+	nSeg     int
+	nMux     int
+}
+
+// fill places n instrument segments on the builder's chain, wrapping
+// random sub-groups in bypassable sections while depth remains.
+func (g *nxdGen) fill(b *rsn.Builder, n, depth int) {
+	for n > 0 {
+		if depth < g.maxDepth && n >= 2 && g.rng.Intn(2) == 0 {
+			// Open a nested section holding a random sub-group.
+			take := 1 + g.rng.Intn(n)
+			g.nMux++
+			bs := b.Fork(fmt.Sprintf("d%d.f%d", depth, g.nMux), 2)
+			g.fill(bs.Branch(0), take, depth+1)
+			bs.Join(fmt.Sprintf("d%d.m%d", depth, g.nMux), rsn.External())
+			n -= take
+			continue
+		}
+		g.nSeg++
+		name := fmt.Sprintf("i%d", g.nSeg)
+		b.Segment(name, 4+g.rng.Intn(12), &rsn.Instrument{Name: name})
+		n--
+	}
+	// A leaf group at maximum depth may have landed on a bare chain;
+	// that is fine — the enclosing section isolates it.
+}
+
+// ExtendedSuite lists the N<n>D<d> instances commonly used with the
+// DATE'19 set, as a complement to the Table I registry.
+var ExtendedSuite = []struct {
+	Name string
+	N, D int
+}{
+	{"N17D3", 17, 3},
+	{"N32D6", 32, 6},
+	{"N73D14", 73, 14},
+	{"N132D4", 132, 4},
+}
+
+// GenerateExtended reconstructs a named extended-suite network.
+func GenerateExtended(name string) (*rsn.Network, error) {
+	for _, e := range ExtendedSuite {
+		if e.Name == name {
+			return NxD(e.N, e.D, seedFor(name))
+		}
+	}
+	return nil, fmt.Errorf("benchnets: unknown extended benchmark %q", name)
+}

@@ -1,0 +1,157 @@
+// Package benchnets reconstructs the RSN benchmark networks of the
+// paper's Table I (ITC'16 and DATE'19 suites) and provides random
+// series-parallel network generation for property-based testing.
+//
+// The original benchmark ICL files are not freely redistributable, so
+// each network is rebuilt parametrically by name with the exact segment
+// and multiplexer counts of Table I columns 1-2 (see DESIGN.md §6 for
+// the fitted construction rules). The analysis and the optimization only
+// observe the graph, so matching topology class and primitive counts
+// reproduces the paper's workload.
+package benchnets
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rsnrobust/internal/rsn"
+)
+
+// RandomOptions configures the random series-parallel generator.
+type RandomOptions struct {
+	// Seed drives the deterministic construction.
+	Seed int64
+	// TargetPrims is the approximate number of scan primitives.
+	TargetPrims int
+	// MaxDepth bounds the nesting depth of parallel sections and SIBs.
+	MaxDepth int
+	// PInstrument is the probability that a generated segment hosts an
+	// instrument (default 0.7).
+	PInstrument float64
+	// PCritical is the probability that an instrument is marked
+	// critical in a random direction (default 0.05).
+	PCritical float64
+	// SegmentControls, when set, makes some non-SIB multiplexers read
+	// their select value from a configuration segment placed earlier on
+	// the same chain instead of an external controller.
+	SegmentControls bool
+}
+
+// Random generates a pseudo-random, valid, series-parallel RSN with
+// roughly opt.TargetPrims primitives. Identical options produce
+// identical networks.
+func Random(opt RandomOptions) *rsn.Network {
+	if opt.TargetPrims <= 0 {
+		opt.TargetPrims = 20
+	}
+	if opt.MaxDepth <= 0 {
+		opt.MaxDepth = 4
+	}
+	if opt.PInstrument == 0 {
+		opt.PInstrument = 0.7
+	}
+	if opt.PCritical == 0 {
+		opt.PCritical = 0.05
+	}
+	g := &randomGen{
+		rng:    rand.New(rand.NewSource(opt.Seed)),
+		opt:    opt,
+		budget: opt.TargetPrims,
+	}
+	b := rsn.NewBuilder(fmt.Sprintf("random-%d", opt.Seed))
+	// Guarantee at least one instrument so specifications are non-trivial.
+	b.Segment("i_first", 1+g.rng.Intn(16), g.instrument())
+	g.budget--
+	g.chain(b, 0, true)
+	return b.Finish()
+}
+
+type randomGen struct {
+	rng    *rand.Rand
+	opt    RandomOptions
+	budget int
+	nSeg   int
+	nMux   int
+	nFork  int
+	nSIB   int
+}
+
+func (g *randomGen) instrument() *rsn.Instrument {
+	in := &rsn.Instrument{
+		Name:      fmt.Sprintf("instr%d", g.nSeg),
+		DamageObs: g.rng.Int63n(11),
+		DamageSet: g.rng.Int63n(11),
+	}
+	if g.rng.Float64() < g.opt.PCritical {
+		if g.rng.Intn(2) == 0 {
+			in.CriticalObs = true
+			in.DamageObs += 100
+		} else {
+			in.CriticalSet = true
+			in.DamageSet += 100
+		}
+	}
+	return in
+}
+
+func (g *randomGen) segment(b *rsn.Builder) rsn.NodeID {
+	g.nSeg++
+	g.budget--
+	var in *rsn.Instrument
+	if g.rng.Float64() < g.opt.PInstrument {
+		in = g.instrument()
+	}
+	return b.Segment(fmt.Sprintf("s%d", g.nSeg), 1+g.rng.Intn(16), in)
+}
+
+// chain appends 1..5 random elements to the builder. At the top level
+// (root) it keeps going until the primitive budget is used up.
+func (g *randomGen) chain(b *rsn.Builder, depth int, root bool) {
+	n := 1 + g.rng.Intn(5)
+	for root || n > 0 {
+		if g.budget <= 0 {
+			return
+		}
+		n--
+		r := g.rng.Float64()
+		switch {
+		case depth < g.opt.MaxDepth && r < 0.20 && g.budget >= 4:
+			g.fork(b, depth)
+		case depth < g.opt.MaxDepth && r < 0.40 && g.budget >= 3:
+			g.nSIB++
+			g.budget -= 2 // SIB register + mux
+			name := fmt.Sprintf("sib%d", g.nSIB)
+			b.SIB(name, nil, func(sb *rsn.Builder) {
+				g.chain(sb, depth+1, false)
+			})
+		default:
+			g.segment(b)
+		}
+	}
+}
+
+func (g *randomGen) fork(b *rsn.Builder, depth int) {
+	g.nFork++
+	k := 2 + g.rng.Intn(2)
+	ctrl := rsn.External()
+	if g.opt.SegmentControls && g.rng.Intn(2) == 0 {
+		// Place a dedicated configuration segment before the section so
+		// the mux select can be programmed through the scan path itself.
+		width := 2 // enough for up to 4 ports
+		g.nSeg++
+		g.budget--
+		src := b.Segment(fmt.Sprintf("cfg%d", g.nSeg), width, nil)
+		ctrl = rsn.Control{Source: src, Bit: 0, Width: width}
+	}
+	bs := b.Fork(fmt.Sprintf("f%d", g.nFork), k)
+	for i := 0; i < k; i++ {
+		// One branch may stay empty (a pure bypass wire).
+		if g.rng.Float64() < 0.15 && i > 0 {
+			continue
+		}
+		g.chain(bs.Branch(i), depth+1, false)
+	}
+	g.nMux++
+	g.budget--
+	bs.Join(fmt.Sprintf("m%d", g.nMux), ctrl)
+}

@@ -1,0 +1,180 @@
+package benchnets
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rsnrobust/internal/rsn"
+)
+
+// Entry describes one benchmark row of the paper's Table I: the network
+// size (columns 1-2), the shape used to reconstruct it, the evolutionary
+// budget (column 6) and the paper's published results (columns 4-11) for
+// comparison in EXPERIMENTS.md.
+type Entry struct {
+	Name     string
+	Segments int
+	Muxes    int
+	Shape    Shape
+	// Controllers/Groups parameterize the MBIST hierarchy (from the
+	// benchmark name MBIST_<controllers>_<groups>_<memories>).
+	Controllers, Groups int
+
+	// Generations is Table I column 6: the SPEA-2 budget used for this
+	// network.
+	Generations int
+
+	// Paper-published reference values (Table I columns 4-11).
+	PaperMaxCost       int64  // column 4
+	PaperMaxDamage     int64  // column 5
+	PaperCostAt10Dmg   int64  // column 7: cost of min-cost sol, damage <= 10%
+	PaperDamageAt10Dmg int64  // column 8
+	PaperCostAt10Cost  int64  // column 9: cost of min-damage sol, cost <= 10%
+	PaperDmgAt10Cost   int64  // column 10
+	PaperTime          string // column 11 [m:s]
+}
+
+// Table1 lists all 23 benchmark rows of the paper's Table I in their
+// published order. Segment/multiplexer counts are reproduced exactly as
+// published (including the MBIST_1_5_5 row, whose published segment
+// count deviates from the parametric family formula; see DESIGN.md §6).
+var Table1 = []Entry{
+	{Name: "TreeFlat", Segments: 24, Muxes: 24, Shape: ShapeFlat, Generations: 300,
+		PaperMaxCost: 350, PaperMaxDamage: 502, PaperCostAt10Dmg: 7, PaperDamageAt10Dmg: 42, PaperCostAt10Cost: 8, PaperDmgAt10Cost: 26, PaperTime: "00:07"},
+	{Name: "TreeUnbalanced", Segments: 63, Muxes: 28, Shape: ShapeUnbalanced, Generations: 300,
+		PaperMaxCost: 142, PaperMaxDamage: 1656, PaperCostAt10Dmg: 10, PaperDamageAt10Dmg: 155, PaperCostAt10Cost: 14, PaperDmgAt10Cost: 31, PaperTime: "00:02"},
+	{Name: "TreeBalanced", Segments: 90, Muxes: 46, Shape: ShapeBalanced, Generations: 1000,
+		PaperMaxCost: 211, PaperMaxDamage: 4206, PaperCostAt10Dmg: 18, PaperDamageAt10Dmg: 362, PaperCostAt10Cost: 21, PaperDmgAt10Cost: 216, PaperTime: "00:03"},
+	{Name: "TreeFlat_Ex", Segments: 123, Muxes: 60, Shape: ShapeFlat, Generations: 2000,
+		PaperMaxCost: 289, PaperMaxDamage: 597, PaperCostAt10Dmg: 29, PaperDamageAt10Dmg: 57, PaperCostAt10Cost: 28, PaperDmgAt10Cost: 60, PaperTime: "00:04"},
+	{Name: "q12710", Segments: 47, Muxes: 25, Shape: ShapeSoC, Generations: 300,
+		PaperMaxCost: 127, PaperMaxDamage: 576, PaperCostAt10Dmg: 8, PaperDamageAt10Dmg: 27, PaperCostAt10Cost: 12, PaperDmgAt10Cost: 19, PaperTime: "00:03"},
+	{Name: "a586710", Segments: 79, Muxes: 47, Shape: ShapeSoC, Generations: 2000,
+		PaperMaxCost: 155, PaperMaxDamage: 1010, PaperCostAt10Dmg: 5, PaperDamageAt10Dmg: 90, PaperCostAt10Cost: 15, PaperDmgAt10Cost: 24, PaperTime: "00:15"},
+	{Name: "p34392", Segments: 245, Muxes: 142, Shape: ShapeSoC, Generations: 700,
+		PaperMaxCost: 482, PaperMaxDamage: 7932, PaperCostAt10Dmg: 8, PaperDamageAt10Dmg: 683, PaperCostAt10Cost: 48, PaperDmgAt10Cost: 68, PaperTime: "00:34"},
+	{Name: "t512505", Segments: 288, Muxes: 160, Shape: ShapeSoC, Generations: 1000,
+		PaperMaxCost: 713, PaperMaxDamage: 7146, PaperCostAt10Dmg: 21, PaperDamageAt10Dmg: 699, PaperCostAt10Cost: 71, PaperDmgAt10Cost: 121, PaperTime: "00:16"},
+	{Name: "p22810", Segments: 537, Muxes: 283, Shape: ShapeSoC, Generations: 1000,
+		PaperMaxCost: 1298, PaperMaxDamage: 22911, PaperCostAt10Dmg: 33, PaperDamageAt10Dmg: 2215, PaperCostAt10Cost: 28, PaperDmgAt10Cost: 3712, PaperTime: "01:01"},
+	{Name: "p93791", Segments: 1241, Muxes: 653, Shape: ShapeSoC, Generations: 3500,
+		PaperMaxCost: 2946, PaperMaxDamage: 293771, PaperCostAt10Dmg: 38, PaperDamageAt10Dmg: 28681, PaperCostAt10Cost: 286, PaperDmgAt10Cost: 561, PaperTime: "06:10"},
+	{Name: "MBIST_1_5_5", Segments: 113, Muxes: 15, Shape: ShapeMBIST, Controllers: 1, Groups: 5, Generations: 300,
+		PaperMaxCost: 137, PaperMaxDamage: 74004, PaperCostAt10Dmg: 32, PaperDamageAt10Dmg: 7176, PaperCostAt10Cost: 13, PaperDmgAt10Cost: 20799, PaperTime: "00:26"},
+	{Name: "MBIST_1_5_20", Segments: 1523, Muxes: 15, Shape: ShapeMBIST, Controllers: 1, Groups: 5, Generations: 400,
+		PaperMaxCost: 362, PaperMaxDamage: 632421, PaperCostAt10Dmg: 35, PaperDamageAt10Dmg: 62264, PaperCostAt10Cost: 36, PaperDmgAt10Cost: 60344, PaperTime: "02:21"},
+	{Name: "MBIST_1_20_20", Segments: 6068, Muxes: 45, Shape: ShapeMBIST, Controllers: 1, Groups: 20, Generations: 500,
+		PaperMaxCost: 1412, PaperMaxDamage: 8252305, PaperCostAt10Dmg: 129, PaperDamageAt10Dmg: 801889, PaperCostAt10Cost: 137, PaperDmgAt10Cost: 752261, PaperTime: "10:01"},
+	{Name: "MBIST_2_5_5", Segments: 1091, Muxes: 28, Shape: ShapeMBIST, Controllers: 2, Groups: 5, Generations: 500,
+		PaperMaxCost: 137, PaperMaxDamage: 83509, PaperCostAt10Dmg: 19, PaperDamageAt10Dmg: 8141, PaperCostAt10Cost: 13, PaperDmgAt10Cost: 12081, PaperTime: "03:45"},
+	{Name: "MBIST_2_5_20", Segments: 3041, Muxes: 28, Shape: ShapeMBIST, Controllers: 2, Groups: 5, Generations: 700,
+		PaperMaxCost: 362, PaperMaxDamage: 560484, PaperCostAt10Dmg: 34, PaperDamageAt10Dmg: 54314, PaperCostAt10Cost: 36, PaperDmgAt10Cost: 50060, PaperTime: "04:17"},
+	{Name: "MBIST_2_20_20", Segments: 12131, Muxes: 88, Shape: ShapeMBIST, Controllers: 2, Groups: 20, Generations: 700,
+		PaperMaxCost: 1412, PaperMaxDamage: 8174778, PaperCostAt10Dmg: 129, PaperDamageAt10Dmg: 788085, PaperCostAt10Cost: 138, PaperDmgAt10Cost: 722191, PaperTime: "08:18"},
+	{Name: "MBIST_5_5_5", Segments: 2720, Muxes: 67, Shape: ShapeMBIST, Controllers: 5, Groups: 5, Generations: 500,
+		PaperMaxCost: 411, PaperMaxDamage: 148811, PaperCostAt10Dmg: 8, PaperDamageAt10Dmg: 14213, PaperCostAt10Cost: 41, PaperDmgAt10Cost: 163, PaperTime: "01:10"},
+	{Name: "MBIST_5_20_20", Segments: 30320, Muxes: 217, Shape: ShapeMBIST, Controllers: 5, Groups: 20, Generations: 900,
+		PaperMaxCost: 385, PaperMaxDamage: 6175005, PaperCostAt10Dmg: 127, PaperDamageAt10Dmg: 614605, PaperCostAt10Cost: 36, PaperDmgAt10Cost: 1343502, PaperTime: "15:02"},
+	{Name: "MBIST_5_100_20", Segments: 151520, Muxes: 1017, Shape: ShapeMBIST, Controllers: 5, Groups: 100, Generations: 200,
+		PaperMaxCost: 7012, PaperMaxDamage: 203302366, PaperCostAt10Dmg: 1983, PaperDamageAt10Dmg: 20555328, PaperCostAt10Cost: 701, PaperDmgAt10Cost: 48147171, PaperTime: "35:17"},
+	{Name: "MBIST_5_100_100", Segments: 671520, Muxes: 1017, Shape: ShapeMBIST, Controllers: 5, Groups: 100, Generations: 1500,
+		PaperMaxCost: 93447, PaperMaxDamage: 2138755955, PaperCostAt10Dmg: 17066, PaperDamageAt10Dmg: 213650290, PaperCostAt10Cost: 8625, PaperDmgAt10Cost: 405742391, PaperTime: "92:01"},
+	{Name: "MBIST_20_20_20", Segments: 121265, Muxes: 862, Shape: ShapeMBIST, Controllers: 20, Groups: 20, Generations: 900,
+		PaperMaxCost: 1412, PaperMaxDamage: 6175005, PaperCostAt10Dmg: 131, PaperDamageAt10Dmg: 605065, PaperCostAt10Cost: 141, PaperDmgAt10Cost: 537474, PaperTime: "23:40"},
+	{Name: "MBIST_55_20_5", Segments: 216305, Muxes: 8102, Shape: ShapeMBIST, Controllers: 55, Groups: 20, Generations: 500,
+		PaperMaxCost: 512, PaperMaxDamage: 814369, PaperCostAt10Dmg: 112, PaperDamageAt10Dmg: 78595, PaperCostAt10Cost: 51, PaperDmgAt10Cost: 208782, PaperTime: "05:43"},
+	{Name: "MBIST_100_20_5", Segments: 118970, Muxes: 2367, Shape: ShapeMBIST, Controllers: 100, Groups: 20, Generations: 1800,
+		PaperMaxCost: 512, PaperMaxDamage: 639278, PaperCostAt10Dmg: 87, PaperDamageAt10Dmg: 63268, PaperCostAt10Cost: 51, PaperDmgAt10Cost: 144057, PaperTime: "07:15"},
+	{Name: "MBIST_100_100_5", Segments: 1080305, Muxes: 20102, Shape: ShapeMBIST, Controllers: 100, Groups: 100, Generations: 1200,
+		PaperMaxCost: 2512, PaperMaxDamage: 20977832, PaperCostAt10Dmg: 273, PaperDamageAt10Dmg: 2096139, PaperCostAt10Cost: 248, PaperDmgAt10Cost: 2396324, PaperTime: "59:32"},
+}
+
+// Lookup returns the Table I entry with the given name.
+func Lookup(name string) (Entry, bool) {
+	for _, e := range Table1 {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Names returns all benchmark names, smallest network first.
+func Names() []string {
+	entries := append([]Entry(nil), Table1...)
+	sort.SliceStable(entries, func(i, j int) bool {
+		return entries[i].Segments+entries[i].Muxes < entries[j].Segments+entries[j].Muxes
+	})
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Generate reconstructs a named Table I benchmark. The same name always
+// produces the identical network.
+func Generate(name string) (*rsn.Network, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("benchnets: unknown benchmark %q (see benchnets.Names)", name)
+	}
+	return GenerateEntry(e)
+}
+
+// GenerateEntry reconstructs the network for a Table I entry.
+func GenerateEntry(e Entry) (*rsn.Network, error) {
+	return Sized(SizedOptions{
+		Name:        e.Name,
+		Segments:    e.Segments,
+		Muxes:       e.Muxes,
+		Shape:       e.Shape,
+		Controllers: e.Controllers,
+		Groups:      e.Groups,
+		Seed:        seedFor(e.Name),
+	})
+}
+
+// seedFor derives a stable per-benchmark seed from the name.
+func seedFor(name string) int64 {
+	var h int64 = 1469598103934665603
+	for i := 0; i < len(name); i++ {
+		h ^= int64(name[i])
+		h *= 1099511628211
+	}
+	if h < 0 {
+		h = -h
+	}
+	return h
+}
+
+// ParseMBISTName extracts (controllers, groups, memories) from a
+// benchmark name of the form MBIST_a_b_c.
+func ParseMBISTName(name string) (a, b, c int, err error) {
+	parts := strings.Split(name, "_")
+	if len(parts) != 4 || parts[0] != "MBIST" {
+		return 0, 0, 0, fmt.Errorf("benchnets: %q is not an MBIST_a_b_c name", name)
+	}
+	vals := make([]int, 3)
+	for i, p := range parts[1:] {
+		v, convErr := strconv.Atoi(p)
+		if convErr != nil || v < 1 {
+			return 0, 0, 0, fmt.Errorf("benchnets: bad MBIST level %q in %q", p, name)
+		}
+		vals[i] = v
+	}
+	return vals[0], vals[1], vals[2], nil
+}
+
+// MBISTFamily computes the segment and multiplexer counts of the
+// parametric MBIST family fitted from Table I (DESIGN.md §6):
+//
+//	segments(a,b,c) = a·(b·(13c+43)+3) + 5
+//	muxes(a,b)      = 2ab + 3a + 2
+//
+// Used to synthesize family members beyond the published rows.
+func MBISTFamily(a, b, c int) (segments, muxes int) {
+	return a*(b*(13*c+43)+3) + 5, 2*a*b + 3*a + 2
+}

@@ -1,0 +1,55 @@
+package core
+
+import (
+	"testing"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/ftrsn"
+	"rsnrobust/internal/spec"
+)
+
+func TestVerifyCompatibilityHardened(t *testing.T) {
+	orig := fixture.PaperExample()
+	hardened := fixture.PaperExample()
+	sp := spec.FromNetwork(hardened, spec.DefaultCostModel)
+	s, err := Synthesize(hardened, sp, DefaultOptions(50, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	Apply(hardened, s.Front[len(s.Front)-1])
+	if err := VerifyCompatibility(orig, hardened); err != nil {
+		t.Fatalf("hardened network incompatible: %v", err)
+	}
+}
+
+func TestVerifyCompatibilityBenchmark(t *testing.T) {
+	orig, err := benchnets.Generate("TreeBalanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	twin, err := benchnets.Generate("TreeBalanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCompatibility(orig, twin); err != nil {
+		t.Fatalf("identical benchmark incompatible: %v", err)
+	}
+}
+
+func TestVerifyCompatibilityRejectsFTTransform(t *testing.T) {
+	orig := fixture.PaperExample()
+	ft, _, err := ftrsn.Synthesize(fixture.PaperExample(), spec.DefaultCostModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyCompatibility(orig, ft); err == nil {
+		t.Fatal("fault-tolerant transform accepted as pattern-compatible")
+	}
+}
+
+func TestVerifyCompatibilityRejectsDifferentNetwork(t *testing.T) {
+	if err := VerifyCompatibility(fixture.PaperExample(), fixture.NestedSIBs()); err == nil {
+		t.Fatal("structurally different network accepted")
+	}
+}

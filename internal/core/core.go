@@ -1,0 +1,359 @@
+// Package core implements the paper's primary contribution: synthesis of
+// robust Reconfigurable Scan Networks by selective hardening.
+//
+// Given an RSN and a criticality specification, the pipeline
+//
+//  1. builds the binary decomposition tree (internal/sptree),
+//  2. runs the exact criticality analysis assigning every scan primitive
+//     j its damage d_j (internal/faults),
+//  3. explores the trade-off between residual damage
+//     Σ_{j unhardened} d_j and hardening cost Σ_j c_j·x_j with a
+//     multi-objective evolutionary algorithm (internal/moea),
+//  4. returns the close-to-Pareto-optimal front plus the two constrained
+//     picks reported in the paper's Table I.
+//
+// The resulting network keeps its topology; hardening only marks
+// primitives as protected, so every existing access, test and diagnosis
+// pattern remains valid (verified by internal/access).
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"time"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/moea"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+// Algorithm selects the multi-objective optimizer.
+type Algorithm uint8
+
+// Available optimizers. AlgoSPEA2 is the paper's choice.
+const (
+	AlgoSPEA2 Algorithm = iota
+	AlgoNSGA2
+)
+
+// String returns "spea2" or "nsga2".
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoSPEA2:
+		return "spea2"
+	case AlgoNSGA2:
+		return "nsga2"
+	default:
+		return fmt.Sprintf("algorithm(%d)", uint8(a))
+	}
+}
+
+// Options configures Synthesize.
+type Options struct {
+	// Generations is the evolutionary budget (Table I column 6).
+	Generations int
+	// Seed drives all pseudo-random choices.
+	Seed int64
+	// Algorithm selects the optimizer (default SPEA-2, as in the paper).
+	Algorithm Algorithm
+	// Analysis configures the criticality analysis.
+	Analysis faults.Options
+	// ForceCritical pins the hardening bits of every primitive whose
+	// fault would hit a critical instrument, guaranteeing that all
+	// important instruments stay accessible in every candidate solution.
+	ForceCritical bool
+	// Params, if non-nil, overrides the evolutionary parameters
+	// (population, operators). Otherwise the paper's defaults are used:
+	// population 300 for networks with more than 100 multiplexers else
+	// 100, crossover 0.95, per-bit mutation 0.01.
+	Params *moea.Params
+	// Seeds optionally injects warm-start genomes (bit i refers to the
+	// i-th primitive in ID order).
+	Seeds []moea.Genome
+	// Stagnation, if positive, stops the evolution early once the
+	// front's hypervolume has not improved for that many consecutive
+	// generations — the practical alternative to the paper's fixed
+	// per-design generation budgets (Table I column 6).
+	Stagnation int
+	// OnGeneration, if non-nil, receives progress callbacks.
+	OnGeneration func(gen int, front []moea.Individual) bool
+}
+
+// DefaultOptions returns the paper's setup for the given generation
+// budget and seed.
+func DefaultOptions(generations int, seed int64) Options {
+	return Options{
+		Generations: generations,
+		Seed:        seed,
+		Algorithm:   AlgoSPEA2,
+		Analysis:    faults.DefaultOptions(),
+	}
+}
+
+// Solution is one hardening decision with its evaluated objectives.
+type Solution struct {
+	// Hardened lists the hardened primitives in ID order.
+	Hardened []rsn.NodeID
+	// Mask is the hardening decision indexed by rsn.NodeID.
+	Mask []bool
+	// Cost is the hardening cost Σ c_j x_j.
+	Cost int64
+	// Damage is the residual damage Σ_{j unhardened} d_j.
+	Damage int64
+	// CriticalCovered reports whether every primitive whose fault hits a
+	// critical instrument is hardened, i.e. all important instruments
+	// remain accessible under any single fault.
+	CriticalCovered bool
+}
+
+// Synthesis is the result of a selective-hardening run.
+type Synthesis struct {
+	Net      *rsn.Network
+	Tree     *sptree.Tree
+	Spec     *spec.Spec
+	Analysis *faults.Analysis
+
+	// MaxCost is the cost of hardening everything (Table I column 4).
+	MaxCost int64
+	// MaxDamage is the damage with no hardening (Table I column 5).
+	MaxDamage int64
+	// Front is the close-to-Pareto-optimal front, sorted by damage.
+	Front []Solution
+	// Generations and Evaluations record the evolutionary effort.
+	Generations int
+	Evaluations int
+	// Elapsed is the wall-clock synthesis time (Table I column 11).
+	Elapsed time.Duration
+}
+
+// Problem is the selective-hardening optimization problem as seen by the
+// evolutionary algorithms: bit i hardens the i-th primitive (ID order),
+// objective 0 is residual damage, objective 1 is hardening cost.
+type Problem struct {
+	prims    []rsn.NodeID
+	damage   []int64 // by bit index
+	cost     []int64 // by bit index
+	total    int64
+	critMask moea.Genome // bits forced on by ForceCritical (may be nil)
+}
+
+// NewProblem builds the optimization problem from a completed
+// criticality analysis. If forceCritical is set, every critical-hitting
+// primitive's bit is treated as hardened in all evaluations.
+func NewProblem(a *faults.Analysis, forceCritical bool) *Problem {
+	prims := a.Prims
+	p := &Problem{
+		prims:  prims,
+		damage: make([]int64, len(prims)),
+		cost:   make([]int64, len(prims)),
+	}
+	for i, id := range prims {
+		p.damage[i] = a.Damage[id]
+		p.cost[i] = a.Spec.Cost[id]
+		p.total += a.Damage[id]
+	}
+	if forceCritical {
+		p.critMask = moea.NewGenome(len(prims))
+		for i, id := range prims {
+			if a.CritHit[id] {
+				p.critMask.Set(i, true)
+			}
+		}
+	}
+	return p
+}
+
+// NumBits returns the number of hardening candidates.
+func (p *Problem) NumBits() int { return len(p.prims) }
+
+// NumObjectives returns 2: residual damage and hardening cost.
+func (p *Problem) NumObjectives() int { return 2 }
+
+// Evaluate computes (residual damage, cost) for a hardening genome.
+func (p *Problem) Evaluate(g moea.Genome, out []float64) {
+	var dmg, cost int64
+	for w, word := range g {
+		if p.critMask != nil {
+			word |= p.critMask[w]
+		}
+		base := w << 6
+		for word != 0 {
+			i := base + bits.TrailingZeros64(word)
+			dmg += p.damage[i]
+			cost += p.cost[i]
+			word &= word - 1
+		}
+	}
+	out[0] = float64(p.total - dmg)
+	out[1] = float64(cost)
+}
+
+// Primitives returns the hardening candidates in bit-index order.
+func (p *Problem) Primitives() []rsn.NodeID { return p.prims }
+
+// TotalDamage returns Σ d_j over all primitives.
+func (p *Problem) TotalDamage() int64 { return p.total }
+
+// Synthesize runs the full robust-RSN synthesis pipeline on a validated
+// network and its specification.
+func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error) {
+	start := time.Now()
+	if err := rsn.Validate(net); err != nil {
+		return nil, err
+	}
+	tree, err := sptree.Build(net)
+	if err != nil {
+		return nil, err
+	}
+	analysis, err := faults.Analyze(net, tree, sp, opt.Analysis)
+	if err != nil {
+		return nil, err
+	}
+	problem := NewProblem(analysis, opt.ForceCritical)
+
+	var params moea.Params
+	if opt.Params != nil {
+		params = *opt.Params
+	} else {
+		params = moea.Defaults(net.Stats().Muxes, opt.Generations, opt.Seed)
+	}
+	if opt.Generations > 0 {
+		params.Generations = opt.Generations
+	}
+	params.Seed = opt.Seed
+	params.OnGeneration = opt.OnGeneration
+	if opt.Stagnation > 0 {
+		params.OnGeneration = stagnationStop(opt.Stagnation, analysis, opt.OnGeneration)
+	}
+
+	// Diversify the initial population with the two trivial extreme
+	// solutions (nothing hardened / everything hardened): they are
+	// always Pareto-optimal, so the front spans the full trade-off range
+	// from the first generation and the constrained picks of Table I are
+	// always defined.
+	zeros := moea.NewGenome(problem.NumBits())
+	ones := moea.NewGenome(problem.NumBits())
+	for i := 0; i < problem.NumBits(); i++ {
+		ones.Set(i, true)
+	}
+	params.Seeds = append(append([]moea.Genome{}, opt.Seeds...), zeros, ones)
+
+	var res *moea.Result
+	switch opt.Algorithm {
+	case AlgoNSGA2:
+		res, err = moea.NSGA2(problem, params)
+	default:
+		res, err = moea.SPEA2(problem, params)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Synthesis{
+		Net:         net,
+		Tree:        tree,
+		Spec:        sp,
+		Analysis:    analysis,
+		MaxCost:     analysis.MaxCost(),
+		MaxDamage:   analysis.TotalDamage,
+		Generations: res.Generations,
+		Evaluations: res.Evaluations,
+	}
+	for i := range res.Front {
+		s.Front = append(s.Front, solutionFrom(problem, analysis, res.Front[i].G))
+	}
+	s.Elapsed = time.Since(start)
+	return s, nil
+}
+
+// stagnationStop composes a hypervolume-stagnation early stop with an
+// optional user callback.
+func stagnationStop(window int, a *faults.Analysis, user func(int, []moea.Individual) bool) func(int, []moea.Individual) bool {
+	ref := [2]float64{float64(a.TotalDamage)*1.01 + 1, float64(a.MaxCost())*1.01 + 1}
+	best := -1.0
+	flat := 0
+	return func(gen int, front []moea.Individual) bool {
+		if user != nil && !user(gen, front) {
+			return false
+		}
+		hv := moea.Hypervolume(front, ref)
+		if hv > best {
+			best = hv
+			flat = 0
+			return true
+		}
+		flat++
+		return flat < window
+	}
+}
+
+// solutionFrom materializes a genome into a Solution.
+func solutionFrom(p *Problem, a *faults.Analysis, g moea.Genome) Solution {
+	mask := make([]bool, a.Net.NumNodes())
+	var hardened []rsn.NodeID
+	var cost int64
+	for i, id := range p.prims {
+		on := g.Get(i) || (p.critMask != nil && p.critMask.Get(i))
+		if on {
+			mask[id] = true
+			hardened = append(hardened, id)
+			cost += p.cost[i]
+		}
+	}
+	sol := Solution{
+		Hardened: hardened,
+		Mask:     mask,
+		Cost:     cost,
+		Damage:   a.ResidualDamage(mask),
+	}
+	sol.CriticalCovered = criticalCovered(a, mask)
+	return sol
+}
+
+func criticalCovered(a *faults.Analysis, mask []bool) bool {
+	for _, id := range a.Prims {
+		if a.CritHit[id] && !mask[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// MinCostWithDamageAtMost returns the cheapest front solution whose
+// residual damage is at most frac times the unhardened damage
+// (Table I columns 7-8 use frac = 0.10). ok is false if no front
+// solution meets the constraint.
+func (s *Synthesis) MinCostWithDamageAtMost(frac float64) (best Solution, ok bool) {
+	limit := int64(math.Floor(frac * float64(s.MaxDamage)))
+	for _, sol := range s.Front {
+		if sol.Damage <= limit && (!ok || sol.Cost < best.Cost) {
+			best, ok = sol, true
+		}
+	}
+	return best, ok
+}
+
+// MinDamageWithCostAtMost returns the least-damage front solution whose
+// hardening cost is at most frac times the full-hardening cost
+// (Table I columns 9-10 use frac = 0.10). ok is false if no front
+// solution meets the constraint.
+func (s *Synthesis) MinDamageWithCostAtMost(frac float64) (best Solution, ok bool) {
+	limit := int64(math.Floor(frac * float64(s.MaxCost)))
+	for _, sol := range s.Front {
+		if sol.Cost <= limit && (!ok || sol.Damage < best.Damage) {
+			best, ok = sol, true
+		}
+	}
+	return best, ok
+}
+
+// Apply marks the solution's primitives as hardened on the network. The
+// topology is untouched, so all existing access patterns remain valid.
+func Apply(net *rsn.Network, sol Solution) {
+	net.Nodes(func(nd *rsn.Node) {
+		nd.Hardened = sol.Mask[nd.ID]
+	})
+}

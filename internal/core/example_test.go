@@ -1,0 +1,31 @@
+package core_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/spec"
+)
+
+// ExampleSynthesize runs the full robust-RSN synthesis on the paper's
+// running example and prints the cheapest front solution that keeps the
+// residual defect damage at or below 10%.
+func ExampleSynthesize() {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+
+	s, err := core.Synthesize(net, sp, core.DefaultOptions(100, 1))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("max damage %d, max cost %d\n", s.MaxDamage, s.MaxCost)
+	if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {
+		fmt.Printf("damage<=10%%: cost %d, damage %d, %d primitives hardened\n",
+			sol.Cost, sol.Damage, len(sol.Hardened))
+	}
+	// Output:
+	// max damage 72, max cost 24
+	// damage<=10%: cost 14, damage 7, 5 primitives hardened
+}

@@ -1,0 +1,334 @@
+package faults
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+)
+
+// AnalyzeGraph computes the criticality analysis for ARBITRARY acyclic
+// RSNs — no series-parallel restriction — using dominator trees instead
+// of the binary decomposition tree. Where the paper preprocesses non-SP
+// networks with virtual vertices ([19]) before the hierarchical
+// analysis, this engine works on the graph directly:
+//
+//   - instrument i loses observability under a broken segment j iff j
+//     post-dominates i (every i→scan-out path crosses j): the
+//     observability damage of every segment is a subtree sum over the
+//     post-dominator tree rooted at scan-out;
+//   - i loses settability iff j dominates i from scan-in: a subtree sum
+//     over the dominator tree rooted at scan-in;
+//   - a two-port multiplexer stuck at port b kills exactly one input
+//     edge; splitting every mux input edge with a virtual vertex makes
+//     "all paths cross this edge" a post-dominator subtree query too.
+//
+// Multiplexers with more than two ports and control-coupled segments
+// fall back to per-fault reachability (their loss sets are unions that
+// need not nest). On series-parallel networks AnalyzeGraph returns
+// exactly the same damages as Analyze — the cross-check tests assert it
+// — and additionally covers the redundant structures of internal/ftrsn
+// that the SP parser rejects.
+func AnalyzeGraph(net *rsn.Network, sp *spec.Spec, opts Options) (*Analysis, error) {
+	if len(sp.DObs) != net.NumNodes() {
+		return nil, fmt.Errorf("faults: spec sized for %d nodes, network has %d", len(sp.DObs), net.NumNodes())
+	}
+	if _, err := net.TopoOrder(); err != nil {
+		return nil, err
+	}
+	a := &Analysis{
+		Net:     net,
+		Spec:    sp,
+		Opts:    opts,
+		Prims:   universeOf(net, opts.Scope),
+		Damage:  make([]int64, net.NumNodes()),
+		CritHit: make([]bool, net.NumNodes()),
+	}
+
+	critObs := make([]int64, net.NumNodes())
+	critSet := make([]int64, net.NumNodes())
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.Kind == rsn.KindSegment && nd.Instr != nil {
+			if nd.Instr.CriticalObs {
+				critObs[nd.ID] = 1
+			}
+			if nd.Instr.CriticalSet {
+				critSet[nd.ID] = 1
+			}
+		}
+	})
+
+	post := newDomTree(net, true) // post-dominators, rooted at scan-out
+	fwd := newDomTree(net, false) // dominators, rooted at scan-in
+
+	postObs := post.subtreeSums(sp.DObs)
+	postSet := post.subtreeSums(sp.DSet)
+	postCObs := post.subtreeSums(critObs)
+	postCSet := post.subtreeSums(critSet)
+	fwdSet := fwd.subtreeSums(sp.DSet)
+	fwdCSet := fwd.subtreeSums(critSet)
+
+	for _, id := range a.Prims {
+		nd := net.Node(id)
+		switch nd.Kind {
+		case rsn.KindSegment:
+			d := postObs[id] + fwdSet[id]
+			chit := postCObs[id]+fwdCSet[id] > 0
+			if coupledMuxes := a.coupledMuxes(id); len(coupledMuxes) > 0 {
+				// Loss unions need not nest across the two trees: exact
+				// per-fault reachability instead.
+				d, chit = a.bfsDamage(Fault{Kind: SegmentBreak, Node: id}, critObs, critSet)
+			}
+			a.Damage[id] = d
+			a.CritHit[id] = chit
+		case rsn.KindMux:
+			preds := net.Pred(id)
+			if len(preds) == 2 {
+				// Stuck at port b kills the opposite port's edge.
+				modes := []int64{
+					postObs[post.edgeNode(id, 1)] + postSet[post.edgeNode(id, 1)],
+					postObs[post.edgeNode(id, 0)] + postSet[post.edgeNode(id, 0)],
+				}
+				a.Damage[id] = opts.Combine.fold(modes)
+				a.CritHit[id] = postCObs[post.edgeNode(id, 0)]+postCSet[post.edgeNode(id, 0)]+
+					postCObs[post.edgeNode(id, 1)]+postCSet[post.edgeNode(id, 1)] > 0
+			} else {
+				var modes []int64
+				chit := false
+				for _, f := range FaultsOf(net, id) {
+					d, c := a.bfsDamage(f, critObs, critSet)
+					modes = append(modes, d)
+					chit = chit || c
+				}
+				a.Damage[id] = opts.Combine.fold(modes)
+				a.CritHit[id] = chit
+			}
+		}
+	}
+
+	for _, id := range a.Prims {
+		a.TotalDamage += a.Damage[id]
+	}
+	return a, nil
+}
+
+// coupledMuxes returns the multiplexers whose select source is the
+// given segment, honoring the coupling options.
+func (a *Analysis) coupledMuxes(src rsn.NodeID) []rsn.NodeID {
+	var out []rsn.NodeID
+	a.Net.Nodes(func(nd *rsn.Node) {
+		if nd.Kind != rsn.KindMux || nd.Ctrl.Source != src {
+			return
+		}
+		if nd.SIB && !a.Opts.SIBCoupling {
+			return
+		}
+		if !nd.SIB && !a.Opts.CtrlCoupling {
+			return
+		}
+		out = append(out, nd.ID)
+	})
+	return out
+}
+
+// bfsDamage computes one fault's exact damage by graph reachability.
+func (a *Analysis) bfsDamage(f Fault, critObs, critSet []int64) (int64, bool) {
+	obsLost, setLost := Effect(a.Net, f, a.Opts)
+	var d int64
+	chit := false
+	for i := 0; i < a.Net.NumNodes(); i++ {
+		if obsLost[i] {
+			d += a.Spec.DObs[i]
+			chit = chit || critObs[i] > 0
+		}
+		if setLost[i] {
+			d += a.Spec.DSet[i]
+			chit = chit || critSet[i] > 0
+		}
+	}
+	return d, chit
+}
+
+// domTree is a (post-)dominator tree over the network augmented with
+// one virtual vertex per multiplexer input edge.
+type domTree struct {
+	net     *rsn.Network
+	reverse bool
+	n       int     // augmented node count
+	idom    []int32 // immediate dominator per augmented node (-1 root/unreached)
+	order   []int32 // processing order (root first)
+	rank    []int32 // position in order
+	// edgeBase[m] is the first virtual id of mux m's input edges.
+	edgeBase []int32
+	// vOwner/vPort decode virtual ids (index: id - NumNodes).
+	vOwner []rsn.NodeID
+	vPort  []int32
+}
+
+// edgeNode returns the augmented id of the virtual vertex splitting
+// port p's input edge of mux m.
+func (t *domTree) edgeNode(m rsn.NodeID, p int) int32 {
+	return t.edgeBase[m] + int32(p)
+}
+
+// newDomTree computes the dominator tree of the augmented graph, rooted
+// at scan-out when reverse is true (post-dominators) or scan-in
+// otherwise. The graph is a DAG, so one pass over a topological order
+// with NCA-merging of predecessors suffices.
+func newDomTree(net *rsn.Network, reverse bool) *domTree {
+	t := &domTree{net: net, reverse: reverse}
+	t.edgeBase = make([]int32, net.NumNodes())
+	n := net.NumNodes()
+	for i := 0; i < net.NumNodes(); i++ {
+		id := rsn.NodeID(i)
+		if net.Node(id).Kind == rsn.KindMux {
+			t.edgeBase[i] = int32(n)
+			for p := range net.Pred(id) {
+				t.vOwner = append(t.vOwner, id)
+				t.vPort = append(t.vPort, int32(p))
+			}
+			n += len(net.Pred(id))
+		}
+	}
+	t.n = n
+	t.idom = make([]int32, n)
+	t.rank = make([]int32, n)
+	for i := range t.idom {
+		t.idom[i] = -1
+		t.rank[i] = -1
+	}
+
+	root := int32(net.ScanOut)
+	if !reverse {
+		root = int32(net.ScanIn)
+	}
+
+	// Topological order of the augmented graph from the root: Kahn over
+	// the traversal direction.
+	indeg := make([]int32, n)
+	t.eachSucc(func(_, to int32) { indeg[to]++ })
+	queue := []int32{root}
+	t.order = make([]int32, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		t.rank[v] = int32(len(t.order))
+		t.order = append(t.order, v)
+		t.succOf(v, func(to int32) {
+			indeg[to]--
+			if indeg[to] == 0 {
+				queue = append(queue, to)
+			}
+		})
+	}
+
+	// Cooper-Harvey-Kennedy: idom(v) = NCA over processed predecessors.
+	t.idom[root] = root
+	preds := make([][]int32, n)
+	t.eachSucc(func(from, to int32) { preds[to] = append(preds[to], from) })
+	for _, v := range t.order {
+		if v == root {
+			continue
+		}
+		cur := int32(-1)
+		for _, p := range preds[v] {
+			if t.idom[p] == -1 {
+				continue // unreachable from root
+			}
+			if cur == -1 {
+				cur = p
+			} else {
+				cur = t.nca(cur, p)
+			}
+		}
+		t.idom[v] = cur
+	}
+	return t
+}
+
+// nca walks two nodes up the partial dominator tree to their nearest
+// common ancestor, comparing by processing rank.
+func (t *domTree) nca(a, b int32) int32 {
+	for a != b {
+		for t.rank[a] > t.rank[b] {
+			a = t.idom[a]
+		}
+		for t.rank[b] > t.rank[a] {
+			b = t.idom[b]
+		}
+	}
+	return a
+}
+
+// eachSucc enumerates all traversal edges of the augmented graph.
+func (t *domTree) eachSucc(fn func(from, to int32)) {
+	for i := int32(0); i < int32(t.n); i++ {
+		t.succOf(i, func(to int32) { fn(i, to) })
+	}
+}
+
+// succOf enumerates the traversal successors of an augmented node: in
+// reverse mode edges run against the scan direction, and every mux
+// input edge (u → m, port p) is split as m → V → u (reverse) or
+// u → V → m (forward).
+func (t *domTree) succOf(v int32, fn func(int32)) {
+	net := t.net
+	if int(v) >= net.NumNodes() {
+		// Virtual edge vertex: find its mux and port.
+		m, p := t.virtualOwner(v)
+		if t.reverse {
+			fn(int32(net.Pred(m)[p]))
+		} else {
+			fn(int32(m))
+		}
+		return
+	}
+	id := rsn.NodeID(v)
+	if t.reverse {
+		if net.Node(id).Kind == rsn.KindMux {
+			for p := range net.Pred(id) {
+				fn(t.edgeNode(id, p))
+			}
+			return
+		}
+		for _, u := range net.Pred(id) {
+			fn(int32(u))
+		}
+		return
+	}
+	for _, s := range net.Succ(id) {
+		if net.Node(s).Kind == rsn.KindMux {
+			for p, u := range net.Pred(s) {
+				if u == id {
+					fn(t.edgeNode(s, p))
+				}
+			}
+			continue
+		}
+		fn(int32(s))
+	}
+}
+
+// virtualOwner decodes a virtual vertex id into its mux and port.
+func (t *domTree) virtualOwner(v int32) (rsn.NodeID, int) {
+	k := v - int32(t.net.NumNodes())
+	return t.vOwner[k], int(t.vPort[k])
+}
+
+// subtreeSums returns, for every augmented node, the sum of per[] over
+// the real nodes in its dominator subtree (per is indexed by
+// rsn.NodeID). Children precede parents when accumulated in reverse
+// processing order.
+func (t *domTree) subtreeSums(per []int64) []int64 {
+	sums := make([]int64, t.n)
+	for i := 0; i < t.net.NumNodes(); i++ {
+		sums[i] = per[i]
+	}
+	for i := len(t.order) - 1; i >= 0; i-- {
+		v := t.order[i]
+		if d := t.idom[v]; d >= 0 && d != v {
+			sums[d] += sums[v]
+		}
+	}
+	return sums
+}

@@ -1,0 +1,199 @@
+package faults_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/ftrsn"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+// TestAnalyzeGraphMatchesTreeEngine: on series-parallel networks the
+// dominator engine must reproduce the decomposition-tree engine exactly
+// (damage, total, critical hits).
+func TestAnalyzeGraphMatchesTreeEngine(t *testing.T) {
+	nets := []*rsn.Network{
+		fixture.PaperExample(),
+		fixture.SIBChain(5),
+		fixture.NestedSIBs(),
+	}
+	for _, net := range nets {
+		opts := faults.DefaultOptions()
+		tree, err := sptree.Build(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp := spec.FromNetwork(net, spec.DefaultCostModel)
+		at, err := faults.Analyze(net, tree, sp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ag, err := faults.AnalyzeGraph(net, sp, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at.TotalDamage != ag.TotalDamage {
+			t.Errorf("%s: total %d (tree) vs %d (graph)", net.Name, at.TotalDamage, ag.TotalDamage)
+		}
+		for _, id := range net.Primitives() {
+			if at.Damage[id] != ag.Damage[id] {
+				t.Errorf("%s: damage(%s) = %d (tree) vs %d (graph)",
+					net.Name, net.Node(id).Name, at.Damage[id], ag.Damage[id])
+			}
+			if at.CritHit[id] != ag.CritHit[id] {
+				t.Errorf("%s: critHit(%s) = %v (tree) vs %v (graph)",
+					net.Name, net.Node(id).Name, at.CritHit[id], ag.CritHit[id])
+			}
+		}
+	}
+}
+
+// TestAnalyzeGraphMatchesTreeEngineRandom repeats the equivalence on
+// random series-parallel networks with segment controls and coupling.
+func TestAnalyzeGraphMatchesTreeEngineRandom(t *testing.T) {
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 45, SegmentControls: true})
+		opts := faults.Options{Combine: faults.CombineMax, SIBCoupling: true, CtrlCoupling: true}
+		tree, err := sptree.Build(net)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		sp := spec.FromNetwork(net, spec.DefaultCostModel)
+		at, err := faults.Analyze(net, tree, sp, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		ag, err := faults.AnalyzeGraph(net, sp, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		for _, id := range net.Primitives() {
+			if at.Damage[id] != ag.Damage[id] {
+				t.Logf("seed %d: damage(%s) = %d (tree) vs %d (graph)",
+					seed, net.Node(id).Name, at.Damage[id], ag.Damage[id])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeGraphMatchesReferenceRandom validates the dominator engine
+// against the O(primitives·edges) reference on random networks.
+func TestAnalyzeGraphMatchesReferenceRandom(t *testing.T) {
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 40})
+		opts := faults.DefaultOptions()
+		sp := spec.FromNetwork(net, spec.DefaultCostModel)
+		ag, err := faults.AnalyzeGraph(net, sp, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		ref := faults.ReferenceDamage(net, sp, opts)
+		for _, id := range net.Primitives() {
+			if ag.Damage[id] != ref[id] {
+				t.Logf("seed %d: damage(%s) = %d (graph) vs %d (reference)",
+					seed, net.Node(id).Name, ag.Damage[id], ref[id])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnalyzeGraphOnNonSeriesParallel is the engine's raison d'être:
+// it analyzes the redundant fault-tolerant networks that the SP parser
+// rejects, and must agree with the reachability reference there.
+func TestAnalyzeGraphOnNonSeriesParallel(t *testing.T) {
+	src := fixture.PaperExample()
+	ft, _, err := ftrsn.Synthesize(src, spec.DefaultCostModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sptree.Build(ft); err == nil {
+		t.Fatal("expected a non-SP network")
+	}
+	opts := faults.DefaultOptions()
+	sp := spec.FromNetwork(ft, spec.DefaultCostModel)
+	ag, err := faults.AnalyzeGraph(ft, sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := faults.ReferenceDamage(ft, sp, opts)
+	for _, id := range ft.Primitives() {
+		if ag.Damage[id] != ref[id] {
+			t.Errorf("damage(%s) = %d (graph) vs %d (reference)",
+				ft.Node(id).Name, ag.Damage[id], ref[id])
+		}
+	}
+	// The fault-tolerant structure keeps every single-fault damage to at
+	// most one instrument's weights.
+	for _, id := range ft.Primitives() {
+		if ag.Damage[id] > 11 {
+			t.Errorf("FT network has damage %d at %s, want <= 11", ag.Damage[id], ft.Node(id).Name)
+		}
+	}
+}
+
+// TestAnalyzeGraphOnNonSPRandom stresses the dominator engine on many
+// transformed (non-SP) networks against the reference.
+func TestAnalyzeGraphOnNonSPRandom(t *testing.T) {
+	check := func(seed int64) bool {
+		src := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 25})
+		ft, _, err := ftrsn.Synthesize(src, spec.DefaultCostModel)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		opts := faults.DefaultOptions()
+		sp := spec.FromNetwork(ft, spec.DefaultCostModel)
+		ag, err := faults.AnalyzeGraph(ft, sp, opts)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		ref := faults.ReferenceDamage(ft, sp, opts)
+		for _, id := range ft.Primitives() {
+			if ag.Damage[id] != ref[id] {
+				t.Logf("seed %d: damage(%s) = %d (graph) vs %d (reference)",
+					seed, ft.Node(id).Name, ag.Damage[id], ref[id])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 12}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnalyzeGraphRejectsCyclic(t *testing.T) {
+	net := rsn.NewNetwork("cyclic")
+	si := net.AddNode(rsn.Node{Kind: rsn.KindScanIn, Name: "SI"})
+	a := net.AddNode(rsn.Node{Kind: rsn.KindSegment, Name: "a", Length: 1})
+	b := net.AddNode(rsn.Node{Kind: rsn.KindSegment, Name: "b", Length: 1})
+	so := net.AddNode(rsn.Node{Kind: rsn.KindScanOut, Name: "SO"})
+	net.AddEdge(si, a)
+	net.AddEdge(a, b)
+	net.AddEdge(b, a)
+	net.AddEdge(b, so)
+	sp := spec.New(net, spec.DefaultCostModel)
+	if _, err := faults.AnalyzeGraph(net, sp, faults.DefaultOptions()); err == nil {
+		t.Fatal("AnalyzeGraph accepted a cyclic graph")
+	}
+}

@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+)
+
+// TestMultiEffectSingleAgreesWithEffect: with one fault, MultiEffect
+// must reproduce Effect exactly.
+func TestMultiEffectSingleAgreesWithEffect(t *testing.T) {
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 35, SegmentControls: true})
+		opts := Options{Combine: CombineMax, SIBCoupling: true, CtrlCoupling: true}
+		for _, f := range Universe(net) {
+			o1, s1 := Effect(net, f, opts)
+			o2, s2 := MultiEffect(net, []Fault{f}, opts)
+			for i := range o1 {
+				if o1[i] != o2[i] || s1[i] != s2[i] {
+					t.Logf("seed %d fault %s node %d: single (%v,%v) multi (%v,%v)",
+						seed, f.String(net), i, o1[i], s1[i], o2[i], s2[i])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiEffectMonotone: adding a second fault can only lose more.
+func TestMultiEffectMonotone(t *testing.T) {
+	net := fixture.PaperExample()
+	opts := DefaultOptions()
+	u := Universe(net)
+	for i, f1 := range u {
+		o1, s1 := MultiEffect(net, []Fault{f1}, opts)
+		for _, f2 := range u[i+1:] {
+			if f1.Node == f2.Node {
+				continue
+			}
+			o2, s2 := MultiEffect(net, []Fault{f1, f2}, opts)
+			for n := range o1 {
+				if (o1[n] && !o2[n]) || (s1[n] && !s2[n]) {
+					t.Fatalf("adding %s to %s recovered access at node %d",
+						f2.String(net), f1.String(net), n)
+				}
+			}
+		}
+	}
+}
+
+func TestMultiEffectDoubleFault(t *testing.T) {
+	// m0 stuck-at-0 keeps the upper branch; a break of c1 alone keeps
+	// everything except c1's path... combining m0 stuck-at-0 with a
+	// break of i1 leaves i2/i3 settable? i1 is upstream of them in the
+	// selected branch: they lose settability; c0 keeps observability.
+	net := fixture.PaperExample()
+	fs := []Fault{
+		{Kind: MuxStuck, Node: net.Lookup("m0"), Port: 0},
+		{Kind: SegmentBreak, Node: net.Lookup("i1")},
+	}
+	obsLost, setLost := MultiEffect(net, fs, DefaultOptions())
+	for _, name := range []string{"i2", "i3"} {
+		id := net.Lookup(name)
+		if !setLost[id] {
+			t.Errorf("%s should lose settability (broken i1 upstream, branch forced)", name)
+		}
+		if obsLost[id] {
+			t.Errorf("%s should stay observable", name)
+		}
+	}
+	// i1 itself: both.
+	if i1 := net.Lookup("i1"); !obsLost[i1] || !setLost[i1] {
+		t.Error("i1 must lose both directions")
+	}
+}
+
+func TestSampleMultiFaultStats(t *testing.T) {
+	net := fixture.SIBChain(6)
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opts := DefaultOptions()
+
+	one := SampleMultiFault(net, sp, opts, 1, 400, 7)
+	two := SampleMultiFault(net, sp, opts, 2, 400, 7)
+	if one.Samples != 400 || two.Samples != 400 {
+		t.Fatalf("sample counts wrong: %d, %d", one.Samples, two.Samples)
+	}
+	if two.MeanDamage < one.MeanDamage {
+		t.Errorf("two faults damage less than one on average: %v vs %v", two.MeanDamage, one.MeanDamage)
+	}
+	if two.MeanAccessible > one.MeanAccessible {
+		t.Errorf("two faults leave more accessible than one: %v vs %v", two.MeanAccessible, one.MeanAccessible)
+	}
+	if one.MeanAccessible <= 0 || one.MeanAccessible > 1 {
+		t.Errorf("MeanAccessible out of range: %v", one.MeanAccessible)
+	}
+}
+
+func TestSampleMultiFaultRespectsHardening(t *testing.T) {
+	net := fixture.SIBChain(5)
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opts := DefaultOptions()
+	before := SampleMultiFault(net, sp, opts, 2, 300, 11)
+
+	// Harden everything: no fault site remains, zero damage.
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	after := SampleMultiFault(net, sp, opts, 2, 300, 11)
+	if after.MeanDamage != 0 || after.WorstDamage != 0 {
+		t.Errorf("fully hardened network still damaged: %+v", after)
+	}
+	if after.MeanAccessible != 1 {
+		t.Errorf("fully hardened MeanAccessible = %v, want 1", after.MeanAccessible)
+	}
+	if before.MeanDamage == 0 {
+		t.Error("unhardened baseline shows no damage; test is vacuous")
+	}
+}
+
+func TestSampleMultiFaultDeterministic(t *testing.T) {
+	net := fixture.NestedSIBs()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a := SampleMultiFault(net, sp, DefaultOptions(), 2, 200, 3)
+	b := SampleMultiFault(net, sp, DefaultOptions(), 2, 200, 3)
+	if a != b {
+		t.Errorf("sampling not deterministic: %+v vs %+v", a, b)
+	}
+}

@@ -1,0 +1,198 @@
+package faults
+
+import (
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+)
+
+// Effect computes, directly on the graph, which instruments lose
+// observability and settability under a single fault (Section IV-B):
+//
+//   - a broken segment is removed from the graph: an instrument loses
+//     observability iff it can no longer reach scan-out, and loses
+//     settability iff clean data can no longer arrive from scan-in or it
+//     can no longer lie on any sensitizable path;
+//   - a multiplexer stuck at port b kills the edges into its other
+//     ports; every instrument that can no longer reach scan-out can
+//     never lie on a sensitizable path and loses both directions;
+//   - a broken segment that sources multiplexer control bits leaves
+//     those multiplexers unprogrammable; they fail to their deasserted
+//     port 0, so the other branches become inaccessible. opts.SIBCoupling
+//     enables this rule for SIB register/mux pairs (the paper's
+//     "combination of a scan segment and a multiplexer"),
+//     opts.CtrlCoupling extends it to every segment-controlled mux.
+//
+// The returned slices are indexed by rsn.NodeID and are true only for
+// instrument-hosting segments. This is the O(E)-per-fault reference the
+// tree-based Analysis is validated against, and it agrees bit-for-bit
+// with the access.Simulator under the paper's semantics.
+func Effect(net *rsn.Network, f Fault, opts Options) (obsLost, setLost []bool) {
+	skip := rsn.None
+	var dead map[edgeKey]bool
+
+	switch f.Kind {
+	case SegmentBreak:
+		skip = f.Node
+		dead = ctrlDeadEdges(net, f.Node, opts)
+	case MuxStuck:
+		dead = stuckDeadEdges(net, f.Node, f.Port)
+	}
+
+	toSO := backwardReach(net, net.ScanOut, skip, dead)
+	fromSI := forwardReach(net, net.ScanIn, skip, dead)
+	// Settability additionally requires lying on some sensitizable path,
+	// which the broken segment itself does not prevent (shifting still
+	// clocks the chain) but dead mux edges do.
+	toSOPath := toSO
+	if skip != rsn.None {
+		toSOPath = backwardReach(net, net.ScanOut, rsn.None, dead)
+	}
+
+	obsLost = make([]bool, net.NumNodes())
+	setLost = make([]bool, net.NumNodes())
+	for i := 0; i < net.NumNodes(); i++ {
+		nd := net.Node(rsn.NodeID(i))
+		if nd.Kind != rsn.KindSegment || nd.Instr == nil {
+			continue
+		}
+		obsLost[i] = !toSO[i]
+		setLost[i] = !fromSI[i] || !toSOPath[i]
+	}
+	return obsLost, setLost
+}
+
+// ctrlDeadEdges returns the mux input edges that die because their
+// select source broke: the dependent muxes fail to port 0.
+func ctrlDeadEdges(net *rsn.Network, src rsn.NodeID, opts Options) map[edgeKey]bool {
+	var dead map[edgeKey]bool
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.Kind != rsn.KindMux || nd.Ctrl.Source != src {
+			return
+		}
+		if nd.SIB && !opts.SIBCoupling {
+			return
+		}
+		if !nd.SIB && !opts.CtrlCoupling {
+			return
+		}
+		if dead == nil {
+			dead = make(map[edgeKey]bool)
+		}
+		for p, from := range net.Pred(nd.ID) {
+			if p != 0 {
+				dead[edgeKey{from: from, to: nd.ID, port: p}] = true
+			}
+		}
+	})
+	return dead
+}
+
+// stuckDeadEdges returns the in-edges of mux that a stuck-at-port fault
+// disables.
+func stuckDeadEdges(net *rsn.Network, mux rsn.NodeID, alivePort int) map[edgeKey]bool {
+	dead := make(map[edgeKey]bool)
+	for p, from := range net.Pred(mux) {
+		if p != alivePort {
+			dead[edgeKey{from: from, to: mux, port: p}] = true
+		}
+	}
+	return dead
+}
+
+// edgeKey identifies a directed edge by endpoints and the port index at
+// the target (to distinguish parallel edges into one mux).
+type edgeKey struct {
+	from, to rsn.NodeID
+	port     int
+}
+
+// forwardReach marks the nodes reachable from start, never entering the
+// skip node and never using dead edges.
+func forwardReach(net *rsn.Network, start, skip rsn.NodeID, dead map[edgeKey]bool) []bool {
+	seen := make([]bool, net.NumNodes())
+	if start == skip {
+		return seen
+	}
+	seen[start] = true
+	stack := []rsn.NodeID{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range net.Succ(v) {
+			if t == skip || seen[t] {
+				continue
+			}
+			if dead != nil && net.Node(t).Kind == rsn.KindMux {
+				// Parallel edges (several ports fed by the same
+				// predecessor) stay alive as long as any one port does.
+				alive := false
+				for p, u := range net.Pred(t) {
+					if u == v && !dead[edgeKey{from: v, to: t, port: p}] {
+						alive = true
+						break
+					}
+				}
+				if !alive {
+					continue
+				}
+			}
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	return seen
+}
+
+// backwardReach marks the nodes that can reach end, never entering the
+// skip node and never using dead edges.
+func backwardReach(net *rsn.Network, end, skip rsn.NodeID, dead map[edgeKey]bool) []bool {
+	seen := make([]bool, net.NumNodes())
+	if end == skip {
+		return seen
+	}
+	seen[end] = true
+	stack := []rsn.NodeID{end}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for p, t := range net.Pred(v) {
+			if t == skip || seen[t] {
+				continue
+			}
+			if dead != nil && net.Node(v).Kind == rsn.KindMux {
+				if dead[edgeKey{from: t, to: v, port: p}] {
+					continue
+				}
+			}
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	return seen
+}
+
+// ReferenceDamage recomputes every primitive's damage d_j from graph
+// reachability alone, folding fault modes with the configured combine
+// policy. Intended for validating Analyze on small networks; it is
+// O(primitives × edges).
+func ReferenceDamage(net *rsn.Network, sp *spec.Spec, opts Options) []int64 {
+	dmg := make([]int64, net.NumNodes())
+	for _, id := range net.Primitives() {
+		var modes []int64
+		for _, f := range FaultsOf(net, id) {
+			obsLost, setLost := Effect(net, f, opts)
+			var d int64
+			for i := 0; i < net.NumNodes(); i++ {
+				if obsLost[i] {
+					d += sp.DObs[i]
+				}
+				if setLost[i] {
+					d += sp.DSet[i]
+				}
+			}
+			modes = append(modes, d)
+		}
+		dmg[id] = opts.Combine.fold(modes)
+	}
+	return dmg
+}

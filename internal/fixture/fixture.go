@@ -1,0 +1,84 @@
+// Package fixture provides small, hand-checkable RSNs used across the
+// test suites, the documentation and the examples — most prominently a
+// reconstruction of the running example of the paper's Figures 1-4.
+package fixture
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/rsn"
+)
+
+// PaperExample reconstructs the running example of the paper's Fig. 1:
+// three scan multiplexers m0..m2, plain scan segments c0..c2 and three
+// instrument segments i1..i3. The structure satisfies every property the
+// paper states about the example:
+//
+//   - all paths through segment c2 traverse m0, so m0 dominates c2 and
+//     is the closing reconvergence of c2's stem region (Fig. 3);
+//   - m2 dominates m1 but is not its parent — the two multiplexers are
+//     neighbors in series inside m0's upper branch;
+//   - a stuck-at-1 fault of m0 makes instruments i1, i2 and i3
+//     inaccessible (Fig. 4).
+//
+// Topology (port 0 of each mux listed first):
+//
+//	SI → f0 ─┬─ i1 → f1 ─┬─ i2 ─┐
+//	         │           └─ i3 ─┴→ m1 → f2 ─┬─ c2 ─┐
+//	         │                              └──────┴→ m2 ─┐
+//	         └─ c1 ───────────────────────────────────────┴→ m0 → c0 → SO
+//
+// Instrument damage weights: i1 = (1,2), i2 = (3,4), i3 = (5,6); i3 is
+// marked critical for control. All multiplexers are externally
+// controlled.
+func PaperExample() *rsn.Network {
+	b := rsn.NewBuilder("paper-fig1")
+	outer := b.Fork("f0", 2)
+
+	up := outer.Branch(0)
+	up.Segment("i1", 4, &rsn.Instrument{Name: "i1", DamageObs: 1, DamageSet: 2})
+	inner := up.Fork("f1", 2)
+	inner.Branch(0).Segment("i2", 4, &rsn.Instrument{Name: "i2", DamageObs: 3, DamageSet: 4})
+	inner.Branch(1).Segment("i3", 4, &rsn.Instrument{Name: "i3", DamageObs: 5, DamageSet: 6, CriticalSet: true})
+	inner.Join("m1", rsn.External())
+	byp := up.Fork("f2", 2)
+	byp.Branch(0).Segment("c2", 2, nil)
+	byp.Join("m2", rsn.External())
+
+	outer.Branch(1).Segment("c1", 2, nil)
+	outer.Join("m0", rsn.External())
+	b.Segment("c0", 2, nil)
+	return b.Finish()
+}
+
+// SIBChain builds a flat chain of n SIBs, each gating a sub-network with
+// a single 8-bit instrument segment (the canonical IEEE 1687 structure).
+// Instrument k carries damage weights (k+1, k+1).
+func SIBChain(n int) *rsn.Network {
+	b := rsn.NewBuilder("sib-chain")
+	for k := 0; k < n; k++ {
+		w := int64(k + 1)
+		name := fmt.Sprintf("i%d", k)
+		b.SIB(fmt.Sprintf("sib%d", k), nil, func(sb *rsn.Builder) {
+			sb.Segment(name, 8, &rsn.Instrument{Name: name, DamageObs: w, DamageSet: w})
+		})
+	}
+	return b.Finish()
+}
+
+// NestedSIBs builds a two-level SIB hierarchy: a top SIB gating two
+// child SIBs, each gating one instrument, followed by a trailing
+// instrument on the trunk. Used to exercise SIB control coupling.
+func NestedSIBs() *rsn.Network {
+	b := rsn.NewBuilder("nested-sibs")
+	b.SIB("top", nil, func(sb *rsn.Builder) {
+		sb.SIB("childA", nil, func(cb *rsn.Builder) {
+			cb.Segment("ia", 8, &rsn.Instrument{Name: "ia", DamageObs: 10, DamageSet: 20})
+		})
+		sb.SIB("childB", nil, func(cb *rsn.Builder) {
+			cb.Segment("ib", 8, &rsn.Instrument{Name: "ib", DamageObs: 30, DamageSet: 40})
+		})
+	})
+	b.Segment("it", 8, &rsn.Instrument{Name: "it", DamageObs: 1, DamageSet: 2})
+	return b.Finish()
+}

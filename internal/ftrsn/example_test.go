@@ -1,0 +1,28 @@
+package ftrsn_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/ftrsn"
+	"rsnrobust/internal/spec"
+)
+
+// ExampleSynthesize transforms the paper's running example into its
+// fault-tolerant variant and reports the price of tolerance.
+func ExampleSynthesize() {
+	net := fixture.PaperExample()
+	_, rep, err := ftrsn.Synthesize(net, spec.DefaultCostModel)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("added muxes: %d, overhead: %d cost units\n", rep.AddedMuxes, rep.OverheadCost)
+	fmt.Printf("still series-parallel: %v\n", rep.SeriesParallel)
+	fmt.Printf("default path: %d -> %d bits (old patterns invalid)\n",
+		rep.PathBitsBefore, rep.PathBitsAfter)
+	// Output:
+	// added muxes: 12, overhead: 24 cost units
+	// still series-parallel: false
+	// default path: 12 -> 0 bits (old patterns invalid)
+}

@@ -1,0 +1,163 @@
+package ftrsn
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+func synth(t *testing.T, net *rsn.Network) (*rsn.Network, *Report) {
+	t.Helper()
+	ft, rep, err := Synthesize(net, spec.DefaultCostModel)
+	if err != nil {
+		t.Fatalf("Synthesize(%s): %v", net.Name, err)
+	}
+	return ft, rep
+}
+
+func TestTransformValid(t *testing.T) {
+	for _, net := range []*rsn.Network{
+		fixture.PaperExample(),
+		fixture.SIBChain(4),
+		fixture.NestedSIBs(),
+	} {
+		ft, rep := synth(t, net)
+		if err := rsn.Validate(ft); err != nil {
+			t.Errorf("%s: transformed network invalid: %v", net.Name, err)
+		}
+		if rep.AddedMuxes == 0 {
+			t.Errorf("%s: no redundancy added", net.Name)
+		}
+		// All instruments carried over.
+		if got, want := len(ft.Instruments()), len(net.Instruments()); got != want {
+			t.Errorf("%s: %d instruments after transform, want %d", net.Name, got, want)
+		}
+	}
+}
+
+func TestNoLongerSeriesParallel(t *testing.T) {
+	// Duplicating a mux introduces the shared-branch bridge pattern:
+	// the transformed network must be rejected by the SP parser and the
+	// report must say so — the paper's argument that [4] complicates
+	// analysis while selective hardening keeps the topology.
+	net := fixture.PaperExample()
+	ft, rep := synth(t, net)
+	if rep.SeriesParallel {
+		t.Error("report claims the duplicated network is still series-parallel")
+	}
+	if _, err := sptree.Build(ft); err == nil {
+		t.Error("SP parser accepted the duplicated network")
+	}
+}
+
+func TestPatternsIncompatible(t *testing.T) {
+	net := fixture.SIBChain(3)
+	_, rep := synth(t, net)
+	if rep.PathBitsBefore == rep.PathBitsAfter {
+		t.Errorf("default path length unchanged (%d bits); patterns would not detect the transform",
+			rep.PathBitsBefore)
+	}
+}
+
+// TestToleratesEverySingleFault is the core property of the
+// fault-tolerant scheme: under every single fault, at most the broken
+// segment's own instrument becomes inaccessible.
+func TestToleratesEverySingleFault(t *testing.T) {
+	nets := []*rsn.Network{
+		fixture.PaperExample(),
+		fixture.NestedSIBs(),
+		fixture.SIBChain(4),
+	}
+	opts := faults.Options{Combine: faults.CombineMax, SIBCoupling: true}
+	for _, src := range nets {
+		ft, _ := synth(t, src)
+		for _, id := range ft.Primitives() {
+			for _, f := range faults.FaultsOf(ft, id) {
+				obsLost, setLost := faults.Effect(ft, f, opts)
+				lost := 0
+				for i := 0; i < ft.NumNodes(); i++ {
+					if obsLost[i] || setLost[i] {
+						lost++
+					}
+				}
+				// Tolerance bound: at most the locally wrapped
+				// instrument is lost (its own break, or its bypass mux
+				// stuck on the bypass wire).
+				if lost > 1 {
+					t.Errorf("%s: fault %s loses %d instruments, tolerance allows at most 1",
+						src.Name, f.String(ft), lost)
+				}
+			}
+		}
+	}
+}
+
+func TestWorstSingleFaultDamage(t *testing.T) {
+	net := fixture.PaperExample()
+	ft, _ := synth(t, net)
+	sp := spec.FromNetwork(ft, spec.DefaultCostModel)
+	worst, total := WorstSingleFaultDamage(ft, sp)
+	// The worst single fault loses exactly one instrument: i3 with
+	// weights (5,6).
+	if worst != 11 {
+		t.Errorf("worst single-fault damage = %d, want 11", worst)
+	}
+	// Total over the fault universe: each instrument is lost by exactly
+	// two primitives' worst modes — its own break and its bypass mux
+	// stuck on the bypass wire: 2·((1+2)+(3+4)+(5+6)).
+	if total != 42 {
+		t.Errorf("total tolerated damage = %d, want 42", total)
+	}
+}
+
+func TestOverheadExceedsSelectiveHardening(t *testing.T) {
+	// The headline comparison: full fault tolerance needs more hardware
+	// than hardening every primitive of the paper example costs — and
+	// far more than the selective subset the optimizer picks.
+	net := fixture.PaperExample()
+	_, rep := synth(t, net)
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	if rep.OverheadCost <= sp.MaxCost()/2 {
+		t.Errorf("FT overhead %d is implausibly small vs full hardening %d",
+			rep.OverheadCost, sp.MaxCost())
+	}
+}
+
+func TestTransformRandom(t *testing.T) {
+	check := func(seed int64) bool {
+		src := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 30})
+		ft, _, err := Synthesize(src, spec.DefaultCostModel)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if err := rsn.Validate(ft); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return len(ft.Instruments()) == len(src.Instruments())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchmarkTransform(t *testing.T) {
+	net, err := benchnets.Generate("q12710")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, rep := synth(t, net)
+	st := ft.Stats()
+	if st.Muxes <= net.Stats().Muxes {
+		t.Errorf("mux count did not grow: %d -> %d", net.Stats().Muxes, st.Muxes)
+	}
+	t.Logf("q12710: +%d muxes, +%d fanouts, overhead %d cost units",
+		rep.AddedMuxes, rep.AddedFanouts, rep.OverheadCost)
+}

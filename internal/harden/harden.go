@@ -1,0 +1,184 @@
+// Package harden generalizes the paper's binary hardening decision to
+// TECHNIQUE ASSIGNMENT. The paper notes its scheme "is independent of
+// the actual hardening technique to be used" and hardens a primitive
+// fully or not at all; in practice the design-for-manufacturability
+// literature it cites ([10]-[12]) offers a menu — transistor upsizing,
+// DICE-style hardened cells, local TMR — with very different
+// cost/effectiveness points. This package assigns one technique per
+// primitive, optimizing
+//
+//	expected residual damage  Σ_j d_j · defect(tech_j)
+//	hardware cost             Σ_j area_j · costFactor(tech_j)
+//
+// with the same SPEA-2 machinery, using a 2-bit-per-primitive genome.
+// With a catalog of {none, full} it degenerates exactly to the paper's
+// problem; richer catalogs dominate the binary front (the tests assert
+// both).
+package harden
+
+import (
+	"fmt"
+	"math"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/moea"
+	"rsnrobust/internal/rsn"
+)
+
+// Technique is one entry of the hardening catalog.
+type Technique struct {
+	Name string
+	// CostFactor multiplies the primitive's cell area into hardware
+	// cost (0 for "none").
+	CostFactor float64
+	// DefectFactor is the remaining fraction of the primitive's defect
+	// exposure (1 = unprotected, 0 = perfect avoidance).
+	DefectFactor float64
+}
+
+// DefaultCatalog is a plausible menu ordered by strength. Index 0 must
+// be the do-nothing option; at most 4 entries fit the 2-bit encoding.
+var DefaultCatalog = []Technique{
+	{Name: "none", CostFactor: 0, DefectFactor: 1},
+	{Name: "upsize", CostFactor: 0.5, DefectFactor: 0.30},
+	{Name: "dice", CostFactor: 1.0, DefectFactor: 0.05},
+	{Name: "local-tmr", CostFactor: 2.2, DefectFactor: 0.005},
+}
+
+// BinaryCatalog reproduces the paper's all-or-nothing decision.
+var BinaryCatalog = []Technique{
+	{Name: "none", CostFactor: 0, DefectFactor: 1},
+	{Name: "harden", CostFactor: 1, DefectFactor: 0},
+}
+
+// Problem is the technique-assignment optimization problem over a
+// completed criticality analysis.
+type Problem struct {
+	analysis *faults.Analysis
+	catalog  []Technique
+	bits     int // bits per primitive
+}
+
+// NewProblem builds the problem. The catalog must have 2..4 entries and
+// start with a zero-cost "none".
+func NewProblem(a *faults.Analysis, catalog []Technique) (*Problem, error) {
+	if len(catalog) < 2 || len(catalog) > 4 {
+		return nil, fmt.Errorf("harden: catalog needs 2..4 techniques, got %d", len(catalog))
+	}
+	if catalog[0].CostFactor != 0 || catalog[0].DefectFactor != 1 {
+		return nil, fmt.Errorf("harden: catalog[0] must be the do-nothing option")
+	}
+	bits := 1
+	if len(catalog) > 2 {
+		bits = 2
+	}
+	return &Problem{analysis: a, catalog: catalog, bits: bits}, nil
+}
+
+// NumBits implements moea.Problem.
+func (p *Problem) NumBits() int { return p.bits * len(p.analysis.Prims) }
+
+// NumObjectives implements moea.Problem (expected damage, cost).
+func (p *Problem) NumObjectives() int { return 2 }
+
+// techniqueOf decodes the genome's choice for the i-th primitive,
+// clamping out-of-range codes to the strongest technique.
+func (p *Problem) techniqueOf(g moea.Genome, i int) int {
+	code := 0
+	for b := 0; b < p.bits; b++ {
+		if g.Get(i*p.bits + b) {
+			code |= 1 << b
+		}
+	}
+	if code >= len(p.catalog) {
+		code = len(p.catalog) - 1
+	}
+	return code
+}
+
+// Evaluate implements moea.Problem.
+func (p *Problem) Evaluate(g moea.Genome, out []float64) {
+	var damage, cost float64
+	for i, id := range p.analysis.Prims {
+		t := p.catalog[p.techniqueOf(g, i)]
+		damage += float64(p.analysis.Damage[id]) * t.DefectFactor
+		cost += float64(p.analysis.Spec.Cost[id]) * t.CostFactor
+	}
+	out[0] = damage
+	out[1] = cost
+}
+
+// Assignment is one optimized technique mapping.
+type Assignment struct {
+	// Technique[i] indexes the catalog for the i-th primitive (order of
+	// the analysis' Prims).
+	Technique []int
+	// ExpectedDamage and Cost are the two objectives.
+	ExpectedDamage float64
+	Cost           float64
+}
+
+// ByNode returns the technique chosen for a primitive.
+func (asg *Assignment) ByNode(p *Problem, id rsn.NodeID) Technique {
+	for i, pid := range p.analysis.Prims {
+		if pid == id {
+			return p.catalog[asg.Technique[i]]
+		}
+	}
+	return p.catalog[0]
+}
+
+// Result of an Optimize run.
+type Result struct {
+	Problem *Problem
+	Front   []Assignment
+}
+
+// Optimize runs SPEA-2 over the technique-assignment problem with the
+// paper's operator settings.
+func Optimize(a *faults.Analysis, catalog []Technique, generations int, seed int64) (*Result, error) {
+	p, err := NewProblem(a, catalog)
+	if err != nil {
+		return nil, err
+	}
+	params := moea.Defaults(len(a.Prims), generations, seed)
+	// Seed the two extremes: all-none and all-strongest.
+	none := moea.NewGenome(p.NumBits())
+	strongest := moea.NewGenome(p.NumBits())
+	for i := 0; i < p.NumBits(); i++ {
+		strongest.Set(i, true)
+	}
+	params.Seeds = []moea.Genome{none, strongest}
+	res, err := moea.SPEA2(p, params)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Problem: p}
+	for _, in := range res.Front {
+		asg := Assignment{
+			Technique:      make([]int, len(a.Prims)),
+			ExpectedDamage: in.Obj[0],
+			Cost:           in.Obj[1],
+		}
+		for i := range a.Prims {
+			asg.Technique[i] = p.techniqueOf(in.G, i)
+		}
+		out.Front = append(out.Front, asg)
+	}
+	return out, nil
+}
+
+// MinCostWithDamageAtMost returns the cheapest assignment whose
+// expected damage is at most frac of the unprotected total.
+func (r *Result) MinCostWithDamageAtMost(frac float64) (Assignment, bool) {
+	limit := frac * float64(r.Problem.analysis.TotalDamage)
+	best := Assignment{Cost: math.Inf(1)}
+	ok := false
+	for _, asg := range r.Front {
+		if asg.ExpectedDamage <= limit && asg.Cost < best.Cost {
+			best = asg
+			ok = true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,155 @@
+package harden
+
+import (
+	"testing"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/moea"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+func analyze(t *testing.T, net *rsn.Network) *faults.Analysis {
+	t.Helper()
+	tree, err := sptree.Build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, err := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestCatalogValidation(t *testing.T) {
+	a := analyze(t, fixture.PaperExample())
+	if _, err := NewProblem(a, DefaultCatalog[:1]); err == nil {
+		t.Error("accepted a single-entry catalog")
+	}
+	bad := append([]Technique{{Name: "x", CostFactor: 1, DefectFactor: 0}}, DefaultCatalog[1:]...)
+	if _, err := NewProblem(a, bad); err == nil {
+		t.Error("accepted a catalog without a do-nothing head")
+	}
+	five := append(append([]Technique{}, DefaultCatalog...), Technique{Name: "extra"})
+	if _, err := NewProblem(a, five); err == nil {
+		t.Error("accepted a five-entry catalog")
+	}
+}
+
+func TestBinaryCatalogMatchesCoreProblem(t *testing.T) {
+	// With the binary catalog, extremes must reproduce the paper's
+	// objective values exactly: all-none = (total damage, 0) and
+	// all-harden = (0, max cost).
+	a := analyze(t, fixture.PaperExample())
+	p, err := NewProblem(a, BinaryCatalog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]float64, 2)
+	g := moea.NewGenome(p.NumBits())
+	p.Evaluate(g, out)
+	if out[0] != float64(a.TotalDamage) || out[1] != 0 {
+		t.Errorf("all-none -> (%v,%v), want (%v,0)", out[0], out[1], float64(a.TotalDamage))
+	}
+	for i := 0; i < p.NumBits(); i++ {
+		g.Set(i, true)
+	}
+	p.Evaluate(g, out)
+	if out[0] != 0 || out[1] != float64(a.MaxCost()) {
+		t.Errorf("all-harden -> (%v,%v), want (0,%v)", out[0], out[1], float64(a.MaxCost()))
+	}
+}
+
+func TestOutOfRangeCodesClamp(t *testing.T) {
+	a := analyze(t, fixture.PaperExample())
+	threeEntry := DefaultCatalog[:3] // codes 3 must clamp to 2
+	p, err := NewProblem(a, threeEntry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := moea.NewGenome(p.NumBits())
+	g.Set(0, true)
+	g.Set(1, true) // primitive 0 gets code 3
+	if got := p.techniqueOf(g, 0); got != 2 {
+		t.Errorf("code 3 clamped to %d, want 2", got)
+	}
+}
+
+func TestOptimizeFrontShape(t *testing.T) {
+	a := analyze(t, fixture.PaperExample())
+	res, err := Optimize(a, DefaultCatalog, 120, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Front) < 3 {
+		t.Fatalf("front too small: %d", len(res.Front))
+	}
+	// Mutually nondominated and sorted by damage.
+	for i := 1; i < len(res.Front); i++ {
+		if res.Front[i].ExpectedDamage < res.Front[i-1].ExpectedDamage {
+			t.Error("front not sorted by expected damage")
+		}
+	}
+	// Contains the free extreme.
+	if res.Front[len(res.Front)-1].Cost != 0 {
+		t.Error("zero-cost assignment missing")
+	}
+	// A constrained pick exists and respects its bound.
+	asg, ok := res.MinCostWithDamageAtMost(0.10)
+	if !ok {
+		t.Fatal("no assignment with expected damage <= 10%")
+	}
+	if asg.ExpectedDamage > 0.10*float64(a.TotalDamage) {
+		t.Error("pick violates the damage bound")
+	}
+}
+
+// TestSupersetCatalogDominatesBinary: a catalog that contains the
+// binary option plus a cheaper partial option can only match or beat
+// the binary front at any damage bound (up to evolutionary noise).
+func TestSupersetCatalogDominatesBinary(t *testing.T) {
+	superset := []Technique{
+		{Name: "none", CostFactor: 0, DefectFactor: 1},
+		{Name: "upsize", CostFactor: 0.5, DefectFactor: 0.30},
+		{Name: "harden", CostFactor: 1, DefectFactor: 0},
+	}
+	a := analyze(t, fixture.SIBChain(6))
+	binary, err := Optimize(a, BinaryCatalog, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rich, err := Optimize(a, superset, 200, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, okB := binary.MinCostWithDamageAtMost(0.10)
+	r, okR := rich.MinCostWithDamageAtMost(0.10)
+	if !okB || !okR {
+		t.Fatalf("missing picks: binary=%v rich=%v", okB, okR)
+	}
+	if r.Cost > b.Cost*1.05 {
+		t.Errorf("superset catalog costs more than binary at the same bound: %.1f vs %.1f", r.Cost, b.Cost)
+	}
+	t.Logf("10%% expected damage: binary cost %.1f, technique-assignment cost %.1f", b.Cost, r.Cost)
+}
+
+func TestByNode(t *testing.T) {
+	a := analyze(t, fixture.PaperExample())
+	res, err := Optimize(a, DefaultCatalog, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := res.Front[0]
+	m0 := a.Net.Lookup("m0")
+	tech := asg.ByNode(res.Problem, m0)
+	if tech.Name == "" {
+		t.Error("ByNode returned an empty technique")
+	}
+	if got := asg.ByNode(res.Problem, a.Net.ScanIn); got.Name != "none" {
+		t.Errorf("non-primitive lookup = %q, want none", got.Name)
+	}
+}

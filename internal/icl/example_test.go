@@ -1,0 +1,26 @@
+package icl_test
+
+import (
+	"os"
+
+	"rsnrobust/internal/icl"
+	"rsnrobust/internal/rsn"
+)
+
+// ExampleWrite serializes a small network in the textual ICL-like
+// format; Parse reads the same format back.
+func ExampleWrite() {
+	b := rsn.NewBuilder("demo")
+	b.SIB("s0", nil, func(sub *rsn.Builder) {
+		sub.Segment("temp", 8, &rsn.Instrument{Name: "temp", DamageObs: 4})
+	})
+	if err := icl.Write(os.Stdout, b.Finish()); err != nil {
+		panic(err)
+	}
+	// Output:
+	// network demo
+	//   sib s0 {
+	//     segment temp 8 instrument temp obs 4 set 0
+	//   }
+	// end
+}

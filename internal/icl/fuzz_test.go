@@ -1,0 +1,43 @@
+package icl
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse feeds arbitrary text to the parser. Any input that parses
+// must validate, serialize, and re-parse to a structurally identical
+// network (round-trip stability); no input may panic.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"network a\n  segment s 4\nend",
+		"network b\n  sib x {\n    segment i 8 instrument t obs 2 set 3 critobs\n  }\nend",
+		"network c\n  fork f {\n    branch {\n      segment p 1\n    }\n    branch {\n    }\n  } join m external\nend",
+		"network d\n  segment cfg 2\n  fork f {\n    branch {\n      segment q 2 hardened\n    }\n    branch {\n      segment r 3\n    }\n  } join m control cfg 0 2 hardened\nend",
+		"network e\n  sib outer {\n    sib inner {\n      segment deep 5\n    } hardenedreg\n  } instrument oi obs 1 set 1 hardenedmux\nend",
+		"garbage",
+		"network incomplete\n  fork f {",
+		"network x\nsegment s 0\nend",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		net, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return // invalid input rejected: fine
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, net); err != nil {
+			t.Fatalf("parsed network fails to serialize: %v\ninput: %q", err, in)
+		}
+		again, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("serialized network fails to re-parse: %v\nserialized:\n%s", err, buf.String())
+		}
+		if net.NumNodes() != again.NumNodes() {
+			t.Fatalf("round trip changed node count: %d -> %d", net.NumNodes(), again.NumNodes())
+		}
+	})
+}

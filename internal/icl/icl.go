@@ -1,0 +1,251 @@
+// Package icl reads and writes RSN descriptions in a compact textual
+// format inspired by the IEEE 1687 Instrument Connectivity Language.
+// The format is hierarchical and round-trip safe, including instrument
+// damage weights, criticality marks, control sources and hardening:
+//
+//	network fig1
+//	  segment c0 2
+//	  fork f0 {
+//	    branch {
+//	      segment i1 4 instrument i1 obs 1 set 2 critset
+//	    }
+//	    branch {
+//	      segment c1 2
+//	    }
+//	  } join m0 external hardened
+//	  sib s1 {
+//	    segment inner 8 instrument temp obs 5 set 0
+//	  }
+//	end
+//
+// A fork's join line carries the multiplexer; `control <segment> <bit>
+// <width>` names a select source, `external` a robust off-network
+// controller. SIB lines may end in `hardenedreg` and/or `hardenedmux`.
+package icl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"rsnrobust/internal/rsn"
+)
+
+// Write serializes a validated series-parallel network.
+func Write(w io.Writer, net *rsn.Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "network %s\n", net.Name)
+	enc := &encoder{net: net, w: bw}
+	start := net.Succ(net.ScanIn)[0]
+	if _, err := enc.chain(start, 1); err != nil {
+		return err
+	}
+	fmt.Fprintln(bw, "end")
+	return bw.Flush()
+}
+
+type encoder struct {
+	net *rsn.Network
+	w   *bufio.Writer
+}
+
+func (e *encoder) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		e.w.WriteString("  ")
+	}
+}
+
+// chain emits elements until it reaches a mux (returned) or scan-out.
+func (e *encoder) chain(v rsn.NodeID, depth int) (rsn.NodeID, error) {
+	for {
+		nd := e.net.Node(v)
+		switch nd.Kind {
+		case rsn.KindScanOut, rsn.KindMux:
+			return v, nil
+		case rsn.KindSegment:
+			e.indent(depth)
+			fmt.Fprintf(e.w, "segment %s %d%s%s\n", nd.Name, nd.Length, instrSuffix(nd), hardSuffix(nd.Hardened, "hardened"))
+			v = e.net.Succ(v)[0]
+		case rsn.KindFanout:
+			next, err := e.section(v, depth)
+			if err != nil {
+				return rsn.None, err
+			}
+			v = next
+		default:
+			return rsn.None, fmt.Errorf("icl: unexpected %s node %q", nd.Kind, nd.Name)
+		}
+	}
+}
+
+// section emits a fork/join or SIB starting at fanout f and returns the
+// node following the section.
+func (e *encoder) section(f rsn.NodeID, depth int) (rsn.NodeID, error) {
+	join, err := e.findJoin(f)
+	if err != nil {
+		return rsn.None, err
+	}
+	jn := e.net.Node(join)
+	if jn.SIB && jn.Partner != rsn.None {
+		// SIB: fanout, port 0 bypass, port 1 subnet, register after mux.
+		reg := jn.Partner
+		rn := e.net.Node(reg)
+		e.indent(depth)
+		fmt.Fprintf(e.w, "sib %s {\n", rn.Name)
+		preds := e.net.Pred(join)
+		if len(preds) > 1 && preds[1] != f {
+			head := e.net.Succ(f)[subnetHeadIndex(e.net, f, join)]
+			if _, err := e.chain(head, depth+1); err != nil {
+				return rsn.None, err
+			}
+		}
+		e.indent(depth)
+		fmt.Fprintf(e.w, "}%s%s%s\n", instrSuffix(rn),
+			hardSuffix(rn.Hardened, "hardenedreg"), hardSuffix(jn.Hardened, "hardenedmux"))
+		return e.net.Succ(reg)[0], nil
+	}
+
+	e.indent(depth)
+	fmt.Fprintf(e.w, "fork %s {\n", e.net.Node(f).Name)
+	// Emit branches in port order of the join.
+	heads := branchHeads(e.net, f, join)
+	for _, h := range heads {
+		e.indent(depth + 1)
+		fmt.Fprintln(e.w, "branch {")
+		if h != rsn.None {
+			if _, err := e.chain(h, depth+2); err != nil {
+				return rsn.None, err
+			}
+		}
+		e.indent(depth + 1)
+		fmt.Fprintln(e.w, "}")
+	}
+	e.indent(depth)
+	fmt.Fprintf(e.w, "} join %s %s%s\n", jn.Name, ctrlSuffix(e.net, jn), hardSuffix(jn.Hardened, "hardened"))
+	return e.net.Succ(join)[0], nil
+}
+
+// findJoin locates the reconvergence mux of a fanout by walking its
+// first branch with nesting accounting: every fanout opens a nested
+// section, every mux closes one.
+func (e *encoder) findJoin(f rsn.NodeID) (rsn.NodeID, error) {
+	depth := 1
+	v := e.net.Succ(f)[0]
+	for {
+		nd := e.net.Node(v)
+		switch nd.Kind {
+		case rsn.KindMux:
+			depth--
+			if depth == 0 {
+				return v, nil
+			}
+		case rsn.KindFanout:
+			depth++
+		case rsn.KindSegment:
+		default:
+			return rsn.None, fmt.Errorf("icl: fanout %q never reconverges", e.net.Node(f).Name)
+		}
+		v = e.net.Succ(v)[0]
+	}
+}
+
+// branchHeads returns the chain head of each join port (rsn.None for a
+// bypass wire).
+func branchHeads(net *rsn.Network, f, join rsn.NodeID) []rsn.NodeID {
+	preds := net.Pred(join)
+	heads := make([]rsn.NodeID, len(preds))
+	used := map[rsn.NodeID]bool{}
+	for p, tail := range preds {
+		if tail == f {
+			heads[p] = rsn.None
+			continue
+		}
+		// Walk back from the tail to the fanout to find the head.
+		heads[p] = headOfBranch(net, f, tail, used)
+	}
+	return heads
+}
+
+// headOfBranch finds the successor of f that leads to tail.
+func headOfBranch(net *rsn.Network, f, tail rsn.NodeID, used map[rsn.NodeID]bool) rsn.NodeID {
+	for _, h := range net.Succ(f) {
+		if h == tail && net.Node(h).Kind == rsn.KindMux {
+			continue // bypass edge handled by the caller
+		}
+		if used[h] {
+			continue
+		}
+		if reachesWithin(net, h, tail, f) {
+			used[h] = true
+			return h
+		}
+	}
+	return rsn.None
+}
+
+// reachesWithin reports whether start can reach goal without passing
+// through block.
+func reachesWithin(net *rsn.Network, start, goal, block rsn.NodeID) bool {
+	if start == goal {
+		return true
+	}
+	seen := map[rsn.NodeID]bool{start: true}
+	stack := []rsn.NodeID{start}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range net.Succ(v) {
+			if t == goal {
+				return true
+			}
+			if t == block || seen[t] {
+				continue
+			}
+			seen[t] = true
+			stack = append(stack, t)
+		}
+	}
+	return false
+}
+
+// subnetHeadIndex returns the successor index of f that starts the SIB
+// subnet (the non-mux successor).
+func subnetHeadIndex(net *rsn.Network, f, join rsn.NodeID) int {
+	for i, h := range net.Succ(f) {
+		if h != join {
+			return i
+		}
+	}
+	return 0
+}
+
+func instrSuffix(nd *rsn.Node) string {
+	in := nd.Instr
+	if in == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, " instrument %s obs %d set %d", in.Name, in.DamageObs, in.DamageSet)
+	if in.CriticalObs {
+		b.WriteString(" critobs")
+	}
+	if in.CriticalSet {
+		b.WriteString(" critset")
+	}
+	return b.String()
+}
+
+func ctrlSuffix(net *rsn.Network, nd *rsn.Node) string {
+	if nd.Ctrl.Source == rsn.None {
+		return "external"
+	}
+	return fmt.Sprintf("control %s %d %d", net.Node(nd.Ctrl.Source).Name, nd.Ctrl.Bit, nd.Ctrl.Width)
+}
+
+func hardSuffix(hardened bool, kw string) string {
+	if hardened {
+		return " " + kw
+	}
+	return ""
+}

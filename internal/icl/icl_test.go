@@ -1,0 +1,190 @@
+package icl
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+)
+
+// roundTrip writes and re-parses a network, returning the copy.
+func roundTrip(t *testing.T, net *rsn.Network) *rsn.Network {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, net); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Parse: %v\ninput:\n%s", err, buf.String())
+	}
+	return got
+}
+
+// equalNetworks compares two networks structurally.
+func equalNetworks(a, b *rsn.Network) string {
+	if a.Name != b.Name {
+		return "names differ"
+	}
+	if a.NumNodes() != b.NumNodes() {
+		return "node counts differ"
+	}
+	for i := 0; i < a.NumNodes(); i++ {
+		na, nb := a.Node(rsn.NodeID(i)), b.Node(rsn.NodeID(i))
+		if na.Kind != nb.Kind || na.Name != nb.Name || na.Length != nb.Length ||
+			na.SIB != nb.SIB || na.Hardened != nb.Hardened ||
+			na.Partner != nb.Partner || na.Ctrl != nb.Ctrl {
+			return "node " + na.Name + " differs"
+		}
+		if (na.Instr == nil) != (nb.Instr == nil) {
+			return "instrument presence differs at " + na.Name
+		}
+		if na.Instr != nil && *na.Instr != *nb.Instr {
+			return "instrument differs at " + na.Name
+		}
+		sa, sb := a.Succ(rsn.NodeID(i)), b.Succ(rsn.NodeID(i))
+		if len(sa) != len(sb) {
+			return "edge counts differ at " + na.Name
+		}
+		for k := range sa {
+			if sa[k] != sb[k] {
+				return "edges differ at " + na.Name
+			}
+		}
+	}
+	return ""
+}
+
+func TestRoundTripFixtures(t *testing.T) {
+	for _, net := range []*rsn.Network{
+		fixture.PaperExample(),
+		fixture.SIBChain(4),
+		fixture.NestedSIBs(),
+	} {
+		got := roundTrip(t, net)
+		if diff := equalNetworks(net, got); diff != "" {
+			t.Errorf("%s: %s", net.Name, diff)
+		}
+	}
+}
+
+func TestRoundTripHardened(t *testing.T) {
+	net := fixture.PaperExample()
+	net.Node(net.Lookup("m0")).Hardened = true
+	net.Node(net.Lookup("i1")).Hardened = true
+	got := roundTrip(t, net)
+	if !got.Node(got.Lookup("m0")).Hardened || !got.Node(got.Lookup("i1")).Hardened {
+		t.Error("hardening marks lost in round trip")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 50, SegmentControls: true})
+		var buf bytes.Buffer
+		if err := Write(&buf, net); err != nil {
+			t.Logf("seed %d: Write: %v", seed, err)
+			return false
+		}
+		got, err := Parse(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Logf("seed %d: Parse: %v", seed, err)
+			return false
+		}
+		if diff := equalNetworks(net, got); diff != "" {
+			t.Logf("seed %d: %s", seed, diff)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripBenchmark(t *testing.T) {
+	net, err := benchnets.Generate("TreeBalanced")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := roundTrip(t, net)
+	if diff := equalNetworks(net, got); diff != "" {
+		t.Error(diff)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"segment a 4",
+		"network x\nsegment a 0\nend",
+		"network x\nsegment a 4\nwhatever\nend",
+		"network x\nfork f {\nbranch {\nsegment a 1\n}\n} join m external\nend",           // one branch
+		"network x\nsegment a 1\nfork f {\nbranch {\n}\nbranch {\n}\n} join m bogus\nend", // bad ctrl
+		"network x\nsegment a 1 instrument i obs -3\nend",
+		"network x\nsegment a 1\nsib s {\nsegment b 1\n", // unterminated
+	}
+	for i, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: Parse accepted invalid input %q", i, in)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	in := `# a comment
+network c
+  # indented comment
+  segment a 4
+
+  segment b 2 instrument x obs 3 set 4 critobs
+end`
+	net, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	bseg := net.Node(net.Lookup("b"))
+	if bseg.Instr == nil || bseg.Instr.DamageObs != 3 || !bseg.Instr.CriticalObs {
+		t.Errorf("instrument attributes wrong: %+v", bseg.Instr)
+	}
+}
+
+func TestParseControlForwardReference(t *testing.T) {
+	// The control segment appears after the fork in the file order used
+	// here (inside a later element), exercising the fixup pass... and a
+	// control source before the fork in path order:
+	in := `network fw
+  segment cfg 2
+  fork f {
+    branch {
+      segment a 1
+    }
+    branch {
+      segment b 1
+    }
+  } join m control cfg 0 2
+end`
+	net, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	m := net.Node(net.Lookup("m"))
+	if m.Ctrl.Source != net.Lookup("cfg") || m.Ctrl.Width != 2 {
+		t.Errorf("control fixup failed: %+v", m.Ctrl)
+	}
+	if _, err := Parse(strings.NewReader(strings.Replace(in, "control cfg", "control nosuch", 1))); err == nil {
+		t.Error("Parse accepted a dangling control reference")
+	}
+}
+
+func TestErrSyntaxWrapped(t *testing.T) {
+	_, err := Parse(strings.NewReader("garbage"))
+	if !errors.Is(err, ErrSyntax) {
+		t.Fatalf("error %v does not wrap ErrSyntax", err)
+	}
+}

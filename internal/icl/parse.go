@@ -1,0 +1,313 @@
+package icl
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"rsnrobust/internal/rsn"
+)
+
+// ErrSyntax wraps all parse failures.
+var ErrSyntax = errors.New("icl: syntax error")
+
+// Parse reads a network description in the format emitted by Write.
+// The result is structurally validated.
+func Parse(r io.Reader) (*rsn.Network, error) {
+	p := &parser{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		p.lines = append(p.lines, strings.Fields(line))
+		p.lineNos = append(p.lineNos, lineNo)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	head, err := p.nextLine()
+	if err != nil {
+		return nil, err
+	}
+	if len(head) != 2 || head[0] != "network" {
+		return nil, p.errf("expected 'network <name>', got %q", strings.Join(head, " "))
+	}
+	b := rsn.NewBuilder(head[1])
+	p.net = b.Network()
+	stop, err := p.elements(b, "end")
+	if err != nil {
+		return nil, err
+	}
+	if stop[0] != "end" {
+		return nil, p.errf("expected 'end', got %q", stop[0])
+	}
+	net := b.Finish()
+	for _, fx := range p.ctrls {
+		src := net.Lookup(fx.segName)
+		if src == rsn.None {
+			return nil, fmt.Errorf("%w: line %d: control segment %q not found", ErrSyntax, fx.line, fx.segName)
+		}
+		net.Node(fx.mux).Ctrl = rsn.Control{Source: src, Bit: fx.bit, Width: fx.wid}
+	}
+	if err := rsn.Validate(net); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+type parser struct {
+	lines   [][]string
+	lineNos []int
+	pos     int
+	net     *rsn.Network
+	ctrls   []ctrlFixup
+}
+
+type ctrlFixup struct {
+	mux      rsn.NodeID
+	segName  string
+	bit, wid int
+	line     int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 0
+	if p.pos > 0 && p.pos-1 < len(p.lineNos) {
+		line = p.lineNos[p.pos-1]
+	}
+	return fmt.Errorf("%w: line %d: %s", ErrSyntax, line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) nextLine() ([]string, error) {
+	if p.pos >= len(p.lines) {
+		p.pos++
+		return nil, fmt.Errorf("%w: unexpected end of input", ErrSyntax)
+	}
+	toks := p.lines[p.pos]
+	p.pos++
+	return toks, nil
+}
+
+// elements parses chain elements into b until a line starting with one
+// of the stop tokens (or "}") appears; that line is consumed and
+// returned.
+func (p *parser) elements(b *rsn.Builder, stops ...string) ([]string, error) {
+	for {
+		toks, err := p.nextLine()
+		if err != nil {
+			return nil, err
+		}
+		if toks[0] == "}" {
+			return toks, nil
+		}
+		stopped := false
+		for _, s := range stops {
+			if toks[0] == s {
+				stopped = true
+			}
+		}
+		if stopped {
+			return toks, nil
+		}
+		switch toks[0] {
+		case "segment":
+			err = p.segment(b, toks)
+		case "fork":
+			err = p.fork(b, toks)
+		case "sib":
+			err = p.sib(b, toks)
+		default:
+			err = p.errf("unknown element %q", toks[0])
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// segment <name> <length> [instrument ...] [hardened]
+func (p *parser) segment(b *rsn.Builder, toks []string) error {
+	if len(toks) < 3 {
+		return p.errf("segment needs a name and a length")
+	}
+	length, err := strconv.Atoi(toks[2])
+	if err != nil || length <= 0 {
+		return p.errf("bad segment length %q", toks[2])
+	}
+	at, err := p.attrs(toks[3:])
+	if err != nil {
+		return err
+	}
+	id := b.Segment(toks[1], length, at.instr)
+	p.net.Node(id).Hardened = at.hardened
+	return nil
+}
+
+// fork <name> { branch { ... } ... } join <mux> <ctrl> [hardened]
+func (p *parser) fork(b *rsn.Builder, toks []string) error {
+	if len(toks) != 3 || toks[2] != "{" {
+		return p.errf("expected 'fork <name> {'")
+	}
+	bs := b.ForkAny(toks[1])
+	branches := 0
+	for {
+		line, err := p.nextLine()
+		if err != nil {
+			return err
+		}
+		switch line[0] {
+		case "branch":
+			if len(line) != 2 || line[1] != "{" {
+				return p.errf("expected 'branch {'")
+			}
+			branches++
+			if stop, err := p.elements(bs.NewBranch()); err != nil {
+				return err
+			} else if len(stop) != 1 || stop[0] != "}" {
+				return p.errf("branch of fork %q must close with a bare '}'", toks[1])
+			}
+		case "}":
+			if branches < 2 {
+				return p.errf("fork %q needs at least two branches", toks[1])
+			}
+			if len(line) < 3 || line[1] != "join" {
+				return p.errf("expected '} join <mux> ...' closing fork %q", toks[1])
+			}
+			return p.join(bs, line[2:])
+		default:
+			return p.errf("expected 'branch {' or '} join ...' in fork %q", toks[1])
+		}
+	}
+}
+
+// join clause tokens after "} join".
+func (p *parser) join(bs *rsn.BranchSet, toks []string) error {
+	if len(toks) < 2 {
+		return p.errf("join needs a mux name and a control clause")
+	}
+	muxName := toks[0]
+	rest := toks[1:]
+	var fix *ctrlFixup
+	switch rest[0] {
+	case "external":
+		rest = rest[1:]
+	case "control":
+		if len(rest) < 4 {
+			return p.errf("control needs '<segment> <bit> <width>'")
+		}
+		bit, err1 := strconv.Atoi(rest[2])
+		wid, err2 := strconv.Atoi(rest[3])
+		if err1 != nil || err2 != nil {
+			return p.errf("bad control bits %q %q", rest[2], rest[3])
+		}
+		fix = &ctrlFixup{segName: rest[1], bit: bit, wid: wid, line: p.lineNos[p.pos-1]}
+		rest = rest[4:]
+	default:
+		return p.errf("expected 'external' or 'control', got %q", rest[0])
+	}
+	hardened := false
+	for _, t := range rest {
+		if t != "hardened" {
+			return p.errf("unknown join attribute %q", t)
+		}
+		hardened = true
+	}
+	mux := bs.Join(muxName, rsn.External())
+	p.net.Node(mux).Hardened = hardened
+	if fix != nil {
+		fix.mux = mux
+		p.ctrls = append(p.ctrls, *fix)
+	}
+	return nil
+}
+
+// sib <name> { ... } [instrument ...] [hardenedreg] [hardenedmux]
+func (p *parser) sib(b *rsn.Builder, toks []string) error {
+	if len(toks) != 3 || toks[2] != "{" {
+		return p.errf("expected 'sib <name> {'")
+	}
+	var closing []string
+	var subErr error
+	reg, mux := b.SIB(toks[1], nil, func(sb *rsn.Builder) {
+		closing, subErr = p.elements(sb)
+	})
+	if subErr != nil {
+		return subErr
+	}
+	if len(closing) == 0 || closing[0] != "}" {
+		return p.errf("sib %q must close with '}'", toks[1])
+	}
+	at, err := p.attrs(closing[1:])
+	if err != nil {
+		return err
+	}
+	rn := p.net.Node(reg)
+	rn.Instr = at.instr
+	rn.Hardened = at.hreg
+	p.net.Node(mux).Hardened = at.hmux
+	return nil
+}
+
+type attrSet struct {
+	instr      *rsn.Instrument
+	hardened   bool
+	hreg, hmux bool
+}
+
+// attrs parses trailing attributes: an optional instrument clause and
+// hardening keywords.
+func (p *parser) attrs(toks []string) (attrSet, error) {
+	var at attrSet
+	i := 0
+	for i < len(toks) {
+		switch toks[i] {
+		case "instrument":
+			if i+1 >= len(toks) {
+				return at, p.errf("instrument needs a name")
+			}
+			at.instr = &rsn.Instrument{Name: toks[i+1]}
+			i += 2
+			for i+1 < len(toks) && (toks[i] == "obs" || toks[i] == "set") {
+				v, err := strconv.ParseInt(toks[i+1], 10, 64)
+				if err != nil || v < 0 {
+					return at, p.errf("bad %s weight %q", toks[i], toks[i+1])
+				}
+				if toks[i] == "obs" {
+					at.instr.DamageObs = v
+				} else {
+					at.instr.DamageSet = v
+				}
+				i += 2
+			}
+			for i < len(toks) && (toks[i] == "critobs" || toks[i] == "critset") {
+				if toks[i] == "critobs" {
+					at.instr.CriticalObs = true
+				} else {
+					at.instr.CriticalSet = true
+				}
+				i++
+			}
+		case "hardened":
+			at.hardened = true
+			i++
+		case "hardenedreg":
+			at.hreg = true
+			i++
+		case "hardenedmux":
+			at.hmux = true
+			i++
+		default:
+			return at, p.errf("unknown attribute %q", toks[i])
+		}
+	}
+	return at, nil
+}

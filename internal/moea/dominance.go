@@ -1,0 +1,152 @@
+package moea
+
+import (
+	"math"
+	"sort"
+)
+
+// Dominates reports whether objective vector a Pareto-dominates b: a is
+// no worse in every objective and strictly better in at least one
+// (all objectives minimized).
+func Dominates(a, b []float64) bool {
+	better := false
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			better = true
+		case a[i] > b[i]:
+			return false
+		}
+	}
+	return better
+}
+
+// ParetoFilter returns the nondominated subset of individuals, sorted by
+// the first objective, with duplicate objective vectors removed.
+func ParetoFilter(pop []Individual) []Individual {
+	var front []Individual
+	for i := range pop {
+		dominated := false
+		for j := range pop {
+			if i != j && Dominates(pop[j].Obj, pop[i].Obj) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, pop[i])
+		}
+	}
+	sortByObjectives(front)
+	return dedupeByObjectives(front)
+}
+
+func sortByObjectives(front []Individual) {
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i].Obj, front[j].Obj
+		for k := range a {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+}
+
+func dedupeByObjectives(front []Individual) []Individual {
+	out := front[:0]
+	for i := range front {
+		if i > 0 && equalObjectives(front[i].Obj, front[i-1].Obj) {
+			continue
+		}
+		out = append(out, front[i])
+	}
+	return out
+}
+
+func equalObjectives(a, b []float64) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Hypervolume computes the dominated hypervolume of a two-objective
+// front with respect to the reference point ref (both objectives
+// minimized; points not strictly dominating ref are ignored). It is the
+// standard quality indicator used to compare the optimizers.
+func Hypervolume(front []Individual, ref [2]float64) float64 {
+	pts := make([][2]float64, 0, len(front))
+	for i := range front {
+		p := [2]float64{front[i].Obj[0], front[i].Obj[1]}
+		if p[0] < ref[0] && p[1] < ref[1] {
+			pts = append(pts, p)
+		}
+	}
+	if len(pts) == 0 {
+		return 0
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i][0] != pts[j][0] {
+			return pts[i][0] < pts[j][0]
+		}
+		return pts[i][1] < pts[j][1]
+	})
+	hv := 0.0
+	bestY := math.Inf(1)
+	for _, p := range pts {
+		if p[1] < bestY {
+			hv += (ref[0] - p[0]) * (minf(bestY, ref[1]) - p[1])
+			bestY = p[1]
+		}
+	}
+	return hv
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// normalizeRanges returns per-objective (min, 1/range) pairs over the
+// union, used to compute scale-free distances in objective space.
+func normalizeRanges(pop []Individual, m int) (lo, invRange []float64) {
+	lo = make([]float64, m)
+	hi := make([]float64, m)
+	for k := 0; k < m; k++ {
+		lo[k], hi[k] = math.Inf(1), math.Inf(-1)
+	}
+	for i := range pop {
+		for k := 0; k < m; k++ {
+			v := pop[i].Obj[k]
+			if v < lo[k] {
+				lo[k] = v
+			}
+			if v > hi[k] {
+				hi[k] = v
+			}
+		}
+	}
+	invRange = make([]float64, m)
+	for k := 0; k < m; k++ {
+		if d := hi[k] - lo[k]; d > 0 {
+			invRange[k] = 1 / d
+		}
+	}
+	return lo, invRange
+}
+
+// objDist2 is the squared normalized Euclidean distance between two
+// objective vectors.
+func objDist2(a, b []float64, invRange []float64) float64 {
+	d := 0.0
+	for k := range a {
+		x := (a[k] - b[k]) * invRange[k]
+		d += x * x
+	}
+	return d
+}

@@ -1,0 +1,172 @@
+// Package moea is a from-scratch multi-objective evolutionary
+// optimization framework over fixed-length binary genomes. It implements
+// the SPEA-2 algorithm of Zitzler, Laumanns and Thiele (TIK report 103,
+// 2001) — the optimizer used by the paper via the Opt4J framework — and
+// NSGA-II (Deb et al., 2002) as the classic alternative, together with
+// the variation operators of the paper's Section V: one-point crossover
+// and independent per-bit mutation.
+//
+// All algorithms are deterministic for a fixed seed and minimize every
+// objective.
+package moea
+
+import (
+	"math"
+	"math/bits"
+	"math/rand"
+)
+
+// Genome is a fixed-length bit string packed into 64-bit words. Bit i of
+// a selective-hardening genome is x_i: whether primitive i is hardened.
+type Genome []uint64
+
+// NewGenome returns an all-zero genome able to hold n bits. The caller
+// must remember n; Genome itself only knows its word count.
+func NewGenome(n int) Genome {
+	return make(Genome, (n+63)/64)
+}
+
+// Get reports bit i.
+func (g Genome) Get(i int) bool { return g[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Set sets bit i to v.
+func (g Genome) Set(i int, v bool) {
+	if v {
+		g[i>>6] |= 1 << uint(i&63)
+	} else {
+		g[i>>6] &^= 1 << uint(i&63)
+	}
+}
+
+// Flip toggles bit i.
+func (g Genome) Flip(i int) { g[i>>6] ^= 1 << uint(i&63) }
+
+// Count returns the number of set bits.
+func (g Genome) Count() int {
+	c := 0
+	for _, w := range g {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Clone returns a deep copy.
+func (g Genome) Clone() Genome {
+	c := make(Genome, len(g))
+	copy(c, g)
+	return c
+}
+
+// Equal reports whether two genomes have identical words.
+func (g Genome) Equal(o Genome) bool {
+	if len(g) != len(o) {
+		return false
+	}
+	for i := range g {
+		if g[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// OnePointCrossover performs the paper's one-point crossover at bit
+// position point (1 <= point < nbits): the first child takes bits
+// [0,point) from g and the rest from o; the second child vice versa.
+func (g Genome) OnePointCrossover(o Genome, point, nbits int) (Genome, Genome) {
+	c1 := g.Clone()
+	c2 := o.Clone()
+	word := point >> 6
+	// Full words after the crossover word swap wholesale.
+	for w := word + 1; w < len(g); w++ {
+		c1[w], c2[w] = o[w], g[w]
+	}
+	// Mixed word: low bits [0,point&63) stay, high bits swap.
+	if off := uint(point & 63); off != 0 {
+		highMask := ^uint64(0) << off
+		c1[word] = (g[word] &^ highMask) | (o[word] & highMask)
+		c2[word] = (o[word] &^ highMask) | (g[word] & highMask)
+	} else if word < len(g) {
+		c1[word], c2[word] = o[word], g[word]
+	}
+	return c1, c2
+}
+
+// TwoPointCrossover exchanges the bit range [a, b) between the parents
+// (0 <= a < b <= nbits).
+func (g Genome) TwoPointCrossover(o Genome, a, b, nbits int) (Genome, Genome) {
+	// Compose from two one-point crossovers: swap the suffix at a, then
+	// swap it back at b.
+	c1, c2 := g.OnePointCrossover(o, a, nbits)
+	if b < nbits {
+		c1, c2 = c1.OnePointCrossover(c2, b, nbits)
+	}
+	return c1, c2
+}
+
+// UniformCrossover exchanges every bit independently with probability
+// 1/2, drawing word-sized masks from rng.
+func (g Genome) UniformCrossover(o Genome, rng *rand.Rand) (Genome, Genome) {
+	c1 := g.Clone()
+	c2 := o.Clone()
+	for w := range g {
+		mask := rng.Uint64()
+		keep1 := (g[w] &^ mask) | (o[w] & mask)
+		keep2 := (o[w] &^ mask) | (g[w] & mask)
+		c1[w], c2[w] = keep1, keep2
+	}
+	return c1, c2
+}
+
+// MutateBits flips each of the nbits bits independently with probability
+// p, using geometric gap sampling so the cost is proportional to the
+// number of flips rather than the genome length.
+func (g Genome) MutateBits(rng *rand.Rand, p float64, nbits int) {
+	if p <= 0 {
+		return
+	}
+	if p >= 1 {
+		for i := 0; i < nbits; i++ {
+			g.Flip(i)
+		}
+		return
+	}
+	logq := math.Log1p(-p)
+	i := nextFlip(rng, logq)
+	for i < nbits {
+		g.Flip(i)
+		i += 1 + nextFlip(rng, logq)
+	}
+}
+
+// nextFlip draws the gap to the next flipped bit from the geometric
+// distribution with success probability p (logq = log(1-p)).
+func nextFlip(rng *rand.Rand, logq float64) int {
+	u := rng.Float64()
+	for u == 0 {
+		u = rng.Float64()
+	}
+	return int(math.Log(u) / logq)
+}
+
+// Randomize sets each bit independently with probability density.
+func (g Genome) Randomize(rng *rand.Rand, density float64, nbits int) {
+	for w := range g {
+		g[w] = 0
+	}
+	if density <= 0 {
+		return
+	}
+	if density >= 1 {
+		for i := 0; i < nbits; i++ {
+			g.Set(i, true)
+		}
+		return
+	}
+	logq := math.Log1p(-density)
+	i := nextFlip(rng, logq)
+	for i < nbits {
+		g.Set(i, true)
+		i += 1 + nextFlip(rng, logq)
+	}
+}

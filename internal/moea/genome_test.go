@@ -1,0 +1,132 @@
+package moea
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenomeSetGetFlip(t *testing.T) {
+	g := NewGenome(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if g.Get(i) {
+			t.Errorf("fresh genome has bit %d set", i)
+		}
+		g.Set(i, true)
+		if !g.Get(i) {
+			t.Errorf("bit %d not set", i)
+		}
+		g.Flip(i)
+		if g.Get(i) {
+			t.Errorf("bit %d not flipped off", i)
+		}
+	}
+	if g.Count() != 0 {
+		t.Errorf("Count = %d, want 0", g.Count())
+	}
+	g.Set(5, true)
+	g.Set(99, true)
+	if g.Count() != 2 {
+		t.Errorf("Count = %d, want 2", g.Count())
+	}
+}
+
+func TestOnePointCrossoverExact(t *testing.T) {
+	const n = 200
+	a, b := NewGenome(n), NewGenome(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, true) // a = all ones, b = all zeros
+	}
+	for _, point := range []int{1, 63, 64, 65, 100, 199} {
+		c1, c2 := a.OnePointCrossover(b, point, n)
+		for i := 0; i < n; i++ {
+			wantC1 := i < point // c1 takes a's low bits
+			if c1.Get(i) != wantC1 {
+				t.Fatalf("point %d: c1 bit %d = %v, want %v", point, i, c1.Get(i), wantC1)
+			}
+			if c2.Get(i) != !wantC1 {
+				t.Fatalf("point %d: c2 bit %d = %v, want %v", point, i, c2.Get(i), !wantC1)
+			}
+		}
+	}
+}
+
+func TestCrossoverPreservesBitSum(t *testing.T) {
+	// Property: one-point crossover never creates or destroys set bits
+	// across the offspring pair.
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		a, b := NewGenome(n), NewGenome(n)
+		a.Randomize(rng, rng.Float64(), n)
+		b.Randomize(rng, rng.Float64(), n)
+		if n < 2 {
+			return true
+		}
+		point := 1 + rng.Intn(n-1)
+		c1, c2 := a.OnePointCrossover(b, point, n)
+		return c1.Count()+c2.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMutateBitsRate(t *testing.T) {
+	const n = 100000
+	const p = 0.01
+	g := NewGenome(n)
+	rng := rand.New(rand.NewSource(1))
+	g.MutateBits(rng, p, n)
+	flips := g.Count()
+	// Expected 1000 flips; allow +-30%.
+	if flips < 700 || flips > 1300 {
+		t.Errorf("MutateBits flipped %d of %d bits at p=%v, want about %d", flips, n, p, int(n*p))
+	}
+}
+
+func TestMutateBitsEdgeCases(t *testing.T) {
+	g := NewGenome(64)
+	rng := rand.New(rand.NewSource(2))
+	g.MutateBits(rng, 0, 64)
+	if g.Count() != 0 {
+		t.Error("p=0 mutated bits")
+	}
+	g.MutateBits(rng, 1, 64)
+	if g.Count() != 64 {
+		t.Errorf("p=1 flipped %d bits, want 64", g.Count())
+	}
+}
+
+func TestRandomizeDensity(t *testing.T) {
+	const n = 50000
+	g := NewGenome(n)
+	rng := rand.New(rand.NewSource(3))
+	g.Randomize(rng, 0.25, n)
+	c := g.Count()
+	if c < int(0.2*n) || c > int(0.3*n) {
+		t.Errorf("Randomize(0.25) set %d of %d bits", c, n)
+	}
+	// Re-randomizing clears previous contents.
+	g.Randomize(rng, 0, n)
+	if g.Count() != 0 {
+		t.Error("Randomize(0) left bits set")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	g := NewGenome(100)
+	g.Set(3, true)
+	g.Set(77, true)
+	c := g.Clone()
+	if !g.Equal(c) {
+		t.Error("clone not equal")
+	}
+	c.Flip(50)
+	if g.Equal(c) {
+		t.Error("mutated clone still equal")
+	}
+	if g.Equal(NewGenome(164)) {
+		t.Error("genomes of different sizes equal")
+	}
+}

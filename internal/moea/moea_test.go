@@ -1,0 +1,292 @@
+package moea
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// knapsackProblem is a tiny separable bi-objective problem mirroring the
+// selective-hardening structure: minimizing residual value vs. cost.
+type knapsackProblem struct {
+	value []int64
+	cost  []int64
+	total int64
+}
+
+func newKnapsack(seed int64, n int) *knapsackProblem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &knapsackProblem{value: make([]int64, n), cost: make([]int64, n)}
+	for i := 0; i < n; i++ {
+		p.value[i] = 1 + rng.Int63n(100)
+		p.cost[i] = 1 + rng.Int63n(20)
+		p.total += p.value[i]
+	}
+	return p
+}
+
+func (p *knapsackProblem) NumBits() int       { return len(p.value) }
+func (p *knapsackProblem) NumObjectives() int { return 2 }
+func (p *knapsackProblem) Evaluate(g Genome, out []float64) {
+	var v, c int64
+	for i := 0; i < len(p.value); i++ {
+		if g.Get(i) {
+			v += p.value[i]
+			c += p.cost[i]
+		}
+	}
+	out[0] = float64(p.total - v)
+	out[1] = float64(c)
+}
+
+func TestDominates(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want bool
+	}{
+		{[]float64{1, 1}, []float64{2, 2}, true},
+		{[]float64{1, 2}, []float64{2, 1}, false},
+		{[]float64{1, 1}, []float64{1, 1}, false},
+		{[]float64{1, 2}, []float64{1, 3}, true},
+		{[]float64{2, 2}, []float64{1, 1}, false},
+	}
+	for _, c := range cases {
+		if got := Dominates(c.a, c.b); got != c.want {
+			t.Errorf("Dominates(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestParetoFilter(t *testing.T) {
+	pop := []Individual{
+		{Obj: []float64{1, 5}},
+		{Obj: []float64{2, 2}},
+		{Obj: []float64{5, 1}},
+		{Obj: []float64{3, 3}}, // dominated by (2,2)
+		{Obj: []float64{2, 2}}, // duplicate
+	}
+	front := ParetoFilter(pop)
+	if len(front) != 3 {
+		t.Fatalf("front size = %d, want 3", len(front))
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Obj[0] < front[i-1].Obj[0] {
+			t.Error("front not sorted by first objective")
+		}
+	}
+}
+
+func TestHypervolume(t *testing.T) {
+	front := []Individual{
+		{Obj: []float64{1, 3}},
+		{Obj: []float64{2, 2}},
+		{Obj: []float64{3, 1}},
+	}
+	// ref (4,4): boxes: (4-1)*(4-3)=3, (4-2)*(3-2)=2, (4-3)*(2-1)=1.
+	if got := Hypervolume(front, [2]float64{4, 4}); got != 6 {
+		t.Errorf("Hypervolume = %v, want 6", got)
+	}
+	if got := Hypervolume(nil, [2]float64{4, 4}); got != 0 {
+		t.Errorf("empty Hypervolume = %v, want 0", got)
+	}
+	// Points outside the reference box are ignored.
+	if got := Hypervolume([]Individual{{Obj: []float64{5, 5}}}, [2]float64{4, 4}); got != 0 {
+		t.Errorf("out-of-box Hypervolume = %v, want 0", got)
+	}
+}
+
+func TestKthSmallest(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 3}
+	for k := 0; k < 5; k++ {
+		cp := append([]float64(nil), v...)
+		if got := kthSmallest(cp, k); got != float64(k+1) {
+			t.Errorf("kthSmallest(%d) = %v, want %v", k, got, float64(k+1))
+		}
+	}
+}
+
+// frontQuality measures how close a front comes to the exact Pareto
+// front of the separable problem (computed greedily on the convex hull).
+func exactExtremes(p *knapsackProblem) (allValue, zero float64) {
+	return float64(p.total), 0
+}
+
+func runBoth(t *testing.T, p Problem, par Params) (s, n *Result) {
+	t.Helper()
+	s, err := SPEA2(p, par)
+	if err != nil {
+		t.Fatalf("SPEA2: %v", err)
+	}
+	n, err = NSGA2(p, par)
+	if err != nil {
+		t.Fatalf("NSGA2: %v", err)
+	}
+	return s, n
+}
+
+func TestOptimizersFindExtremes(t *testing.T) {
+	p := newKnapsack(11, 40)
+	par := Params{Population: 60, Generations: 120, PCrossover: 0.95, PMutateBit: 0.02, Seed: 1}
+	for name, run := range map[string]func() (*Result, error){
+		"spea2": func() (*Result, error) { return SPEA2(p, par) },
+		"nsga2": func() (*Result, error) { return NSGA2(p, par) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Front) == 0 {
+			t.Fatalf("%s: empty front", name)
+		}
+		// The all-zero solution (cost 0, full residual) is trivially
+		// Pareto-optimal and easy to find; the front must include a
+		// zero-cost point and a near-zero-damage point.
+		minCost, minDamage := math.Inf(1), math.Inf(1)
+		for _, in := range res.Front {
+			minDamage = math.Min(minDamage, in.Obj[0])
+			minCost = math.Min(minCost, in.Obj[1])
+		}
+		if minCost != 0 {
+			t.Errorf("%s: no zero-cost solution on front (min cost %v)", name, minCost)
+		}
+		total, _ := exactExtremes(p)
+		if minDamage > 0.05*total {
+			t.Errorf("%s: best residual %v exceeds 5%% of total %v", name, minDamage, total)
+		}
+	}
+}
+
+func TestFrontIsMutuallyNondominated(t *testing.T) {
+	p := newKnapsack(13, 30)
+	par := Params{Population: 40, Generations: 40, PCrossover: 0.95, PMutateBit: 0.01, Seed: 2}
+	s, n := runBoth(t, p, par)
+	for name, res := range map[string]*Result{"spea2": s, "nsga2": n} {
+		for i := range res.Front {
+			for j := range res.Front {
+				if i != j && Dominates(res.Front[i].Obj, res.Front[j].Obj) {
+					t.Errorf("%s: front member %d dominates member %d", name, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := newKnapsack(17, 25)
+	par := Params{Population: 30, Generations: 25, PCrossover: 0.95, PMutateBit: 0.01, Seed: 5}
+	a1, _ := SPEA2(p, par)
+	a2, _ := SPEA2(p, par)
+	if len(a1.Front) != len(a2.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(a1.Front), len(a2.Front))
+	}
+	for i := range a1.Front {
+		if !equalObjectives(a1.Front[i].Obj, a2.Front[i].Obj) {
+			t.Fatalf("front member %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	p := newKnapsack(19, 20)
+	calls := 0
+	par := Params{
+		Population: 20, Generations: 100, PCrossover: 0.95, PMutateBit: 0.01, Seed: 7,
+		OnGeneration: func(gen int, front []Individual) bool {
+			calls++
+			return gen < 4
+		},
+	}
+	res, err := SPEA2(p, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Generations != 5 {
+		t.Errorf("stopped after %d generations, want 5 (gen index 4 returns false)", res.Generations)
+	}
+	if calls != 5 {
+		t.Errorf("OnGeneration called %d times, want 5", calls)
+	}
+}
+
+func TestSeedsEnterInitialPopulation(t *testing.T) {
+	p := newKnapsack(23, 30)
+	seed := NewGenome(30)
+	for i := 0; i < 30; i++ {
+		seed.Set(i, true) // all hardened: zero residual, known cost
+	}
+	par := Params{Population: 20, Generations: 2, PCrossover: 0.95, PMutateBit: 0.0, Seed: 9, Seeds: []Genome{seed}}
+	res, err := SPEA2(p, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, in := range res.Front {
+		if in.Obj[0] == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("all-ones seed (zero residual) did not survive to the front")
+	}
+}
+
+func TestTruncateKeepsCapacityAndExtremes(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		set := make([]Individual, n)
+		for i := range set {
+			set[i] = Individual{Obj: []float64{rng.Float64(), rng.Float64()}}
+		}
+		capacity := 5 + rng.Intn(10)
+		out := truncate(append([]Individual(nil), set...), capacity, 2)
+		return len(out) == capacity
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnvironmentalSelectionFillsUnderfullArchive(t *testing.T) {
+	// One nondominated point plus dominated ones: archive of 3 must be
+	// filled with the best dominated individuals.
+	union := []Individual{
+		{Obj: []float64{0, 0}},
+		{Obj: []float64{1, 1}},
+		{Obj: []float64{2, 2}},
+		{Obj: []float64{3, 3}},
+	}
+	assignFitness(union, 2)
+	arch := environmentalSelection(union, 3, 2)
+	if len(arch) != 3 {
+		t.Fatalf("archive size = %d, want 3", len(arch))
+	}
+	if !equalObjectives(arch[0].Obj, []float64{0, 0}) {
+		t.Error("nondominated point missing from archive")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := newKnapsack(29, 10)
+	if _, err := SPEA2(p, Params{Population: 1, Generations: 5}); err == nil {
+		t.Error("accepted population 1")
+	}
+	if _, err := NSGA2(p, Params{Population: 10, Generations: 0}); err == nil {
+		t.Error("accepted zero generations")
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	small := Defaults(50, 300, 1)
+	if small.Population != 100 {
+		t.Errorf("population for 50 muxes = %d, want 100", small.Population)
+	}
+	big := Defaults(150, 300, 1)
+	if big.Population != 300 {
+		t.Errorf("population for 150 muxes = %d, want 300", big.Population)
+	}
+	if big.PCrossover != 0.95 || big.PMutateBit != 0.01 {
+		t.Errorf("operator probabilities = (%v,%v), want (0.95,0.01)", big.PCrossover, big.PMutateBit)
+	}
+}

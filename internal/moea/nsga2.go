@@ -1,0 +1,159 @@
+package moea
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// NSGA2 runs the elitist nondominated-sorting genetic algorithm of Deb,
+// Pratap, Agarwal and Meyarivan (2002), the alternative multi-objective
+// optimizer cited by the paper. Selection uses fast nondominated sorting
+// and crowding distance; variation uses the same one-point crossover and
+// per-bit mutation operators as SPEA2.
+func NSGA2(p Problem, par Params) (*Result, error) {
+	if err := par.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(par.Seed))
+	res := &Result{}
+	m := p.NumObjectives()
+	nbits := p.NumBits()
+	eval := func(g Genome) []float64 {
+		out := make([]float64, m)
+		p.Evaluate(g, out)
+		res.Evaluations++
+		return out
+	}
+
+	pop := initialPopulation(p, &par, rng, eval)
+	rankAndCrowd(pop, m)
+	for gen := 0; gen < par.Generations; gen++ {
+		offspring := make([]Individual, 0, par.Population)
+		tournament := func() Genome {
+			best := rng.Intn(len(pop))
+			for t := 1; t < par.TournamentSize; t++ {
+				if c := rng.Intn(len(pop)); crowdedLess(&pop[c], &pop[best]) {
+					best = c
+				}
+			}
+			return pop[best].G
+		}
+		for len(offspring) < par.Population {
+			offspring = vary(offspring, tournament(), tournament(), &par, nbits, rng, eval)
+		}
+		union := append(append(make([]Individual, 0, len(pop)+len(offspring)), pop...), offspring...)
+		fronts := nondominatedSort(union)
+		pop = pop[:0]
+		for _, f := range fronts {
+			crowdingDistance(union, f, m)
+			if len(pop)+len(f) <= par.Population {
+				for _, i := range f {
+					pop = append(pop, union[i])
+				}
+				continue
+			}
+			rest := par.Population - len(pop)
+			sort.Slice(f, func(a, b int) bool { return union[f[a]].density > union[f[b]].density })
+			for _, i := range f[:rest] {
+				pop = append(pop, union[i])
+			}
+			break
+		}
+		res.Generations = gen + 1
+		if par.OnGeneration != nil && !par.OnGeneration(gen, ParetoFilter(pop)) {
+			break
+		}
+	}
+	res.Front = ParetoFilter(pop)
+	return res, nil
+}
+
+// crowdedLess implements the crowded-comparison operator: lower rank
+// wins; equal ranks prefer the larger crowding distance.
+func crowdedLess(a, b *Individual) bool {
+	if a.fitness != b.fitness {
+		return a.fitness < b.fitness
+	}
+	return a.density > b.density
+}
+
+// rankAndCrowd assigns ranks (fitness) and crowding distances (density)
+// to an initial population.
+func rankAndCrowd(pop []Individual, m int) {
+	fronts := nondominatedSort(pop)
+	for _, f := range fronts {
+		crowdingDistance(pop, f, m)
+	}
+}
+
+// nondominatedSort partitions indices into fronts F1, F2, ... and stores
+// the rank in each individual's fitness field.
+func nondominatedSort(pop []Individual) [][]int {
+	n := len(pop)
+	domCount := make([]int, n)
+	dominates := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Dominates(pop[i].Obj, pop[j].Obj) {
+				dominates[i] = append(dominates[i], int32(j))
+				domCount[j]++
+			} else if Dominates(pop[j].Obj, pop[i].Obj) {
+				dominates[j] = append(dominates[j], int32(i))
+				domCount[i]++
+			}
+		}
+	}
+	var fronts [][]int
+	var cur []int
+	for i := 0; i < n; i++ {
+		if domCount[i] == 0 {
+			cur = append(cur, i)
+			pop[i].fitness = 0
+		}
+	}
+	for rank := 1; len(cur) > 0; rank++ {
+		fronts = append(fronts, cur)
+		var next []int
+		for _, i := range cur {
+			for _, j := range dominates[i] {
+				domCount[j]--
+				if domCount[j] == 0 {
+					next = append(next, int(j))
+					pop[j].fitness = float64(rank)
+				}
+			}
+		}
+		cur = next
+	}
+	return fronts
+}
+
+// crowdingDistance stores each front member's crowding distance in its
+// density field.
+func crowdingDistance(pop []Individual, front []int, m int) {
+	for _, i := range front {
+		pop[i].density = 0
+	}
+	if len(front) <= 2 {
+		for _, i := range front {
+			pop[i].density = math.Inf(1)
+		}
+		return
+	}
+	idx := make([]int, len(front))
+	for k := 0; k < m; k++ {
+		copy(idx, front)
+		sort.Slice(idx, func(a, b int) bool { return pop[idx[a]].Obj[k] < pop[idx[b]].Obj[k] })
+		lo := pop[idx[0]].Obj[k]
+		hi := pop[idx[len(idx)-1]].Obj[k]
+		pop[idx[0]].density = math.Inf(1)
+		pop[idx[len(idx)-1]].density = math.Inf(1)
+		if hi == lo {
+			continue
+		}
+		for t := 1; t < len(idx)-1; t++ {
+			pop[idx[t]].density += (pop[idx[t+1]].Obj[k] - pop[idx[t-1]].Obj[k]) / (hi - lo)
+		}
+	}
+}

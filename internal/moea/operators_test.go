@@ -1,0 +1,109 @@
+package moea
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTwoPointCrossoverExact(t *testing.T) {
+	const n = 150
+	a, b := NewGenome(n), NewGenome(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, true)
+	}
+	for _, span := range [][2]int{{1, 2}, {10, 70}, {63, 65}, {64, 128}, {100, 150}} {
+		c1, c2 := a.TwoPointCrossover(b, span[0], span[1], n)
+		for i := 0; i < n; i++ {
+			inSpan := i >= span[0] && i < span[1]
+			if c1.Get(i) == inSpan {
+				// c1 keeps a's bits outside the span (1), takes b's (0)
+				// inside: c1.Get(i) must be !inSpan.
+				t.Fatalf("span %v: c1 bit %d = %v", span, i, c1.Get(i))
+			}
+			if c2.Get(i) != inSpan {
+				t.Fatalf("span %v: c2 bit %d = %v", span, i, c2.Get(i))
+			}
+		}
+	}
+}
+
+func TestUniformCrossoverPreservesBitSum(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(250)
+		a, b := NewGenome(n), NewGenome(n)
+		a.Randomize(rng, rng.Float64(), n)
+		b.Randomize(rng, rng.Float64(), n)
+		c1, c2 := a.UniformCrossover(b, rng)
+		return c1.Count()+c2.Count() == a.Count()+b.Count()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformCrossoverMixes(t *testing.T) {
+	const n = 256
+	a, b := NewGenome(n), NewGenome(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, true)
+	}
+	rng := rand.New(rand.NewSource(9))
+	c1, _ := a.UniformCrossover(b, rng)
+	// About half the bits should come from each parent.
+	if c := c1.Count(); c < n/4 || c > 3*n/4 {
+		t.Errorf("uniform crossover kept %d of %d bits; expected a mix", c, n)
+	}
+}
+
+func TestCrossoverKindsRunOnLOTZ(t *testing.T) {
+	// Operator ablation smoke test: every crossover kind must drive the
+	// optimizer to a sensible front.
+	const n = 16
+	for _, kind := range []CrossoverKind{OnePoint, TwoPoint, Uniform} {
+		res, err := SPEA2(lotz{n: n}, Params{
+			Population: 40, Generations: 80,
+			PCrossover: 0.95, Crossover: kind, PMutateBit: 1.0 / n, Seed: 6,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		onFront, distinct := lotzFrontCoverage(res, n)
+		if onFront != len(res.Front) {
+			t.Errorf("%v: non-optimal points on front", kind)
+		}
+		if distinct < (n+1)/3 {
+			t.Errorf("%v: only %d of %d front points", kind, distinct, n+1)
+		}
+	}
+}
+
+func TestTournamentSize(t *testing.T) {
+	// Larger tournaments increase selection pressure; both settings
+	// must converge on a small problem and stay deterministic.
+	p := newKnapsack(31, 20)
+	for _, ts := range []int{2, 4} {
+		par := Params{Population: 30, Generations: 40, PCrossover: 0.95, PMutateBit: 0.02, Seed: 8, TournamentSize: ts}
+		a, err := SPEA2(p, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := SPEA2(p, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Front) != len(b.Front) {
+			t.Errorf("tournament %d: nondeterministic front", ts)
+		}
+		if len(a.Front) == 0 {
+			t.Errorf("tournament %d: empty front", ts)
+		}
+	}
+}
+
+func TestCrossoverKindString(t *testing.T) {
+	if OnePoint.String() != "one-point" || TwoPoint.String() != "two-point" || Uniform.String() != "uniform" {
+		t.Error("CrossoverKind names wrong")
+	}
+}

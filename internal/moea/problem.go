@@ -1,0 +1,195 @@
+package moea
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Problem is a multi-objective pseudo-boolean minimization problem.
+type Problem interface {
+	// NumBits is the genome length.
+	NumBits() int
+	// NumObjectives is the number of objectives; all are minimized.
+	NumObjectives() int
+	// Evaluate writes the objective values of g into out
+	// (len(out) == NumObjectives()). It must not retain g or out.
+	Evaluate(g Genome, out []float64)
+}
+
+// Individual is a candidate solution with its evaluated objectives.
+type Individual struct {
+	G   Genome
+	Obj []float64
+	// fitness is algorithm-specific scratch (SPEA-2 F(i), NSGA-II rank).
+	fitness float64
+	// density is algorithm-specific scratch (crowding / k-NN density).
+	density float64
+}
+
+// Fitness returns the algorithm-specific fitness of the individual as of
+// the last generation it was evaluated in (informational).
+func (in *Individual) Fitness() float64 { return in.fitness }
+
+// CrossoverKind selects the recombination operator.
+type CrossoverKind uint8
+
+// Crossover operators. The paper uses one-point crossover; the others
+// exist for the operator ablation.
+const (
+	OnePoint CrossoverKind = iota
+	TwoPoint
+	Uniform
+)
+
+// String names the operator.
+func (c CrossoverKind) String() string {
+	switch c {
+	case TwoPoint:
+		return "two-point"
+	case Uniform:
+		return "uniform"
+	default:
+		return "one-point"
+	}
+}
+
+// Params configures an evolutionary run. The defaults (via Defaults)
+// reproduce the operator settings of the paper's Section VI.
+type Params struct {
+	// Population is the number of individuals per generation. The paper
+	// uses 300 for networks with more than 100 multiplexers, else 100.
+	Population int
+	// Archive is the SPEA-2 archive capacity; 0 means Population.
+	Archive int
+	// Generations is the number of generations to run.
+	Generations int
+	// PCrossover is the crossover probability (paper: 0.95).
+	PCrossover float64
+	// Crossover selects the recombination operator (default: the
+	// paper's one-point crossover).
+	Crossover CrossoverKind
+	// PMutateBit is the independent per-bit mutation probability
+	// (paper: 0.01).
+	PMutateBit float64
+	// TournamentSize is the mating-selection tournament size
+	// (0 = binary, the standard).
+	TournamentSize int
+	// Seed drives the deterministic pseudo-random run.
+	Seed int64
+	// Seeds are optional genomes injected into the initial population
+	// (for example greedy warm starts). The paper's setup uses none.
+	Seeds []Genome
+	// MaxInitDensity bounds the hardening density of random initial
+	// individuals; individual k gets density (k+1)/pop · MaxInitDensity,
+	// giving the "diversified set of genes" of Section V. Default 0.5.
+	MaxInitDensity float64
+	// OnGeneration, if non-nil, is called after every generation with
+	// the current nondominated front; returning false stops the run
+	// early.
+	OnGeneration func(gen int, front []Individual) bool
+}
+
+// Defaults returns the paper's parameters for a problem with the given
+// number of multiplexers: population 300 above 100 muxes, else 100;
+// crossover 0.95; per-bit mutation 0.01.
+func Defaults(numMuxes int, generations int, seed int64) Params {
+	pop := 100
+	if numMuxes > 100 {
+		pop = 300
+	}
+	return Params{
+		Population:     pop,
+		Generations:    generations,
+		PCrossover:     0.95,
+		PMutateBit:     0.01,
+		Seed:           seed,
+		MaxInitDensity: 0.5,
+	}
+}
+
+func (p *Params) normalize() error {
+	if p.Population < 2 {
+		return fmt.Errorf("moea: population must be at least 2, got %d", p.Population)
+	}
+	if p.Archive == 0 {
+		p.Archive = p.Population
+	}
+	if p.Generations < 1 {
+		return fmt.Errorf("moea: generations must be positive, got %d", p.Generations)
+	}
+	if p.MaxInitDensity <= 0 {
+		p.MaxInitDensity = 0.5
+	}
+	if p.TournamentSize < 2 {
+		p.TournamentSize = 2
+	}
+	return nil
+}
+
+// Result is the outcome of an evolutionary run.
+type Result struct {
+	// Front is the final nondominated set, sorted by the first
+	// objective, duplicates removed.
+	Front []Individual
+	// Generations is the number of generations actually run.
+	Generations int
+	// Evaluations is the number of Evaluate calls.
+	Evaluations int
+}
+
+// initialPopulation builds the diversified random initial population,
+// with optional seed genomes occupying the first slots.
+func initialPopulation(p Problem, par *Params, rng *rand.Rand, eval func(Genome) []float64) []Individual {
+	pop := make([]Individual, par.Population)
+	n := p.NumBits()
+	i := 0
+	for ; i < len(par.Seeds) && i < par.Population; i++ {
+		g := par.Seeds[i].Clone()
+		pop[i] = Individual{G: g, Obj: eval(g)}
+	}
+	for ; i < par.Population; i++ {
+		g := NewGenome(n)
+		density := par.MaxInitDensity * float64(i+1) / float64(par.Population)
+		g.Randomize(rng, density, n)
+		pop[i] = Individual{G: g, Obj: eval(g)}
+	}
+	return pop
+}
+
+// vary produces one offspring pair from two parents using the
+// configured operators and appends them to dst (respecting its capacity
+// limit).
+func vary(dst []Individual, a, b Genome, par *Params, nbits int, rng *rand.Rand, eval func(Genome) []float64) []Individual {
+	var c1, c2 Genome
+	if nbits > 1 && rng.Float64() < par.PCrossover {
+		switch par.Crossover {
+		case Uniform:
+			c1, c2 = a.UniformCrossover(b, rng)
+		case TwoPoint:
+			x := 1 + rng.Intn(nbits-1)
+			y := 1 + rng.Intn(nbits-1)
+			if x > y {
+				x, y = y, x
+			}
+			if x == y {
+				y = x + 1
+				if y > nbits {
+					y = nbits
+				}
+			}
+			c1, c2 = a.TwoPointCrossover(b, x, y, nbits)
+		default:
+			point := 1 + rng.Intn(nbits-1)
+			c1, c2 = a.OnePointCrossover(b, point, nbits)
+		}
+	} else {
+		c1, c2 = a.Clone(), b.Clone()
+	}
+	c1.MutateBits(rng, par.PMutateBit, nbits)
+	c2.MutateBits(rng, par.PMutateBit, nbits)
+	dst = append(dst, Individual{G: c1, Obj: eval(c1)})
+	if len(dst) < cap(dst) {
+		dst = append(dst, Individual{G: c2, Obj: eval(c2)})
+	}
+	return dst
+}

@@ -1,0 +1,254 @@
+package moea
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SPEA2 runs the Strength Pareto Evolutionary Algorithm 2 of Zitzler,
+// Laumanns and Thiele on the given problem:
+//
+//  1. fitness assignment over the union of population and archive:
+//     strength S(i) = number of individuals i dominates, raw fitness
+//     R(i) = sum of the strengths of i's dominators, density
+//     D(i) = 1/(σ_i^k + 2) with σ_i^k the distance to the k-th nearest
+//     neighbour (k = sqrt(|union|)), F(i) = R(i) + D(i);
+//  2. environmental selection: all nondominated individuals (F < 1)
+//     enter the next archive; an overfull archive is truncated by
+//     iteratively removing the individual with the smallest
+//     nearest-neighbour distance, an underfull one is filled with the
+//     best dominated individuals;
+//  3. binary-tournament mating selection on the archive, one-point
+//     crossover and per-bit mutation produce the next population.
+func SPEA2(p Problem, par Params) (*Result, error) {
+	if err := par.normalize(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(par.Seed))
+	res := &Result{}
+	m := p.NumObjectives()
+	nbits := p.NumBits()
+	eval := func(g Genome) []float64 {
+		out := make([]float64, m)
+		p.Evaluate(g, out)
+		res.Evaluations++
+		return out
+	}
+
+	pop := initialPopulation(p, &par, rng, eval)
+	var archive []Individual
+
+	for gen := 0; gen < par.Generations; gen++ {
+		union := append(append(make([]Individual, 0, len(pop)+len(archive)), pop...), archive...)
+		assignFitness(union, m)
+		archive = environmentalSelection(union, par.Archive, m)
+		res.Generations = gen + 1
+		if par.OnGeneration != nil && !par.OnGeneration(gen, ParetoFilter(archive)) {
+			break
+		}
+		if gen == par.Generations-1 {
+			break
+		}
+		pop = pop[:0]
+		pop = makeOffspring(pop, archive, &par, nbits, rng, eval)
+	}
+	res.Front = ParetoFilter(archive)
+	return res, nil
+}
+
+// assignFitness computes the SPEA-2 fitness F = R + D for every
+// individual of the union.
+func assignFitness(union []Individual, m int) {
+	n := len(union)
+	strength := make([]int, n)
+	domBy := make([][]int32, n) // dominators of i
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Dominates(union[i].Obj, union[j].Obj) {
+				strength[i]++
+				domBy[j] = append(domBy[j], int32(i))
+			} else if Dominates(union[j].Obj, union[i].Obj) {
+				strength[j]++
+				domBy[i] = append(domBy[i], int32(j))
+			}
+		}
+	}
+	_, invRange := normalizeRanges(union, m)
+	k := int(math.Sqrt(float64(n)))
+	if k < 1 {
+		k = 1
+	}
+	dists := make([]float64, n)
+	for i := 0; i < n; i++ {
+		raw := 0
+		for _, j := range domBy[i] {
+			raw += strength[j]
+		}
+		// k-th nearest neighbour distance via partial selection.
+		dists = dists[:0]
+		for j := 0; j < n; j++ {
+			if j != i {
+				dists = append(dists, objDist2(union[i].Obj, union[j].Obj, invRange))
+			}
+		}
+		sigma := kthSmallest(dists, k-1)
+		union[i].density = 1 / (math.Sqrt(sigma) + 2)
+		union[i].fitness = float64(raw) + union[i].density
+	}
+}
+
+// kthSmallest selects the k-th smallest element (0-based) of v in place.
+func kthSmallest(v []float64, k int) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	if k >= len(v) {
+		k = len(v) - 1
+	}
+	lo, hi := 0, len(v)-1
+	for lo < hi {
+		pivot := v[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for v[i] < pivot {
+				i++
+			}
+			for v[j] > pivot {
+				j--
+			}
+			if i <= j {
+				v[i], v[j] = v[j], v[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return v[k]
+}
+
+// environmentalSelection builds the next archive of the given capacity.
+func environmentalSelection(union []Individual, capacity, m int) []Individual {
+	next := make([]Individual, 0, capacity)
+	var dominated []Individual
+	for i := range union {
+		if union[i].fitness < 1 {
+			next = append(next, union[i])
+		} else {
+			dominated = append(dominated, union[i])
+		}
+	}
+	switch {
+	case len(next) > capacity:
+		next = truncate(next, capacity, m)
+	case len(next) < capacity:
+		sort.Slice(dominated, func(i, j int) bool { return dominated[i].fitness < dominated[j].fitness })
+		need := capacity - len(next)
+		if need > len(dominated) {
+			need = len(dominated)
+		}
+		next = append(next, dominated[:need]...)
+	}
+	return next
+}
+
+// truncate iteratively removes the individual with the smallest
+// nearest-neighbour distance in normalized objective space until the
+// set fits the capacity. (SPEA-2 breaks nearest-neighbour ties by the
+// next distances; with floating-point objective distances exact ties are
+// rare and first-neighbour truncation preserves the boundary points just
+// as well, at a fraction of the cost.)
+func truncate(set []Individual, capacity, m int) []Individual {
+	_, invRange := normalizeRanges(set, m)
+	n := len(set)
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	// Protect the per-objective extremes, like NSGA-II's infinite
+	// boundary crowding: losing a corner of the front is never worth a
+	// density gain.
+	protected := make([]bool, n)
+	for k := 0; k < m && capacity >= m; k++ {
+		best := 0
+		for i := 1; i < n; i++ {
+			if set[i].Obj[k] < set[best].Obj[k] {
+				best = i
+			}
+		}
+		protected[best] = true
+	}
+	nn := make([]int, n)      // index of current nearest neighbour
+	nnD := make([]float64, n) // distance to it
+	recompute := func(i int) {
+		nn[i], nnD[i] = -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i || !alive[j] {
+				continue
+			}
+			if d := objDist2(set[i].Obj, set[j].Obj, invRange); d < nnD[i] {
+				nn[i], nnD[i] = j, d
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		recompute(i)
+	}
+	remaining := n
+	for remaining > capacity {
+		victim := -1
+		best := math.Inf(1)
+		for i := 0; i < n; i++ {
+			if alive[i] && !protected[i] && nnD[i] < best {
+				best = nnD[i]
+				victim = i
+			}
+		}
+		if victim < 0 {
+			break // only protected extremes left
+		}
+		alive[victim] = false
+		remaining--
+		for i := 0; i < n; i++ {
+			if alive[i] && nn[i] == victim {
+				recompute(i)
+			}
+		}
+	}
+	out := make([]Individual, 0, capacity)
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			out = append(out, set[i])
+		}
+	}
+	return out
+}
+
+// makeOffspring fills pop (capacity par.Population) with children bred
+// from binary tournaments over the archive.
+func makeOffspring(pop, archive []Individual, par *Params, nbits int, rng *rand.Rand, eval func(Genome) []float64) []Individual {
+	pop = pop[:0:cap(pop)]
+	if cap(pop) < par.Population {
+		pop = make([]Individual, 0, par.Population)
+	}
+	tournament := func() Genome {
+		best := rng.Intn(len(archive))
+		for t := 1; t < par.TournamentSize; t++ {
+			if c := rng.Intn(len(archive)); archive[c].fitness < archive[best].fitness {
+				best = c
+			}
+		}
+		return archive[best].G
+	}
+	for len(pop) < par.Population {
+		pop = vary(pop, tournament(), tournament(), par, nbits, rng, eval)
+	}
+	return pop
+}

@@ -1,0 +1,195 @@
+// Package report renders aligned text, Markdown and CSV tables for the
+// benchmark harnesses and CLI tools.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-oriented table with a header row.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// New creates a table with the given column headers.
+func New(header ...string) *Table {
+	return &Table{Header: header}
+}
+
+// Add appends a row; values are stringified with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		row[i] = fmt.Sprintf("%v", c)
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// widths computes per-column display widths.
+func (t *Table) widths() []int {
+	w := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(w) && len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// WriteText renders the table with space-aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	ws := t.widths()
+	line := func(cells []string) error {
+		var b strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", ws[i]-len(c)))
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+		return err
+	}
+	if err := line(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", ws[i])
+	}
+	if err := line(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := line(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteMarkdown renders the table as GitHub-flavored Markdown.
+func (t *Table) WriteMarkdown(w io.Writer) error {
+	row := func(cells []string) error {
+		_, err := fmt.Fprintf(w, "| %s |\n", strings.Join(cells, " | "))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	if err := row(sep); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV renders the table as comma-separated values with minimal
+// quoting.
+func (t *Table) WriteCSV(w io.Writer) error {
+	row := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			quoted[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Write renders in the named format: "text", "markdown" or "csv".
+func (t *Table) Write(w io.Writer, format string) error {
+	switch format {
+	case "", "text":
+		return t.WriteText(w)
+	case "markdown", "md":
+		return t.WriteMarkdown(w)
+	case "csv":
+		return t.WriteCSV(w)
+	default:
+		return fmt.Errorf("report: unknown format %q", format)
+	}
+}
+
+// AsciiFront plots a two-objective Pareto front as a small ASCII
+// scatter chart (damage on Y decreasing, cost on X increasing). Points
+// are marked with the given rune.
+type AsciiFront struct {
+	Width, Height int
+	grid          [][]rune
+	maxX, maxY    float64
+}
+
+// NewAsciiFront creates an empty chart covering [0,maxX] × [0,maxY].
+func NewAsciiFront(width, height int, maxX, maxY float64) *AsciiFront {
+	g := make([][]rune, height)
+	for i := range g {
+		g[i] = make([]rune, width)
+		for j := range g[i] {
+			g[i][j] = ' '
+		}
+	}
+	return &AsciiFront{Width: width, Height: height, grid: g, maxX: maxX, maxY: maxY}
+}
+
+// Plot marks a point.
+func (a *AsciiFront) Plot(x, y float64, mark rune) {
+	if a.maxX <= 0 || a.maxY <= 0 {
+		return
+	}
+	cx := int(x / a.maxX * float64(a.Width-1))
+	cy := int(y / a.maxY * float64(a.Height-1))
+	if cx < 0 || cx >= a.Width || cy < 0 || cy >= a.Height {
+		return
+	}
+	row := a.Height - 1 - cy
+	if a.grid[row][cx] == ' ' || a.grid[row][cx] == mark {
+		a.grid[row][cx] = mark
+	} else {
+		a.grid[row][cx] = '*' // overlap of different series
+	}
+}
+
+// WriteTo renders the chart with axes.
+func (a *AsciiFront) WriteTo(w io.Writer) (int64, error) {
+	var n int64
+	for _, row := range a.grid {
+		k, err := fmt.Fprintf(w, "|%s\n", string(row))
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	k, err := fmt.Fprintf(w, "+%s\n", strings.Repeat("-", a.Width))
+	n += int64(k)
+	return n, err
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("design", "cost", "damage")
+	t.Add("TreeFlat", 7, 42)
+	t.Add("q12710", 8, 27)
+	return t
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines, want 4:\n%s", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "design") {
+		t.Errorf("header missing: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "TreeFlat") || !strings.Contains(lines[2], "42") {
+		t.Errorf("row content wrong: %q", lines[2])
+	}
+	// Columns align: "cost" column starts at the same offset everywhere.
+	off := strings.Index(lines[0], "cost")
+	for _, l := range lines[2:] {
+		if len(l) < off {
+			t.Errorf("row shorter than header: %q", l)
+		}
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().WriteMarkdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	if !strings.HasPrefix(s, "| design | cost | damage |") {
+		t.Errorf("markdown header wrong:\n%s", s)
+	}
+	if !strings.Contains(s, "| --- | --- | --- |") {
+		t.Error("markdown separator missing")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := New("a", "b")
+	tb.Add(`with,comma`, `with"quote`)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"with,comma\",\"with\"\"quote\"\n"
+	if buf.String() != want {
+		t.Errorf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteDispatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sample().Write(&buf, "md"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sample().Write(&buf, "nope"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestAsciiFront(t *testing.T) {
+	c := NewAsciiFront(10, 5, 100, 100)
+	c.Plot(0, 100, 'a')   // top-left
+	c.Plot(100, 0, 'b')   // bottom-right
+	c.Plot(100, 0, 'c')   // overlap -> '*'
+	c.Plot(500, 500, 'd') // out of range: ignored
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("got %d lines, want 6", len(lines))
+	}
+	if lines[0][1] != 'a' {
+		t.Errorf("top-left mark missing: %q", lines[0])
+	}
+	if lines[4][10] != '*' {
+		t.Errorf("overlap mark missing: %q", lines[4])
+	}
+	if strings.ContainsRune(buf.String(), 'd') {
+		t.Error("out-of-range point plotted")
+	}
+}

@@ -1,0 +1,26 @@
+package robust_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/robust"
+	"rsnrobust/internal/spec"
+)
+
+// ExampleEvaluate prints the robustness metrics of the unhardened paper
+// example: every critical-hitting primitive is still exposed.
+func ExampleEvaluate() {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	m, err := robust.Evaluate(net, sp, faults.DefaultOptions())
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("residual damage %d of %d, critical covered: %v, SPOFs: %d\n",
+		m.ResidualDamage, m.MaxDamage, m.CriticalCovered, len(m.SinglePointsOfFailure))
+	// Output:
+	// residual damage 72 of 72, critical covered: false, SPOFs: 5
+}

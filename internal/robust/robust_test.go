@@ -1,0 +1,137 @@
+package robust
+
+import (
+	"strings"
+	"testing"
+
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+)
+
+func TestUnhardenedMetrics(t *testing.T) {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	m, err := Evaluate(net, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hardened != 0 || m.HardeningCost != 0 {
+		t.Errorf("fresh network reports hardening: %+v", m)
+	}
+	if m.ResidualDamage != m.MaxDamage || m.MaxDamage != 72 {
+		t.Errorf("residual %d / max %d, want 72/72", m.ResidualDamage, m.MaxDamage)
+	}
+	if m.CriticalCovered {
+		t.Error("unhardened network cannot cover critical instruments (4 must-harden)")
+	}
+	if m.MustHarden != 4 {
+		t.Errorf("MustHarden = %d, want 4", m.MustHarden)
+	}
+	if m.ExpectedDamage != m.ExpectedDamageUnhardened {
+		t.Error("expected damage must equal unhardened baseline")
+	}
+	if m.Improvement != 1 {
+		t.Errorf("Improvement = %v, want 1", m.Improvement)
+	}
+	// m0 carries 21 of 72 > 10%: it is a single point of failure.
+	found := false
+	for _, id := range m.SinglePointsOfFailure {
+		if net.Node(id).Name == "m0" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("m0 missing from single points of failure")
+	}
+}
+
+func TestFullHardeningMetrics(t *testing.T) {
+	net := fixture.PaperExample()
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	m, err := Evaluate(net, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ResidualDamage != 0 || m.ExpectedDamage != 0 {
+		t.Errorf("full hardening leaves damage: %+v", m)
+	}
+	if !m.CriticalCovered {
+		t.Error("full hardening must cover critical instruments")
+	}
+	if len(m.SinglePointsOfFailure) != 0 {
+		t.Error("full hardening leaves single points of failure")
+	}
+	if m.Improvement <= 1 {
+		t.Errorf("Improvement = %v, want > 1", m.Improvement)
+	}
+}
+
+func TestSynthesizedSolutionMetrics(t *testing.T) {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opt := core.DefaultOptions(80, 2)
+	opt.ForceCritical = true
+	s, err := core.Synthesize(net, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, ok := s.MinCostWithDamageAtMost(0.25)
+	if !ok {
+		t.Fatal("no solution within 25% damage")
+	}
+	core.Apply(net, sol)
+	m, err := Evaluate(net, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ResidualDamage != sol.Damage {
+		t.Errorf("metrics residual %d, solution %d", m.ResidualDamage, sol.Damage)
+	}
+	if m.HardeningCost != sol.Cost {
+		t.Errorf("metrics cost %d, solution %d", m.HardeningCost, sol.Cost)
+	}
+	if !m.CriticalCovered {
+		t.Error("ForceCritical solution must cover criticals")
+	}
+	if m.ExpectedDamage >= m.ExpectedDamageUnhardened {
+		t.Error("hardening did not reduce expected damage")
+	}
+}
+
+func TestScopeControlMetrics(t *testing.T) {
+	net := fixture.NestedSIBs()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opts := faults.DefaultOptions()
+	opts.Scope = faults.ScopeControl
+	m, err := Evaluate(net, sp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Universe: 3 SIB muxes + 3 SIB registers (they source the selects).
+	if m.Primitives != 6 {
+		t.Errorf("control universe size = %d, want 6", m.Primitives)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	m, err := Evaluate(net, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := m.String()
+	for _, want := range []string{"primitives", "residual damage", "single points of failure"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}

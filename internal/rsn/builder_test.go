@@ -1,0 +1,93 @@
+package rsn
+
+import "testing"
+
+func TestForkAnyDynamicBranches(t *testing.T) {
+	b := NewBuilder("dyn")
+	bs := b.ForkAny("f")
+	bs.NewBranch().Segment("a", 2, nil)
+	bs.NewBranch() // empty bypass
+	bs.NewBranch().Segment("b", 3, nil)
+	m := bs.Join("m", External())
+	net := b.Finish()
+	if err := Validate(net); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := len(net.Pred(m)); got != 3 {
+		t.Fatalf("mux has %d ports, want 3", got)
+	}
+	// Port order follows branch creation order: a, bypass, b.
+	if net.Node(net.Pred(m)[0]).Name != "a" {
+		t.Errorf("port 0 = %q, want a", net.Node(net.Pred(m)[0]).Name)
+	}
+	if net.Node(net.Pred(m)[1]).Kind != KindFanout {
+		t.Errorf("port 1 should be the bypass wire from the fanout")
+	}
+	if net.Node(net.Pred(m)[2]).Name != "b" {
+		t.Errorf("port 2 = %q, want b", net.Node(net.Pred(m)[2]).Name)
+	}
+}
+
+func TestDetachedBuilderAndContinue(t *testing.T) {
+	b := NewBuilder("splice")
+	head := b.Segment("head", 1, nil)
+	net := b.Network()
+
+	// Build a detached chain and splice it in manually.
+	sub := DetachedBuilder(net)
+	sub.Segment("x", 2, nil)
+	sub.Segment("y", 3, nil)
+	subHead, subTail := sub.Bounds()
+	if subHead == None || subTail == None {
+		t.Fatal("detached chain has no bounds")
+	}
+	net.AddEdge(head, subHead)
+	b.Continue(subTail)
+	b.Segment("tail", 1, nil)
+	full := b.Finish()
+	if err := Validate(full); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The chain must run head -> x -> y -> tail -> SO.
+	want := []string{"head", "x", "y", "tail"}
+	v := full.Succ(full.ScanIn)[0]
+	for _, name := range want {
+		if full.Node(v).Name != name {
+			t.Fatalf("chain order wrong: got %q, want %q", full.Node(v).Name, name)
+		}
+		v = full.Succ(v)[0]
+	}
+}
+
+func TestEmptyDetachedBounds(t *testing.T) {
+	net := NewNetwork("x")
+	sub := DetachedBuilder(net)
+	h, tl := sub.Bounds()
+	if h != None || tl != None {
+		t.Errorf("empty detached builder bounds = (%v,%v), want (None,None)", h, tl)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	assertPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	assertPanic("zero-length segment", func() {
+		NewBuilder("p").Segment("s", 0, nil)
+	})
+	assertPanic("single-branch fork", func() {
+		NewBuilder("p").Fork("f", 1)
+	})
+	assertPanic("double finish", func() {
+		b := NewBuilder("p")
+		b.Segment("s", 1, nil)
+		b.Finish()
+		b.Finish()
+	})
+}

@@ -1,0 +1,56 @@
+package rsn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteDot renders the network as a Graphviz digraph: segments as boxes
+// (instrument segments shaded, hardened primitives with bold borders),
+// muxes as inverted triangles with port-labeled input edges and dashed
+// blue control edges, fan-outs as points. Useful for inspecting small
+// networks and for documentation figures (the paper's Fig. 2 graph-model
+// view).
+func WriteDot(w io.Writer, n *Network) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "digraph %q {\n  rankdir=LR;\n  node [fontsize=10];\n", n.Name)
+	n.Nodes(func(nd *Node) {
+		hard := ""
+		if nd.Hardened {
+			hard = ",penwidth=3"
+		}
+		var attrs string
+		switch nd.Kind {
+		case KindScanIn, KindScanOut:
+			attrs = fmt.Sprintf("shape=plaintext,label=%q", nd.Name)
+		case KindSegment:
+			fill := ""
+			if nd.Instr != nil {
+				fill = ",style=filled,fillcolor=lightgrey"
+			}
+			attrs = fmt.Sprintf("shape=box%s%s,label=\"%s[%d]\"", fill, hard, nd.Name, nd.Length)
+		case KindFanout:
+			attrs = `shape=point,label=""`
+		case KindMux:
+			attrs = fmt.Sprintf("shape=invtriangle%s,label=%q", hard, nd.Name)
+		default:
+			attrs = fmt.Sprintf("label=%q", nd.Name)
+		}
+		fmt.Fprintf(bw, "  n%d [%s];\n", nd.ID, attrs)
+	})
+	n.Nodes(func(nd *Node) {
+		for _, s := range n.Succ(nd.ID) {
+			label := ""
+			if n.Node(s).Kind == KindMux {
+				label = fmt.Sprintf(" [label=\"%d\"]", n.PortOf(s, nd.ID))
+			}
+			fmt.Fprintf(bw, "  n%d -> n%d%s;\n", nd.ID, s, label)
+		}
+		if nd.Kind == KindMux && nd.Ctrl.Source != None {
+			fmt.Fprintf(bw, "  n%d -> n%d [style=dashed,color=blue,constraint=false];\n", nd.Ctrl.Source, nd.ID)
+		}
+	})
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

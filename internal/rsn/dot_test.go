@@ -1,0 +1,53 @@
+package rsn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDot(t *testing.T) {
+	net := buildExample(t)
+	net.Node(net.Lookup("m0")).Hardened = true
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"digraph \"example\"",
+		"shape=box",           // segments
+		"shape=invtriangle",   // mux
+		"penwidth=3",          // hardened mark
+		"fillcolor=lightgrey", // instrument shading
+		"label=\"0\"",         // port label
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("dot output missing %q:\n%s", want, s)
+		}
+	}
+	// Balanced braces and one edge per adjacency entry.
+	if strings.Count(s, "{") != strings.Count(s, "}") {
+		t.Error("unbalanced braces")
+	}
+	edges := strings.Count(s, "->")
+	if edges < net.Stats().Edges {
+		t.Errorf("%d edges rendered, network has %d", edges, net.Stats().Edges)
+	}
+}
+
+func TestWriteDotControlEdge(t *testing.T) {
+	b := NewBuilder("ctrl")
+	cfg := b.Segment("cfg", 1, nil)
+	bs := b.Fork("f", 2)
+	bs.Branch(0).Segment("x", 1, nil)
+	bs.Join("m", Control{Source: cfg, Bit: 0, Width: 1})
+	net := b.Finish()
+	var buf bytes.Buffer
+	if err := WriteDot(&buf, net); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "style=dashed,color=blue") {
+		t.Error("control edge missing")
+	}
+}

@@ -1,0 +1,31 @@
+package rsn_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/rsn"
+)
+
+// ExampleBuilder constructs a small RSN with one bypassable section and
+// one SIB, then prints its structural statistics.
+func ExampleBuilder() {
+	b := rsn.NewBuilder("demo")
+	b.Segment("status", 4, nil)
+	bs := b.Fork("f0", 2)
+	bs.Branch(0).Segment("sensor", 8, &rsn.Instrument{Name: "sensor", DamageObs: 3})
+	bs.Join("m0", rsn.External())
+	b.SIB("sib0", nil, func(sub *rsn.Builder) {
+		sub.Segment("bist", 16, &rsn.Instrument{Name: "bist", DamageSet: 5})
+	})
+	net := b.Finish()
+
+	if err := rsn.Validate(net); err != nil {
+		fmt.Println("invalid:", err)
+		return
+	}
+	st := net.Stats()
+	fmt.Printf("segments=%d muxes=%d sibs=%d instruments=%d bits=%d\n",
+		st.Segments, st.Muxes, st.SIBs, st.Instruments, st.TotalBits)
+	// Output:
+	// segments=4 muxes=2 sibs=1 instruments=2 bits=29
+}

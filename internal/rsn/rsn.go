@@ -1,0 +1,382 @@
+// Package rsn models Reconfigurable Scan Networks (RSNs) as standardized
+// by IEEE Std 1687 and IEEE Std 1149.1.
+//
+// An RSN is a directed acyclic graph between a primary scan-in and a
+// primary scan-out port. Vertices are scan primitives: scan segments
+// (shift-register slices that host embedded instruments), scan
+// multiplexers (which select one of several incoming branches based on a
+// control value), and fan-outs (pure wiring splits). Segment Insertion
+// Bits (SIBs) are modeled, following the paper, as the combination of a
+// one-bit scan segment and a multiplexer that either inserts a gated
+// sub-network into the active path or bypasses it.
+//
+// The package provides the data model, a hierarchical Builder that
+// constructs well-formed series-parallel networks, structural validation,
+// and small graph utilities used by the analysis packages.
+package rsn
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a vertex inside a Network. IDs are dense indices
+// assigned in creation order; None marks the absence of a node.
+type NodeID int32
+
+// None is the null NodeID.
+const None NodeID = -1
+
+// Kind enumerates the vertex kinds of an RSN graph.
+type Kind uint8
+
+// Vertex kinds. ScanIn and ScanOut are the primary ports; Segment, Mux
+// and Fanout are the scan primitives of the paper's graph model.
+const (
+	KindScanIn Kind = iota
+	KindScanOut
+	KindSegment
+	KindFanout
+	KindMux
+)
+
+// String returns a short human-readable kind name.
+func (k Kind) String() string {
+	switch k {
+	case KindScanIn:
+		return "scan-in"
+	case KindScanOut:
+		return "scan-out"
+	case KindSegment:
+		return "segment"
+	case KindFanout:
+		return "fanout"
+	case KindMux:
+		return "mux"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Instrument describes an embedded instrument attached to a scan segment
+// together with its explicit criticality specification (Section IV-A of
+// the paper): DamageObs is the damage weight do_i of losing the
+// instrument's observability, DamageSet the weight ds_i of losing its
+// settability.
+type Instrument struct {
+	Name string
+	// DamageObs is the damage do_i incurred when the instrument can no
+	// longer be observed through the network.
+	DamageObs int64
+	// DamageSet is the damage ds_i incurred when the instrument can no
+	// longer be set (controlled) through the network.
+	DamageSet int64
+	// CriticalObs marks the instrument as important for observation: its
+	// unobservability may cause a system failure. The spec package
+	// guarantees such weights dominate the sum of all uncritical weights.
+	CriticalObs bool
+	// CriticalSet marks the instrument as important for control.
+	CriticalSet bool
+}
+
+// Control describes the source of a multiplexer's address control port.
+// If Source is None, the select value is driven by an external, assumed
+// fault-robust controller (for example a dedicated TAP data register).
+// Otherwise the select value is read from Width bits starting at bit Bit
+// of the update register of the Source segment.
+type Control struct {
+	Source NodeID
+	Bit    int
+	Width  int
+}
+
+// External returns a Control driven by an external robust controller.
+func External() Control { return Control{Source: None} }
+
+// Node is a vertex of the RSN graph.
+type Node struct {
+	ID   NodeID
+	Kind Kind
+	Name string
+	// Length is the number of shift-register bits of a segment (1 for a
+	// SIB register); zero for non-segment nodes.
+	Length int
+	// Instr is the instrument hosted by a segment, if any.
+	Instr *Instrument
+	// Ctrl is the control source of a multiplexer.
+	Ctrl Control
+	// SIB is true for the two component nodes of a Segment Insertion
+	// Bit: its one-bit register segment and its insertion multiplexer.
+	SIB bool
+	// Partner links the two components of a SIB to each other
+	// (register <-> mux); None otherwise.
+	Partner NodeID
+	// Hardened marks a primitive protected against permanent faults by
+	// the selective-hardening synthesis; faults in hardened primitives
+	// are avoided. Hardening does not change the network topology.
+	Hardened bool
+}
+
+// IsPrimitive reports whether the node belongs to the fault universe of
+// the criticality analysis: scan segments and scan multiplexers (SIB
+// components included). Fan-outs and the primary ports carry no storage
+// or selection logic and are excluded, matching the paper's primitives.
+func (n *Node) IsPrimitive() bool {
+	return n.Kind == KindSegment || n.Kind == KindMux
+}
+
+// Network is an RSN graph. Construct it with a Builder; direct mutation
+// of an existing network is intentionally not exposed beyond AddEdge and
+// AddNode, which the icl package and tests use to assemble raw graphs.
+type Network struct {
+	Name    string
+	ScanIn  NodeID
+	ScanOut NodeID
+
+	nodes []Node
+	succ  [][]NodeID
+	pred  [][]NodeID // for a mux, pred order is the port order
+}
+
+// NewNetwork returns an empty network with the given name and no nodes.
+// Most callers should use NewBuilder instead.
+func NewNetwork(name string) *Network {
+	return &Network{Name: name, ScanIn: None, ScanOut: None}
+}
+
+// AddNode appends a node and returns its ID. The node's ID field is set
+// by the network.
+func (n *Network) AddNode(node Node) NodeID {
+	id := NodeID(len(n.nodes))
+	node.ID = id
+	if node.Partner == 0 && !node.SIB {
+		node.Partner = None
+	}
+	n.nodes = append(n.nodes, node)
+	n.succ = append(n.succ, nil)
+	n.pred = append(n.pred, nil)
+	switch node.Kind {
+	case KindScanIn:
+		n.ScanIn = id
+	case KindScanOut:
+		n.ScanOut = id
+	}
+	return id
+}
+
+// AddEdge adds a directed edge. For multiplexer targets the insertion
+// order of incoming edges defines the port order.
+func (n *Network) AddEdge(from, to NodeID) {
+	n.succ[from] = append(n.succ[from], to)
+	n.pred[to] = append(n.pred[to], from)
+}
+
+// NumNodes returns the number of vertices.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// Node returns the vertex with the given ID.
+func (n *Network) Node(id NodeID) *Node { return &n.nodes[id] }
+
+// Succ returns the successor list of id. The returned slice must not be
+// modified.
+func (n *Network) Succ(id NodeID) []NodeID { return n.succ[id] }
+
+// Pred returns the predecessor list of id (port order for a mux). The
+// returned slice must not be modified.
+func (n *Network) Pred(id NodeID) []NodeID { return n.pred[id] }
+
+// Nodes calls fn for every node in ID order.
+func (n *Network) Nodes(fn func(*Node)) {
+	for i := range n.nodes {
+		fn(&n.nodes[i])
+	}
+}
+
+// Primitives returns the IDs of all scan primitives (segments and
+// multiplexers) in ID order. This is the fault universe and also the
+// hardening candidate set of the selective-hardening problem.
+func (n *Network) Primitives() []NodeID {
+	var out []NodeID
+	for i := range n.nodes {
+		if n.nodes[i].IsPrimitive() {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Instruments returns the IDs of all segments hosting an instrument, in
+// ID order.
+func (n *Network) Instruments() []NodeID {
+	var out []NodeID
+	for i := range n.nodes {
+		if n.nodes[i].Kind == KindSegment && n.nodes[i].Instr != nil {
+			out = append(out, NodeID(i))
+		}
+	}
+	return out
+}
+
+// Stats summarizes the structural size of a network.
+type Stats struct {
+	Segments    int // scan segments, SIB registers included
+	Muxes       int // scan multiplexers, SIB muxes included
+	SIBs        int // SIB pairs
+	Fanouts     int
+	Instruments int
+	TotalBits   int // sum of segment lengths
+	Edges       int
+}
+
+// Stats computes structural statistics.
+func (n *Network) Stats() Stats {
+	var s Stats
+	for i := range n.nodes {
+		nd := &n.nodes[i]
+		switch nd.Kind {
+		case KindSegment:
+			s.Segments++
+			s.TotalBits += nd.Length
+			if nd.Instr != nil {
+				s.Instruments++
+			}
+			if nd.SIB {
+				s.SIBs++
+			}
+		case KindMux:
+			s.Muxes++
+		case KindFanout:
+			s.Fanouts++
+		}
+		s.Edges += len(n.succ[i])
+	}
+	return s
+}
+
+// Lookup returns the ID of the node with the given name, or None. Names
+// are not required to be unique; the first match in ID order wins.
+func (n *Network) Lookup(name string) NodeID {
+	for i := range n.nodes {
+		if n.nodes[i].Name == name {
+			return NodeID(i)
+		}
+	}
+	return None
+}
+
+// TopoOrder returns the node IDs in a topological order of the DAG. It
+// returns an error if the graph contains a cycle.
+func (n *Network) TopoOrder() ([]NodeID, error) {
+	indeg := make([]int, len(n.nodes))
+	for _, ss := range n.succ {
+		for _, t := range ss {
+			indeg[t]++
+		}
+	}
+	queue := make([]NodeID, 0, len(n.nodes))
+	for i := range n.nodes {
+		if indeg[i] == 0 {
+			queue = append(queue, NodeID(i))
+		}
+	}
+	order := make([]NodeID, 0, len(n.nodes))
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, t := range n.succ[v] {
+			indeg[t]--
+			if indeg[t] == 0 {
+				queue = append(queue, t)
+			}
+		}
+	}
+	if len(order) != len(n.nodes) {
+		return nil, fmt.Errorf("rsn: network %q contains a cycle", n.Name)
+	}
+	return order, nil
+}
+
+// ReachableFrom returns the set of nodes reachable from start (inclusive)
+// as a boolean slice indexed by NodeID.
+func (n *Network) ReachableFrom(start NodeID) []bool {
+	seen := make([]bool, len(n.nodes))
+	stack := []NodeID{start}
+	seen[start] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.succ[v] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// CoReachableTo returns the set of nodes from which end is reachable
+// (inclusive).
+func (n *Network) CoReachableTo(end NodeID) []bool {
+	seen := make([]bool, len(n.nodes))
+	stack := []NodeID{end}
+	seen[end] = true
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.pred[v] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	return seen
+}
+
+// PortOf returns the input port index of the edge from pred into mux, or
+// -1 if pred is not a predecessor of mux.
+func (n *Network) PortOf(mux, pred NodeID) int {
+	for i, p := range n.pred[mux] {
+		if p == pred {
+			return i
+		}
+	}
+	return -1
+}
+
+// AllPaths enumerates every scan-in to scan-out path as node ID slices.
+// Intended for tests on small networks; the number of paths can be
+// exponential in the number of fan-outs.
+func (n *Network) AllPaths() [][]NodeID {
+	var out [][]NodeID
+	var cur []NodeID
+	var rec func(v NodeID)
+	rec = func(v NodeID) {
+		cur = append(cur, v)
+		if v == n.ScanOut {
+			cp := make([]NodeID, len(cur))
+			copy(cp, cur)
+			out = append(out, cp)
+		} else {
+			for _, t := range n.succ[v] {
+				rec(t)
+			}
+		}
+		cur = cur[:len(cur)-1]
+	}
+	rec(n.ScanIn)
+	return out
+}
+
+// SortedNames returns the names of the given node IDs, sorted. A helper
+// for deterministic test output.
+func (n *Network) SortedNames(ids []NodeID) []string {
+	out := make([]string, len(ids))
+	for i, id := range ids {
+		out[i] = n.nodes[id].Name
+	}
+	sort.Strings(out)
+	return out
+}

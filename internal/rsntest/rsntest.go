@@ -1,0 +1,291 @@
+// Package rsntest generates structural tests for Reconfigurable Scan
+// Networks and diagnoses faulty ones — the "existing test and diagnosis
+// procedures" (the paper's references [16] and [17]) that selectively
+// hardened RSNs must remain compatible with, since hardening keeps the
+// topology and all access patterns.
+//
+// A test is a recorded access-pattern trace (configuration writes plus
+// a marker shift) whose scan-out response differs between the fault-free
+// network and the targeted fault. Generation works golden-vs-faulty: the
+// trace is recorded on the good machine and replayed against the faulty
+// one; a response mismatch means the fault is detected. Diagnosis runs
+// the whole suite against an observed syndrome and returns the fault
+// candidates whose simulated syndrome matches.
+package rsntest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rsnrobust/internal/access"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/rsn"
+)
+
+// Test is one generated test: the targeted fault and the good-machine
+// trace that exposes it.
+type Test struct {
+	// Target is the fault this test was generated for (it usually also
+	// detects others).
+	Target faults.Fault
+	// Trace is the recorded stimulus/response sequence.
+	Trace *access.Trace
+}
+
+// Suite is a generated test set with its coverage bookkeeping.
+type Suite struct {
+	Net   *rsn.Network
+	Tests []Test
+	// Detected lists the faults of the universe detected by at least
+	// one test; Undetectable those for which no test could be found
+	// (functionally redundant faults, for example a mux stuck between
+	// two equivalent bypass wires).
+	Detected     []faults.Fault
+	Undetectable []faults.Fault
+}
+
+// Coverage returns the fault coverage of the suite over its universe.
+func (s *Suite) Coverage() float64 {
+	total := len(s.Detected) + len(s.Undetectable)
+	if total == 0 {
+		return 1
+	}
+	return float64(len(s.Detected)) / float64(total)
+}
+
+// Options configures test generation.
+type Options struct {
+	// Scope selects the fault universe to target.
+	Scope faults.Scope
+	// Seed drives the marker patterns.
+	Seed int64
+}
+
+// Generate builds a test suite detecting every detectable fault of the
+// network's universe. The network must be validated and series-parallel
+// (the retargeter drives the configurations).
+func Generate(net *rsn.Network, opt Options) (*Suite, error) {
+	if err := rsn.Validate(net); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	suite := &Suite{Net: net}
+	universe := universeFaults(net, opt.Scope)
+
+	for _, f := range universe {
+		test, err := generateOne(net, f, rng)
+		if err != nil {
+			return nil, fmt.Errorf("rsntest: fault %s: %w", f.String(net), err)
+		}
+		if test == nil {
+			suite.Undetectable = append(suite.Undetectable, f)
+			continue
+		}
+		suite.Tests = append(suite.Tests, *test)
+		suite.Detected = append(suite.Detected, f)
+	}
+	return suite, nil
+}
+
+func universeFaults(net *rsn.Network, scope faults.Scope) []faults.Fault {
+	if scope == faults.ScopeAll {
+		return faults.Universe(net)
+	}
+	isCtrl := make([]bool, net.NumNodes())
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.Kind == rsn.KindMux && nd.Ctrl.Source != rsn.None {
+			isCtrl[nd.Ctrl.Source] = true
+		}
+	})
+	var out []faults.Fault
+	for _, f := range faults.Universe(net) {
+		nd := net.Node(f.Node)
+		if nd.Kind == rsn.KindMux || isCtrl[f.Node] {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// generateOne finds a trace distinguishing the fault from the good
+// machine, or nil if none of the candidate strategies exposes it.
+func generateOne(net *rsn.Network, f faults.Fault, rng *rand.Rand) (*Test, error) {
+	for _, script := range strategies(net, f, rng) {
+		trace, err := record(net, script)
+		if err != nil {
+			continue // configuration impossible; try another strategy
+		}
+		if detects(net, f, trace) {
+			return &Test{Target: f, Trace: trace}, nil
+		}
+	}
+	return nil, nil
+}
+
+// script drives a good-machine simulator to produce a candidate test
+// trace.
+type script func(sim *access.Simulator) error
+
+// strategies proposes test procedures for a fault:
+//
+//   - broken segment: put it on the path and shift a marker through —
+//     the corruption shows at scan-out;
+//   - stuck mux: force every other port and flush the path (detects all
+//     branch-length differences, e.g. SIB bypass versus sub-network);
+//   - stuck mux with equal-length branches: write distinct patterns
+//     into the intended branch and the stuck branch, then read the
+//     intended branch back — the faulty machine echoes the wrong
+//     pattern (the classic two-phase discrimination).
+func strategies(net *rsn.Network, f faults.Fault, rng *rand.Rand) []script {
+	var out []script
+	switch f.Kind {
+	case faults.SegmentBreak:
+		out = append(out, func(sim *access.Simulator) error {
+			if _, err := sim.Configure([]rsn.NodeID{f.Node}); err != nil {
+				return err
+			}
+			flush(sim, rng)
+			return nil
+		})
+	case faults.MuxStuck:
+		ancestors := map[rsn.NodeID]int{}
+		for _, c := range access.RouteConstraints(net, f.Node) {
+			ancestors[c.Mux] = c.Port
+		}
+		for p := range net.Pred(f.Node) {
+			if p == f.Port {
+				continue
+			}
+			q := p
+			// Strategy 1: select port q, flush (length discrimination).
+			out = append(out, func(sim *access.Simulator) error {
+				if err := selectPort(sim, ancestors, f.Node, q); err != nil {
+					return err
+				}
+				flush(sim, rng)
+				return nil
+			})
+			// Strategy 2: two-phase write + read-back (content
+			// discrimination for equal-length branches).
+			out = append(out, func(sim *access.Simulator) error {
+				if err := selectPort(sim, ancestors, f.Node, q); err != nil {
+					return err
+				}
+				if err := writeMarker(sim, rng); err != nil {
+					return err
+				}
+				if err := selectPort(sim, ancestors, f.Node, f.Port); err != nil {
+					return err
+				}
+				if err := writeMarker(sim, rng); err != nil {
+					return err
+				}
+				if err := selectPort(sim, ancestors, f.Node, q); err != nil {
+					return err
+				}
+				sim.Capture()
+				flush(sim, rng)
+				return nil
+			})
+		}
+	}
+	return out
+}
+
+// selectPort steers mux to port, keeping its enclosing sections open.
+func selectPort(sim *access.Simulator, ancestors map[rsn.NodeID]int, mux rsn.NodeID, port int) error {
+	desired := map[rsn.NodeID]int{mux: port}
+	for m, p := range ancestors {
+		if m != mux {
+			desired[m] = p
+		}
+	}
+	_, err := sim.ConfigureSelects(desired)
+	return err
+}
+
+// flush shifts a random marker of twice the path length through the
+// network, exposing both the ejected state and the marker transit.
+func flush(sim *access.Simulator, rng *rand.Rand) {
+	L := sim.PathBits()
+	marker := make([]access.Bit, 2*L+2)
+	for i := range marker {
+		marker[i] = access.Bit(rng.Intn(2))
+	}
+	sim.Shift(marker)
+}
+
+// writeMarker performs one CSU cycle with a random vector, loading the
+// update registers along the current path.
+func writeMarker(sim *access.Simulator, rng *rand.Rand) error {
+	v := make([]access.Bit, sim.PathBits())
+	for i := range v {
+		v[i] = access.Bit(rng.Intn(2))
+	}
+	_, err := sim.CSU(v)
+	return err
+}
+
+// record runs a script on a fresh good machine with tracing enabled.
+func record(net *rsn.Network, run script) (*access.Trace, error) {
+	sim := access.New(net, access.PolicyPaper)
+	tr := sim.StartTrace()
+	if err := run(sim); err != nil {
+		return nil, err
+	}
+	sim.StopTrace()
+	return tr, nil
+}
+
+// detects replays the trace against the faulty machine.
+func detects(net *rsn.Network, f faults.Fault, tr *access.Trace) bool {
+	sim := access.New(net, access.PolicyStrict)
+	if err := sim.InjectFault(f); err != nil {
+		return false // hardened: nothing to detect
+	}
+	return access.Replay(sim, tr) != nil
+}
+
+// Apply runs the suite against a simulator (with or without an injected
+// fault) and returns the syndrome: pass/fail per test. The simulator's
+// state is reset per test by construction (each trace reconfigures).
+func (s *Suite) Apply(makeSim func() *access.Simulator) []bool {
+	syndrome := make([]bool, len(s.Tests))
+	for i, t := range s.Tests {
+		sim := makeSim()
+		syndrome[i] = access.Replay(sim, t.Trace) != nil
+	}
+	return syndrome
+}
+
+// Diagnose returns the faults of the universe whose simulated syndrome
+// matches the observed one exactly (an adaptive fault dictionary, built
+// by simulation on demand — reference [17]'s diagnosis idea in its
+// simplest form).
+func (s *Suite) Diagnose(observed []bool, scope faults.Scope) []faults.Fault {
+	var candidates []faults.Fault
+	for _, f := range universeFaults(s.Net, scope) {
+		f := f
+		syn := s.Apply(func() *access.Simulator {
+			sim := access.New(s.Net, access.PolicyStrict)
+			_ = sim.InjectFault(f)
+			return sim
+		})
+		if equalBools(syn, observed) {
+			candidates = append(candidates, f)
+		}
+	}
+	return candidates
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

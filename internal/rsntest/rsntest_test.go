@@ -1,0 +1,171 @@
+package rsntest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rsnrobust/internal/access"
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+)
+
+func generate(t *testing.T, net *rsn.Network, scope faults.Scope) *Suite {
+	t.Helper()
+	s, err := Generate(net, Options{Scope: scope, Seed: 1})
+	if err != nil {
+		t.Fatalf("Generate(%s): %v", net.Name, err)
+	}
+	return s
+}
+
+func TestFullCoverageOnPaperExample(t *testing.T) {
+	net := fixture.PaperExample()
+	s := generate(t, net, faults.ScopeAll)
+	if s.Coverage() != 1 {
+		var names []string
+		for _, f := range s.Undetectable {
+			names = append(names, f.String(net))
+		}
+		t.Fatalf("coverage %.2f, undetected: %v", s.Coverage(), names)
+	}
+	if len(s.Tests) == 0 {
+		t.Fatal("no tests generated")
+	}
+}
+
+func TestDegenerateSIBUndetectable(t *testing.T) {
+	// A SIB gating an empty sub-network has two equivalent bypass
+	// wires: its mux stuck faults are functionally redundant.
+	b := rsn.NewBuilder("degenerate")
+	b.Segment("pre", 4, &rsn.Instrument{Name: "pre"})
+	b.SIB("s0", nil, nil)
+	net := b.Finish()
+	s := generate(t, net, faults.ScopeAll)
+	muxStuckUndetected := 0
+	for _, f := range s.Undetectable {
+		if f.Kind == faults.MuxStuck {
+			muxStuckUndetected++
+		}
+	}
+	if muxStuckUndetected != 2 {
+		t.Errorf("expected both degenerate mux stuck faults undetectable, got %d", muxStuckUndetected)
+	}
+}
+
+func TestGoodMachinePassesSuite(t *testing.T) {
+	net := fixture.NestedSIBs()
+	s := generate(t, net, faults.ScopeAll)
+	syndrome := s.Apply(func() *access.Simulator {
+		return access.New(fixture.NestedSIBs(), access.PolicyStrict)
+	})
+	for i, failed := range syndrome {
+		if failed {
+			t.Errorf("good machine fails test %d (target %s)", i, s.Tests[i].Target.String(net))
+		}
+	}
+}
+
+// TestHardenedNetworkPassesOriginalTests is the compatibility claim:
+// the test set generated for the original RSN applies unchanged to the
+// hardened RSN and passes.
+func TestHardenedNetworkPassesOriginalTests(t *testing.T) {
+	net := fixture.PaperExample()
+	s := generate(t, net, faults.ScopeAll)
+
+	hardened := fixture.PaperExample()
+	hardened.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	syndrome := s.Apply(func() *access.Simulator {
+		return access.New(hardened, access.PolicyStrict)
+	})
+	for i, failed := range syndrome {
+		if failed {
+			t.Errorf("hardened network fails original test %d", i)
+		}
+	}
+}
+
+func TestEveryTestDetectsItsTarget(t *testing.T) {
+	net := fixture.SIBChain(4)
+	s := generate(t, net, faults.ScopeAll)
+	for _, test := range s.Tests {
+		sim := access.New(fixture.SIBChain(4), access.PolicyStrict)
+		if err := sim.InjectFault(test.Target); err != nil {
+			t.Fatalf("inject %s: %v", test.Target.String(net), err)
+		}
+		if access.Replay(sim, test.Trace) == nil {
+			t.Errorf("test for %s does not detect it on replay", test.Target.String(net))
+		}
+	}
+}
+
+func TestDiagnoseIdentifiesInjectedFault(t *testing.T) {
+	net := fixture.PaperExample()
+	s := generate(t, net, faults.ScopeAll)
+	injected := faults.Fault{Kind: faults.MuxStuck, Node: net.Lookup("m1"), Port: 1}
+
+	observed := s.Apply(func() *access.Simulator {
+		sim := access.New(fixture.PaperExample(), access.PolicyStrict)
+		if err := sim.InjectFault(injected); err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	})
+	candidates := s.Diagnose(observed, faults.ScopeAll)
+	if len(candidates) == 0 {
+		t.Fatal("diagnosis returned no candidates")
+	}
+	found := false
+	for _, c := range candidates {
+		if c == injected {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("injected fault missing from %d candidates", len(candidates))
+	}
+	// Diagnosis should narrow the universe substantially.
+	if len(candidates) > 3 {
+		t.Errorf("diagnosis too coarse: %d candidates", len(candidates))
+	}
+}
+
+func TestCoverageOnBenchmarks(t *testing.T) {
+	for _, name := range []string{"TreeFlat", "TreeUnbalanced"} {
+		net, err := benchnets.Generate(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := generate(t, net, faults.ScopeControl)
+		if s.Coverage() < 0.95 {
+			t.Errorf("%s: control-fault coverage %.2f < 0.95", name, s.Coverage())
+		}
+	}
+}
+
+// TestGenerateRandomProperty: generation never errors on random SP
+// networks and detected+undetectable partitions the universe.
+func TestGenerateRandomProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 20, SegmentControls: true})
+		s, err := Generate(net, Options{Scope: faults.ScopeAll, Seed: seed})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		if got, want := len(s.Detected)+len(s.Undetectable), len(faults.Universe(net)); got != want {
+			t.Logf("seed %d: partition %d of universe %d", seed, got, want)
+			return false
+		}
+		// Most faults are detectable in practice.
+		return s.Coverage() > 0.5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package sptree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rsnrobust/internal/rsn"
+)
+
+// ErrNotSeriesParallel is returned by Build when the network graph is
+// not hierarchically series-parallel. The paper's preprocessing ([19])
+// inserts virtual vertices for such spots; all networks produced by the
+// rsn.Builder and the benchmark generators are series-parallel by
+// construction, so this implementation reports the offending spot
+// instead of rewriting the graph.
+var ErrNotSeriesParallel = errors.New("sptree: network is not series-parallel")
+
+// Build constructs the binary decomposition tree of a series-parallel
+// RSN. The network must be valid (rsn.Validate).
+func Build(net *rsn.Network) (*Tree, error) {
+	t := &Tree{
+		net:      net,
+		arena:    make([]node, 0, 2*net.NumNodes()),
+		leafOf:   make([]NodeRef, net.NumNodes()),
+		branches: make(map[rsn.NodeID][]NodeRef),
+	}
+	for i := range t.leafOf {
+		t.leafOf[i] = NilRef
+	}
+	t.empty = t.alloc(node{op: OpEmpty})
+
+	start := net.Succ(net.ScanIn)[0]
+	root, end, _, err := t.chain(start)
+	if err != nil {
+		return nil, err
+	}
+	if end != net.ScanOut {
+		return nil, fmt.Errorf("%w: trunk chain ends at %q instead of scan-out",
+			ErrNotSeriesParallel, net.Node(end).Name)
+	}
+	t.root = root
+	return t, nil
+}
+
+// chain parses a series chain starting at v. It stops when it reaches a
+// multiplexer that closes an enclosing parallel section (returned as
+// end) or the scan-out port. tail is the last graph node consumed by the
+// chain (rsn.None for an empty chain), used to map branches to mux ports.
+func (t *Tree) chain(v rsn.NodeID) (ref NodeRef, end rsn.NodeID, tail rsn.NodeID, err error) {
+	var elems []NodeRef
+	tail = rsn.None
+	for {
+		nd := t.net.Node(v)
+		switch nd.Kind {
+		case rsn.KindScanOut, rsn.KindMux:
+			// A mux reached while walking a chain is the join of the
+			// enclosing parallel section (nested sections are consumed
+			// whole by the fanout case below).
+			return t.series(elems), v, tail, nil
+		case rsn.KindSegment:
+			elems = append(elems, t.leaf(v))
+			tail = v
+			v = t.net.Succ(v)[0]
+		case rsn.KindFanout:
+			sec, mux, err := t.parallel(v)
+			if err != nil {
+				return NilRef, rsn.None, rsn.None, err
+			}
+			elems = append(elems, sec, t.leaf(mux))
+			tail = mux
+			v = t.net.Succ(mux)[0]
+		default:
+			return NilRef, rsn.None, rsn.None, fmt.Errorf(
+				"%w: unexpected %s node %q inside a chain",
+				ErrNotSeriesParallel, nd.Kind, nd.Name)
+		}
+	}
+}
+
+// parallel parses the parallel section opened by fanout f: every branch
+// must reconverge at a single multiplexer. It returns the P subtree and
+// the closing mux.
+func (t *Tree) parallel(f rsn.NodeID) (NodeRef, rsn.NodeID, error) {
+	type branch struct {
+		ref  NodeRef
+		port int
+	}
+	join := rsn.None
+	var brs []branch
+	bypasses := 0
+	for _, h := range t.net.Succ(f) {
+		var ref NodeRef
+		var end, tail rsn.NodeID
+		if t.net.Node(h).Kind == rsn.KindMux {
+			// Direct bypass wire from the fanout to the join mux.
+			ref, end, tail = t.empty, h, f
+		} else {
+			var err error
+			ref, end, tail, err = t.chain(h)
+			if err != nil {
+				return NilRef, rsn.None, err
+			}
+			if t.net.Node(end).Kind != rsn.KindMux {
+				return NilRef, rsn.None, fmt.Errorf(
+					"%w: branch of fanout %q reaches %q instead of a mux",
+					ErrNotSeriesParallel, t.net.Node(f).Name, t.net.Node(end).Name)
+			}
+		}
+		if join == rsn.None {
+			join = end
+		} else if join != end {
+			return NilRef, rsn.None, fmt.Errorf(
+				"%w: fanout %q branches reconverge at both %q and %q",
+				ErrNotSeriesParallel, t.net.Node(f).Name,
+				t.net.Node(join).Name, t.net.Node(end).Name)
+		}
+		port := t.net.PortOf(end, tail)
+		if tail == f {
+			// Several bypass wires map to successive fanout->mux ports.
+			port = nthPortOf(t.net, end, f, bypasses)
+			bypasses++
+		}
+		if port < 0 {
+			return NilRef, rsn.None, fmt.Errorf(
+				"%w: branch tail %q is not a port of mux %q",
+				ErrNotSeriesParallel, t.net.Node(tail).Name, t.net.Node(end).Name)
+		}
+		brs = append(brs, branch{ref: ref, port: port})
+	}
+	if got, want := len(brs), len(t.net.Pred(join)); got != want {
+		return NilRef, rsn.None, fmt.Errorf(
+			"%w: mux %q has %d ports but fanout %q supplies %d branches",
+			ErrNotSeriesParallel, t.net.Node(join).Name, want, t.net.Node(f).Name, got)
+	}
+	sort.Slice(brs, func(i, j int) bool { return brs[i].port < brs[j].port })
+	refs := make([]NodeRef, len(brs))
+	for i, b := range brs {
+		refs[i] = b.ref
+	}
+	t.branches[join] = refs
+	return t.parallelCombine(refs), join, nil
+}
+
+// nthPortOf returns the port index of the n-th occurrence (0-based) of
+// pred among mux's predecessors.
+func nthPortOf(net *rsn.Network, mux, pred rsn.NodeID, n int) int {
+	for i, p := range net.Pred(mux) {
+		if p == pred {
+			if n == 0 {
+				return i
+			}
+			n--
+		}
+	}
+	return -1
+}

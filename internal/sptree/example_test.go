@@ -1,0 +1,29 @@
+package sptree_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/sptree"
+)
+
+// ExampleBuild decomposes a two-branch section into the paper's S/P
+// notation (Fig. 3).
+func ExampleBuild() {
+	b := rsn.NewBuilder("fig3")
+	b.Segment("c0", 2, nil)
+	bs := b.Fork("f0", 2)
+	bs.Branch(0).Segment("i1", 4, nil)
+	bs.Branch(1).Segment("i2", 4, nil)
+	bs.Join("m0", rsn.External())
+	net := b.Finish()
+
+	tree, err := sptree.Build(net)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(tree)
+	// Output:
+	// S(L(c0),S(P(L(i1),L(i2)),L(m0)))
+}

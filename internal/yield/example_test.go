@@ -1,0 +1,33 @@
+package yield_test
+
+import (
+	"fmt"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+	"rsnrobust/internal/yield"
+)
+
+// ExampleEvaluate compares the system-failure probability of the
+// paper's running example before and after hardening the four
+// critical-hitting primitives.
+func ExampleEvaluate() {
+	net := fixture.PaperExample()
+	tree, _ := sptree.Build(net)
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, _ := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+
+	before := yield.Evaluate(a, yield.Model{Lambda: 1e-3, HardenedFactor: 0})
+	for _, id := range a.MustHarden() {
+		net.Node(id).Hardened = true
+	}
+	after := yield.Evaluate(a, yield.Model{Lambda: 1e-3, HardenedFactor: 0})
+	fmt.Printf("critical failure probability: %.2e -> %.2e\n",
+		before.CriticalFailure, after.CriticalFailure)
+	fmt.Printf("hardened %d of %d primitives\n", len(a.MustHarden()), len(a.Prims))
+	// Output:
+	// critical failure probability: 1.19e-02 -> 0.00e+00
+	// hardened 4 of 9 primitives
+}

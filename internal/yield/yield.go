@@ -1,0 +1,133 @@
+// Package yield models the manufacturing-yield and lifetime-failure
+// impact of selective hardening. The paper motivates hardening with
+// "hardened cells of high yield" (Section I, [11], [12]): hardening a
+// cell reduces its defect probability, so the probability that a
+// manufactured device suffers damaging RSN defects drops with every
+// hardened primitive.
+//
+// The model is the standard Poisson defect model: every primitive j
+// fails independently with probability p_j = 1 - exp(-λ·area_j), where
+// λ is the defect rate per cell and area_j is the primitive's cell
+// count (the specification's cost vector). Hardening scales a
+// primitive's defect rate by the hardening factor (default 0: perfect
+// avoidance, matching the paper's fault-avoidance semantics; a
+// realistic local-TMR factor would be small but non-zero).
+//
+// From the per-primitive damage d_j of the criticality analysis the
+// package derives:
+//
+//   - the expected RSN damage of a manufactured device,
+//   - the probability that any critical instrument becomes
+//     inaccessible (the system-failure probability of Section I),
+//   - sweeps of both quantities over the defect rate λ, for the
+//     before/after comparison plots.
+package yield
+
+import (
+	"math"
+
+	"rsnrobust/internal/faults"
+)
+
+// Model parameterizes the defect model.
+type Model struct {
+	// Lambda is the defect rate per cell (defects are Poisson in
+	// area·Lambda).
+	Lambda float64
+	// HardenedFactor scales the defect rate of hardened primitives
+	// (0 = faults fully avoided, the paper's model).
+	HardenedFactor float64
+}
+
+// DefaultModel uses λ = 1e-4 defects per cell and perfect hardening.
+var DefaultModel = Model{Lambda: 1e-4, HardenedFactor: 0}
+
+// failProb returns the defect probability of a primitive with the given
+// area under the model.
+func (m Model) failProb(area int64, hardened bool) float64 {
+	lambda := m.Lambda
+	if hardened {
+		lambda *= m.HardenedFactor
+	}
+	return 1 - math.Exp(-lambda*float64(area))
+}
+
+// Report holds the yield-model results for one network state.
+type Report struct {
+	// ExpectedDamage is Σ_j p_j · d_j: the expected criticality-weighted
+	// damage of a manufactured device (first-order in p).
+	ExpectedDamage float64
+	// AnyDefect is the probability that at least one universe primitive
+	// is defective.
+	AnyDefect float64
+	// CriticalFailure is the probability that at least one
+	// critical-hitting primitive is defective — the probability of the
+	// paper's system-failure scenario.
+	CriticalFailure float64
+}
+
+// Evaluate computes the yield report from a completed criticality
+// analysis, honoring the network's Hardened marks.
+func Evaluate(a *faults.Analysis, m Model) Report {
+	var rep Report
+	pNoDefect := 1.0
+	pNoCritical := 1.0
+	for _, id := range a.Prims {
+		p := m.failProb(a.Spec.Cost[id], a.Net.Node(id).Hardened)
+		rep.ExpectedDamage += p * float64(a.Damage[id])
+		pNoDefect *= 1 - p
+		if a.CritHit[id] {
+			pNoCritical *= 1 - p
+		}
+	}
+	rep.AnyDefect = 1 - pNoDefect
+	rep.CriticalFailure = 1 - pNoCritical
+	return rep
+}
+
+// SweepPoint is one λ sample of a sweep.
+type SweepPoint struct {
+	Lambda   float64
+	Report   Report
+	Baseline Report // same λ with hardening ignored
+}
+
+// Sweep evaluates the model over logarithmically spaced defect rates
+// from lo to hi (inclusive, points >= 2), comparing the hardened
+// network against the ignore-hardening baseline.
+func Sweep(a *faults.Analysis, lo, hi float64, points int, hardenedFactor float64) []SweepPoint {
+	if points < 2 {
+		points = 2
+	}
+	out := make([]SweepPoint, points)
+	ratio := math.Pow(hi/lo, 1/float64(points-1))
+	lambda := lo
+	for i := 0; i < points; i++ {
+		m := Model{Lambda: lambda, HardenedFactor: hardenedFactor}
+		out[i] = SweepPoint{
+			Lambda:   lambda,
+			Report:   Evaluate(a, m),
+			Baseline: evaluateUnhardened(a, m),
+		}
+		lambda *= ratio
+	}
+	return out
+}
+
+// evaluateUnhardened evaluates the model as if nothing were hardened.
+func evaluateUnhardened(a *faults.Analysis, m Model) Report {
+	var rep Report
+	pNoDefect := 1.0
+	pNoCritical := 1.0
+	for _, id := range a.Prims {
+		p := m.failProb(a.Spec.Cost[id], false)
+		rep.ExpectedDamage += p * float64(a.Damage[id])
+		pNoDefect *= 1 - p
+		if a.CritHit[id] {
+			pNoCritical *= 1 - p
+		}
+	}
+	rep.AnyDefect = 1 - pNoDefect
+	rep.CriticalFailure = 1 - pNoCritical
+	return rep
+}

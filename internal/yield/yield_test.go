@@ -1,0 +1,144 @@
+package yield
+
+import (
+	"math"
+	"testing"
+
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+	"rsnrobust/internal/sptree"
+)
+
+func analyze(t *testing.T, net *rsn.Network) *faults.Analysis {
+	t.Helper()
+	tree, err := sptree.Build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, err := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestEvaluateUnhardened(t *testing.T) {
+	net := fixture.PaperExample()
+	a := analyze(t, net)
+	rep := Evaluate(a, DefaultModel)
+	if rep.ExpectedDamage <= 0 {
+		t.Error("expected damage must be positive on the unhardened example")
+	}
+	if rep.AnyDefect <= 0 || rep.AnyDefect >= 1 {
+		t.Errorf("AnyDefect = %v, want (0,1)", rep.AnyDefect)
+	}
+	if rep.CriticalFailure <= 0 || rep.CriticalFailure > rep.AnyDefect {
+		t.Errorf("CriticalFailure = %v, AnyDefect = %v: critical must be a subset event",
+			rep.CriticalFailure, rep.AnyDefect)
+	}
+}
+
+func TestPerfectHardeningZeroesEverything(t *testing.T) {
+	net := fixture.PaperExample()
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	a := analyze(t, net)
+	rep := Evaluate(a, DefaultModel)
+	if rep.ExpectedDamage != 0 || rep.AnyDefect != 0 || rep.CriticalFailure != 0 {
+		t.Errorf("perfect hardening leaves risk: %+v", rep)
+	}
+}
+
+func TestImperfectHardeningFactor(t *testing.T) {
+	net := fixture.PaperExample()
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	a := analyze(t, net)
+	m := Model{Lambda: 1e-3, HardenedFactor: 0.1}
+	rep := Evaluate(a, m)
+	if rep.ExpectedDamage <= 0 {
+		t.Error("imperfect hardening must leave residual risk")
+	}
+	full := Evaluate(a, Model{Lambda: 1e-3, HardenedFactor: 1})
+	if rep.ExpectedDamage >= full.ExpectedDamage {
+		t.Error("hardening factor 0.1 must beat factor 1")
+	}
+}
+
+func TestSelectiveHardeningReducesCriticalFailure(t *testing.T) {
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opt := core.DefaultOptions(80, 1)
+	opt.ForceCritical = true
+	s, err := core.Synthesize(net, sp, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick the cheapest critical-covering solution: ForceCritical pins
+	// the 4 must-harden primitives, so even the cost-minimal corner
+	// covers them while leaving uncritical damage (e.g. c0's) behind.
+	sol := s.Front[0]
+	for _, cand := range s.Front {
+		if cand.Cost < sol.Cost {
+			sol = cand
+		}
+	}
+	core.Apply(net, sol)
+
+	a := analyze(t, net)
+	rep := Evaluate(a, DefaultModel)
+	if rep.CriticalFailure != 0 {
+		t.Errorf("critical coverage with perfect hardening must zero the failure probability, got %v",
+			rep.CriticalFailure)
+	}
+	if rep.ExpectedDamage <= 0 {
+		t.Error("uncritical residual damage should remain (not everything hardened)")
+	}
+}
+
+func TestSweepMonotone(t *testing.T) {
+	net := fixture.SIBChain(5)
+	a := analyze(t, net)
+	pts := Sweep(a, 1e-6, 1e-2, 9, 0)
+	if len(pts) != 9 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Lambda <= pts[i-1].Lambda {
+			t.Error("lambda not increasing")
+		}
+		if pts[i].Baseline.ExpectedDamage < pts[i-1].Baseline.ExpectedDamage {
+			t.Error("baseline expected damage not monotone in lambda")
+		}
+	}
+	// Endpoints hit lo and hi.
+	if math.Abs(pts[0].Lambda-1e-6) > 1e-12 || math.Abs(pts[8].Lambda-1e-2)/1e-2 > 1e-9 {
+		t.Errorf("sweep endpoints wrong: %v .. %v", pts[0].Lambda, pts[8].Lambda)
+	}
+	// Unhardened network: hardened report equals baseline.
+	for _, p := range pts {
+		if p.Report != p.Baseline {
+			t.Error("unhardened network must match its baseline")
+		}
+	}
+}
+
+func TestFailProbBounds(t *testing.T) {
+	m := Model{Lambda: 0.5, HardenedFactor: 0}
+	if p := m.failProb(1000, false); p <= 0.99 {
+		t.Errorf("large area must have near-certain defect, got %v", p)
+	}
+	if p := m.failProb(1000, true); p != 0 {
+		t.Errorf("perfectly hardened primitive failed with p=%v", p)
+	}
+}
