@@ -1,0 +1,31 @@
+# Tier-1 gate: everything `make ci` runs must stay green.
+
+GO ?= go
+
+.PHONY: ci vet build test race bench benchjson clean
+
+ci: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# Regenerate the committed machine-readable benchmark summary
+# (validated by TestBenchJSONArtifact).
+benchjson:
+	$(GO) run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_1.json
+
+clean:
+	$(GO) clean ./...
+	rm -f cpu.pprof mem.pprof

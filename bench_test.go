@@ -11,7 +11,9 @@
 package rsnrobust_test
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
 	"testing"
 
 	"rsnrobust/internal/access"
@@ -78,6 +80,64 @@ func runRow(b *testing.B, e benchnets.Entry, gens int) {
 	}
 	if len(s.Front) == 0 {
 		b.Fatal("empty front")
+	}
+}
+
+// TestBenchJSONArtifact validates the committed BENCH_1.json against the
+// rsnrobust-bench/v1 schema. Regenerate the artifact with
+//
+//	go run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_1.json
+func TestBenchJSONArtifact(t *testing.T) {
+	raw, err := os.ReadFile("BENCH_1.json")
+	if err != nil {
+		t.Skipf("no benchmark artifact: %v", err)
+	}
+	var doc struct {
+		Schema string `json:"schema"`
+		Algo   string `json:"algo"`
+		Rows   []struct {
+			Network     string  `json:"network"`
+			Segments    int     `json:"segments"`
+			Muxes       int     `json:"muxes"`
+			Primitives  int     `json:"primitives"`
+			Generations int     `json:"generations"`
+			Evaluations int64   `json:"evaluations"`
+			AnalysisMS  float64 `json:"analysis_ms"`
+			SPEA2MS     float64 `json:"spea2_ms"`
+			TotalMS     float64 `json:"total_ms"`
+			FrontSize   int     `json:"front_size"`
+		} `json:"rows"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("BENCH_1.json is not valid JSON: %v", err)
+	}
+	if doc.Schema != "rsnrobust-bench/v1" {
+		t.Fatalf("schema = %q, want rsnrobust-bench/v1", doc.Schema)
+	}
+	if len(doc.Rows) == 0 {
+		t.Fatal("no benchmark rows")
+	}
+	for _, r := range doc.Rows {
+		e, ok := benchnets.Lookup(r.Network)
+		if !ok {
+			t.Errorf("row %q: not a Table I benchmark", r.Network)
+			continue
+		}
+		if r.Primitives != r.Segments+r.Muxes {
+			t.Errorf("row %q: primitives %d != segments %d + muxes %d",
+				r.Network, r.Primitives, r.Segments, r.Muxes)
+		}
+		if r.Segments != e.Segments || r.Muxes != e.Muxes {
+			t.Errorf("row %q: size %d/%d differs from Table I entry %d/%d",
+				r.Network, r.Segments, r.Muxes, e.Segments, e.Muxes)
+		}
+		if r.Generations <= 0 || r.Evaluations <= 0 || r.FrontSize <= 0 {
+			t.Errorf("row %q: non-positive counters %+v", r.Network, r)
+		}
+		if r.AnalysisMS < 0 || r.SPEA2MS <= 0 || r.TotalMS < r.SPEA2MS {
+			t.Errorf("row %q: implausible timings analysis=%.3fms spea2=%.3fms total=%.3fms",
+				r.Network, r.AnalysisMS, r.SPEA2MS, r.TotalMS)
+		}
 	}
 }
 

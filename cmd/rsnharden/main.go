@@ -18,15 +18,18 @@ import (
 	"fmt"
 	"os"
 
+	"rsnrobust/internal/access"
 	"rsnrobust/internal/baseline"
 	"rsnrobust/internal/benchnets"
 	"rsnrobust/internal/core"
 	"rsnrobust/internal/faults"
 	"rsnrobust/internal/icl"
+	"rsnrobust/internal/moea"
 	"rsnrobust/internal/report"
 	"rsnrobust/internal/robust"
 	"rsnrobust/internal/rsn"
 	"rsnrobust/internal/spec"
+	"rsnrobust/internal/telemetry"
 )
 
 func main() {
@@ -45,8 +48,17 @@ func main() {
 		rep     = flag.Bool("report", false, "print the robustness report of the damage<=10% solution (single- and double-fault)")
 		stag    = flag.Int("stagnation", 0, "stop early after N generations without hypervolume improvement (0 = full budget)")
 		scope   = flag.String("universe", "all", "fault universe: all or control")
+		telOut  = flag.String("telemetry", "", "write telemetry events (JSONL) to this file")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file")
+		prog    = flag.Bool("progress", false, "print a live per-generation summary line and a telemetry summary to stderr")
 	)
 	flag.Parse()
+
+	stopProfiles, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
 
 	net, entry, err := loadNetwork(*in, *name)
 	if err != nil {
@@ -70,9 +82,38 @@ func main() {
 		sp = spec.FromNetwork(net, spec.DefaultCostModel)
 	}
 
+	var tel *telemetry.Collector
+	if *telOut != "" || *prog {
+		tel = telemetry.New()
+		if *telOut != "" {
+			f, err := os.Create(*telOut)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			tel.SetOutput(f)
+		}
+		st := net.Stats()
+		tel.Meta(map[string]any{
+			"tool": "rsnharden", "network": net.Name,
+			"segments": st.Segments, "muxes": st.Muxes,
+			"algo": *algo, "seed": *seed, "generations": generations,
+		})
+	}
+
 	opt := core.DefaultOptions(generations, *seed)
 	opt.ForceCritical = *force
 	opt.Stagnation = *stag
+	opt.Telemetry = tel
+	if *prog {
+		opt.OnGeneration = func(gen int, front []moea.Individual) bool {
+			if g, ok := tel.LastGeneration(); ok {
+				fmt.Fprintf(os.Stderr, "\rgen %-6d front %-5d hv %6.2f%%  best dmg %-10.0f best cost %-8.0f evals %-9d",
+					g.Gen+1, g.Front, 100*g.NormHV, g.BestDamage, g.BestCost, g.Evaluations)
+			}
+			return true
+		}
+	}
 	if *scope == "control" {
 		opt.Analysis.Scope = faults.ScopeControl
 	}
@@ -85,6 +126,9 @@ func main() {
 	s, err := core.Synthesize(net, sp, opt)
 	if err != nil {
 		fail(err)
+	}
+	if *prog {
+		fmt.Fprintln(os.Stderr)
 	}
 
 	st := net.Stats()
@@ -140,6 +184,7 @@ func main() {
 		if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {
 			core.Apply(net, sol)
 			m := robust.FromAnalysis(s.Analysis)
+			m.Publish(tel)
 			fmt.Println("\nrobustness report (damage<=10% solution applied):")
 			fmt.Println(m)
 			mf := faults.SampleMultiFault(net, sp, opt.Analysis, 2, 500, *seed)
@@ -174,6 +219,79 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *out)
 	}
+
+	if tel != nil {
+		verifyCompat(net, s, tel)
+		if err := tel.Close(); err != nil {
+			fail(err)
+		}
+		if *prog {
+			fmt.Fprintln(os.Stderr)
+			if err := report.WriteTelemetry(os.Stderr, tel.Snapshot()); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
+}
+
+// verifyCompatLimit bounds the network size for the pattern-compat
+// simulation: the register-level simulator shifts bit by bit, so giant
+// MBIST networks would dominate the run for a sanity check.
+const verifyCompatLimit = 20000
+
+// verifyCompat exercises the paper's pattern-compatibility property
+// under telemetry: it records an access trace for a few instruments on
+// the current network, applies the damage<=10% pick (or the first front
+// solution), and replays the trace on the hardened result. The
+// simulator's shift/capture/update counters and the outcome gauge land
+// in the telemetry stream.
+func verifyCompat(net *rsn.Network, s *core.Synthesis, tel *telemetry.Collector) {
+	st := net.Stats()
+	if st.Segments+st.Muxes > verifyCompatLimit {
+		tel.Gauge("verify.skipped").Set(1)
+		return
+	}
+	instr := net.Instruments()
+	if len(instr) == 0 {
+		tel.Gauge("verify.skipped").Set(1)
+		return
+	}
+	span := tel.StartSpan("verify-compat")
+	defer span.End()
+
+	sim := access.New(net, access.PolicyPaper)
+	sim.SetTelemetry(tel)
+	k := len(instr)
+	if k > 4 {
+		k = 4
+	}
+	tr := sim.StartTrace()
+	for i := 0; i < k; i++ {
+		nd := net.Node(instr[i])
+		if err := sim.WriteInstrument(instr[i], access.Bits(0x5A, nd.Length)); err != nil {
+			tel.Gauge("verify.skipped").Set(1)
+			return
+		}
+	}
+	sim.StopTrace()
+
+	sol, ok := s.MinCostWithDamageAtMost(0.10)
+	if !ok && len(s.Front) > 0 {
+		sol, ok = s.Front[len(s.Front)-1], true
+	}
+	if ok {
+		core.Apply(net, sol)
+	}
+	replay := access.New(net, access.PolicyPaper)
+	replay.SetTelemetry(tel)
+	compatible := 0.0
+	if access.Replay(replay, tr) == nil {
+		compatible = 1
+	}
+	tel.Gauge("verify.pattern_compatible").Set(compatible)
 }
 
 func loadNetwork(in, name string) (*rsn.Network, *benchnets.Entry, error) {

@@ -27,6 +27,7 @@ import (
 	"rsnrobust/internal/icl"
 	"rsnrobust/internal/report"
 	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/telemetry"
 )
 
 func main() {
@@ -38,12 +39,36 @@ func main() {
 		campaign = flag.Bool("campaign", false, "run a full single-fault accessibility campaign")
 		summary  = flag.Bool("summary", false, "print only totals for -campaign")
 		strict   = flag.Bool("strict", false, "use the strict (transitive control-coupling) policy")
+		telOut   = flag.String("telemetry", "", "write telemetry events (JSONL) to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := telemetry.StartProfiles(*cpuProf, *memProf)
+	if err != nil {
+		fail(err)
+	}
 
 	net, err := load(*in, *name)
 	if err != nil {
 		fail(err)
+	}
+
+	var tel *telemetry.Collector
+	if *telOut != "" {
+		tel = telemetry.New()
+		f, err := os.Create(*telOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		tel.SetOutput(f)
+		st := net.Stats()
+		tel.Meta(map[string]any{
+			"tool": "rsnsim", "network": net.Name,
+			"segments": st.Segments, "muxes": st.Muxes,
+		})
 	}
 	policy := access.PolicyPaper
 	if *strict {
@@ -61,20 +86,30 @@ func main() {
 
 	switch {
 	case *campaign:
-		runCampaign(net, policy, *summary)
+		runCampaign(net, policy, *summary, tel)
 	case *target != "":
-		runAccess(net, flt, *target, policy)
+		runAccess(net, flt, *target, policy, tel)
 	default:
 		fail(fmt.Errorf("need -target or -campaign (see -h)"))
 	}
+
+	if err := tel.Close(); err != nil {
+		fail(err)
+	}
+	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
 }
 
-func runAccess(net *rsn.Network, flt *faults.Fault, target string, policy access.Policy) {
+func runAccess(net *rsn.Network, flt *faults.Fault, target string, policy access.Policy, tel *telemetry.Collector) {
 	seg := net.Lookup(target)
 	if seg == rsn.None || net.Node(seg).Kind != rsn.KindSegment {
 		fail(fmt.Errorf("no segment named %q", target))
 	}
+	span := tel.StartSpan("access")
+	defer span.End()
 	sim := access.New(net, policy)
+	sim.SetTelemetry(tel)
 	if flt != nil {
 		if err := sim.InjectFault(*flt); err != nil {
 			fmt.Printf("fault %s avoided: primitive is hardened\n", flt.String(net))
@@ -91,9 +126,14 @@ func runAccess(net *rsn.Network, flt *faults.Fault, target string, policy access
 
 	obs, set := access.Accessible(net, flt, seg, policy)
 	fmt.Printf("observable %v, settable %v\n", obs, set)
+	st := sim.Stats()
+	fmt.Printf("access cost: %d shift clocks, %d captures, %d updates, %d external writes\n",
+		st.ShiftClocks, st.Captures, st.Updates, st.ExternalWrites)
 }
 
-func runCampaign(net *rsn.Network, policy access.Policy, summaryOnly bool) {
+func runCampaign(net *rsn.Network, policy access.Policy, summaryOnly bool, tel *telemetry.Collector) {
+	span := tel.StartSpan("campaign")
+	defer span.End()
 	instr := net.Instruments()
 	universe := faults.Universe(net)
 	fmt.Printf("network %s: %d instruments, %d single faults\n", net.Name, len(instr), len(universe))
@@ -139,6 +179,10 @@ func runCampaign(net *rsn.Network, policy access.Policy, summaryOnly bool) {
 		}
 	}
 	n := len(universe) * len(instr)
+	tel.Gauge("campaign.faults").Set(float64(len(universe)))
+	tel.Gauge("campaign.avoided").Set(float64(avoided))
+	tel.Gauge("campaign.mean_observable").Set(float64(totalObs) / float64(n))
+	tel.Gauge("campaign.mean_settable").Set(float64(totalSet) / float64(n))
 	fmt.Printf("avoided faults: %d of %d\n", avoided, len(universe))
 	fmt.Printf("mean observable: %.1f%%  mean settable: %.1f%%\n",
 		100*float64(totalObs)/float64(n), 100*float64(totalSet)/float64(n))

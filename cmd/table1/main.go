@@ -15,8 +15,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"time"
@@ -28,6 +30,7 @@ import (
 	"rsnrobust/internal/moea"
 	"rsnrobust/internal/report"
 	"rsnrobust/internal/spec"
+	"rsnrobust/internal/telemetry"
 )
 
 func main() {
@@ -42,8 +45,27 @@ func main() {
 		ablate = flag.Bool("ablate", false, "run the optimizer ablation instead of Table I")
 		maxP   = flag.Int("maxprims", 0, "skip benchmarks with more primitives (0 = no limit)")
 		refine = flag.Bool("refine", false, "apply greedy 1-opt refinement to the constrained picks")
+		telOut = flag.String("telemetry", "", "write telemetry events (JSONL, one meta record per row) to this file")
+		cpu    = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mem    = flag.String("memprofile", "", "write a heap profile to this file")
+		bench  = flag.String("benchjson", "", "write machine-readable per-row results (BENCH_*.json schema) to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := telemetry.StartProfiles(*cpu, *mem)
+	if err != nil {
+		fail(err)
+	}
+
+	var telWriter io.Writer
+	if *telOut != "" {
+		f, err := os.Create(*telOut)
+		if err != nil {
+			fail(err)
+		}
+		defer f.Close()
+		telWriter = f
+	}
 
 	var filter *regexp.Regexp
 	if *run != "" {
@@ -66,6 +88,7 @@ func main() {
 	}
 	tb := report.New(header...)
 
+	var benchRows []benchRow
 	grand := time.Now()
 	for _, nm := range benchnets.Names() {
 		e, _ := benchnets.Lookup(nm)
@@ -75,7 +98,7 @@ func main() {
 		if *maxP > 0 && e.Segments+e.Muxes > *maxP {
 			continue
 		}
-		row, err := runRow(e, *seed, *quick, *algo, *scope, *refine)
+		row, err := runRow(e, *seed, *quick, *algo, *scope, *refine, telWriter)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", e.Name, err))
 		}
@@ -86,21 +109,89 @@ func main() {
 				e.PaperCostAt10Dmg, e.PaperDamageAt10Dmg, e.PaperCostAt10Cost, e.PaperDmgAt10Cost, e.PaperTime)
 		}
 		tb.Add(cells...)
+		benchRows = append(benchRows, benchRow{
+			Network:     e.Name,
+			Segments:    e.Segments,
+			Muxes:       e.Muxes,
+			Primitives:  e.Segments + e.Muxes,
+			Generations: row.gens,
+			Evaluations: row.evaluations,
+			AnalysisMS:  durMS(row.analysisTime),
+			SPEA2MS:     durMS(row.evolveTime),
+			TotalMS:     durMS(row.elapsed),
+			FrontSize:   row.frontSize,
+			CostD10:     row.costD10,
+			DmgD10:      row.dmgD10,
+			CostC10:     row.costC10,
+			DmgC10:      row.dmgC10,
+		})
 		fmt.Fprintf(os.Stderr, "done %-18s in %v\n", e.Name, row.elapsed.Round(time.Second/10))
 	}
 	if err := tb.Write(os.Stdout, *format); err != nil {
 		fail(err)
 	}
+	if *bench != "" {
+		if err := writeBenchJSON(*bench, *seed, *quick, *algo, benchRows); err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench)
+	}
+	if err := stopProfiles(); err != nil {
+		fail(err)
+	}
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(grand).Round(time.Second))
+}
+
+// benchRow is one row of the machine-readable BENCH_*.json perf
+// trajectory: where the time went (exact analysis vs. SPEA-2) and how
+// much evolutionary effort was spent.
+type benchRow struct {
+	Network     string  `json:"network"`
+	Segments    int     `json:"segments"`
+	Muxes       int     `json:"muxes"`
+	Primitives  int     `json:"primitives"`
+	Generations int     `json:"generations"`
+	Evaluations int     `json:"evaluations"`
+	AnalysisMS  float64 `json:"analysis_ms"`
+	SPEA2MS     float64 `json:"spea2_ms"`
+	TotalMS     float64 `json:"total_ms"`
+	FrontSize   int     `json:"front_size"`
+	CostD10     int64   `json:"cost_d10"`
+	DmgD10      int64   `json:"dmg_d10"`
+	CostC10     int64   `json:"cost_c10"`
+	DmgC10      int64   `json:"dmg_c10"`
+}
+
+func durMS(d time.Duration) float64 {
+	return float64(d) / float64(time.Millisecond)
+}
+
+func writeBenchJSON(path string, seed int64, quick bool, algo string, rows []benchRow) error {
+	doc := struct {
+		Schema string     `json:"schema"`
+		Seed   int64      `json:"seed"`
+		Quick  bool       `json:"quick"`
+		Algo   string     `json:"algo"`
+		Rows   []benchRow `json:"rows"`
+	}{Schema: "rsnrobust-bench/v1", Seed: seed, Quick: quick, Algo: algo, Rows: rows}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 type rowResult struct {
 	maxCost, maxDamage int64
 	gens               int
+	evaluations        int
+	frontSize          int
 	costD10, dmgD10    int64
 	costC10, dmgC10    int64
 	critD10, critC10   bool
 	elapsed            time.Duration
+	analysisTime       time.Duration
+	evolveTime         time.Duration
 }
 
 // budget scales the paper's generation budget in quick mode: large
@@ -131,7 +222,7 @@ func budget(e benchnets.Entry, quick bool) int {
 	return cap
 }
 
-func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refine bool) (rowResult, error) {
+func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refine bool, telWriter io.Writer) (rowResult, error) {
 	var res rowResult
 	net, err := benchnets.GenerateEntry(e)
 	if err != nil {
@@ -148,14 +239,34 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 	if scope != "all" {
 		opt.Analysis.Scope = faults.ScopeControl
 	}
+	// One collector per row, all streaming into the shared JSONL file;
+	// the leading meta record delimits the rows.
+	var tel *telemetry.Collector
+	if telWriter != nil {
+		tel = telemetry.New()
+		tel.SetOutput(telWriter)
+		tel.Meta(map[string]any{
+			"tool": "table1", "network": e.Name,
+			"segments": e.Segments, "muxes": e.Muxes,
+			"algo": algo, "seed": seed, "generations": budget(e, quick),
+		})
+		opt.Telemetry = tel
+	}
 	s, err := core.Synthesize(net, sp, opt)
 	if err != nil {
+		return res, err
+	}
+	if err := tel.Close(); err != nil {
 		return res, err
 	}
 	res.maxCost = s.MaxCost
 	res.maxDamage = s.MaxDamage
 	res.gens = s.Generations
+	res.evaluations = s.Evaluations
+	res.frontSize = len(s.Front)
 	res.elapsed = s.Elapsed
+	res.analysisTime = s.AnalysisTime
+	res.evolveTime = s.EvolveTime
 	pickCost := s.MinCostWithDamageAtMost
 	pickDamage := s.MinDamageWithCostAtMost
 	if refine {

@@ -31,6 +31,7 @@ import (
 
 	"rsnrobust/internal/faults"
 	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/telemetry"
 )
 
 // Bit is a three-valued logic bit.
@@ -113,6 +114,11 @@ type Simulator struct {
 	trace     *Trace
 	shiftOuts []Bit // scratch
 	stats     Stats
+
+	// Telemetry counters, resolved once by SetTelemetry so the shift
+	// loop pays a nil check instead of a map lookup per clock. All are
+	// nil (no-op) by default.
+	telShift, telCapture, telUpdate, telExternal *telemetry.Counter
 }
 
 // Stats accumulates the access cost of a simulator session: the tester
@@ -156,6 +162,21 @@ func New(net *rsn.Network, policy Policy) *Simulator {
 // Network returns the simulated network.
 func (s *Simulator) Network() *rsn.Network { return s.net }
 
+// SetTelemetry streams the simulator's operation counts into the
+// collector: sim.shift_clocks, sim.captures, sim.updates and
+// sim.external_writes. A nil collector detaches telemetry (the
+// default).
+func (s *Simulator) SetTelemetry(c *telemetry.Collector) {
+	if c == nil {
+		s.telShift, s.telCapture, s.telUpdate, s.telExternal = nil, nil, nil, nil
+		return
+	}
+	s.telShift = c.Counter("sim.shift_clocks")
+	s.telCapture = c.Counter("sim.captures")
+	s.telUpdate = c.Counter("sim.updates")
+	s.telExternal = c.Counter("sim.external_writes")
+}
+
 // InjectFault injects a permanent fault; several may accumulate for
 // multi-fault studies. Hardened primitives reject the injection with
 // ErrHardened: that is the whole point of selective hardening.
@@ -192,6 +213,7 @@ func (s *Simulator) Faults() []faults.Fault { return s.flts }
 func (s *Simulator) SetExternal(mux rsn.NodeID, port int) {
 	s.extSel[mux] = port
 	s.stats.ExternalWrites++
+	s.telExternal.Inc()
 	s.dirty()
 	if s.trace != nil {
 		s.trace.Ops = append(s.trace.Ops, TraceOp{Kind: OpExternal, Mux: mux, Port: port})
@@ -328,6 +350,7 @@ func (s *Simulator) OnPath(id rsn.NodeID) bool {
 // appearing at scan-out (value plane).
 func (s *Simulator) ShiftBit(in Bit) Bit {
 	s.stats.ShiftClocks++
+	s.telShift.Inc()
 	segs := s.PathSegments()
 	carryV, carryI := in, in
 	for _, seg := range segs {
@@ -390,6 +413,7 @@ func (s *Simulator) Capture() {
 		s.trace.Ops = append(s.trace.Ops, TraceOp{Kind: OpCapture})
 	}
 	s.stats.Captures++
+	s.telCapture.Inc()
 }
 
 // Update transfers, for every segment on the active path, the shift
@@ -411,6 +435,7 @@ func (s *Simulator) Update() {
 		s.trace.Ops = append(s.trace.Ops, TraceOp{Kind: OpUpdate})
 	}
 	s.stats.Updates++
+	s.telUpdate.Inc()
 	s.dirty()
 }
 

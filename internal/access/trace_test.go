@@ -1,0 +1,180 @@
+package access
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+)
+
+// TestTraceRecordsAllOpKinds drives one operation of every kind and
+// checks the recorded sequence, including the shift stimulus/response
+// payloads.
+func TestTraceRecordsAllOpKinds(t *testing.T) {
+	b := rsn.NewBuilder("ext")
+	b.Segment("a", 3, nil)
+	net := b.Finish()
+	sim := New(net, PolicyPaper)
+	tr := sim.StartTrace()
+
+	sim.SetExternal(rsn.NodeID(0), 0)
+	sim.Capture()
+	in := []Bit{B1, B0, B1}
+	out := sim.Shift(in)
+	sim.Update()
+	sim.StopTrace()
+
+	wantKinds := []OpKind{OpExternal, OpCapture, OpShift, OpUpdate}
+	if len(tr.Ops) != len(wantKinds) {
+		t.Fatalf("recorded %d ops, want %d", len(tr.Ops), len(wantKinds))
+	}
+	for i, k := range wantKinds {
+		if tr.Ops[i].Kind != k {
+			t.Errorf("op %d kind = %v, want %v", i, tr.Ops[i].Kind, k)
+		}
+	}
+	sh := tr.Ops[2]
+	if !equalBits(sh.Data, in) {
+		t.Errorf("shift stimulus = %v, want %v", sh.Data, in)
+	}
+	if !equalBits(sh.Out, out) {
+		t.Errorf("shift response = %v, want %v", sh.Out, out)
+	}
+	// The recorded slices must be copies: mutating the input afterwards
+	// must not corrupt the trace.
+	in[0] = B0
+	if sh.Data[0] != B1 {
+		t.Error("trace aliases the caller's stimulus slice")
+	}
+
+	// Operations after StopTrace are not recorded.
+	sim.Capture()
+	if len(tr.Ops) != len(wantKinds) {
+		t.Errorf("StopTrace did not stop recording: %d ops", len(tr.Ops))
+	}
+}
+
+// TestOpKindString covers the op-kind names including the unknown
+// fallback.
+func TestOpKindString(t *testing.T) {
+	want := map[OpKind]string{
+		OpCapture:  "capture",
+		OpShift:    "shift",
+		OpUpdate:   "update",
+		OpExternal: "external",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, k.String(), s)
+		}
+	}
+	if got := OpKind(42).String(); got != "op(42)" {
+		t.Errorf("unknown OpKind.String() = %q, want \"op(42)\"", got)
+	}
+}
+
+// TestReplayMismatchReportsIndex checks that ErrTraceMismatch names the
+// exact index of the first diverging operation.
+func TestReplayMismatchReportsIndex(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	tr := sim.StartTrace()
+	if err := sim.WriteInstrument(net.Lookup("i2"), Bits(0x5, 4)); err != nil {
+		t.Fatal(err)
+	}
+	sim.StopTrace()
+
+	// Find the last shift op and corrupt its recorded response: replay
+	// on an identical network must then diverge exactly there.
+	shiftIdx := -1
+	for i, op := range tr.Ops {
+		if op.Kind == OpShift {
+			shiftIdx = i
+		}
+	}
+	if shiftIdx < 0 {
+		t.Fatal("no shift op recorded")
+	}
+	rec := tr.Ops[shiftIdx].Out
+	flipped := append([]Bit(nil), rec...)
+	if flipped[0] == B1 {
+		flipped[0] = B0
+	} else {
+		flipped[0] = B1
+	}
+	tr.Ops[shiftIdx].Out = flipped
+
+	err := Replay(New(fixture.PaperExample(), PolicyPaper), tr)
+	if !errors.Is(err, ErrTraceMismatch) {
+		t.Fatalf("Replay = %v, want ErrTraceMismatch", err)
+	}
+	wantFrag := "op " + itoa(shiftIdx)
+	if !strings.Contains(err.Error(), wantFrag) {
+		t.Errorf("error %q does not name the diverging %q", err, wantFrag)
+	}
+	// Both the observed and the recorded bit strings appear in the
+	// message for diagnosis.
+	if !strings.Contains(err.Error(), fmtBits(rec)) || !strings.Contains(err.Error(), fmtBits(flipped)) {
+		t.Errorf("error %q lacks the diverging bit strings", err)
+	}
+}
+
+// TestReplayUnknownOpKind checks the defensive branch for corrupted or
+// future-versioned traces.
+func TestReplayUnknownOpKind(t *testing.T) {
+	net := fixture.PaperExample()
+	tr := &Trace{Ops: []TraceOp{{Kind: OpKind(99)}}}
+	err := Replay(New(net, PolicyPaper), tr)
+	if err == nil {
+		t.Fatal("Replay accepted an unknown op kind")
+	}
+	if errors.Is(err, ErrTraceMismatch) {
+		t.Errorf("unknown op reported as trace mismatch: %v", err)
+	}
+	if !strings.Contains(err.Error(), "unknown trace op") || !strings.Contains(err.Error(), "op(99)") {
+		t.Errorf("error %q does not identify the unknown op", err)
+	}
+}
+
+// TestReplayExternalAndUpdateOnly checks that a trace of non-shift ops
+// replays cleanly (no responses to compare) and re-applies the
+// configuration writes.
+func TestReplayExternalAndUpdateOnly(t *testing.T) {
+	net := fixture.PaperExample()
+	sim := New(net, PolicyPaper)
+	var mux rsn.NodeID = rsn.None
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.Kind == rsn.KindMux && nd.Ctrl.Source == rsn.None && mux == rsn.None {
+			mux = nd.ID
+		}
+	})
+	tr := &Trace{Ops: []TraceOp{
+		{Kind: OpCapture},
+		{Kind: OpUpdate},
+	}}
+	if mux != rsn.None {
+		tr.Ops = append(tr.Ops, TraceOp{Kind: OpExternal, Mux: mux, Port: 0})
+	}
+	if err := Replay(sim, tr); err != nil {
+		t.Fatalf("Replay of non-shift trace: %v", err)
+	}
+	st := sim.Stats()
+	if st.Captures != 1 || st.Updates != 1 {
+		t.Errorf("replay stats = %+v, want 1 capture and 1 update", st)
+	}
+}
+
+// itoa avoids importing strconv for a two-digit index.
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}

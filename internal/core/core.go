@@ -28,6 +28,7 @@ import (
 	"rsnrobust/internal/rsn"
 	"rsnrobust/internal/spec"
 	"rsnrobust/internal/sptree"
+	"rsnrobust/internal/telemetry"
 )
 
 // Algorithm selects the multi-objective optimizer.
@@ -80,6 +81,11 @@ type Options struct {
 	Stagnation int
 	// OnGeneration, if non-nil, receives progress callbacks.
 	OnGeneration func(gen int, front []moea.Individual) bool
+	// Telemetry, if non-nil, receives span timings for every pipeline
+	// stage, structural gauges from the tree and the analysis, the
+	// moea.evaluations counter and per-generation convergence records.
+	// The nil default adds no overhead.
+	Telemetry *telemetry.Collector
 }
 
 // DefaultOptions returns the paper's setup for the given generation
@@ -127,6 +133,12 @@ type Synthesis struct {
 	Evaluations int
 	// Elapsed is the wall-clock synthesis time (Table I column 11).
 	Elapsed time.Duration
+	// AnalysisTime is the wall-clock time of the exact criticality
+	// analysis (decomposition tree + damage computation); EvolveTime is
+	// the evolutionary optimization time. Their split is the paper's
+	// central runtime claim and the quantity BENCH_*.json tracks.
+	AnalysisTime time.Duration
+	EvolveTime   time.Duration
 }
 
 // Problem is the selective-hardening optimization problem as seen by the
@@ -200,19 +212,40 @@ func (p *Problem) TotalDamage() int64 { return p.total }
 // Synthesize runs the full robust-RSN synthesis pipeline on a validated
 // network and its specification.
 func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error) {
+	tel := opt.Telemetry
 	start := time.Now()
+	root := tel.StartSpan("synthesize")
+
+	sv := root.Child("validate")
 	if err := rsn.Validate(net); err != nil {
 		return nil, err
 	}
+	sv.End()
+
+	analysisStart := time.Now()
+	st := root.Child("sp-tree")
 	tree, err := sptree.Build(net)
 	if err != nil {
 		return nil, err
 	}
+	st.End()
+	tree.Publish(tel)
+
+	sa := root.Child("criticality")
 	analysis, err := faults.Analyze(net, tree, sp, opt.Analysis)
 	if err != nil {
 		return nil, err
 	}
-	problem := NewProblem(analysis, opt.ForceCritical)
+	sa.End()
+	analysis.Publish(tel)
+	analysisTime := time.Since(analysisStart)
+
+	base := NewProblem(analysis, opt.ForceCritical)
+	var problem moea.Problem = base
+	evals := tel.Counter("moea.evaluations")
+	if tel != nil {
+		problem = countedProblem{base, evals}
+	}
 
 	var params moea.Params
 	if opt.Params != nil {
@@ -225,8 +258,11 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	}
 	params.Seed = opt.Seed
 	params.OnGeneration = opt.OnGeneration
+	if tel != nil {
+		params.OnGeneration = telemetryProgress(tel, analysis, evals, opt.OnGeneration)
+	}
 	if opt.Stagnation > 0 {
-		params.OnGeneration = stagnationStop(opt.Stagnation, analysis, opt.OnGeneration)
+		params.OnGeneration = stagnationStop(opt.Stagnation, analysis, params.OnGeneration)
 	}
 
 	// Diversify the initial population with the two trivial extreme
@@ -241,6 +277,8 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	}
 	params.Seeds = append(append([]moea.Genome{}, opt.Seeds...), zeros, ones)
 
+	evolveStart := time.Now()
+	se := root.Child(opt.Algorithm.String())
 	var res *moea.Result
 	switch opt.Algorithm {
 	case AlgoNSGA2:
@@ -251,28 +289,94 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	if err != nil {
 		return nil, err
 	}
+	se.End()
+	evolveTime := time.Since(evolveStart)
 
 	s := &Synthesis{
-		Net:         net,
-		Tree:        tree,
-		Spec:        sp,
-		Analysis:    analysis,
-		MaxCost:     analysis.MaxCost(),
-		MaxDamage:   analysis.TotalDamage,
-		Generations: res.Generations,
-		Evaluations: res.Evaluations,
+		Net:          net,
+		Tree:         tree,
+		Spec:         sp,
+		Analysis:     analysis,
+		MaxCost:      analysis.MaxCost(),
+		MaxDamage:    analysis.TotalDamage,
+		Generations:  res.Generations,
+		Evaluations:  res.Evaluations,
+		AnalysisTime: analysisTime,
+		EvolveTime:   evolveTime,
 	}
+	sx := root.Child("extract")
 	for i := range res.Front {
-		s.Front = append(s.Front, solutionFrom(problem, analysis, res.Front[i].G))
+		s.Front = append(s.Front, solutionFrom(base, analysis, res.Front[i].G))
 	}
+	sx.End()
+	root.End()
+	tel.Gauge("front.size").Set(float64(len(s.Front)))
+	tel.Gauge("synthesize.generations").Set(float64(s.Generations))
 	s.Elapsed = time.Since(start)
 	return s, nil
+}
+
+// countedProblem decorates a Problem with a telemetry evaluation
+// counter, letting the per-generation convergence records report the
+// cumulated evaluation effort.
+type countedProblem struct {
+	*Problem
+	evals *telemetry.Counter
+}
+
+func (p countedProblem) Evaluate(g moea.Genome, out []float64) {
+	p.Problem.Evaluate(g, out)
+	p.evals.Inc()
+}
+
+// telemetryProgress composes a convergence-recording callback with an
+// optional user callback: after every generation it records front size,
+// hypervolume (raw and normalized to the reference box), the two
+// per-objective bests, the cumulated evaluation count and the
+// generation wall time.
+func telemetryProgress(tel *telemetry.Collector, a *faults.Analysis, evals *telemetry.Counter, user func(int, []moea.Individual) bool) func(int, []moea.Individual) bool {
+	ref := moea.RefPoint(float64(a.TotalDamage), float64(a.MaxCost()))
+	genHist := tel.Histogram("moea.gen_ms")
+	last := time.Now()
+	return func(gen int, front []moea.Individual) bool {
+		now := time.Now()
+		genMS := float64(now.Sub(last)) / float64(time.Millisecond)
+		last = now
+		hv := moea.Hypervolume(front, ref)
+		bestD, bestC := math.Inf(1), math.Inf(1)
+		for i := range front {
+			if front[i].Obj[0] < bestD {
+				bestD = front[i].Obj[0]
+			}
+			if front[i].Obj[1] < bestC {
+				bestC = front[i].Obj[1]
+			}
+		}
+		if len(front) == 0 {
+			bestD, bestC = 0, 0
+		}
+		tel.RecordGeneration(telemetry.Generation{
+			Gen:         gen,
+			Front:       len(front),
+			Hypervolume: hv,
+			NormHV:      moea.NormalizedHypervolume(front, ref),
+			BestDamage:  bestD,
+			BestCost:    bestC,
+			Evaluations: evals.Value(),
+			ElapsedMS:   genMS,
+		})
+		genHist.Observe(genMS)
+		if user != nil {
+			return user(gen, front)
+		}
+		return true
+	}
 }
 
 // stagnationStop composes a hypervolume-stagnation early stop with an
 // optional user callback.
 func stagnationStop(window int, a *faults.Analysis, user func(int, []moea.Individual) bool) func(int, []moea.Individual) bool {
-	ref := [2]float64{float64(a.TotalDamage)*1.01 + 1, float64(a.MaxCost())*1.01 + 1}
+	ref := moea.RefPoint(float64(a.TotalDamage), float64(a.MaxCost()))
 	best := -1.0
 	flat := 0
 	return func(gen int, front []moea.Individual) bool {

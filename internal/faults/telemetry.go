@@ -1,0 +1,28 @@
+package faults
+
+import "rsnrobust/internal/telemetry"
+
+// Publish records the headline figures of a completed criticality
+// analysis as telemetry gauges: fault-universe size, damage and cost
+// totals, and the must-harden set protecting the critical instruments.
+// A nil collector is a no-op.
+func (a *Analysis) Publish(c *telemetry.Collector) {
+	if c == nil {
+		return
+	}
+	var critHit int
+	var worst int64
+	for _, id := range a.Prims {
+		if a.CritHit[id] {
+			critHit++
+		}
+		if d := a.Damage[id]; d > worst {
+			worst = d
+		}
+	}
+	c.Gauge("analysis.primitives").Set(float64(len(a.Prims)))
+	c.Gauge("analysis.total_damage").Set(float64(a.TotalDamage))
+	c.Gauge("analysis.max_cost").Set(float64(a.MaxCost()))
+	c.Gauge("analysis.must_harden").Set(float64(critHit))
+	c.Gauge("analysis.worst_fault_damage").Set(float64(worst))
+}

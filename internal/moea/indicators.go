@@ -1,0 +1,51 @@
+package moea
+
+// This file holds the quality indicators consumed by the telemetry
+// layer's per-generation convergence stats. The raw two-objective
+// Hypervolume lives in dominance.go; here are the derived forms.
+
+// RefPoint returns the standard hypervolume reference point for the
+// selective-hardening problem: slightly beyond the two extreme
+// objective values (max damage, max cost), so that both trivial
+// solutions — nothing hardened and everything hardened — contribute
+// positive volume.
+func RefPoint(maxObj0, maxObj1 float64) [2]float64 {
+	return [2]float64{maxObj0*1.01 + 1, maxObj1*1.01 + 1}
+}
+
+// NormalizedHypervolume returns the dominated hypervolume as a fraction
+// of the reference box area ref[0]*ref[1], in [0, 1]. It is the
+// scale-free convergence indicator recorded per generation: comparable
+// across networks whose absolute damage and cost ranges differ by
+// orders of magnitude.
+func NormalizedHypervolume(front []Individual, ref [2]float64) float64 {
+	box := ref[0] * ref[1]
+	if box <= 0 {
+		return 0
+	}
+	return Hypervolume(front, ref) / box
+}
+
+// HypervolumeContributions returns, for every individual of the front,
+// its exclusive hypervolume contribution: the volume lost when that
+// individual alone is removed. Dominated and out-of-box individuals
+// contribute zero, and so does every copy of a duplicated objective
+// vector (removing one copy loses nothing). The contribution is the
+// standard measure of how much a single front member matters.
+func HypervolumeContributions(front []Individual, ref [2]float64) []float64 {
+	out := make([]float64, len(front))
+	if len(front) == 0 {
+		return out
+	}
+	total := Hypervolume(front, ref)
+	rest := make([]Individual, 0, len(front)-1)
+	for i := range front {
+		rest = rest[:0]
+		rest = append(rest, front[:i]...)
+		rest = append(rest, front[i+1:]...)
+		if d := total - Hypervolume(rest, ref); d > 0 {
+			out[i] = d
+		}
+	}
+	return out
+}

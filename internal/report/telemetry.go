@@ -1,0 +1,162 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// WriteTelemetry renders a human-readable summary of a telemetry
+// snapshot: the span tree with wall-clock timings, the convergence
+// trajectory of the evolutionary run, and all counters, gauges and
+// histogram summaries.
+func WriteTelemetry(w io.Writer, s telemetry.Snapshot) error {
+	if len(s.Spans) > 0 {
+		if _, err := fmt.Fprintln(w, "spans:"); err != nil {
+			return err
+		}
+		if err := writeSpanTree(w, s.Spans); err != nil {
+			return err
+		}
+	}
+	if len(s.Generations) > 0 {
+		if err := writeConvergence(w, s.Generations); err != nil {
+			return err
+		}
+	}
+	if len(s.Counters) > 0 {
+		tb := New("counter", "value")
+		for _, name := range sortedKeys(s.Counters) {
+			tb.Add(name, s.Counters[name])
+		}
+		if err := writeSection(w, "counters:", tb); err != nil {
+			return err
+		}
+	}
+	if len(s.Gauges) > 0 {
+		tb := New("gauge", "value")
+		for _, name := range sortedKeys(s.Gauges) {
+			tb.Add(name, trimFloat(s.Gauges[name]))
+		}
+		if err := writeSection(w, "gauges:", tb); err != nil {
+			return err
+		}
+	}
+	if len(s.Histograms) > 0 {
+		tb := New("histogram", "count", "mean", "p50", "p90", "p99", "max")
+		for _, name := range sortedKeys(s.Histograms) {
+			h := s.Histograms[name]
+			tb.Add(name, h.Count, trimFloat(h.Mean), trimFloat(h.P50),
+				trimFloat(h.P90), trimFloat(h.P99), trimFloat(h.Max))
+		}
+		if err := writeSection(w, "histograms:", tb); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeSpanTree prints the spans as an indented tree, children below
+// their parent in finish order, with duration and share of the root.
+func writeSpanTree(w io.Writer, spans []telemetry.SpanRecord) error {
+	children := make(map[string][]telemetry.SpanRecord)
+	isChild := make(map[string]bool)
+	for _, sp := range spans {
+		if sp.Parent != "" {
+			children[sp.Parent] = append(children[sp.Parent], sp)
+			isChild[sp.Name] = true
+		}
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].StartMS < kids[j].StartMS })
+	}
+	var walk func(sp telemetry.SpanRecord, depth int, rootDur float64) error
+	walk = func(sp telemetry.SpanRecord, depth int, rootDur float64) error {
+		share := ""
+		if depth > 0 && rootDur > 0 {
+			share = fmt.Sprintf("  (%.1f%%)", 100*sp.DurMS/rootDur)
+		}
+		if _, err := fmt.Fprintf(w, "  %s%-*s %10.2f ms%s\n",
+			strings.Repeat("  ", depth), 24-2*depth, sp.Name, sp.DurMS, share); err != nil {
+			return err
+		}
+		for _, kid := range children[sp.Name] {
+			if err := walk(kid, depth+1, rootDur); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	roots := make([]telemetry.SpanRecord, 0, len(spans))
+	for _, sp := range spans {
+		if !isChild[sp.Name] && sp.Parent == "" {
+			roots = append(roots, sp)
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].StartMS < roots[j].StartMS })
+	for _, root := range roots {
+		if err := walk(root, 0, root.DurMS); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeConvergence condenses the per-generation records into first,
+// middle and last milestones plus the end-to-end improvement.
+func writeConvergence(w io.Writer, gens []telemetry.Generation) error {
+	tb := New("gen", "front", "norm_hv", "best_damage", "best_cost", "evaluations")
+	milestones := []int{0, len(gens) / 2, len(gens) - 1}
+	seen := -1
+	for _, i := range milestones {
+		if i == seen {
+			continue
+		}
+		seen = i
+		g := gens[i]
+		tb.Add(g.Gen, g.Front, fmt.Sprintf("%.4f", g.NormHV),
+			trimFloat(g.BestDamage), trimFloat(g.BestCost), g.Evaluations)
+	}
+	if err := writeSection(w, fmt.Sprintf("convergence (%d generations):", len(gens)), tb); err != nil {
+		return err
+	}
+	first, last := gens[0], gens[len(gens)-1]
+	_, err := fmt.Fprintf(w, "  hypervolume %.4f -> %.4f over %d generations, %d evaluations\n",
+		first.NormHV, last.NormHV, len(gens), last.Evaluations)
+	return err
+}
+
+func writeSection(w io.Writer, title string, tb *Table) error {
+	if _, err := fmt.Fprintln(w, title); err != nil {
+		return err
+	}
+	var b strings.Builder
+	if err := tb.WriteText(&b); err != nil {
+		return err
+	}
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if _, err := fmt.Fprintf(w, "  %s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trimFloat renders a float without trailing zero noise.
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.3f", v)
+	s = strings.TrimRight(s, "0")
+	return strings.TrimRight(s, ".")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

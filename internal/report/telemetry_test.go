@@ -1,0 +1,61 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rsnrobust/internal/telemetry"
+)
+
+func TestWriteTelemetry(t *testing.T) {
+	s := telemetry.Snapshot{
+		Counters: map[string]int64{"moea.evaluations": 1200, "sim.shift_clocks": 88},
+		Gauges:   map[string]float64{"sptree.depth": 6, "front.size": 14},
+		Histograms: map[string]telemetry.HistStat{
+			"moea.gen_ms": {Count: 20, Sum: 40, Min: 1, Max: 4, Mean: 2, P50: 2, P90: 4, P99: 4},
+		},
+		Spans: []telemetry.SpanRecord{
+			{Name: "sp-tree", Parent: "synthesize", StartMS: 0.1, DurMS: 1.5},
+			{Name: "criticality", Parent: "synthesize", StartMS: 1.7, DurMS: 2.5},
+			{Name: "spea2", Parent: "synthesize", StartMS: 4.2, DurMS: 90},
+			{Name: "synthesize", StartMS: 0, DurMS: 100},
+		},
+		Generations: []telemetry.Generation{
+			{Gen: 0, Front: 2, NormHV: 0.40, BestDamage: 0, BestCost: 10, Evaluations: 100},
+			{Gen: 1, Front: 5, NormHV: 0.70, BestDamage: 0, BestCost: 8, Evaluations: 200},
+			{Gen: 2, Front: 9, NormHV: 0.95, BestDamage: 0, BestCost: 6, Evaluations: 300},
+		},
+	}
+	var b strings.Builder
+	if err := WriteTelemetry(&b, s); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"spans:", "synthesize", "sp-tree", "criticality", "spea2",
+		"convergence (3 generations):",
+		"0.4000", "0.9500",
+		"counters:", "moea.evaluations", "1200",
+		"gauges:", "sptree.depth",
+		"histograms:", "moea.gen_ms",
+		"hypervolume 0.4000 -> 0.9500",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Children are indented below the root with a share of its time.
+	if !strings.Contains(out, "(90.0%)") {
+		t.Errorf("spea2 share missing:\n%s", out)
+	}
+}
+
+func TestWriteTelemetryEmpty(t *testing.T) {
+	var b strings.Builder
+	if err := WriteTelemetry(&b, telemetry.Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", b.String())
+	}
+}

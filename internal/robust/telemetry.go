@@ -1,0 +1,28 @@
+package robust
+
+import "rsnrobust/internal/telemetry"
+
+// Publish records the robustness metrics of the evaluated network as
+// telemetry gauges, so hardening outcomes land in the same JSONL stream
+// as the synthesis spans that produced them. A nil collector is a
+// no-op.
+func (m *Metrics) Publish(c *telemetry.Collector) {
+	if c == nil {
+		return
+	}
+	b2f := func(b bool) float64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	c.Gauge("robust.primitives").Set(float64(m.Primitives))
+	c.Gauge("robust.hardened").Set(float64(m.Hardened))
+	c.Gauge("robust.hardening_cost").Set(float64(m.HardeningCost))
+	c.Gauge("robust.residual_damage").Set(float64(m.ResidualDamage))
+	c.Gauge("robust.expected_damage").Set(m.ExpectedDamage)
+	c.Gauge("robust.improvement").Set(m.Improvement)
+	c.Gauge("robust.critical_covered").Set(b2f(m.CriticalCovered))
+	c.Gauge("robust.worst_fault").Set(float64(m.WorstFault))
+	c.Gauge("robust.spof").Set(float64(len(m.SinglePointsOfFailure)))
+}

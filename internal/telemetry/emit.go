@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// emitter serializes JSONL event writes. A nil emitter drops events.
+type emitter struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	err error
+}
+
+func (e *emitter) emit(v any) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = e.enc.Encode(v)
+	}
+	e.mu.Unlock()
+}
+
+// Event envelopes. Every line carries a "type" discriminator so readers
+// can dispatch without schema knowledge.
+type spanEvent struct {
+	Type string `json:"type"`
+	SpanRecord
+}
+
+type genEvent struct {
+	Type string `json:"type"`
+	Generation
+}
+
+type metaEvent struct {
+	Type string         `json:"type"`
+	Meta map[string]any `json:"meta"`
+}
+
+type counterEvent struct {
+	Type  string `json:"type"`
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+type gaugeEvent struct {
+	Type  string  `json:"type"`
+	Name  string  `json:"name"`
+	Value float64 `json:"value"`
+}
+
+type histEvent struct {
+	Type string `json:"type"`
+	Name string `json:"name"`
+	HistStat
+}
+
+// SetOutput enables JSONL streaming: every finished span and recorded
+// generation is written to w as one JSON object per line, and Close
+// appends the final instrument snapshot. Safe on a nil collector.
+func (c *Collector) SetOutput(w io.Writer) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.emitter = &emitter{enc: json.NewEncoder(w)}
+	c.mu.Unlock()
+}
+
+// Meta emits an identification event (tool name, network, seed, ...)
+// into the JSONL stream. Safe on a nil collector.
+func (c *Collector) Meta(kv map[string]any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	e := c.emitter
+	c.mu.Unlock()
+	e.emit(metaEvent{Type: "meta", Meta: kv})
+}
+
+// Close flushes the final instrument values (counters, gauges,
+// histogram summaries) into the JSONL stream, in deterministic name
+// order, and returns the first write error encountered on the stream.
+// The in-memory data stays available for Snapshot. Safe on a nil
+// collector.
+func (c *Collector) Close() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	e := c.emitter
+	c.mu.Unlock()
+	if e == nil {
+		return nil
+	}
+	s := c.Snapshot()
+	for _, name := range sortedKeys(s.Counters) {
+		e.emit(counterEvent{Type: "counter", Name: name, Value: s.Counters[name]})
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		e.emit(gaugeEvent{Type: "gauge", Name: name, Value: s.Gauges[name]})
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		e.emit(histEvent{Type: "hist", Name: name, HistStat: s.Histograms[name]})
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}

@@ -1,0 +1,70 @@
+package telemetry
+
+import "time"
+
+// SpanRecord is one finished span: a named wall-clock interval with an
+// optional parent, timed relative to the collector's creation.
+type SpanRecord struct {
+	Name    string  `json:"name"`
+	Parent  string  `json:"parent,omitempty"`
+	StartMS float64 `json:"start_ms"`
+	DurMS   float64 `json:"dur_ms"`
+}
+
+// Span is a live timed interval. Obtain one with Collector.StartSpan or
+// Span.Child and finish it with End. A nil span (from a nil collector)
+// is valid and does nothing.
+type Span struct {
+	c      *Collector
+	name   string
+	parent string
+	start  time.Time
+}
+
+// StartSpan opens a root span. Safe on a nil collector (returns a nil,
+// no-op span).
+func (c *Collector) StartSpan(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{c: c, name: name, start: time.Now()}
+}
+
+// Child opens a sub-span whose record names this span as its parent.
+// Safe on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{c: s.c, name: name, parent: s.name, start: time.Now()}
+}
+
+// Name returns the span name ("" for a nil span).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// End finishes the span, records it on the collector, streams it to the
+// JSONL output if one is set, and returns the measured duration. Safe
+// on a nil span (returns 0).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	rec := SpanRecord{
+		Name:    s.name,
+		Parent:  s.parent,
+		StartMS: s.c.sinceMS(s.start),
+		DurMS:   float64(d) / float64(time.Millisecond),
+	}
+	s.c.mu.Lock()
+	s.c.spans = append(s.c.spans, rec)
+	e := s.c.emitter
+	s.c.mu.Unlock()
+	e.emit(spanEvent{Type: "span", SpanRecord: rec})
+	return d
+}
