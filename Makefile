@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race bench benchjson clean
+.PHONY: ci vet build test race determinism bench bench-smoke benchjson clean
 
-ci: vet build race
+ci: vet build race determinism
 
 vet:
 	$(GO) vet ./...
@@ -18,13 +18,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Determinism gate: identical fronts, picks and evaluation counts at
+# workers=1 and workers=4 on a mid-size Table I benchmark.
+determinism:
+	$(GO) test -run 'WorkerDeterminism|WorkerInvariance' ./internal/core ./internal/moea
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# One-command perf smoke: every Table I row once at the reduced bench
+# budget, to spot regressions before committing.
+bench-smoke:
+	$(GO) test -run=NONE -bench=Table1 -benchtime=1x .
 
 # Regenerate the committed machine-readable benchmark summary
 # (validated by TestBenchJSONArtifact).
 benchjson:
-	$(GO) run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_1.json
+	$(GO) run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_2.json
 
 clean:
 	$(GO) clean ./...

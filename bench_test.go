@@ -83,19 +83,22 @@ func runRow(b *testing.B, e benchnets.Entry, gens int) {
 	}
 }
 
-// TestBenchJSONArtifact validates the committed BENCH_1.json against the
-// rsnrobust-bench/v1 schema. Regenerate the artifact with
+// TestBenchJSONArtifact validates the committed BENCH_2.json against the
+// rsnrobust-bench/v2 schema (per-stage wall clock, worker count,
+// GOMAXPROCS). Regenerate the artifact with
 //
-//	go run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_1.json
+//	go run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_2.json
 func TestBenchJSONArtifact(t *testing.T) {
-	raw, err := os.ReadFile("BENCH_1.json")
+	raw, err := os.ReadFile("BENCH_2.json")
 	if err != nil {
 		t.Skipf("no benchmark artifact: %v", err)
 	}
 	var doc struct {
-		Schema string `json:"schema"`
-		Algo   string `json:"algo"`
-		Rows   []struct {
+		Schema     string `json:"schema"`
+		Algo       string `json:"algo"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		Workers    int    `json:"workers"`
+		Rows       []struct {
 			Network     string  `json:"network"`
 			Segments    int     `json:"segments"`
 			Muxes       int     `json:"muxes"`
@@ -105,14 +108,23 @@ func TestBenchJSONArtifact(t *testing.T) {
 			AnalysisMS  float64 `json:"analysis_ms"`
 			SPEA2MS     float64 `json:"spea2_ms"`
 			TotalMS     float64 `json:"total_ms"`
-			FrontSize   int     `json:"front_size"`
+			Stages      struct {
+				SPTreeMS      float64 `json:"sptree_ms"`
+				CriticalityMS float64 `json:"criticality_ms"`
+				EvolveMS      float64 `json:"evolve_ms"`
+				ExtractMS     float64 `json:"extract_ms"`
+			} `json:"stages"`
+			FrontSize int `json:"front_size"`
 		} `json:"rows"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		t.Fatalf("BENCH_1.json is not valid JSON: %v", err)
+		t.Fatalf("BENCH_2.json is not valid JSON: %v", err)
 	}
-	if doc.Schema != "rsnrobust-bench/v1" {
-		t.Fatalf("schema = %q, want rsnrobust-bench/v1", doc.Schema)
+	if doc.Schema != "rsnrobust-bench/v2" {
+		t.Fatalf("schema = %q, want rsnrobust-bench/v2", doc.Schema)
+	}
+	if doc.GOMAXPROCS <= 0 || doc.Workers <= 0 {
+		t.Fatalf("gomaxprocs=%d workers=%d, want both positive", doc.GOMAXPROCS, doc.Workers)
 	}
 	if len(doc.Rows) == 0 {
 		t.Fatal("no benchmark rows")
@@ -137,6 +149,13 @@ func TestBenchJSONArtifact(t *testing.T) {
 		if r.AnalysisMS < 0 || r.SPEA2MS <= 0 || r.TotalMS < r.SPEA2MS {
 			t.Errorf("row %q: implausible timings analysis=%.3fms spea2=%.3fms total=%.3fms",
 				r.Network, r.AnalysisMS, r.SPEA2MS, r.TotalMS)
+		}
+		st := r.Stages
+		if st.EvolveMS <= 0 || st.SPTreeMS < 0 || st.CriticalityMS < 0 || st.ExtractMS < 0 {
+			t.Errorf("row %q: implausible stage split %+v", r.Network, st)
+		}
+		if sum := st.SPTreeMS + st.CriticalityMS + st.EvolveMS + st.ExtractMS; sum > r.TotalMS*1.05 {
+			t.Errorf("row %q: stage sum %.3fms exceeds total %.3fms", r.Network, sum, r.TotalMS)
 		}
 	}
 }

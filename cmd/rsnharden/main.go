@@ -47,6 +47,7 @@ func main() {
 		greedy  = flag.Bool("greedy", false, "also report the greedy and exact baselines")
 		rep     = flag.Bool("report", false, "print the robustness report of the damage<=10% solution (single- and double-fault)")
 		stag    = flag.Int("stagnation", 0, "stop early after N generations without hypervolume improvement (0 = full budget)")
+		workers = flag.Int("workers", 0, "objective-evaluation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 		scope   = flag.String("universe", "all", "fault universe: all or control")
 		telOut  = flag.String("telemetry", "", "write telemetry events (JSONL) to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -104,6 +105,7 @@ func main() {
 	opt := core.DefaultOptions(generations, *seed)
 	opt.ForceCritical = *force
 	opt.Stagnation = *stag
+	opt.Workers = *workers
 	opt.Telemetry = tel
 	if *prog {
 		opt.OnGeneration = func(gen int, front []moea.Individual) bool {
@@ -141,7 +143,9 @@ func main() {
 	fmt.Printf("generations    %d  (%s, %d evaluations)\n", s.Generations, opt.Algorithm, s.Evaluations)
 	fmt.Printf("front size     %d\n", len(s.Front))
 	fmt.Printf("must-harden    %d primitives protect all critical instruments\n", len(s.Analysis.MustHarden()))
-	fmt.Printf("synthesis time %v\n", s.Elapsed.Round(1000000))
+	// Wall clock goes to stderr: stdout stays byte-identical for the same
+	// seed at every worker count.
+	fmt.Fprintf(os.Stderr, "synthesis time %v (%d workers)\n", s.Elapsed.Round(1000000), s.Workers)
 
 	if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {
 		fmt.Printf("min cost  | damage<=10%%:  cost %6d  damage %10d  critical covered %v\n",

@@ -21,6 +21,7 @@ import (
 	"io"
 	"os"
 	"regexp"
+	"runtime"
 	"time"
 
 	"rsnrobust/internal/baseline"
@@ -35,20 +36,21 @@ import (
 
 func main() {
 	var (
-		quick  = flag.Bool("quick", false, "scale down generation budgets for a fast pass")
-		run    = flag.String("run", "", "regexp filter on benchmark names")
-		paper  = flag.Bool("paper", false, "append the paper's published values to every row")
-		format = flag.String("format", "text", "output format: text, markdown or csv")
-		seed   = flag.Int64("seed", 42, "random seed for specification and optimizer")
-		algo   = flag.String("algo", "spea2", "optimizer: spea2 or nsga2")
-		scope  = flag.String("universe", "control", "fault universe: control (paper harness) or all")
-		ablate = flag.Bool("ablate", false, "run the optimizer ablation instead of Table I")
-		maxP   = flag.Int("maxprims", 0, "skip benchmarks with more primitives (0 = no limit)")
-		refine = flag.Bool("refine", false, "apply greedy 1-opt refinement to the constrained picks")
-		telOut = flag.String("telemetry", "", "write telemetry events (JSONL, one meta record per row) to this file")
-		cpu    = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		mem    = flag.String("memprofile", "", "write a heap profile to this file")
-		bench  = flag.String("benchjson", "", "write machine-readable per-row results (BENCH_*.json schema) to this file")
+		quick   = flag.Bool("quick", false, "scale down generation budgets for a fast pass")
+		run     = flag.String("run", "", "regexp filter on benchmark names")
+		paper   = flag.Bool("paper", false, "append the paper's published values to every row")
+		format  = flag.String("format", "text", "output format: text, markdown or csv")
+		seed    = flag.Int64("seed", 42, "random seed for specification and optimizer")
+		algo    = flag.String("algo", "spea2", "optimizer: spea2 or nsga2")
+		scope   = flag.String("universe", "control", "fault universe: control (paper harness) or all")
+		ablate  = flag.Bool("ablate", false, "run the optimizer ablation instead of Table I")
+		maxP    = flag.Int("maxprims", 0, "skip benchmarks with more primitives (0 = no limit)")
+		refine  = flag.Bool("refine", false, "apply greedy 1-opt refinement to the constrained picks")
+		telOut  = flag.String("telemetry", "", "write telemetry events (JSONL, one meta record per row) to this file")
+		cpu     = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		mem     = flag.String("memprofile", "", "write a heap profile to this file")
+		bench   = flag.String("benchjson", "", "write machine-readable per-row results (BENCH_*.json schema) to this file")
+		workers = flag.Int("workers", 0, "objective-evaluation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 	)
 	flag.Parse()
 
@@ -98,7 +100,7 @@ func main() {
 		if *maxP > 0 && e.Segments+e.Muxes > *maxP {
 			continue
 		}
-		row, err := runRow(e, *seed, *quick, *algo, *scope, *refine, telWriter)
+		row, err := runRow(e, *seed, *quick, *algo, *scope, *refine, *workers, telWriter)
 		if err != nil {
 			fail(fmt.Errorf("%s: %w", e.Name, err))
 		}
@@ -119,11 +121,17 @@ func main() {
 			AnalysisMS:  durMS(row.analysisTime),
 			SPEA2MS:     durMS(row.evolveTime),
 			TotalMS:     durMS(row.elapsed),
-			FrontSize:   row.frontSize,
-			CostD10:     row.costD10,
-			DmgD10:      row.dmgD10,
-			CostC10:     row.costC10,
-			DmgC10:      row.dmgC10,
+			Stages: stageMS{
+				SPTreeMS:      durMS(row.treeTime),
+				CriticalityMS: durMS(row.critTime),
+				EvolveMS:      durMS(row.evolveTime),
+				ExtractMS:     durMS(row.extractTime),
+			},
+			FrontSize: row.frontSize,
+			CostD10:   row.costD10,
+			DmgD10:    row.dmgD10,
+			CostC10:   row.costC10,
+			DmgC10:    row.dmgC10,
 		})
 		fmt.Fprintf(os.Stderr, "done %-18s in %v\n", e.Name, row.elapsed.Round(time.Second/10))
 	}
@@ -131,7 +139,7 @@ func main() {
 		fail(err)
 	}
 	if *bench != "" {
-		if err := writeBenchJSON(*bench, *seed, *quick, *algo, benchRows); err != nil {
+		if err := writeBenchJSON(*bench, *seed, *quick, *algo, *workers, benchRows); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench)
@@ -144,7 +152,8 @@ func main() {
 
 // benchRow is one row of the machine-readable BENCH_*.json perf
 // trajectory: where the time went (exact analysis vs. SPEA-2) and how
-// much evolutionary effort was spent.
+// much evolutionary effort was spent. Since rsnrobust-bench/v2 every
+// row also carries the per-stage wall clock split.
 type benchRow struct {
 	Network     string  `json:"network"`
 	Segments    int     `json:"segments"`
@@ -155,6 +164,7 @@ type benchRow struct {
 	AnalysisMS  float64 `json:"analysis_ms"`
 	SPEA2MS     float64 `json:"spea2_ms"`
 	TotalMS     float64 `json:"total_ms"`
+	Stages      stageMS `json:"stages"`
 	FrontSize   int     `json:"front_size"`
 	CostD10     int64   `json:"cost_d10"`
 	DmgD10      int64   `json:"dmg_d10"`
@@ -162,18 +172,34 @@ type benchRow struct {
 	DmgC10      int64   `json:"dmg_c10"`
 }
 
+// stageMS is the per-stage wall clock of one synthesis run: the two
+// halves of the exact analysis, the evolutionary loop and the front
+// materialization.
+type stageMS struct {
+	SPTreeMS      float64 `json:"sptree_ms"`
+	CriticalityMS float64 `json:"criticality_ms"`
+	EvolveMS      float64 `json:"evolve_ms"`
+	ExtractMS     float64 `json:"extract_ms"`
+}
+
 func durMS(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
 }
 
-func writeBenchJSON(path string, seed int64, quick bool, algo string, rows []benchRow) error {
+func writeBenchJSON(path string, seed int64, quick bool, algo string, workers int, rows []benchRow) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	doc := struct {
-		Schema string     `json:"schema"`
-		Seed   int64      `json:"seed"`
-		Quick  bool       `json:"quick"`
-		Algo   string     `json:"algo"`
-		Rows   []benchRow `json:"rows"`
-	}{Schema: "rsnrobust-bench/v1", Seed: seed, Quick: quick, Algo: algo, Rows: rows}
+		Schema     string     `json:"schema"`
+		Seed       int64      `json:"seed"`
+		Quick      bool       `json:"quick"`
+		Algo       string     `json:"algo"`
+		GOMAXPROCS int        `json:"gomaxprocs"`
+		Workers    int        `json:"workers"`
+		Rows       []benchRow `json:"rows"`
+	}{Schema: "rsnrobust-bench/v2", Seed: seed, Quick: quick, Algo: algo,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Rows: rows}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -192,6 +218,9 @@ type rowResult struct {
 	elapsed            time.Duration
 	analysisTime       time.Duration
 	evolveTime         time.Duration
+	treeTime           time.Duration
+	critTime           time.Duration
+	extractTime        time.Duration
 }
 
 // budget scales the paper's generation budget in quick mode: large
@@ -222,7 +251,7 @@ func budget(e benchnets.Entry, quick bool) int {
 	return cap
 }
 
-func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refine bool, telWriter io.Writer) (rowResult, error) {
+func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refine bool, workers int, telWriter io.Writer) (rowResult, error) {
 	var res rowResult
 	net, err := benchnets.GenerateEntry(e)
 	if err != nil {
@@ -233,6 +262,7 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 		return res, err
 	}
 	opt := core.DefaultOptions(budget(e, quick), seed)
+	opt.Workers = workers
 	if algo == "nsga2" {
 		opt.Algorithm = core.AlgoNSGA2
 	}
@@ -267,6 +297,9 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 	res.elapsed = s.Elapsed
 	res.analysisTime = s.AnalysisTime
 	res.evolveTime = s.EvolveTime
+	res.treeTime = s.TreeTime
+	res.critTime = s.CritTime
+	res.extractTime = s.ExtractTime
 	pickCost := s.MinCostWithDamageAtMost
 	pickDamage := s.MinDamageWithCostAtMost
 	if refine {

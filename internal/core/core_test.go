@@ -282,3 +282,143 @@ func TestStagnationComposesWithUserCallback(t *testing.T) {
 		t.Errorf("user callback called %d times, want 4", calls)
 	}
 }
+
+func TestConstrainedPickEdgeCases(t *testing.T) {
+	// An empty front yields ok=false from both picks, never a zero-value
+	// solution masquerading as a result.
+	empty := &Synthesis{MaxDamage: 100, MaxCost: 100}
+	if _, ok := empty.MinCostWithDamageAtMost(0.10); ok {
+		t.Error("MinCostWithDamageAtMost returned ok on an empty front")
+	}
+	if _, ok := empty.MinDamageWithCostAtMost(0.10); ok {
+		t.Error("MinDamageWithCostAtMost returned ok on an empty front")
+	}
+
+	s := &Synthesis{
+		MaxDamage: 100,
+		MaxCost:   100,
+		Front: []Solution{
+			{Damage: 0, Cost: 60},
+			{Damage: 40, Cost: 7},
+			{Damage: 90, Cost: 1},
+		},
+	}
+	// frac=0 means "zero residual damage" resp. "zero cost": only exact
+	// zeros qualify.
+	sol, ok := s.MinCostWithDamageAtMost(0)
+	if !ok || sol.Damage != 0 || sol.Cost != 60 {
+		t.Errorf("frac=0 damage pick = %+v ok=%v, want the zero-damage solution", sol, ok)
+	}
+	if _, ok := s.MinDamageWithCostAtMost(0); ok {
+		t.Error("frac=0 cost pick returned ok with no zero-cost solution on the front")
+	}
+
+	// No front solution meets the constraint: ok=false and the returned
+	// value is the zero Solution, not an arbitrary pick.
+	tight := &Synthesis{MaxDamage: 100, MaxCost: 100, Front: []Solution{{Damage: 50, Cost: 50}}}
+	sol, ok = tight.MinCostWithDamageAtMost(0.10)
+	if ok {
+		t.Error("MinCostWithDamageAtMost returned ok with no feasible solution")
+	}
+	if sol.Cost != 0 || sol.Damage != 0 || sol.Hardened != nil {
+		t.Errorf("infeasible pick returned non-zero Solution %+v", sol)
+	}
+	if _, ok := tight.MinDamageWithCostAtMost(0.10); ok {
+		t.Error("MinDamageWithCostAtMost returned ok with no feasible solution")
+	}
+}
+
+// TestWordEvaluationMatchesBitEvaluation cross-checks the table-driven
+// word-level Evaluate against the per-bit reference, with and without a
+// forced-critical mask, on random genomes of every density.
+func TestWordEvaluationMatchesBitEvaluation(t *testing.T) {
+	net := benchnets.Random(benchnets.RandomOptions{Seed: 101, TargetPrims: 150})
+	tree, err := sptree.Build(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	a, err := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, force := range []bool{false, true} {
+		p := NewProblem(a, force)
+		if p.dmgTab == nil {
+			t.Fatal("word tables not built for a small problem")
+		}
+		rng := rand.New(rand.NewSource(7))
+		for trial := 0; trial < 200; trial++ {
+			g := moea.NewGenome(p.NumBits())
+			g.Randomize(rng, rng.Float64(), p.NumBits())
+			words := make([]float64, 2)
+			bits := make([]float64, 2)
+			p.evaluateWords(g, words)
+			p.evaluateBits(g, bits)
+			if words[0] != bits[0] || words[1] != bits[1] {
+				t.Fatalf("force=%v trial %d: word path (%v,%v) != bit path (%v,%v)",
+					force, trial, words[0], words[1], bits[0], bits[1])
+			}
+		}
+	}
+}
+
+// TestWorkerDeterminism is the determinism gate of the executor
+// refactor: the same seed must produce identical fronts, constrained
+// picks and evaluation counts at workers=1 and workers=4 on a mid-size
+// Table I benchmark. Wired into `make ci`.
+func TestWorkerDeterminism(t *testing.T) {
+	net1, err := benchnets.Generate("p22810")
+	if err != nil {
+		t.Fatal(err)
+	}
+	net4, err := benchnets.Generate("p22810")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(net *rsn.Network, workers int) *Synthesis {
+		sp := spec.FromNetwork(net, spec.DefaultCostModel)
+		opt := DefaultOptions(12, 42)
+		opt.Workers = workers
+		s, err := Synthesize(net, sp, opt)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return s
+	}
+	s1 := run(net1, 1)
+	s4 := run(net4, 4)
+	if s1.Evaluations != s4.Evaluations {
+		t.Errorf("evaluations differ: %d (workers=1) vs %d (workers=4)", s1.Evaluations, s4.Evaluations)
+	}
+	if s4.Workers != 4 || s1.Workers != 1 {
+		t.Errorf("resolved workers = (%d,%d), want (1,4)", s1.Workers, s4.Workers)
+	}
+	if len(s1.Front) != len(s4.Front) {
+		t.Fatalf("front sizes differ: %d vs %d", len(s1.Front), len(s4.Front))
+	}
+	for i := range s1.Front {
+		a, b := s1.Front[i], s4.Front[i]
+		if a.Cost != b.Cost || a.Damage != b.Damage || len(a.Hardened) != len(b.Hardened) {
+			t.Fatalf("front member %d differs: (%d,%d,%d) vs (%d,%d,%d)",
+				i, a.Cost, a.Damage, len(a.Hardened), b.Cost, b.Damage, len(b.Hardened))
+		}
+		for j := range a.Hardened {
+			if a.Hardened[j] != b.Hardened[j] {
+				t.Fatalf("front member %d hardens different primitives", i)
+			}
+		}
+	}
+	for _, frac := range []float64{0.05, 0.10, 0.25} {
+		p1, ok1 := s1.MinCostWithDamageAtMost(frac)
+		p4, ok4 := s4.MinCostWithDamageAtMost(frac)
+		if ok1 != ok4 || p1.Cost != p4.Cost || p1.Damage != p4.Damage {
+			t.Errorf("MinCostWithDamageAtMost(%v) differs across worker counts", frac)
+		}
+		q1, ok1 := s1.MinDamageWithCostAtMost(frac)
+		q4, ok4 := s4.MinDamageWithCostAtMost(frac)
+		if ok1 != ok4 || q1.Cost != q4.Cost || q1.Damage != q4.Damage {
+			t.Errorf("MinDamageWithCostAtMost(%v) differs across worker counts", frac)
+		}
+	}
+}

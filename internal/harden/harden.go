@@ -108,6 +108,14 @@ func (p *Problem) Evaluate(g moea.Genome, out []float64) {
 	out[1] = cost
 }
 
+// EvaluateBatch implements moea.BatchProblem. Evaluation only reads the
+// problem, so disjoint batches are safe to run concurrently.
+func (p *Problem) EvaluateBatch(gs []moea.Genome, outs [][]float64) {
+	for i := range gs {
+		p.Evaluate(gs[i], outs[i])
+	}
+}
+
 // Assignment is one optimized technique mapping.
 type Assignment struct {
 	// Technique[i] indexes the catalog for the i-th primitive (order of

@@ -1,0 +1,154 @@
+package moea
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// minParallelChunk is the smallest per-worker slice of a batch worth a
+// goroutine: below it the spawn/synchronization overhead exceeds the
+// evaluation work of typical problems, so smaller batches run serially.
+const minParallelChunk = 16
+
+// Executor evaluates whole populations of genomes, splitting each batch
+// across a pool of workers. Result slots are fixed by individual index
+// before any worker starts, so the outcome is bit-for-bit identical at
+// every worker count — parallelism changes only who computes a slot,
+// never what is computed or where it lands.
+type Executor struct {
+	p       Problem
+	bp      BatchProblem // non-nil when p implements the batch fast path
+	m       int
+	workers int
+
+	evals     *telemetry.Counter   // moea.evaluations
+	parEvals  *telemetry.Counter   // moea.parallel.evaluations
+	batchSize *telemetry.Gauge     // moea.executor.batch_size
+	util      *telemetry.Histogram // moea.executor.utilization_pct
+}
+
+// NewExecutor builds an executor over the problem. workers <= 0 selects
+// GOMAXPROCS. A nil collector disables the executor metrics at the cost
+// of one nil check per batch.
+func NewExecutor(p Problem, workers int, tel *telemetry.Collector) *Executor {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Executor{
+		p:         p,
+		m:         p.NumObjectives(),
+		workers:   workers,
+		evals:     tel.Counter("moea.evaluations"),
+		parEvals:  tel.Counter("moea.parallel.evaluations"),
+		batchSize: tel.Gauge("moea.executor.batch_size"),
+		util:      tel.Histogram("moea.executor.utilization_pct"),
+	}
+	e.bp, _ = p.(BatchProblem)
+	tel.Gauge("moea.executor.workers").Set(float64(workers))
+	return e
+}
+
+// Workers returns the resolved worker count.
+func (e *Executor) Workers() int { return e.workers }
+
+// Evaluate fills the objective vector of every individual in the batch.
+// Batches below 2*minParallelChunk (and all batches at workers=1) run on
+// the calling goroutine.
+func (e *Executor) Evaluate(batch []Individual) {
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	for i := range batch {
+		if batch[i].Obj == nil {
+			batch[i].Obj = make([]float64, e.m)
+		}
+	}
+	e.evals.Add(int64(n))
+	e.batchSize.Set(float64(n))
+	if e.workers == 1 || n < 2*minParallelChunk {
+		e.evaluateRange(batch)
+		return
+	}
+	chunk := (n + e.workers - 1) / e.workers
+	if chunk < minParallelChunk {
+		chunk = minParallelChunk
+	}
+	spawned := (n + chunk - 1) / chunk
+	busy := make([]time.Duration, spawned)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < spawned; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			t0 := time.Now()
+			e.evaluateRange(batch[lo:hi])
+			busy[w] = time.Since(t0)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	e.parEvals.Add(int64(n))
+	if wall := time.Since(start); wall > 0 {
+		var total time.Duration
+		for _, d := range busy {
+			total += d
+		}
+		e.util.Observe(100 * float64(total) / (float64(wall) * float64(spawned)))
+	}
+}
+
+// evaluateRange evaluates one contiguous sub-batch on the calling
+// goroutine, preferring the problem's batch entry point.
+func (e *Executor) evaluateRange(batch []Individual) {
+	if e.bp != nil {
+		gs := make([]Genome, len(batch))
+		outs := make([][]float64, len(batch))
+		for i := range batch {
+			gs[i] = batch[i].G
+			outs[i] = batch[i].Obj
+		}
+		e.bp.EvaluateBatch(gs, outs)
+		return
+	}
+	for i := range batch {
+		e.p.Evaluate(batch[i].G, batch[i].Obj)
+	}
+}
+
+// parallelFor runs f over contiguous chunks of [0, n) on up to workers
+// goroutines and waits for all of them. f must only write state owned by
+// its own index range; chunk boundaries depend solely on n and workers,
+// and per-index results are independent, so any workers value produces
+// identical state. Small ranges and workers=1 run inline.
+func parallelFor(n, workers int, f func(lo, hi int)) {
+	if workers <= 1 || n < 2*minParallelChunk {
+		f(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	if chunk < minParallelChunk {
+		chunk = minParallelChunk
+	}
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			f(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

@@ -3,6 +3,7 @@ package moea
 import (
 	"math"
 	"math/rand"
+	"sort"
 	"testing"
 	"testing/quick"
 )
@@ -96,12 +97,44 @@ func TestHypervolume(t *testing.T) {
 	}
 }
 
-func TestKthSmallest(t *testing.T) {
+func TestKSelect(t *testing.T) {
 	v := []float64{5, 1, 4, 2, 3}
-	for k := 0; k < 5; k++ {
-		cp := append([]float64(nil), v...)
-		if got := kthSmallest(cp, k); got != float64(k+1) {
-			t.Errorf("kthSmallest(%d) = %v, want %v", k, got, float64(k+1))
+	for k := 1; k <= 5; k++ {
+		sel := newKSelect(k)
+		for _, x := range v {
+			sel.offer(x)
+		}
+		if got := sel.kth(); got != float64(k) {
+			t.Errorf("kSelect(k=%d).kth() = %v, want %v", k, got, float64(k))
+		}
+	}
+	// Fewer than k values: the largest seen, matching the clamped
+	// quickselect it replaced. Empty: 0.
+	sel := newKSelect(10)
+	sel.offer(2)
+	sel.offer(7)
+	if got := sel.kth(); got != 7 {
+		t.Errorf("underfull kth() = %v, want 7", got)
+	}
+	sel.reset()
+	if got := sel.kth(); got != 0 {
+		t.Errorf("empty kth() = %v, want 0", got)
+	}
+	// Randomized cross-check against a full sort.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(100)
+		k := 1 + rng.Intn(n)
+		vals := make([]float64, n)
+		sel := newKSelect(k)
+		for i := range vals {
+			vals[i] = rng.Float64()
+			sel.offer(vals[i])
+		}
+		sorted := append([]float64(nil), vals...)
+		sort.Float64s(sorted)
+		if got := sel.kth(); got != sorted[k-1] {
+			t.Fatalf("trial %d: kth(k=%d,n=%d) = %v, want %v", trial, k, n, got, sorted[k-1])
 		}
 	}
 }
@@ -257,7 +290,7 @@ func TestEnvironmentalSelectionFillsUnderfullArchive(t *testing.T) {
 		{Obj: []float64{2, 2}},
 		{Obj: []float64{3, 3}},
 	}
-	assignFitness(union, 2)
+	assignFitness(union, 2, 1)
 	arch := environmentalSelection(union, 3, 2)
 	if len(arch) != 3 {
 		t.Fatalf("archive size = %d, want 3", len(arch))

@@ -10,43 +10,24 @@ import (
 // Pratap, Agarwal and Meyarivan (2002), the alternative multi-objective
 // optimizer cited by the paper. Selection uses fast nondominated sorting
 // and crowding distance; variation uses the same one-point crossover and
-// per-bit mutation operators as SPEA2.
+// per-bit mutation operators as SPEA2. Initialization, batched
+// evaluation and the OnGeneration protocol come from the shared engine
+// runtime.
 func NSGA2(p Problem, par Params) (*Result, error) {
-	if err := par.normalize(); err != nil {
+	e, err := newEngine(p, &par)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(par.Seed))
-	res := &Result{}
-	m := p.NumObjectives()
-	nbits := p.NumBits()
-	eval := func(g Genome) []float64 {
-		out := make([]float64, m)
-		p.Evaluate(g, out)
-		res.Evaluations++
-		return out
-	}
-
-	pop := initialPopulation(p, &par, rng, eval)
-	rankAndCrowd(pop, m)
+	pop := e.initialPopulation()
+	rankAndCrowd(pop, e.m)
+	var offspring []Individual
 	for gen := 0; gen < par.Generations; gen++ {
-		offspring := make([]Individual, 0, par.Population)
-		tournament := func() Genome {
-			best := rng.Intn(len(pop))
-			for t := 1; t < par.TournamentSize; t++ {
-				if c := rng.Intn(len(pop)); crowdedLess(&pop[c], &pop[best]) {
-					best = c
-				}
-			}
-			return pop[best].G
-		}
-		for len(offspring) < par.Population {
-			offspring = vary(offspring, tournament(), tournament(), &par, nbits, rng, eval)
-		}
+		offspring = e.offspring(offspring, nsga2Tournament(pop, &par, e.rng))
 		union := append(append(make([]Individual, 0, len(pop)+len(offspring)), pop...), offspring...)
 		fronts := nondominatedSort(union)
 		pop = pop[:0]
 		for _, f := range fronts {
-			crowdingDistance(union, f, m)
+			crowdingDistance(union, f, e.m)
 			if len(pop)+len(f) <= par.Population {
 				for _, i := range f {
 					pop = append(pop, union[i])
@@ -60,13 +41,25 @@ func NSGA2(p Problem, par Params) (*Result, error) {
 			}
 			break
 		}
-		res.Generations = gen + 1
-		if par.OnGeneration != nil && !par.OnGeneration(gen, ParetoFilter(pop)) {
+		if !e.onGeneration(gen, pop) {
 			break
 		}
 	}
-	res.Front = ParetoFilter(pop)
-	return res, nil
+	return e.finish(pop), nil
+}
+
+// nsga2Tournament is NSGA-II's mating selection: the crowded-comparison
+// winner of a size-TournamentSize tournament over the population.
+func nsga2Tournament(pop []Individual, par *Params, rng *rand.Rand) func() Genome {
+	return func() Genome {
+		best := rng.Intn(len(pop))
+		for t := 1; t < par.TournamentSize; t++ {
+			if c := rng.Intn(len(pop)); crowdedLess(&pop[c], &pop[best]) {
+				best = c
+			}
+		}
+		return pop[best].G
+	}
 }
 
 // crowdedLess implements the crowded-comparison operator: lower rank

@@ -3,6 +3,8 @@ package moea
 import (
 	"fmt"
 	"math/rand"
+
+	"rsnrobust/internal/telemetry"
 )
 
 // Problem is a multi-objective pseudo-boolean minimization problem.
@@ -14,6 +16,18 @@ type Problem interface {
 	// Evaluate writes the objective values of g into out
 	// (len(out) == NumObjectives()). It must not retain g or out.
 	Evaluate(g Genome, out []float64)
+}
+
+// BatchProblem is an optional fast path: a Problem that evaluates many
+// genomes in one call. The executor prefers it when present, passing
+// each worker a contiguous sub-batch. outs[i] (len NumObjectives) is the
+// output slot of gs[i]; implementations must fill every slot, must not
+// retain the slices, and must be safe for concurrent calls on disjoint
+// batches. EvaluateBatch(gs, outs) must write exactly the values that
+// per-genome Evaluate calls would.
+type BatchProblem interface {
+	Problem
+	EvaluateBatch(gs []Genome, outs [][]float64)
 }
 
 // Individual is a candidate solution with its evaluated objectives.
@@ -83,6 +97,13 @@ type Params struct {
 	// individuals; individual k gets density (k+1)/pop · MaxInitDensity,
 	// giving the "diversified set of genes" of Section V. Default 0.5.
 	MaxInitDensity float64
+	// Workers is the evaluation worker-pool size: 0 selects
+	// GOMAXPROCS, 1 forces serial evaluation. The result is
+	// bit-for-bit identical at every worker count.
+	Workers int
+	// Telemetry, if non-nil, receives the executor's instruments
+	// (evaluation counters, batch-size gauge, utilization histogram).
+	Telemetry *telemetry.Collector
 	// OnGeneration, if non-nil, is called after every generation with
 	// the current nondominated front; returning false stops the run
 	// early.
@@ -133,33 +154,17 @@ type Result struct {
 	Front []Individual
 	// Generations is the number of generations actually run.
 	Generations int
-	// Evaluations is the number of Evaluate calls.
+	// Evaluations is the number of objective evaluations performed.
 	Evaluations int
 }
 
-// initialPopulation builds the diversified random initial population,
-// with optional seed genomes occupying the first slots.
-func initialPopulation(p Problem, par *Params, rng *rand.Rand, eval func(Genome) []float64) []Individual {
-	pop := make([]Individual, par.Population)
-	n := p.NumBits()
-	i := 0
-	for ; i < len(par.Seeds) && i < par.Population; i++ {
-		g := par.Seeds[i].Clone()
-		pop[i] = Individual{G: g, Obj: eval(g)}
-	}
-	for ; i < par.Population; i++ {
-		g := NewGenome(n)
-		density := par.MaxInitDensity * float64(i+1) / float64(par.Population)
-		g.Randomize(rng, density, n)
-		pop[i] = Individual{G: g, Obj: eval(g)}
-	}
-	return pop
-}
-
 // vary produces one offspring pair from two parents using the
-// configured operators and appends them to dst (respecting its capacity
-// limit).
-func vary(dst []Individual, a, b Genome, par *Params, nbits int, rng *rand.Rand, eval func(Genome) []float64) []Individual {
+// configured operators and appends them unevaluated to dst (respecting
+// its capacity limit). Evaluation happens afterwards, in one batch per
+// generation: the operators consume the RNG in exactly the order the
+// historical evaluate-as-you-breed code did, because evaluation never
+// touches the RNG.
+func vary(dst []Individual, a, b Genome, par *Params, nbits int, rng *rand.Rand) []Individual {
 	var c1, c2 Genome
 	if nbits > 1 && rng.Float64() < par.PCrossover {
 		switch par.Crossover {
@@ -187,9 +192,9 @@ func vary(dst []Individual, a, b Genome, par *Params, nbits int, rng *rand.Rand,
 	}
 	c1.MutateBits(rng, par.PMutateBit, nbits)
 	c2.MutateBits(rng, par.PMutateBit, nbits)
-	dst = append(dst, Individual{G: c1, Obj: eval(c1)})
+	dst = append(dst, Individual{G: c1})
 	if len(dst) < cap(dst) {
-		dst = append(dst, Individual{G: c2, Obj: eval(c2)})
+		dst = append(dst, Individual{G: c2})
 	}
 	return dst
 }

@@ -1,0 +1,102 @@
+package moea
+
+import "math/rand"
+
+// engine is the shared optimizer runtime: the plumbing that was
+// historically duplicated between SPEA2 and NSGA2 — parameter
+// normalization, the seeded RNG, diversified population initialization,
+// batched objective evaluation with exact accounting, offspring
+// breeding, and the OnGeneration stop protocol. The algorithm files
+// reduce to fitness assignment plus selection on top of it.
+//
+// Evaluation goes through the Executor at a whole-population batch
+// boundary: genomes are bred first (consuming the RNG in exactly the
+// order the inline-evaluating code did — evaluation never touches the
+// RNG), then evaluated together, possibly in parallel. Same seed ⇒ same
+// run at any worker count.
+type engine struct {
+	prob  Problem
+	par   *Params
+	rng   *rand.Rand
+	exec  *Executor
+	res   *Result
+	nbits int
+	m     int
+}
+
+// newEngine validates the parameters and assembles the runtime.
+func newEngine(p Problem, par *Params) (*engine, error) {
+	if err := par.normalize(); err != nil {
+		return nil, err
+	}
+	return &engine{
+		prob:  p,
+		par:   par,
+		rng:   rand.New(rand.NewSource(par.Seed)),
+		exec:  NewExecutor(p, par.Workers, par.Telemetry),
+		res:   &Result{},
+		nbits: p.NumBits(),
+		m:     p.NumObjectives(),
+	}, nil
+}
+
+// evaluate batch-evaluates the individuals and accounts each of them in
+// Result.Evaluations exactly once.
+func (e *engine) evaluate(pop []Individual) {
+	e.exec.Evaluate(pop)
+	e.res.Evaluations += len(pop)
+}
+
+// initialPopulation builds the diversified random initial population,
+// with optional seed genomes occupying the first slots.
+func (e *engine) initialPopulation() []Individual {
+	par := e.par
+	pop := make([]Individual, par.Population)
+	i := 0
+	for ; i < len(par.Seeds) && i < par.Population; i++ {
+		pop[i] = Individual{G: par.Seeds[i].Clone()}
+	}
+	for ; i < par.Population; i++ {
+		g := NewGenome(e.nbits)
+		density := par.MaxInitDensity * float64(i+1) / float64(par.Population)
+		g.Randomize(e.rng, density, e.nbits)
+		pop[i] = Individual{G: g}
+	}
+	e.evaluate(pop)
+	return pop
+}
+
+// offspring refills dst with Population children bred from pairs of
+// pick() tournament winners, then batch-evaluates them.
+func (e *engine) offspring(dst []Individual, pick func() Genome) []Individual {
+	if cap(dst) < e.par.Population {
+		dst = make([]Individual, 0, e.par.Population)
+	} else {
+		// vary drops the odd last child when dst is full, so the cap
+		// must be exactly Population.
+		dst = dst[:0:e.par.Population]
+	}
+	for len(dst) < e.par.Population {
+		dst = vary(dst, pick(), pick(), e.par, e.nbits, e.rng)
+	}
+	e.evaluate(dst)
+	return dst
+}
+
+// onGeneration advances the generation counter and invokes the user
+// callback (if any) on the current nondominated front; it reports
+// whether the run should continue.
+func (e *engine) onGeneration(gen int, current []Individual) bool {
+	e.res.Generations = gen + 1
+	if e.par.OnGeneration == nil {
+		return true
+	}
+	return e.par.OnGeneration(gen, ParetoFilter(current))
+}
+
+// finish extracts the final nondominated front and returns the
+// accumulated result.
+func (e *engine) finish(final []Individual) *Result {
+	e.res.Front = ParetoFilter(final)
+	return e.res
+}

@@ -21,45 +21,52 @@ import (
 //     best dominated individuals;
 //  3. binary-tournament mating selection on the archive, one-point
 //     crossover and per-bit mutation produce the next population.
+//
+// Population initialization, batched (optionally parallel) objective
+// evaluation, evaluation accounting and the OnGeneration protocol live
+// in the shared engine runtime.
 func SPEA2(p Problem, par Params) (*Result, error) {
-	if err := par.normalize(); err != nil {
+	e, err := newEngine(p, &par)
+	if err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(par.Seed))
-	res := &Result{}
-	m := p.NumObjectives()
-	nbits := p.NumBits()
-	eval := func(g Genome) []float64 {
-		out := make([]float64, m)
-		p.Evaluate(g, out)
-		res.Evaluations++
-		return out
-	}
-
-	pop := initialPopulation(p, &par, rng, eval)
+	pop := e.initialPopulation()
 	var archive []Individual
-
 	for gen := 0; gen < par.Generations; gen++ {
 		union := append(append(make([]Individual, 0, len(pop)+len(archive)), pop...), archive...)
-		assignFitness(union, m)
-		archive = environmentalSelection(union, par.Archive, m)
-		res.Generations = gen + 1
-		if par.OnGeneration != nil && !par.OnGeneration(gen, ParetoFilter(archive)) {
+		assignFitness(union, e.m, e.exec.Workers())
+		archive = environmentalSelection(union, par.Archive, e.m)
+		if !e.onGeneration(gen, archive) || gen == par.Generations-1 {
 			break
 		}
-		if gen == par.Generations-1 {
-			break
-		}
-		pop = pop[:0]
-		pop = makeOffspring(pop, archive, &par, nbits, rng, eval)
+		pop = e.offspring(pop, spea2Tournament(archive, &par, e.rng))
 	}
-	res.Front = ParetoFilter(archive)
-	return res, nil
+	return e.finish(archive), nil
+}
+
+// spea2Tournament is SPEA-2's mating selection: the best-fitness winner
+// of a size-TournamentSize tournament over the archive.
+func spea2Tournament(archive []Individual, par *Params, rng *rand.Rand) func() Genome {
+	return func() Genome {
+		best := rng.Intn(len(archive))
+		for t := 1; t < par.TournamentSize; t++ {
+			if c := rng.Intn(len(archive)); archive[c].fitness < archive[best].fitness {
+				best = c
+			}
+		}
+		return archive[best].G
+	}
 }
 
 // assignFitness computes the SPEA-2 fitness F = R + D for every
-// individual of the union.
-func assignFitness(union []Individual, m int) {
+// individual of the union. The k-NN density loop is independent per
+// individual and is spread over the workers; the result is identical at
+// any worker count.
+func assignFitness(union []Individual, m, workers int) {
+	if m == 2 {
+		assignFitness2(union, workers)
+		return
+	}
 	n := len(union)
 	strength := make([]int, n)
 	domBy := make([][]int32, n) // dominators of i
@@ -75,63 +82,203 @@ func assignFitness(union []Individual, m int) {
 		}
 	}
 	_, invRange := normalizeRanges(union, m)
+	k := kNearest(n)
+	parallelFor(n, workers, func(lo, hi int) {
+		sel := newKSelect(k)
+		for i := lo; i < hi; i++ {
+			raw := 0
+			for _, j := range domBy[i] {
+				raw += strength[j]
+			}
+			sel.reset()
+			for j := 0; j < n; j++ {
+				if j != i {
+					sel.offer(objDist2(union[i].Obj, union[j].Obj, invRange))
+				}
+			}
+			sigma := sel.kth()
+			union[i].density = 1 / (math.Sqrt(sigma) + 2)
+			union[i].fitness = float64(raw) + union[i].density
+		}
+	})
+}
+
+// assignFitness2 is the two-objective specialization of assignFitness —
+// the shape of the selective-hardening problem and the hot path of the
+// whole optimizer. It produces bit-identical fitness values: dominance
+// unrolls to direct comparisons, and the k-th-nearest-neighbour
+// distance comes from a bounded max-heap scan (the same multiset value
+// the quickselect returned) with the distance arithmetic of objDist2.
+func assignFitness2(union []Individual, workers int) {
+	n := len(union)
+	obj0 := make([]float64, n)
+	obj1 := make([]float64, n)
+	for i := range union {
+		obj0[i] = union[i].Obj[0]
+		obj1[i] = union[i].Obj[1]
+	}
+	strength := make([]int, n)
+	domBy := make([][]int32, n)
+	for i := 0; i < n; i++ {
+		a0, a1 := obj0[i], obj1[i]
+		for j := i + 1; j < n; j++ {
+			b0, b1 := obj0[j], obj1[j]
+			if a0 <= b0 && a1 <= b1 {
+				if a0 < b0 || a1 < b1 {
+					strength[i]++
+					domBy[j] = append(domBy[j], int32(i))
+				}
+			} else if b0 <= a0 && b1 <= a1 {
+				strength[j]++
+				domBy[i] = append(domBy[i], int32(j))
+			}
+		}
+	}
+	inv0, inv1 := invRange2(obj0), invRange2(obj1)
+	k := kNearest(n)
+	// Sweep order for the k-NN search: indices sorted by the first
+	// objective. Expanding outward from each point in this order visits
+	// candidates by growing |Δobj0|, so once the x-distance alone reaches
+	// the current k-th best, no remaining candidate can improve it
+	// (d' ≥ Δx'² ≥ Δx² in IEEE arithmetic — rounding is monotone) and
+	// the scan stops. Typical cost per point is O(k) instead of O(n).
+	ord := make([]int, n)
+	for i := range ord {
+		ord[i] = i
+	}
+	sort.Slice(ord, func(a, b int) bool { return obj0[ord[a]] < obj0[ord[b]] })
+	pos := make([]int, n)
+	for p, i := range ord {
+		pos[i] = p
+	}
+	parallelFor(n, workers, func(lo, hi int) {
+		sel := newKSelect(k)
+		for i := lo; i < hi; i++ {
+			raw := 0
+			for _, j := range domBy[i] {
+				raw += strength[j]
+			}
+			a0, a1 := obj0[i], obj1[i]
+			sel.reset()
+			l, r := pos[i]-1, pos[i]+1
+			for l >= 0 || r < n {
+				// Advance the side with the smaller |Δobj0| so the prune
+				// below terminates both directions at once.
+				var j int
+				if l >= 0 && (r >= n || a0-obj0[ord[l]] <= obj0[ord[r]]-a0) {
+					j = ord[l]
+					l--
+				} else {
+					j = ord[r]
+					r++
+				}
+				// Same expression order as objDist2, so the squared
+				// distance is bit-identical to the generic path.
+				x := (a0 - obj0[j]) * inv0
+				d := x * x
+				if len(sel.heap) == k && d >= sel.heap[0] {
+					break
+				}
+				y := (a1 - obj1[j]) * inv1
+				d += y * y
+				sel.offer(d)
+			}
+			sigma := sel.kth()
+			union[i].density = 1 / (math.Sqrt(sigma) + 2)
+			union[i].fitness = float64(raw) + union[i].density
+		}
+	})
+}
+
+// kNearest is SPEA-2's neighbour index k = sqrt(n), at least 1.
+func kNearest(n int) int {
 	k := int(math.Sqrt(float64(n)))
 	if k < 1 {
 		k = 1
 	}
-	dists := make([]float64, n)
-	for i := 0; i < n; i++ {
-		raw := 0
-		for _, j := range domBy[i] {
-			raw += strength[j]
+	return k
+}
+
+// invRange2 returns 1/(max-min) over the values (0 for a flat range),
+// matching normalizeRanges for one objective.
+func invRange2(v []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, x := range v {
+		if x < lo {
+			lo = x
 		}
-		// k-th nearest neighbour distance via partial selection.
-		dists = dists[:0]
-		for j := 0; j < n; j++ {
-			if j != i {
-				dists = append(dists, objDist2(union[i].Obj, union[j].Obj, invRange))
+		if x > hi {
+			hi = x
+		}
+	}
+	if d := hi - lo; d > 0 {
+		return 1 / d
+	}
+	return 0
+}
+
+// kSelect tracks the k smallest values of a stream with a bounded
+// max-heap: offer rejects most values with a single compare once the
+// heap is warm, and kth returns the k-th smallest seen — the exact
+// multiset value a full sort or quickselect would produce.
+type kSelect struct {
+	k    int
+	heap []float64
+}
+
+func newKSelect(k int) *kSelect {
+	return &kSelect{k: k, heap: make([]float64, 0, k)}
+}
+
+func (s *kSelect) reset() { s.heap = s.heap[:0] }
+
+func (s *kSelect) offer(d float64) {
+	h := s.heap
+	if len(h) < s.k {
+		// Sift up.
+		h = append(h, d)
+		i := len(h) - 1
+		for i > 0 {
+			p := (i - 1) / 2
+			if h[p] >= h[i] {
+				break
 			}
+			h[p], h[i] = h[i], h[p]
+			i = p
 		}
-		sigma := kthSmallest(dists, k-1)
-		union[i].density = 1 / (math.Sqrt(sigma) + 2)
-		union[i].fitness = float64(raw) + union[i].density
+		s.heap = h
+		return
+	}
+	if d >= h[0] {
+		return
+	}
+	// Replace the max and sift down.
+	h[0] = d
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			break
+		}
+		if r := l + 1; r < len(h) && h[r] > h[l] {
+			l = r
+		}
+		if h[i] >= h[l] {
+			break
+		}
+		h[i], h[l] = h[l], h[i]
+		i = l
 	}
 }
 
-// kthSmallest selects the k-th smallest element (0-based) of v in place.
-func kthSmallest(v []float64, k int) float64 {
-	if len(v) == 0 {
+// kth returns the k-th smallest offered value; with fewer than k values
+// it returns the largest seen (0 when empty), matching the clamped
+// quickselect the implementation previously used.
+func (s *kSelect) kth() float64 {
+	if len(s.heap) == 0 {
 		return 0
 	}
-	if k >= len(v) {
-		k = len(v) - 1
-	}
-	lo, hi := 0, len(v)-1
-	for lo < hi {
-		pivot := v[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for v[i] < pivot {
-				i++
-			}
-			for v[j] > pivot {
-				j--
-			}
-			if i <= j {
-				v[i], v[j] = v[j], v[i]
-				i++
-				j--
-			}
-		}
-		if k <= j {
-			hi = j
-		} else if k >= i {
-			lo = i
-		} else {
-			break
-		}
-	}
-	return v[k]
+	return s.heap[0]
 }
 
 // environmentalSelection builds the next archive of the given capacity.
@@ -229,26 +376,4 @@ func truncate(set []Individual, capacity, m int) []Individual {
 		}
 	}
 	return out
-}
-
-// makeOffspring fills pop (capacity par.Population) with children bred
-// from binary tournaments over the archive.
-func makeOffspring(pop, archive []Individual, par *Params, nbits int, rng *rand.Rand, eval func(Genome) []float64) []Individual {
-	pop = pop[:0:cap(pop)]
-	if cap(pop) < par.Population {
-		pop = make([]Individual, 0, par.Population)
-	}
-	tournament := func() Genome {
-		best := rng.Intn(len(archive))
-		for t := 1; t < par.TournamentSize; t++ {
-			if c := rng.Intn(len(archive)); archive[c].fitness < archive[best].fitness {
-				best = c
-			}
-		}
-		return archive[best].G
-	}
-	for len(pop) < par.Population {
-		pop = vary(pop, tournament(), tournament(), par, nbits, rng, eval)
-	}
-	return pop
 }
