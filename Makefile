@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race determinism bench bench-smoke benchjson clean
+.PHONY: ci vet build test race determinism bench bench-smoke benchjson bench-compare clean
 
 ci: vet build race determinism
 
@@ -19,9 +19,10 @@ race:
 	$(GO) test -race ./...
 
 # Determinism gate: identical fronts, picks and evaluation counts at
-# workers=1 and workers=4 on a mid-size Table I benchmark.
+# every worker count, scheduler job count, and with the evaluation
+# cache on or off.
 determinism:
-	$(GO) test -run 'WorkerDeterminism|WorkerInvariance' ./internal/core ./internal/moea
+	$(GO) test -run 'WorkerDeterminism|WorkerInvariance|RunSetDeterminism|MemoOracle' ./internal/core ./internal/moea
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
@@ -32,9 +33,15 @@ bench-smoke:
 	$(GO) test -run=NONE -bench=Table1 -benchtime=1x .
 
 # Regenerate the committed machine-readable benchmark summary
-# (validated by TestBenchJSONArtifact).
+# (validated by TestBenchJSONArtifact). -jobs 1 keeps the per-row
+# evolve_ms serial and therefore comparable across artifact versions.
 benchjson:
-	$(GO) run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_2.json
+	$(GO) run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_3.json
+
+# Fail if any shared row's evolve_ms regressed >15% vs the previous
+# committed artifact.
+bench-compare:
+	$(GO) run ./cmd/benchdiff -threshold 15 BENCH_2.json BENCH_3.json
 
 clean:
 	$(GO) clean ./...

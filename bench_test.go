@@ -83,13 +83,17 @@ func runRow(b *testing.B, e benchnets.Entry, gens int) {
 	}
 }
 
-// TestBenchJSONArtifact validates the committed BENCH_2.json against the
-// rsnrobust-bench/v2 schema (per-stage wall clock, worker count,
-// GOMAXPROCS). Regenerate the artifact with
+// TestBenchJSONArtifact validates the committed BENCH_3.json against the
+// rsnrobust-bench/v3 schema (per-stage wall clock, worker and job
+// counts, memoization counters, steady-state allocation rate).
+// Regenerate the artifact with
 //
-//	go run ./cmd/table1 -quick -maxprims 60000 -benchjson BENCH_2.json
+//	go run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_3.json
+//
+// (-jobs 1 keeps evolve_ms comparable with the serial BENCH_2.json;
+// allocs_per_gen is only meaningful without concurrent rows.)
 func TestBenchJSONArtifact(t *testing.T) {
-	raw, err := os.ReadFile("BENCH_2.json")
+	raw, err := os.ReadFile("BENCH_3.json")
 	if err != nil {
 		t.Skipf("no benchmark artifact: %v", err)
 	}
@@ -98,6 +102,7 @@ func TestBenchJSONArtifact(t *testing.T) {
 		Algo       string `json:"algo"`
 		GOMAXPROCS int    `json:"gomaxprocs"`
 		Workers    int    `json:"workers"`
+		Jobs       int    `json:"jobs"`
 		Rows       []struct {
 			Network     string  `json:"network"`
 			Segments    int     `json:"segments"`
@@ -105,6 +110,8 @@ func TestBenchJSONArtifact(t *testing.T) {
 			Primitives  int     `json:"primitives"`
 			Generations int     `json:"generations"`
 			Evaluations int64   `json:"evaluations"`
+			CacheHits   int64   `json:"cache_hits"`
+			CacheMisses int64   `json:"cache_misses"`
 			AnalysisMS  float64 `json:"analysis_ms"`
 			SPEA2MS     float64 `json:"spea2_ms"`
 			TotalMS     float64 `json:"total_ms"`
@@ -114,17 +121,19 @@ func TestBenchJSONArtifact(t *testing.T) {
 				EvolveMS      float64 `json:"evolve_ms"`
 				ExtractMS     float64 `json:"extract_ms"`
 			} `json:"stages"`
-			FrontSize int `json:"front_size"`
+			FrontSize    int     `json:"front_size"`
+			AllocsPerGen float64 `json:"allocs_per_gen"`
 		} `json:"rows"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		t.Fatalf("BENCH_2.json is not valid JSON: %v", err)
+		t.Fatalf("BENCH_3.json is not valid JSON: %v", err)
 	}
-	if doc.Schema != "rsnrobust-bench/v2" {
-		t.Fatalf("schema = %q, want rsnrobust-bench/v2", doc.Schema)
+	if doc.Schema != "rsnrobust-bench/v3" {
+		t.Fatalf("schema = %q, want rsnrobust-bench/v3", doc.Schema)
 	}
-	if doc.GOMAXPROCS <= 0 || doc.Workers <= 0 {
-		t.Fatalf("gomaxprocs=%d workers=%d, want both positive", doc.GOMAXPROCS, doc.Workers)
+	if doc.GOMAXPROCS <= 0 || doc.Workers <= 0 || doc.Jobs <= 0 {
+		t.Fatalf("gomaxprocs=%d workers=%d jobs=%d, want all positive",
+			doc.GOMAXPROCS, doc.Workers, doc.Jobs)
 	}
 	if len(doc.Rows) == 0 {
 		t.Fatal("no benchmark rows")
@@ -145,6 +154,18 @@ func TestBenchJSONArtifact(t *testing.T) {
 		}
 		if r.Generations <= 0 || r.Evaluations <= 0 || r.FrontSize <= 0 {
 			t.Errorf("row %q: non-positive counters %+v", r.Network, r)
+		}
+		// With memoization on (the table1 default), Evaluations counts
+		// true evaluations only — exactly the cache misses.
+		if r.CacheMisses != r.Evaluations {
+			t.Errorf("row %q: cache_misses %d != evaluations %d",
+				r.Network, r.CacheMisses, r.Evaluations)
+		}
+		if r.CacheHits < 0 {
+			t.Errorf("row %q: negative cache_hits %d", r.Network, r.CacheHits)
+		}
+		if r.AllocsPerGen < 0 {
+			t.Errorf("row %q: negative allocs_per_gen %.1f", r.Network, r.AllocsPerGen)
 		}
 		if r.AnalysisMS < 0 || r.SPEA2MS <= 0 || r.TotalMS < r.SPEA2MS {
 			t.Errorf("row %q: implausible timings analysis=%.3fms spea2=%.3fms total=%.3fms",
@@ -261,6 +282,32 @@ func benchOptimizer(b *testing.B, algo core.Algorithm) {
 	}
 	opt := core.DefaultOptions(benchGenerations, 1)
 	opt.Algorithm = algo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Synthesize(net, sp, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSynthesizeAllocs gates the generation loop's allocation
+// diet: with pooled genomes/objective vectors, per-run scratch arenas,
+// and reusable kSelect heaps the allocs/op of a whole synthesis run is
+// dominated by the one-time setup (network analysis, arena warm-up),
+// not by the generation count. Compare allocs/op here between revisions
+// with `go test -bench SynthesizeAllocs -benchmem`; the hard
+// steady-state gate lives in moea.TestGenerationAllocs.
+func BenchmarkSynthesizeAllocs(b *testing.B) {
+	net, err := benchnets.Generate("p34392")
+	if err != nil {
+		b.Fatal(err)
+	}
+	sp, err := spec.Generate(net, spec.PaperGenOptions(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := core.DefaultOptions(benchGenerations, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Synthesize(net, sp, opt); err != nil {

@@ -1,0 +1,114 @@
+// Command benchdiff compares two rsnrobust-bench JSON artifacts
+// (BENCH_2.json, BENCH_3.json, ...) row by row on the evolutionary
+// stage's wall clock (stages.evolve_ms) and fails when any shared row
+// regresses by more than the threshold. It is the Makefile's
+// `bench-compare` gate:
+//
+//	go run ./cmd/benchdiff -threshold 15 BENCH_2.json BENCH_3.json
+//
+// Rows only present in one file are reported but do not fail the gate
+// (the row set legitimately changes with -quick/-maxprims). Both the v2
+// and v3 schemas are accepted — the compared fields are common to both.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type benchDoc struct {
+	Schema string `json:"schema"`
+	Algo   string `json:"algo"`
+	Jobs   int    `json:"jobs"`
+	Rows   []struct {
+		Network string `json:"network"`
+		Stages  struct {
+			EvolveMS float64 `json:"evolve_ms"`
+		} `json:"stages"`
+	} `json:"rows"`
+}
+
+func load(path string) (*benchDoc, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(doc.Rows) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark rows", path)
+	}
+	return &doc, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 15, "max allowed evolve_ms regression in percent")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: benchdiff [-threshold pct] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	oldDoc, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newDoc, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+
+	oldRows := map[string]float64{}
+	for _, r := range oldDoc.Rows {
+		oldRows[r.Network] = r.Stages.EvolveMS
+	}
+
+	fmt.Printf("%-22s %12s %12s %9s\n", "network", "old evolve", "new evolve", "delta")
+	regressions, compared := 0, 0
+	seen := map[string]bool{}
+	for _, r := range newDoc.Rows {
+		seen[r.Network] = true
+		old, ok := oldRows[r.Network]
+		if !ok {
+			fmt.Printf("%-22s %12s %9.1fms   (new row, not compared)\n", r.Network, "-", r.Stages.EvolveMS)
+			continue
+		}
+		if old <= 0 {
+			fmt.Printf("%-22s %12s %9.1fms   (old evolve_ms <= 0, not compared)\n", r.Network, "-", r.Stages.EvolveMS)
+			continue
+		}
+		compared++
+		pct := 100 * (r.Stages.EvolveMS - old) / old
+		mark := ""
+		if pct > *threshold {
+			regressions++
+			mark = "   REGRESSION"
+		}
+		fmt.Printf("%-22s %10.1fms %10.1fms %+8.1f%%%s\n", r.Network, old, r.Stages.EvolveMS, pct, mark)
+	}
+	for _, r := range oldDoc.Rows {
+		if !seen[r.Network] {
+			fmt.Printf("%-22s %10.1fms %12s   (row dropped, not compared)\n", r.Network, r.Stages.EvolveMS, "-")
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no shared rows to compare")
+		os.Exit(2)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d/%d rows regressed more than %.0f%% on evolve_ms\n",
+			regressions, compared, *threshold)
+		os.Exit(1)
+	}
+	fmt.Printf("ok: %d rows within %.0f%% on evolve_ms\n", compared, *threshold)
+}

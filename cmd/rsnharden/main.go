@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"rsnrobust/internal/access"
 	"rsnrobust/internal/baseline"
@@ -48,6 +49,8 @@ func main() {
 		rep     = flag.Bool("report", false, "print the robustness report of the damage<=10% solution (single- and double-fault)")
 		stag    = flag.Int("stagnation", 0, "stop early after N generations without hypervolume improvement (0 = full budget)")
 		workers = flag.Int("workers", 0, "objective-evaluation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		seeds   = flag.Int("seeds", 1, "run this many consecutive seeds (seed .. seed+N-1) and report per-seed plus aggregate results")
+		jobs    = flag.Int("jobs", 0, "concurrent synthesis jobs in multi-seed mode (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 		scope   = flag.String("universe", "all", "fault universe: all or control")
 		telOut  = flag.String("telemetry", "", "write telemetry events (JSONL) to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -100,6 +103,30 @@ func main() {
 			"segments": st.Segments, "muxes": st.Muxes,
 			"algo": *algo, "seed": *seed, "generations": generations,
 		})
+	}
+
+	if *seeds > 1 {
+		err := runSeedSweep(sweepConfig{
+			in: *in, name: *name, genspec: *genspec,
+			generations: generations, seed: *seed, seeds: *seeds, jobs: *jobs,
+			algo: *algo, scope: *scope, force: *force, stag: *stag, workers: *workers,
+		}, tel)
+		if err != nil {
+			fail(err)
+		}
+		if err := tel.Close(); err != nil {
+			fail(err)
+		}
+		if *prog && tel != nil {
+			fmt.Fprintln(os.Stderr)
+			if err := report.WriteTelemetry(os.Stderr, tel.Snapshot()); err != nil {
+				fail(err)
+			}
+		}
+		if err := stopProfiles(); err != nil {
+			fail(err)
+		}
+		return
 	}
 
 	opt := core.DefaultOptions(generations, *seed)
@@ -296,6 +323,153 @@ func verifyCompat(net *rsn.Network, s *core.Synthesis, tel *telemetry.Collector)
 		compatible = 1
 	}
 	tel.Gauge("verify.pattern_compatible").Set(compatible)
+}
+
+// sweepConfig is the multi-seed run description: the same synthesis at
+// seeds seed .. seed+N-1, scheduled across a bounded job pool.
+type sweepConfig struct {
+	in, name    string
+	genspec     bool
+	generations int
+	seed        int64
+	seeds       int
+	jobs        int
+	algo        string
+	scope       string
+	force       bool
+	stag        int
+	workers     int
+}
+
+// seedResult is one seed's outcome in the sweep summary.
+type seedResult struct {
+	seed             int64
+	gens, evals      int
+	cacheHits        int64
+	cacheMisses      int64
+	frontSize        int
+	costD10, dmgD10  int64
+	costC10, dmgC10  int64
+	elapsed, evolveT time.Duration
+}
+
+// runSeedSweep runs the synthesis once per seed on a RunSet scheduler
+// and prints a per-seed table plus aggregates. Each job loads its own
+// copy of the network and specification (deterministic, so every job
+// sees identical inputs) and varies only the optimizer seed — the sweep
+// measures optimizer variance, not specification variance. With a
+// telemetry collector, every job's pipeline spans hang off that job's
+// "job:seed-N" span via Options.ParentSpan, so the trace stays a tree
+// under concurrency. Results and output are identical at any job count.
+func runSeedSweep(cfg sweepConfig, tel *telemetry.Collector) error {
+	rs := moea.NewRunSet[seedResult]()
+	for i := 0; i < cfg.seeds; i++ {
+		s := cfg.seed + int64(i)
+		rs.Add(fmt.Sprintf("seed-%d", s), func(sp *telemetry.Span) (seedResult, error) {
+			return runOneSeed(cfg, s, tel, sp)
+		})
+	}
+	// Wall clock goes to stderr, like the single-seed path: stdout stays
+	// byte-identical for the same seeds at every job count.
+	tb := report.New("seed", "gens", "evals", "hits", "misses", "front",
+		"cost|d10", "dmg|d10", "cost|c10", "dmg|c10")
+	var (
+		results  []seedResult
+		sumD10   float64
+		bestD10  int64 = -1
+		sumC10   float64
+		bestC10  int64 = -1
+		sumEvolv time.Duration
+	)
+	err := rs.Run(cfg.jobs, tel, func(i int, label string, r seedResult, err error) {
+		if err != nil {
+			return // reported once by Run
+		}
+		tb.Add(r.seed, r.gens, r.evals, r.cacheHits, r.cacheMisses, r.frontSize,
+			r.costD10, r.dmgD10, r.costC10, r.dmgC10)
+		results = append(results, r)
+		sumEvolv += r.evolveT
+		if r.costD10 >= 0 {
+			sumD10 += float64(r.costD10)
+			if bestD10 < 0 || r.costD10 < bestD10 {
+				bestD10 = r.costD10
+			}
+		}
+		if r.dmgC10 >= 0 {
+			sumC10 += float64(r.dmgC10)
+			if bestC10 < 0 || r.dmgC10 < bestC10 {
+				bestC10 = r.dmgC10
+			}
+		}
+		fmt.Fprintf(os.Stderr, "done seed %-6d in %v (evolve %v)\n",
+			r.seed, r.elapsed.Round(time.Millisecond), r.evolveT.Round(time.Millisecond))
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("seed sweep     %d seeds (%d..%d), %s\n",
+		cfg.seeds, cfg.seed, cfg.seed+int64(cfg.seeds)-1, cfg.algo)
+	if err := tb.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if n := float64(len(results)); n > 0 {
+		fmt.Printf("aggregate      cost|d10 mean %.1f best %d;  dmg|c10 mean %.1f best %d\n",
+			sumD10/n, bestD10, sumC10/n, bestC10)
+		fmt.Fprintf(os.Stderr, "mean evolve    %v over %d seeds\n",
+			(sumEvolv / time.Duration(len(results))).Round(time.Millisecond), len(results))
+	}
+	return nil
+}
+
+// runOneSeed is one job of the sweep: a full, self-contained synthesis.
+func runOneSeed(cfg sweepConfig, seed int64, tel *telemetry.Collector, span *telemetry.Span) (seedResult, error) {
+	res := seedResult{seed: seed, costD10: -1, dmgD10: -1, costC10: -1, dmgC10: -1}
+	net, _, err := loadNetwork(cfg.in, cfg.name)
+	if err != nil {
+		return res, err
+	}
+	var sp *spec.Spec
+	if cfg.genspec || cfg.name != "" {
+		// Base seed on purpose: the specification is part of the problem
+		// and stays fixed across the sweep.
+		if sp, err = spec.Generate(net, spec.PaperGenOptions(cfg.seed)); err != nil {
+			return res, err
+		}
+	} else {
+		sp = spec.FromNetwork(net, spec.DefaultCostModel)
+	}
+	opt := core.DefaultOptions(cfg.generations, seed)
+	opt.ForceCritical = cfg.force
+	opt.Stagnation = cfg.stag
+	opt.Workers = cfg.workers
+	opt.Telemetry = tel
+	opt.ParentSpan = span
+	if cfg.scope == "control" {
+		opt.Analysis.Scope = faults.ScopeControl
+	}
+	if cfg.algo == "nsga2" {
+		opt.Algorithm = core.AlgoNSGA2
+	} else if cfg.algo != "spea2" {
+		return res, fmt.Errorf("unknown algorithm %q", cfg.algo)
+	}
+	s, err := core.Synthesize(net, sp, opt)
+	if err != nil {
+		return res, err
+	}
+	res.gens = s.Generations
+	res.evals = s.Evaluations
+	res.cacheHits = s.CacheHits
+	res.cacheMisses = s.CacheMisses
+	res.frontSize = len(s.Front)
+	res.elapsed = s.Elapsed
+	res.evolveT = s.EvolveTime
+	if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {
+		res.costD10, res.dmgD10 = sol.Cost, sol.Damage
+	}
+	if sol, ok := s.MinDamageWithCostAtMost(0.10); ok {
+		res.costC10, res.dmgC10 = sol.Cost, sol.Damage
+	}
+	return res, nil
 }
 
 func loadNetwork(in, name string) (*rsn.Network, *benchnets.Entry, error) {

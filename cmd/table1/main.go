@@ -15,6 +15,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -51,6 +52,7 @@ func main() {
 		mem     = flag.String("memprofile", "", "write a heap profile to this file")
 		bench   = flag.String("benchjson", "", "write machine-readable per-row results (BENCH_*.json schema) to this file")
 		workers = flag.Int("workers", 0, "objective-evaluation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		jobs    = flag.Int("jobs", 0, "concurrent synthesis jobs (0 = GOMAXPROCS, 1 = serial); rows and output order are identical at any count")
 	)
 	flag.Parse()
 
@@ -90,8 +92,13 @@ func main() {
 	}
 	tb := report.New(header...)
 
-	var benchRows []benchRow
-	grand := time.Now()
+	// Collect the selected rows, then hand them to the run-level
+	// scheduler: each row is one independent synthesis job, executed on
+	// up to -jobs workers. Results stream back in canonical (submission)
+	// order as soon as each row and all rows before it have finished, so
+	// the table, the bench rows and the telemetry file are byte-identical
+	// at any -jobs value; -jobs 1 degrades to the old sequential loop.
+	var entries []benchnets.Entry
 	for _, nm := range benchnets.Names() {
 		e, _ := benchnets.Lookup(nm)
 		if filter != nil && !filter.MatchString(e.Name) {
@@ -100,9 +107,43 @@ func main() {
 		if *maxP > 0 && e.Segments+e.Muxes > *maxP {
 			continue
 		}
-		row, err := runRow(e, *seed, *quick, *algo, *scope, *refine, *workers, telWriter)
+		entries = append(entries, e)
+	}
+
+	var benchRows []benchRow
+	grand := time.Now()
+	rs := moea.NewRunSet[rowResult]()
+	telBufs := make([]*bytes.Buffer, len(entries))
+	for i := range entries {
+		i, e := i, entries[i]
+		// Per-row telemetry buffers keep the shared JSONL file
+		// row-atomic and canonically ordered under concurrency; the
+		// emit callback below flushes them in submission order.
+		if telWriter != nil {
+			telBufs[i] = &bytes.Buffer{}
+		}
+		rs.Add(e.Name, func(*telemetry.Span) (rowResult, error) {
+			var w io.Writer
+			if telBufs[i] != nil {
+				w = telBufs[i]
+			}
+			row, err := runRow(e, *seed, *quick, *algo, *scope, *refine, *workers, w)
+			if err != nil {
+				return row, fmt.Errorf("%s: %w", e.Name, err)
+			}
+			return row, nil
+		})
+	}
+	runErr := rs.Run(*jobs, nil, func(i int, label string, row rowResult, err error) {
 		if err != nil {
-			fail(fmt.Errorf("%s: %w", e.Name, err))
+			return // reported once by Run
+		}
+		e := entries[i]
+		if telBufs[i] != nil {
+			if _, werr := telWriter.Write(telBufs[i].Bytes()); werr != nil {
+				fail(werr)
+			}
+			telBufs[i] = nil
 		}
 		cells := []any{e.Name, e.Segments, e.Muxes, row.maxCost, row.maxDamage, row.gens,
 			row.costD10, row.dmgD10, row.costC10, row.dmgC10, row.elapsed.Round(time.Second / 10)}
@@ -118,6 +159,8 @@ func main() {
 			Primitives:  e.Segments + e.Muxes,
 			Generations: row.gens,
 			Evaluations: row.evaluations,
+			CacheHits:   row.cacheHits,
+			CacheMisses: row.cacheMisses,
 			AnalysisMS:  durMS(row.analysisTime),
 			SPEA2MS:     durMS(row.evolveTime),
 			TotalMS:     durMS(row.elapsed),
@@ -127,19 +170,23 @@ func main() {
 				EvolveMS:      durMS(row.evolveTime),
 				ExtractMS:     durMS(row.extractTime),
 			},
-			FrontSize: row.frontSize,
-			CostD10:   row.costD10,
-			DmgD10:    row.dmgD10,
-			CostC10:   row.costC10,
-			DmgC10:    row.dmgC10,
+			AllocsPerGen: row.allocsPerGen,
+			FrontSize:    row.frontSize,
+			CostD10:      row.costD10,
+			DmgD10:       row.dmgD10,
+			CostC10:      row.costC10,
+			DmgC10:       row.dmgC10,
 		})
 		fmt.Fprintf(os.Stderr, "done %-18s in %v\n", e.Name, row.elapsed.Round(time.Second/10))
+	})
+	if runErr != nil {
+		fail(runErr)
 	}
 	if err := tb.Write(os.Stdout, *format); err != nil {
 		fail(err)
 	}
 	if *bench != "" {
-		if err := writeBenchJSON(*bench, *seed, *quick, *algo, *workers, benchRows); err != nil {
+		if err := writeBenchJSON(*bench, *seed, *quick, *algo, *workers, *jobs, benchRows); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench)
@@ -153,7 +200,9 @@ func main() {
 // benchRow is one row of the machine-readable BENCH_*.json perf
 // trajectory: where the time went (exact analysis vs. SPEA-2) and how
 // much evolutionary effort was spent. Since rsnrobust-bench/v2 every
-// row also carries the per-stage wall clock split.
+// row also carries the per-stage wall clock split; v3 adds the
+// evaluation-cache counters (evaluations counts only true, non-cached
+// evaluations) and the allocation rate of the generation loop.
 type benchRow struct {
 	Network     string  `json:"network"`
 	Segments    int     `json:"segments"`
@@ -161,15 +210,21 @@ type benchRow struct {
 	Primitives  int     `json:"primitives"`
 	Generations int     `json:"generations"`
 	Evaluations int     `json:"evaluations"`
+	CacheHits   int64   `json:"cache_hits"`
+	CacheMisses int64   `json:"cache_misses"`
 	AnalysisMS  float64 `json:"analysis_ms"`
 	SPEA2MS     float64 `json:"spea2_ms"`
 	TotalMS     float64 `json:"total_ms"`
 	Stages      stageMS `json:"stages"`
-	FrontSize   int     `json:"front_size"`
-	CostD10     int64   `json:"cost_d10"`
-	DmgD10      int64   `json:"dmg_d10"`
-	CostC10     int64   `json:"cost_c10"`
-	DmgC10      int64   `json:"dmg_c10"`
+	// AllocsPerGen is the heap-allocation count of the whole synthesis
+	// divided by its generations, from runtime.MemStats deltas. Only
+	// meaningful at -jobs 1 (concurrent rows share the allocator).
+	AllocsPerGen float64 `json:"allocs_per_gen"`
+	FrontSize    int     `json:"front_size"`
+	CostD10      int64   `json:"cost_d10"`
+	DmgD10       int64   `json:"dmg_d10"`
+	CostC10      int64   `json:"cost_c10"`
+	DmgC10       int64   `json:"dmg_c10"`
 }
 
 // stageMS is the per-stage wall clock of one synthesis run: the two
@@ -186,9 +241,12 @@ func durMS(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
 }
 
-func writeBenchJSON(path string, seed int64, quick bool, algo string, workers int, rows []benchRow) error {
+func writeBenchJSON(path string, seed int64, quick bool, algo string, workers, jobs int, rows []benchRow) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
 	}
 	doc := struct {
 		Schema     string     `json:"schema"`
@@ -197,9 +255,10 @@ func writeBenchJSON(path string, seed int64, quick bool, algo string, workers in
 		Algo       string     `json:"algo"`
 		GOMAXPROCS int        `json:"gomaxprocs"`
 		Workers    int        `json:"workers"`
+		Jobs       int        `json:"jobs"`
 		Rows       []benchRow `json:"rows"`
-	}{Schema: "rsnrobust-bench/v2", Seed: seed, Quick: quick, Algo: algo,
-		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Rows: rows}
+	}{Schema: "rsnrobust-bench/v3", Seed: seed, Quick: quick, Algo: algo,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Jobs: jobs, Rows: rows}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -211,6 +270,9 @@ type rowResult struct {
 	maxCost, maxDamage int64
 	gens               int
 	evaluations        int
+	cacheHits          int64
+	cacheMisses        int64
+	allocsPerGen       float64
 	frontSize          int
 	costD10, dmgD10    int64
 	costC10, dmgC10    int64
@@ -282,7 +344,10 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 		})
 		opt.Telemetry = tel
 	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
 	s, err := core.Synthesize(net, sp, opt)
+	runtime.ReadMemStats(&ms1)
 	if err != nil {
 		return res, err
 	}
@@ -293,6 +358,11 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 	res.maxDamage = s.MaxDamage
 	res.gens = s.Generations
 	res.evaluations = s.Evaluations
+	res.cacheHits = s.CacheHits
+	res.cacheMisses = s.CacheMisses
+	if s.Generations > 0 {
+		res.allocsPerGen = float64(ms1.Mallocs-ms0.Mallocs) / float64(s.Generations)
+	}
 	res.frontSize = len(s.Front)
 	res.elapsed = s.Elapsed
 	res.analysisTime = s.AnalysisTime

@@ -84,6 +84,11 @@ type Options struct {
 	// generations — the practical alternative to the paper's fixed
 	// per-design generation budgets (Table I column 6).
 	Stagnation int
+	// Memoize enables the evolutionary engine's genome-evaluation cache.
+	// Results are bit-identical with or without it; Evaluations then
+	// counts only true (non-cached) evaluations. DefaultOptions enables
+	// it.
+	Memoize bool
 	// OnGeneration, if non-nil, receives progress callbacks.
 	OnGeneration func(gen int, front []moea.Individual) bool
 	// Telemetry, if non-nil, receives span timings for every pipeline
@@ -91,6 +96,11 @@ type Options struct {
 	// moea.evaluations counter and per-generation convergence records.
 	// The nil default adds no overhead.
 	Telemetry *telemetry.Collector
+	// ParentSpan, if non-nil, becomes the parent of the run's
+	// "synthesize" root span, attributing the whole pipeline to an
+	// enclosing unit of work (for example one job of a scheduled sweep).
+	// It must come from the same collector as Telemetry.
+	ParentSpan *telemetry.Span
 }
 
 // DefaultOptions returns the paper's setup for the given generation
@@ -101,6 +111,7 @@ func DefaultOptions(generations int, seed int64) Options {
 		Seed:        seed,
 		Algorithm:   AlgoSPEA2,
 		Analysis:    faults.DefaultOptions(),
+		Memoize:     true,
 	}
 }
 
@@ -133,9 +144,14 @@ type Synthesis struct {
 	MaxDamage int64
 	// Front is the close-to-Pareto-optimal front, sorted by damage.
 	Front []Solution
-	// Generations and Evaluations record the evolutionary effort.
+	// Generations and Evaluations record the evolutionary effort;
+	// Evaluations counts true (non-cached) objective evaluations.
 	Generations int
 	Evaluations int
+	// CacheHits and CacheMisses are the evaluation-cache counts (both
+	// zero when Options.Memoize is off).
+	CacheHits   int64
+	CacheMisses int64
 	// Elapsed is the wall-clock synthesis time (Table I column 11).
 	Elapsed time.Duration
 	// AnalysisTime is the wall-clock time of the exact criticality
@@ -319,7 +335,12 @@ func (p *Problem) TotalDamage() int64 { return p.total }
 func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error) {
 	tel := opt.Telemetry
 	start := time.Now()
-	root := tel.StartSpan("synthesize")
+	var root *telemetry.Span
+	if opt.ParentSpan != nil {
+		root = opt.ParentSpan.Child("synthesize")
+	} else {
+		root = tel.StartSpan("synthesize")
+	}
 
 	sv := root.Child("validate")
 	if err := rsn.Validate(net); err != nil {
@@ -365,6 +386,7 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	}
 	params.Seed = opt.Seed
 	params.Telemetry = tel
+	params.Memoize = opt.Memoize
 	if opt.Workers != 0 {
 		params.Workers = opt.Workers
 	}
@@ -416,6 +438,8 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 		MaxDamage:    analysis.TotalDamage,
 		Generations:  res.Generations,
 		Evaluations:  res.Evaluations,
+		CacheHits:    res.CacheHits,
+		CacheMisses:  res.CacheMisses,
 		AnalysisTime: analysisTime,
 		EvolveTime:   evolveTime,
 		TreeTime:     treeTime,

@@ -18,11 +18,29 @@ const minParallelChunk = 16
 // before any worker starts, so the outcome is bit-for-bit identical at
 // every worker count — parallelism changes only who computes a slot,
 // never what is computed or where it lands.
+//
+// With memoization enabled, a lookup pass (also spread over the
+// workers) resolves previously seen genomes from the cache and only the
+// misses are evaluated; the cache is exact (full genome comparison on
+// every hit) and evaluation is pure, so the results are bit-identical
+// to the uncached run. Evaluate is not safe for concurrent calls on the
+// same Executor — each optimizer run owns one.
 type Executor struct {
 	p       Problem
 	bp      BatchProblem // non-nil when p implements the batch fast path
 	m       int
 	workers int
+	memo    *memoCache // non-nil when memoization is enabled
+
+	// Reused per-batch scratch: the flattened genome/objective views
+	// handed to BatchProblem, the per-index hash/hit arrays of the memo
+	// lookup pass, and the compacted miss list.
+	gsBuf   []Genome
+	outsBuf [][]float64
+	hashBuf []uint64
+	hitBuf  []bool
+	missBuf []Individual
+	missIdx []int32
 
 	evals     *telemetry.Counter   // moea.evaluations
 	parEvals  *telemetry.Counter   // moea.parallel.evaluations
@@ -32,8 +50,9 @@ type Executor struct {
 
 // NewExecutor builds an executor over the problem. workers <= 0 selects
 // GOMAXPROCS. A nil collector disables the executor metrics at the cost
-// of one nil check per batch.
-func NewExecutor(p Problem, workers int, tel *telemetry.Collector) *Executor {
+// of one nil check per batch. memoize enables the per-run evaluation
+// cache.
+func NewExecutor(p Problem, workers int, tel *telemetry.Collector, memoize bool) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -47,6 +66,9 @@ func NewExecutor(p Problem, workers int, tel *telemetry.Collector) *Executor {
 		util:      tel.Histogram("moea.executor.utilization_pct"),
 	}
 	e.bp, _ = p.(BatchProblem)
+	if memoize {
+		e.memo = newMemoCache(tel)
+	}
 	tel.Gauge("moea.executor.workers").Set(float64(workers))
 	return e
 }
@@ -54,23 +76,99 @@ func NewExecutor(p Problem, workers int, tel *telemetry.Collector) *Executor {
 // Workers returns the resolved worker count.
 func (e *Executor) Workers() int { return e.workers }
 
-// Evaluate fills the objective vector of every individual in the batch.
-// Batches below 2*minParallelChunk (and all batches at workers=1) run on
-// the calling goroutine.
-func (e *Executor) Evaluate(batch []Individual) {
+// MemoStats returns the exact cumulative cache hit and miss counts
+// (zero without memoization).
+func (e *Executor) MemoStats() (hits, misses int64) { return e.memo.Stats() }
+
+// Evaluate fills the objective vector of every individual in the batch
+// and returns the number of true (non-cached) objective evaluations
+// performed. Without memoization that is len(batch); with it, cache
+// hits are excluded.
+func (e *Executor) Evaluate(batch []Individual) int {
 	n := len(batch)
 	if n == 0 {
-		return
+		return 0
 	}
 	for i := range batch {
 		if batch[i].Obj == nil {
 			batch[i].Obj = make([]float64, e.m)
 		}
 	}
-	e.evals.Add(int64(n))
 	e.batchSize.Set(float64(n))
+	if e.memo == nil {
+		e.evals.Add(int64(n))
+		e.evaluateAll(batch)
+		return n
+	}
+	return e.evaluateMemo(batch)
+}
+
+// evaluateMemo is the memoized batch path: a parallel lookup pass
+// resolves hits straight from the cache, the misses are compacted (in
+// batch order, so chunking stays deterministic) and evaluated, and the
+// new results are stored in this serial section, visible to the
+// lock-free lookups of later batches.
+func (e *Executor) evaluateMemo(batch []Individual) int {
+	n := len(batch)
+	if cap(e.hashBuf) < n {
+		e.hashBuf = make([]uint64, n)
+		e.hitBuf = make([]bool, n)
+	}
+	hashes, hits := e.hashBuf[:n], e.hitBuf[:n]
+	parallelFor(n, e.workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			h := hashGenome(batch[i].G)
+			hashes[i] = h
+			obj, ok := e.memo.lookup(h, batch[i].G)
+			if ok {
+				copy(batch[i].Obj, obj)
+			}
+			hits[i] = ok
+		}
+	})
+	miss := e.missBuf[:0]
+	missIdx := e.missIdx[:0]
+	for i := range hits {
+		if !hits[i] {
+			miss = append(miss, batch[i])
+			missIdx = append(missIdx, int32(i))
+		}
+	}
+	e.evals.Add(int64(len(miss)))
+	e.evaluateAll(miss)
+	for j := range miss {
+		e.memo.store(hashes[missIdx[j]], miss[j].G, miss[j].Obj)
+	}
+	e.memo.account(int64(n-len(miss)), int64(len(miss)))
+	evaluated := len(miss)
+	clear(miss) // drop genome references; the backing arrays are reused
+	e.missBuf, e.missIdx = miss[:0], missIdx[:0]
+	return evaluated
+}
+
+// evaluateAll evaluates the batch, splitting it across the worker pool
+// when it is large enough. Batches below 2*minParallelChunk (and all
+// batches at workers=1) run on the calling goroutine.
+func (e *Executor) evaluateAll(batch []Individual) {
+	n := len(batch)
+	if n == 0 {
+		return
+	}
+	if cap(e.gsBuf) < n {
+		e.gsBuf = make([]Genome, n)
+		e.outsBuf = make([][]float64, n)
+	}
+	gs, outs := e.gsBuf[:n], e.outsBuf[:n]
+	for i := range batch {
+		gs[i] = batch[i].G
+		outs[i] = batch[i].Obj
+	}
+	defer func() {
+		clear(gs)
+		clear(outs)
+	}()
 	if e.workers == 1 || n < 2*minParallelChunk {
-		e.evaluateRange(batch)
+		e.evaluateRange(gs, outs)
 		return
 	}
 	chunk := (n + e.workers - 1) / e.workers
@@ -91,7 +189,7 @@ func (e *Executor) Evaluate(batch []Individual) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			t0 := time.Now()
-			e.evaluateRange(batch[lo:hi])
+			e.evaluateRange(gs[lo:hi], outs[lo:hi])
 			busy[w] = time.Since(t0)
 		}(w, lo, hi)
 	}
@@ -108,19 +206,13 @@ func (e *Executor) Evaluate(batch []Individual) {
 
 // evaluateRange evaluates one contiguous sub-batch on the calling
 // goroutine, preferring the problem's batch entry point.
-func (e *Executor) evaluateRange(batch []Individual) {
+func (e *Executor) evaluateRange(gs []Genome, outs [][]float64) {
 	if e.bp != nil {
-		gs := make([]Genome, len(batch))
-		outs := make([][]float64, len(batch))
-		for i := range batch {
-			gs[i] = batch[i].G
-			outs[i] = batch[i].Obj
-		}
 		e.bp.EvaluateBatch(gs, outs)
 		return
 	}
-	for i := range batch {
-		e.p.Evaluate(batch[i].G, batch[i].Obj)
+	for i := range gs {
+		e.p.Evaluate(gs[i], outs[i])
 	}
 }
 

@@ -157,7 +157,7 @@ func TestAssignFitness2MatchesReference(t *testing.T) {
 		for _, workers := range []int{1, 3} {
 			got := make([]Individual, n)
 			copy(got, union)
-			assignFitness(got, 2, workers)
+			assignFitness(got, 2, workers, nil)
 			for i := range got {
 				if got[i].fitness != ref[i].fitness || got[i].density != ref[i].density {
 					t.Fatalf("trial %d workers %d: individual %d fitness/density (%v,%v), want (%v,%v)",

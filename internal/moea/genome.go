@@ -57,6 +57,10 @@ func (g Genome) Clone() Genome {
 	return c
 }
 
+// CopyFrom overwrites g with the words of o (same word count). It is the
+// allocation-free counterpart of Clone for reused genome buffers.
+func (g Genome) CopyFrom(o Genome) { copy(g, o) }
+
 // Equal reports whether two genomes have identical words.
 func (g Genome) Equal(o Genome) bool {
 	if len(g) != len(o) {
@@ -76,32 +80,45 @@ func (g Genome) Equal(o Genome) bool {
 func (g Genome) OnePointCrossover(o Genome, point, nbits int) (Genome, Genome) {
 	c1 := g.Clone()
 	c2 := o.Clone()
+	crossOnePoint(c1, c2, point)
+	return c1, c2
+}
+
+// crossOnePoint swaps the bit range [point, end) between the two
+// children in place. The callers hand in c1 == parent A, c2 == parent B.
+func crossOnePoint(c1, c2 Genome, point int) {
 	word := point >> 6
 	// Full words after the crossover word swap wholesale.
-	for w := word + 1; w < len(g); w++ {
-		c1[w], c2[w] = o[w], g[w]
+	for w := word + 1; w < len(c1); w++ {
+		c1[w], c2[w] = c2[w], c1[w]
 	}
 	// Mixed word: low bits [0,point&63) stay, high bits swap.
 	if off := uint(point & 63); off != 0 {
 		highMask := ^uint64(0) << off
-		c1[word] = (g[word] &^ highMask) | (o[word] & highMask)
-		c2[word] = (o[word] &^ highMask) | (g[word] & highMask)
-	} else if word < len(g) {
-		c1[word], c2[word] = o[word], g[word]
+		aw, bw := c1[word], c2[word]
+		c1[word] = (aw &^ highMask) | (bw & highMask)
+		c2[word] = (bw &^ highMask) | (aw & highMask)
+	} else if word < len(c1) {
+		c1[word], c2[word] = c2[word], c1[word]
 	}
-	return c1, c2
 }
 
 // TwoPointCrossover exchanges the bit range [a, b) between the parents
 // (0 <= a < b <= nbits).
 func (g Genome) TwoPointCrossover(o Genome, a, b, nbits int) (Genome, Genome) {
-	// Compose from two one-point crossovers: swap the suffix at a, then
-	// swap it back at b.
-	c1, c2 := g.OnePointCrossover(o, a, nbits)
-	if b < nbits {
-		c1, c2 = c1.OnePointCrossover(c2, b, nbits)
-	}
+	c1 := g.Clone()
+	c2 := o.Clone()
+	crossTwoPoint(c1, c2, a, b, nbits)
 	return c1, c2
+}
+
+// crossTwoPoint is the in-place two-point crossover: swap the suffix at
+// a, then swap it back at b.
+func crossTwoPoint(c1, c2 Genome, a, b, nbits int) {
+	crossOnePoint(c1, c2, a)
+	if b < nbits {
+		crossOnePoint(c1, c2, b)
+	}
 }
 
 // UniformCrossover exchanges every bit independently with probability
@@ -109,13 +126,19 @@ func (g Genome) TwoPointCrossover(o Genome, a, b, nbits int) (Genome, Genome) {
 func (g Genome) UniformCrossover(o Genome, rng *rand.Rand) (Genome, Genome) {
 	c1 := g.Clone()
 	c2 := o.Clone()
-	for w := range g {
-		mask := rng.Uint64()
-		keep1 := (g[w] &^ mask) | (o[w] & mask)
-		keep2 := (o[w] &^ mask) | (g[w] & mask)
-		c1[w], c2[w] = keep1, keep2
-	}
+	crossUniform(c1, c2, rng)
 	return c1, c2
+}
+
+// crossUniform is the in-place uniform crossover, drawing the same
+// word-sized masks from rng as UniformCrossover.
+func crossUniform(c1, c2 Genome, rng *rand.Rand) {
+	for w := range c1 {
+		mask := rng.Uint64()
+		aw, bw := c1[w], c2[w]
+		c1[w] = (aw &^ mask) | (bw & mask)
+		c2[w] = (bw &^ mask) | (aw & mask)
+	}
 }
 
 // MutateBits flips each of the nbits bits independently with probability

@@ -1,0 +1,192 @@
+package moea
+
+import (
+	"sync/atomic"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// memoShards is the number of cache shards. A power of two so the shard
+// index is a bit slice of the hash; sharding keeps every table (and its
+// slabs) small and cache-friendly as the run accumulates genomes.
+const memoShards = 64
+
+// memoMinSlots is the initial open-addressing table size per shard.
+const memoMinSlots = 64
+
+// memoWordChunk and memoObjChunk size the shard slabs that back stored
+// genomes and objective vectors: entries subslice large chunks instead
+// of owning individual allocations, so a run with tens of thousands of
+// cached genomes creates hundreds of GC objects, not tens of thousands.
+const (
+	memoWordChunk = 1 << 14
+	memoObjChunk  = 1 << 10
+)
+
+// memoEntry is one cached evaluation: the full hash (cheap pre-filter
+// before the genome comparison) and private copies of the genome and
+// objective vector, subsliced from the shard slabs — the optimizer
+// recycles its own buffers across generations.
+type memoEntry struct {
+	h   uint64
+	g   Genome
+	obj []float64
+}
+
+// memoShard is one slice of the cache: an append-only entry log, an
+// open-addressing slot table over it (values are entry index + 1, 0 is
+// empty), and the current genome/objective slabs.
+type memoShard struct {
+	slots   []uint32
+	mask    uint64
+	entries []memoEntry
+	words   []uint64
+	objs    []float64
+}
+
+// memoCache is the per-run genome-evaluation cache: SPEA-2's elitist
+// breeding re-submits duplicate genomes for evaluation generation after
+// generation (crossover of converged parents, clones that escaped
+// mutation), and every distinct genome's objectives are immutable — so
+// each is paid for once. Keys are FNV-1a hashes of the packed genome
+// words; exactness comes from comparing the stored genome on every hit.
+//
+// The read path is lock-free — lookup takes no locks and mutates
+// nothing, so the executor fans the lookup pass over its workers
+// freely. All mutation (store) happens in the executor's serial section
+// between batches, ordered before the next parallel pass by the
+// goroutine spawns; one optimizer run owns one cache.
+type memoCache struct {
+	shards [memoShards]memoShard
+
+	hits   atomic.Int64
+	misses atomic.Int64
+
+	telHits   *telemetry.Counter // moea.memo.hits
+	telMisses *telemetry.Counter // moea.memo.misses
+}
+
+// newMemoCache builds an empty cache, registering the hit/miss counters
+// on the (possibly nil) collector.
+func newMemoCache(tel *telemetry.Collector) *memoCache {
+	m := &memoCache{
+		telHits:   tel.Counter("moea.memo.hits"),
+		telMisses: tel.Counter("moea.memo.misses"),
+	}
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.slots = make([]uint32, memoMinSlots)
+		s.mask = memoMinSlots - 1
+	}
+	return m
+}
+
+// hashGenome is FNV-1a over the packed genome words.
+func hashGenome(g Genome) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range g {
+		h ^= w
+		h *= 1099511628211
+	}
+	return h
+}
+
+// shardOf maps a hash to its shard (top bits — the low bits index the
+// slot tables, so using them twice would correlate shard load with slot
+// clustering).
+func (m *memoCache) shardOf(h uint64) *memoShard {
+	return &m.shards[h>>(64-6)]
+}
+
+// lookup returns the cached objective vector of g, if present. Read-only
+// and lock-free. The returned slice is owned by the cache and must be
+// copied, not retained.
+func (m *memoCache) lookup(h uint64, g Genome) ([]float64, bool) {
+	s := m.shardOf(h)
+	for i := h & s.mask; ; i = (i + 1) & s.mask {
+		v := s.slots[i]
+		if v == 0 {
+			return nil, false
+		}
+		if e := &s.entries[v-1]; e.h == h && e.g.Equal(g) {
+			return e.obj, true
+		}
+	}
+}
+
+// store inserts the evaluation of g, copying the genome and objective
+// vector into the shard slabs (the optimizer recycles both buffers).
+// Duplicates within a batch are detected and skipped. Must be called
+// from the executor's serial section only.
+func (m *memoCache) store(h uint64, g Genome, obj []float64) {
+	s := m.shardOf(h)
+	i := h & s.mask
+	for ; ; i = (i + 1) & s.mask {
+		v := s.slots[i]
+		if v == 0 {
+			break
+		}
+		if e := &s.entries[v-1]; e.h == h && e.g.Equal(g) {
+			return // duplicate within the batch
+		}
+	}
+	if len(s.words)+len(g) > cap(s.words) {
+		n := memoWordChunk
+		if len(g) > n {
+			n = len(g)
+		}
+		s.words = make([]uint64, 0, n)
+	}
+	if len(s.objs)+len(obj) > cap(s.objs) {
+		n := memoObjChunk
+		if len(obj) > n {
+			n = len(obj)
+		}
+		s.objs = make([]float64, 0, n)
+	}
+	goff := len(s.words)
+	s.words = append(s.words, g...)
+	ooff := len(s.objs)
+	s.objs = append(s.objs, obj...)
+	s.entries = append(s.entries, memoEntry{
+		h:   h,
+		g:   Genome(s.words[goff:len(s.words):len(s.words)]),
+		obj: s.objs[ooff:len(s.objs):len(s.objs)],
+	})
+	s.slots[i] = uint32(len(s.entries))
+	if 4*len(s.entries) >= 3*len(s.slots) {
+		s.grow()
+	}
+}
+
+// grow doubles the shard's slot table and reinserts the entry indices —
+// integer rehashing only, the entries and slabs stay put.
+func (s *memoShard) grow() {
+	next := make([]uint32, 2*len(s.slots))
+	mask := uint64(len(next) - 1)
+	for idx := range s.entries {
+		i := s.entries[idx].h & mask
+		for next[i] != 0 {
+			i = (i + 1) & mask
+		}
+		next[i] = uint32(idx + 1)
+	}
+	s.slots, s.mask = next, mask
+}
+
+// account records batch-level hit/miss counts on the cache's atomics
+// and mirrors them to the telemetry counters.
+func (m *memoCache) account(hits, misses int64) {
+	m.hits.Add(hits)
+	m.misses.Add(misses)
+	m.telHits.Add(hits)
+	m.telMisses.Add(misses)
+}
+
+// Stats returns the exact cumulative hit and miss counts.
+func (m *memoCache) Stats() (hits, misses int64) {
+	if m == nil {
+		return 0, 0
+	}
+	return m.hits.Load(), m.misses.Load()
+}

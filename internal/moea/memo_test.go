@@ -1,0 +1,146 @@
+package moea
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// frontFingerprint renders a front's genomes and objectives into a
+// comparable string.
+func frontFingerprint(front []Individual) string {
+	s := ""
+	for _, in := range front {
+		s += fmt.Sprintf("%x|%v;", in.G, in.Obj)
+	}
+	return s
+}
+
+// TestMemoOracle validates the evaluation cache against the uncached
+// engine: same seed, memoization on vs. off must produce byte-identical
+// fronts, and the cache accounting must be exact — hits plus misses
+// equals the evaluations the uncached run performed, and the memoized
+// Evaluations counts exactly the misses.
+func TestMemoOracle(t *testing.T) {
+	algos := map[string]func(Problem, Params) (*Result, error){"SPEA2": SPEA2, "NSGA2": NSGA2}
+	for name, run := range algos {
+		for _, n := range []int{24, 70} {
+			p := newKnapsack(int64(n), n)
+			base := Params{Population: 40, Generations: 25, PCrossover: 0.95, PMutateBit: 0.02, Seed: 7}
+			plain, err := run(p, base)
+			if err != nil {
+				t.Fatal(err)
+			}
+			memo := base
+			memo.Memoize = true
+			cached, err := run(p, memo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := frontFingerprint(cached.Front), frontFingerprint(plain.Front); got != want {
+				t.Errorf("%s n=%d: memoized front differs from uncached front", name, n)
+			}
+			if cached.Generations != plain.Generations {
+				t.Errorf("%s n=%d: generations %d (memo) vs %d", name, n, cached.Generations, plain.Generations)
+			}
+			if plain.CacheHits != 0 || plain.CacheMisses != 0 {
+				t.Errorf("%s n=%d: uncached run reports cache traffic %d/%d", name, n, plain.CacheHits, plain.CacheMisses)
+			}
+			if got := cached.CacheHits + cached.CacheMisses; got != int64(plain.Evaluations) {
+				t.Errorf("%s n=%d: hits+misses = %d, want %d (uncached evaluations)", name, n, got, plain.Evaluations)
+			}
+			if int64(cached.Evaluations) != cached.CacheMisses {
+				t.Errorf("%s n=%d: Evaluations = %d, want misses %d", name, n, cached.Evaluations, cached.CacheMisses)
+			}
+			if cached.CacheHits == 0 {
+				t.Errorf("%s n=%d: no cache hits — elitist re-evaluations should repeat genomes", name, n)
+			}
+		}
+	}
+}
+
+// TestMemoWorkerInvariance pins the memoized path's determinism across
+// worker counts: the parallel lookup pass and chunked miss evaluation
+// must not change results or the exact hit/miss counts.
+func TestMemoWorkerInvariance(t *testing.T) {
+	p := newKnapsack(5, 80)
+	base := Params{Population: 60, Generations: 20, PCrossover: 0.9, PMutateBit: 0.02, Seed: 3,
+		Memoize: true, Workers: 1}
+	ref, err := SPEA2(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 7} {
+		par := base
+		par.Workers = workers
+		got, err := SPEA2(p, par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if frontFingerprint(got.Front) != frontFingerprint(ref.Front) {
+			t.Errorf("workers=%d: front differs from workers=1", workers)
+		}
+		if got.CacheHits != ref.CacheHits || got.CacheMisses != ref.CacheMisses {
+			t.Errorf("workers=%d: cache %d/%d, want %d/%d",
+				workers, got.CacheHits, got.CacheMisses, ref.CacheHits, ref.CacheMisses)
+		}
+	}
+}
+
+// TestMemoTelemetryCounters checks the moea.memo.{hits,misses} counters
+// mirror the run's exact accounting.
+func TestMemoTelemetryCounters(t *testing.T) {
+	tel := telemetry.New()
+	p := newKnapsack(11, 40)
+	res, err := SPEA2(p, Params{Population: 30, Generations: 15, PCrossover: 0.95, PMutateBit: 0.02,
+		Seed: 1, Memoize: true, Telemetry: tel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Counter("moea.memo.hits").Value(); got != res.CacheHits {
+		t.Errorf("moea.memo.hits = %d, want %d", got, res.CacheHits)
+	}
+	if got := tel.Counter("moea.memo.misses").Value(); got != res.CacheMisses {
+		t.Errorf("moea.memo.misses = %d, want %d", got, res.CacheMisses)
+	}
+	if got := tel.Counter("moea.evaluations").Value(); got != int64(res.Evaluations) {
+		t.Errorf("moea.evaluations = %d, want %d (true evaluations only)", got, res.Evaluations)
+	}
+}
+
+// TestGenerationAllocs gates the allocation diet: once the arena is
+// warm, the generation loop must run in (near-)constant allocations —
+// pooled genomes and objective vectors, reused union and scratch
+// buffers. The steady-state rate is measured as the slope between a
+// short and a long run of the same configuration, which cancels the
+// one-time warm-up allocations.
+func TestGenerationAllocs(t *testing.T) {
+	p := newKnapsack(17, 96)
+	run := func(algo func(Problem, Params) (*Result, error), gens int) uint64 {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		_, err := algo(p, Params{Population: 60, Generations: gens,
+			PCrossover: 0.95, PMutateBit: 0.02, Seed: 9, Workers: 1})
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return after.Mallocs - before.Mallocs
+	}
+	for name, algo := range map[string]func(Problem, Params) (*Result, error){"SPEA2": SPEA2, "NSGA2": NSGA2} {
+		short, long := run(algo, 30), run(algo, 130)
+		perGen := float64(long-short) / 100
+		// The remaining per-generation allocations are sort.Slice
+		// closures and (for NSGA-II) per-front sorting — O(1) small
+		// allocations, not O(population) buffers. Measured steady state
+		// is under 10/gen; 64 leaves headroom for runtime-internal
+		// variation. Before the arena the loop allocated 2×population
+		// genome and objective buffers per generation (thousands).
+		if perGen > 64 {
+			t.Errorf("%s: %.1f allocs per generation in steady state, want <= 64", name, perGen)
+		}
+		t.Logf("%s: %.1f allocs/gen steady-state", name, perGen)
+	}
+}

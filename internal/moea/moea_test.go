@@ -273,7 +273,7 @@ func TestTruncateKeepsCapacityAndExtremes(t *testing.T) {
 			set[i] = Individual{Obj: []float64{rng.Float64(), rng.Float64()}}
 		}
 		capacity := 5 + rng.Intn(10)
-		out := truncate(append([]Individual(nil), set...), capacity, 2)
+		out := truncate(append([]Individual(nil), set...), capacity, 2, new(selScratch))
 		return len(out) == capacity
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
@@ -290,8 +290,8 @@ func TestEnvironmentalSelectionFillsUnderfullArchive(t *testing.T) {
 		{Obj: []float64{2, 2}},
 		{Obj: []float64{3, 3}},
 	}
-	assignFitness(union, 2, 1)
-	arch := environmentalSelection(union, 3, 2)
+	assignFitness(union, 2, 1, nil)
+	arch := environmentalSelection(union, 3, 2, nil)
 	if len(arch) != 3 {
 		t.Fatalf("archive size = %d, want 3", len(arch))
 	}

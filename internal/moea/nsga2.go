@@ -11,23 +11,23 @@ import (
 // optimizer cited by the paper. Selection uses fast nondominated sorting
 // and crowding distance; variation uses the same one-point crossover and
 // per-bit mutation operators as SPEA2. Initialization, batched
-// evaluation and the OnGeneration protocol come from the shared engine
-// runtime.
+// evaluation, buffer recycling and the OnGeneration protocol come from
+// the shared engine runtime.
 func NSGA2(p Problem, par Params) (*Result, error) {
 	e, err := newEngine(p, &par)
 	if err != nil {
 		return nil, err
 	}
 	pop := e.initialPopulation()
-	rankAndCrowd(pop, e.m)
+	rankAndCrowd(pop, e.m, &e.nsga)
 	var offspring []Individual
 	for gen := 0; gen < par.Generations; gen++ {
 		offspring = e.offspring(offspring, nsga2Tournament(pop, &par, e.rng))
-		union := append(append(make([]Individual, 0, len(pop)+len(offspring)), pop...), offspring...)
-		fronts := nondominatedSort(union)
+		union := e.unionInto(pop, offspring)
+		fronts := nondominatedSort(union, &e.nsga)
 		pop = pop[:0]
 		for _, f := range fronts {
-			crowdingDistance(union, f, e.m)
+			crowdingDistance(union, f, e.m, &e.nsga)
 			if len(pop)+len(f) <= par.Population {
 				for _, i := range f {
 					pop = append(pop, union[i])
@@ -44,6 +44,7 @@ func NSGA2(p Problem, par Params) (*Result, error) {
 		if !e.onGeneration(gen, pop) {
 			break
 		}
+		e.recycle(union, pop)
 	}
 	return e.finish(pop), nil
 }
@@ -71,21 +72,54 @@ func crowdedLess(a, b *Individual) bool {
 	return a.density > b.density
 }
 
+// nsgaScratch is the reusable per-generation scratch of the
+// nondominated sort and crowding computation. The inner front buffers
+// (bufs) persist across generations; fronts re-slices over them.
+type nsgaScratch struct {
+	domCount  []int
+	dominates [][]int32
+	fronts    [][]int
+	bufs      [][]int
+	idx       []int
+}
+
+// frontBuf returns the k-th reusable front buffer, emptied.
+func (s *nsgaScratch) frontBuf(k int) []int {
+	for len(s.bufs) <= k {
+		s.bufs = append(s.bufs, nil)
+	}
+	return s.bufs[k][:0]
+}
+
 // rankAndCrowd assigns ranks (fitness) and crowding distances (density)
 // to an initial population.
-func rankAndCrowd(pop []Individual, m int) {
-	fronts := nondominatedSort(pop)
+func rankAndCrowd(pop []Individual, m int, s *nsgaScratch) {
+	fronts := nondominatedSort(pop, s)
 	for _, f := range fronts {
-		crowdingDistance(pop, f, m)
+		crowdingDistance(pop, f, m, s)
 	}
 }
 
 // nondominatedSort partitions indices into fronts F1, F2, ... and stores
-// the rank in each individual's fitness field.
-func nondominatedSort(pop []Individual) [][]int {
+// the rank in each individual's fitness field. The returned fronts are
+// valid until the next call with the same scratch; a nil scratch
+// allocates fresh buffers.
+func nondominatedSort(pop []Individual, s *nsgaScratch) [][]int {
+	if s == nil {
+		s = &nsgaScratch{}
+	}
 	n := len(pop)
-	domCount := make([]int, n)
-	dominates := make([][]int32, n)
+	s.domCount = grow(s.domCount, n)
+	domCount := s.domCount
+	clear(domCount)
+	if cap(s.dominates) < n {
+		s.dominates = make([][]int32, n)
+	}
+	s.dominates = s.dominates[:n]
+	dominates := s.dominates
+	for i := range dominates {
+		dominates[i] = dominates[i][:0]
+	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if Dominates(pop[i].Obj, pop[j].Obj) {
@@ -97,8 +131,8 @@ func nondominatedSort(pop []Individual) [][]int {
 			}
 		}
 	}
-	var fronts [][]int
-	var cur []int
+	fronts := s.fronts[:0]
+	cur := s.frontBuf(0)
 	for i := 0; i < n; i++ {
 		if domCount[i] == 0 {
 			cur = append(cur, i)
@@ -106,8 +140,10 @@ func nondominatedSort(pop []Individual) [][]int {
 		}
 	}
 	for rank := 1; len(cur) > 0; rank++ {
+		k := len(fronts)
+		s.bufs[k] = cur // keep the (possibly grown) backing for reuse
 		fronts = append(fronts, cur)
-		var next []int
+		next := s.frontBuf(k + 1)
 		for _, i := range cur {
 			for _, j := range dominates[i] {
 				domCount[j]--
@@ -119,12 +155,14 @@ func nondominatedSort(pop []Individual) [][]int {
 		}
 		cur = next
 	}
+	s.bufs[len(fronts)] = cur
+	s.fronts = fronts
 	return fronts
 }
 
 // crowdingDistance stores each front member's crowding distance in its
-// density field.
-func crowdingDistance(pop []Individual, front []int, m int) {
+// density field. A nil scratch allocates a fresh index buffer.
+func crowdingDistance(pop []Individual, front []int, m int, s *nsgaScratch) {
 	for _, i := range front {
 		pop[i].density = 0
 	}
@@ -134,7 +172,13 @@ func crowdingDistance(pop []Individual, front []int, m int) {
 		}
 		return
 	}
-	idx := make([]int, len(front))
+	var idx []int
+	if s == nil {
+		idx = make([]int, len(front))
+	} else {
+		s.idx = grow(s.idx, len(front))
+		idx = s.idx
+	}
 	for k := 0; k < m; k++ {
 		copy(idx, front)
 		sort.Slice(idx, func(a, b int) bool { return pop[idx[a]].Obj[k] < pop[idx[b]].Obj[k] })

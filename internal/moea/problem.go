@@ -2,7 +2,6 @@ package moea
 
 import (
 	"fmt"
-	"math/rand"
 
 	"rsnrobust/internal/telemetry"
 )
@@ -101,12 +100,22 @@ type Params struct {
 	// GOMAXPROCS, 1 forces serial evaluation. The result is
 	// bit-for-bit identical at every worker count.
 	Workers int
+	// Memoize enables the per-run genome-evaluation cache: repeated
+	// genomes (archive survivors, unmutated clones) are resolved from a
+	// content-hashed cache instead of re-evaluated. Results are
+	// bit-identical either way; Result.Evaluations counts only true
+	// evaluations, so enabling it changes the reported count.
+	Memoize bool
 	// Telemetry, if non-nil, receives the executor's instruments
-	// (evaluation counters, batch-size gauge, utilization histogram).
+	// (evaluation counters, batch-size gauge, utilization histogram,
+	// memo hit/miss counters).
 	Telemetry *telemetry.Collector
 	// OnGeneration, if non-nil, is called after every generation with
 	// the current nondominated front; returning false stops the run
-	// early.
+	// early. The individuals (including their genome and objective
+	// slices) are only valid for the duration of the call — the engine
+	// recycles the buffers of non-survivors into the next generation.
+	// Callers that retain them must deep-copy.
 	OnGeneration func(gen int, front []Individual) bool
 }
 
@@ -154,47 +163,12 @@ type Result struct {
 	Front []Individual
 	// Generations is the number of generations actually run.
 	Generations int
-	// Evaluations is the number of objective evaluations performed.
+	// Evaluations is the number of true (non-cached) objective
+	// evaluations performed. Without memoization every submitted
+	// individual counts; with it, cache hits are excluded.
 	Evaluations int
-}
-
-// vary produces one offspring pair from two parents using the
-// configured operators and appends them unevaluated to dst (respecting
-// its capacity limit). Evaluation happens afterwards, in one batch per
-// generation: the operators consume the RNG in exactly the order the
-// historical evaluate-as-you-breed code did, because evaluation never
-// touches the RNG.
-func vary(dst []Individual, a, b Genome, par *Params, nbits int, rng *rand.Rand) []Individual {
-	var c1, c2 Genome
-	if nbits > 1 && rng.Float64() < par.PCrossover {
-		switch par.Crossover {
-		case Uniform:
-			c1, c2 = a.UniformCrossover(b, rng)
-		case TwoPoint:
-			x := 1 + rng.Intn(nbits-1)
-			y := 1 + rng.Intn(nbits-1)
-			if x > y {
-				x, y = y, x
-			}
-			if x == y {
-				y = x + 1
-				if y > nbits {
-					y = nbits
-				}
-			}
-			c1, c2 = a.TwoPointCrossover(b, x, y, nbits)
-		default:
-			point := 1 + rng.Intn(nbits-1)
-			c1, c2 = a.OnePointCrossover(b, point, nbits)
-		}
-	} else {
-		c1, c2 = a.Clone(), b.Clone()
-	}
-	c1.MutateBits(rng, par.PMutateBit, nbits)
-	c2.MutateBits(rng, par.PMutateBit, nbits)
-	dst = append(dst, Individual{G: c1})
-	if len(dst) < cap(dst) {
-		dst = append(dst, Individual{G: c2})
-	}
-	return dst
+	// CacheHits and CacheMisses are the exact evaluation-cache counts
+	// of the run (both zero without memoization). CacheMisses equals
+	// Evaluations when memoization is enabled.
+	CacheHits, CacheMisses int64
 }

@@ -14,6 +14,14 @@ import "math/rand"
 // order the inline-evaluating code did — evaluation never touches the
 // RNG), then evaluated together, possibly in parallel. Same seed ⇒ same
 // run at any worker count.
+//
+// The engine also owns the per-run scratch arena that makes the steady
+// state of the generation loop allocation-free: genome and objective
+// buffers of individuals that die in environmental selection are
+// recycled into pools the breeding loop draws from, the union buffer is
+// reused across generations, and the algorithms' per-generation scratch
+// (fitness, selection, sorting) lives in reusable structs. Buffer
+// recycling never touches the RNG, so it cannot change a run.
 type engine struct {
 	prob  Problem
 	par   *Params
@@ -22,6 +30,25 @@ type engine struct {
 	res   *Result
 	nbits int
 	m     int
+
+	// arena: pooled buffers and reusable per-generation scratch.
+	genomePool []Genome
+	objPool    [][]float64
+	live       map[*uint64]struct{} // survivor identity during recycle
+	union      []Individual
+	fit        fitScratch
+	sel        selScratch
+	nsga       nsgaScratch
+}
+
+// grow returns buf resized to n, reallocating only when the capacity is
+// exceeded. The contents are unspecified; callers that need zeroed
+// memory must clear it.
+func grow[T any](buf []T, n int) []T {
+	if cap(buf) < n {
+		return make([]T, n)
+	}
+	return buf[:n]
 }
 
 // newEngine validates the parameters and assembles the runtime.
@@ -33,18 +60,78 @@ func newEngine(p Problem, par *Params) (*engine, error) {
 		prob:  p,
 		par:   par,
 		rng:   rand.New(rand.NewSource(par.Seed)),
-		exec:  NewExecutor(p, par.Workers, par.Telemetry),
+		exec:  NewExecutor(p, par.Workers, par.Telemetry, par.Memoize),
 		res:   &Result{},
 		nbits: p.NumBits(),
 		m:     p.NumObjectives(),
+		live:  make(map[*uint64]struct{}),
 	}, nil
 }
 
-// evaluate batch-evaluates the individuals and accounts each of them in
-// Result.Evaluations exactly once.
+// evaluate batch-evaluates the individuals, accounting only true
+// (non-cached) objective evaluations in Result.Evaluations.
 func (e *engine) evaluate(pop []Individual) {
-	e.exec.Evaluate(pop)
-	e.res.Evaluations += len(pop)
+	e.res.Evaluations += e.exec.Evaluate(pop)
+}
+
+// grabGenome returns a genome buffer from the pool, or a fresh one. The
+// contents are stale; every caller fully overwrites it.
+func (e *engine) grabGenome() Genome {
+	if n := len(e.genomePool); n > 0 {
+		g := e.genomePool[n-1]
+		e.genomePool = e.genomePool[:n-1]
+		return g
+	}
+	return NewGenome(e.nbits)
+}
+
+// grabObj returns an objective buffer from the pool, or a fresh one.
+func (e *engine) grabObj() []float64 {
+	if n := len(e.objPool); n > 0 {
+		o := e.objPool[n-1]
+		e.objPool = e.objPool[:n-1]
+		return o
+	}
+	return make([]float64, e.m)
+}
+
+// recycle returns the genome and objective buffers of union members
+// that did not survive selection to the pools. Survivors are identified
+// by genome backing array, so the pools never hold a buffer an alive
+// individual still references. Callers must not retain references to
+// non-surviving individuals across generations (the OnGeneration
+// contract).
+func (e *engine) recycle(union, survivors []Individual) {
+	clear(e.live)
+	for i := range survivors {
+		if g := survivors[i].G; len(g) > 0 {
+			e.live[&g[0]] = struct{}{}
+		}
+	}
+	for i := range union {
+		g := union[i].G
+		if len(g) == 0 {
+			continue
+		}
+		if _, ok := e.live[&g[0]]; ok {
+			continue
+		}
+		e.genomePool = append(e.genomePool, g)
+		if union[i].Obj != nil {
+			e.objPool = append(e.objPool, union[i].Obj)
+		}
+		union[i] = Individual{}
+	}
+}
+
+// unionInto refills the engine's reusable union buffer with the
+// concatenation of the two groups.
+func (e *engine) unionInto(a, b []Individual) []Individual {
+	if cap(e.union) < len(a)+len(b) {
+		e.union = make([]Individual, 0, 2*(len(a)+len(b)))
+	}
+	e.union = append(append(e.union[:0], a...), b...)
+	return e.union
 }
 
 // initialPopulation builds the diversified random initial population,
@@ -77,9 +164,54 @@ func (e *engine) offspring(dst []Individual, pick func() Genome) []Individual {
 		dst = dst[:0:e.par.Population]
 	}
 	for len(dst) < e.par.Population {
-		dst = vary(dst, pick(), pick(), e.par, e.nbits, e.rng)
+		dst = e.vary(dst, pick(), pick())
 	}
 	e.evaluate(dst)
+	return dst
+}
+
+// vary produces one offspring pair from two parents using the
+// configured operators and appends them unevaluated to dst (respecting
+// its capacity limit). Children are written into pooled buffers; the
+// operators consume the RNG in exactly the order the historical
+// clone-and-evaluate code did, because neither pooling nor evaluation
+// touches the RNG.
+func (e *engine) vary(dst []Individual, a, b Genome) []Individual {
+	par, nbits, rng := e.par, e.nbits, e.rng
+	c1 := e.grabGenome()
+	c2 := e.grabGenome()
+	c1.CopyFrom(a)
+	c2.CopyFrom(b)
+	if nbits > 1 && rng.Float64() < par.PCrossover {
+		switch par.Crossover {
+		case Uniform:
+			crossUniform(c1, c2, rng)
+		case TwoPoint:
+			x := 1 + rng.Intn(nbits-1)
+			y := 1 + rng.Intn(nbits-1)
+			if x > y {
+				x, y = y, x
+			}
+			if x == y {
+				y = x + 1
+				if y > nbits {
+					y = nbits
+				}
+			}
+			crossTwoPoint(c1, c2, x, y, nbits)
+		default:
+			point := 1 + rng.Intn(nbits-1)
+			crossOnePoint(c1, c2, point)
+		}
+	}
+	c1.MutateBits(rng, par.PMutateBit, nbits)
+	c2.MutateBits(rng, par.PMutateBit, nbits)
+	dst = append(dst, Individual{G: c1, Obj: e.grabObj()})
+	if len(dst) < cap(dst) {
+		dst = append(dst, Individual{G: c2, Obj: e.grabObj()})
+	} else {
+		e.genomePool = append(e.genomePool, c2)
+	}
 	return dst
 }
 
@@ -94,9 +226,10 @@ func (e *engine) onGeneration(gen int, current []Individual) bool {
 	return e.par.OnGeneration(gen, ParetoFilter(current))
 }
 
-// finish extracts the final nondominated front and returns the
-// accumulated result.
+// finish extracts the final nondominated front, folds in the cache
+// statistics, and returns the accumulated result.
 func (e *engine) finish(final []Individual) *Result {
 	e.res.Front = ParetoFilter(final)
+	e.res.CacheHits, e.res.CacheMisses = e.exec.MemoStats()
 	return e.res
 }

@@ -1,0 +1,138 @@
+package moea
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// RunSet is a run-level scheduler: it executes a set of independent
+// jobs — synthesis runs over networks × methods × seeds, typically —
+// across a bounded worker pool and emits the results in submission
+// order, streaming each as soon as it and all its predecessors have
+// finished. Jobs must be self-contained (own RNG seed, own outputs), so
+// the emitted results are bit-identical at every worker count; the pool
+// size only decides wall-clock time and interleaving of the work.
+//
+// Each job receives a per-job telemetry span (a child of the run's
+// "runset" root, nil when telemetry is off) to parent its own spans on,
+// attributing everything the job does to that job in the trace.
+type RunSet[T any] struct {
+	jobs []runJob[T]
+}
+
+type runJob[T any] struct {
+	label string
+	fn    func(sp *telemetry.Span) (T, error)
+}
+
+// NewRunSet returns an empty scheduler.
+func NewRunSet[T any]() *RunSet[T] { return &RunSet[T]{} }
+
+// Add appends one job. The label names the job's telemetry span
+// ("job:<label>") and is handed back on emission.
+func (rs *RunSet[T]) Add(label string, fn func(sp *telemetry.Span) (T, error)) {
+	rs.jobs = append(rs.jobs, runJob[T]{label: label, fn: fn})
+}
+
+// Len returns the number of jobs added.
+func (rs *RunSet[T]) Len() int { return len(rs.jobs) }
+
+// jobOutcome is one finished job, tagged with its submission index.
+type jobOutcome[T any] struct {
+	idx int
+	val T
+	err error
+}
+
+// Run executes the jobs on min(workers, len(jobs)) goroutines
+// (workers <= 0 selects GOMAXPROCS) and calls emit exactly once per job,
+// in submission order, on the calling goroutine — so emit may write
+// shared output without locking. workers == 1 degrades to a plain
+// serial loop on the calling goroutine, with no scheduling machinery
+// between the jobs. Every job runs regardless of other jobs' errors;
+// Run returns the error of the earliest-submitted failed job, if any.
+func (rs *RunSet[T]) Run(workers int, tel *telemetry.Collector, emit func(idx int, label string, val T, err error)) error {
+	n := len(rs.jobs)
+	if n == 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	root := tel.StartSpan("runset")
+	defer root.End()
+	tel.Gauge("runset.jobs").Set(float64(n))
+	tel.Gauge("runset.workers").Set(float64(workers))
+	jobMS := tel.Histogram("runset.job_ms")
+
+	runOne := func(i int) (T, error) {
+		j := rs.jobs[i]
+		sp := root.Child("job:" + j.label)
+		t0 := time.Now()
+		v, err := j.fn(sp)
+		jobMS.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+		sp.End()
+		return v, err
+	}
+
+	var firstErr error
+	if workers == 1 {
+		for i := range rs.jobs {
+			v, err := runOne(i)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			emit(i, rs.jobs[i].label, v, err)
+		}
+		return firstErr
+	}
+
+	// Workers pull job indices from an atomic cursor; the collector
+	// below reorders completions into submission order, emitting each
+	// prefix as soon as it is complete.
+	var cursor atomic.Int64
+	results := make(chan jobOutcome[T], workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				v, err := runOne(i)
+				results <- jobOutcome[T]{idx: i, val: v, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	done := make([]*jobOutcome[T], n)
+	emitted := 0
+	for o := range results {
+		o := o
+		done[o.idx] = &o
+		for emitted < n && done[emitted] != nil {
+			d := done[emitted]
+			if d.err != nil && firstErr == nil {
+				firstErr = d.err
+			}
+			emit(emitted, rs.jobs[emitted].label, d.val, d.err)
+			done[emitted] = nil
+			emitted++
+		}
+	}
+	return firstErr
+}

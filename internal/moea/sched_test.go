@@ -1,0 +1,151 @@
+package moea
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// sweepOutcome is the observable behavior of one RunSet execution: the
+// emission order and a fingerprint of every result.
+type sweepOutcome struct {
+	order  []int
+	labels []string
+	prints []string
+}
+
+// runSweep executes a fixed network×seed sweep of SPEA2 runs on a
+// RunSet with the given worker count.
+func runSweep(t *testing.T, workers int) sweepOutcome {
+	t.Helper()
+	rs := NewRunSet[*Result]()
+	for _, job := range []struct {
+		n    int
+		seed int64
+	}{{20, 1}, {36, 2}, {52, 3}, {28, 4}, {44, 5}, {60, 6}} {
+		job := job
+		rs.Add(fmt.Sprintf("knap%d-s%d", job.n, job.seed), func(*telemetry.Span) (*Result, error) {
+			return SPEA2(newKnapsack(int64(job.n), job.n), Params{
+				Population: 30, Generations: 12, PCrossover: 0.95, PMutateBit: 0.02,
+				Seed: job.seed, Memoize: true,
+			})
+		})
+	}
+	var out sweepOutcome
+	err := rs.Run(workers, nil, func(i int, label string, res *Result, err error) {
+		if err != nil {
+			t.Fatalf("job %d (%s): %v", i, label, err)
+		}
+		out.order = append(out.order, i)
+		out.labels = append(out.labels, label)
+		out.prints = append(out.prints, frontFingerprint(res.Front))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestRunSetDeterminism pins the scheduler contract: at every worker
+// count the jobs are emitted exactly once, in submission order, with
+// bit-identical results — the pool size decides wall-clock only.
+func TestRunSetDeterminism(t *testing.T) {
+	ref := runSweep(t, 1)
+	for i, idx := range ref.order {
+		if idx != i {
+			t.Fatalf("serial emission out of order: got %v", ref.order)
+		}
+	}
+	for _, workers := range []int{2, 8} {
+		got := runSweep(t, workers)
+		for i := range ref.order {
+			if got.order[i] != ref.order[i] || got.labels[i] != ref.labels[i] {
+				t.Fatalf("workers=%d: emission order/labels differ at %d: (%d,%s) vs (%d,%s)",
+					workers, i, got.order[i], got.labels[i], ref.order[i], ref.labels[i])
+			}
+			if got.prints[i] != ref.prints[i] {
+				t.Errorf("workers=%d: job %d (%s) result differs from serial run",
+					workers, i, got.labels[i])
+			}
+		}
+	}
+}
+
+// TestRunSetErrors checks that every job runs despite failures and Run
+// returns the error of the earliest-submitted failed job.
+func TestRunSetErrors(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		rs := NewRunSet[int]()
+		errA, errB := errors.New("a"), errors.New("b")
+		for i := 0; i < 6; i++ {
+			i := i
+			rs.Add(fmt.Sprintf("j%d", i), func(*telemetry.Span) (int, error) {
+				switch i {
+				case 2:
+					return 0, errB
+				case 1:
+					return 0, errA
+				default:
+					return i * i, nil
+				}
+			})
+		}
+		var got []int
+		err := rs.Run(workers, nil, func(i int, label string, v int, jerr error) {
+			got = append(got, i)
+		})
+		if !errors.Is(err, errA) {
+			t.Errorf("workers=%d: Run error = %v, want first-submitted failure %v", workers, err, errA)
+		}
+		if len(got) != 6 {
+			t.Errorf("workers=%d: emitted %d jobs, want 6", workers, len(got))
+		}
+	}
+}
+
+// TestRunSetTelemetry checks the per-job spans and scheduler gauges.
+func TestRunSetTelemetry(t *testing.T) {
+	tel := telemetry.New()
+	rs := NewRunSet[int]()
+	for i := 0; i < 3; i++ {
+		rs.Add(fmt.Sprintf("job%d", i), func(sp *telemetry.Span) (int, error) {
+			child := sp.Child("work")
+			child.End()
+			return 0, nil
+		})
+	}
+	if err := rs.Run(2, tel, func(int, string, int, error) {}); err != nil {
+		t.Fatal(err)
+	}
+	snap := tel.Snapshot()
+	if got := snap.Gauges["runset.jobs"]; got != 3 {
+		t.Errorf("runset.jobs = %v, want 3", got)
+	}
+	if got := snap.Gauges["runset.workers"]; got != 2 {
+		t.Errorf("runset.workers = %v, want 2", got)
+	}
+	jobSpans, workSpans := 0, 0
+	ids := map[int64]string{}
+	for _, sp := range snap.Spans {
+		ids[sp.ID] = sp.Name
+	}
+	for _, sp := range snap.Spans {
+		switch {
+		case len(sp.Name) > 4 && sp.Name[:4] == "job:":
+			jobSpans++
+			if ids[sp.ParentID] != "runset" {
+				t.Errorf("span %q: parent id %d resolves to %q, want runset", sp.Name, sp.ParentID, ids[sp.ParentID])
+			}
+		case sp.Name == "work":
+			workSpans++
+			if pn := ids[sp.ParentID]; len(pn) < 4 || pn[:4] != "job:" {
+				t.Errorf("work span parented to %q, want a job span", pn)
+			}
+		}
+	}
+	if jobSpans != 3 || workSpans != 3 {
+		t.Errorf("got %d job spans, %d work spans, want 3 and 3", jobSpans, workSpans)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 )
 
 // SPEA2 runs the Strength Pareto Evolutionary Algorithm 2 of Zitzler,
@@ -22,9 +23,9 @@ import (
 //  3. binary-tournament mating selection on the archive, one-point
 //     crossover and per-bit mutation produce the next population.
 //
-// Population initialization, batched (optionally parallel) objective
-// evaluation, evaluation accounting and the OnGeneration protocol live
-// in the shared engine runtime.
+// Population initialization, batched (optionally parallel and memoized)
+// objective evaluation, evaluation accounting, buffer recycling and the
+// OnGeneration protocol live in the shared engine runtime.
 func SPEA2(p Problem, par Params) (*Result, error) {
 	e, err := newEngine(p, &par)
 	if err != nil {
@@ -33,12 +34,13 @@ func SPEA2(p Problem, par Params) (*Result, error) {
 	pop := e.initialPopulation()
 	var archive []Individual
 	for gen := 0; gen < par.Generations; gen++ {
-		union := append(append(make([]Individual, 0, len(pop)+len(archive)), pop...), archive...)
-		assignFitness(union, e.m, e.exec.Workers())
-		archive = environmentalSelection(union, par.Archive, e.m)
+		union := e.unionInto(pop, archive)
+		assignFitness(union, e.m, e.exec.Workers(), &e.fit)
+		archive = environmentalSelection(union, par.Archive, e.m, &e.sel)
 		if !e.onGeneration(gen, archive) || gen == par.Generations-1 {
 			break
 		}
+		e.recycle(union, archive)
 		pop = e.offspring(pop, spea2Tournament(archive, &par, e.rng))
 	}
 	return e.finish(archive), nil
@@ -58,18 +60,46 @@ func spea2Tournament(archive []Individual, par *Params, rng *rand.Rand) func() G
 	}
 }
 
+// fitScratch is the reusable per-generation scratch of the fitness
+// assignment: dominance bookkeeping plus the sweep-order arrays of the
+// two-objective fast path.
+type fitScratch struct {
+	strength   []int
+	domBy      [][]int32
+	obj0, obj1 []float64
+	ord, pos   []int
+}
+
+// domByFor returns the dominator-list array resized to n with every
+// list emptied (inner capacities are retained across generations).
+func (s *fitScratch) domByFor(n int) [][]int32 {
+	if cap(s.domBy) < n {
+		s.domBy = make([][]int32, n)
+	}
+	s.domBy = s.domBy[:n]
+	for i := range s.domBy {
+		s.domBy[i] = s.domBy[i][:0]
+	}
+	return s.domBy
+}
+
 // assignFitness computes the SPEA-2 fitness F = R + D for every
 // individual of the union. The k-NN density loop is independent per
 // individual and is spread over the workers; the result is identical at
-// any worker count.
-func assignFitness(union []Individual, m, workers int) {
+// any worker count. A nil scratch allocates fresh buffers.
+func assignFitness(union []Individual, m, workers int, s *fitScratch) {
+	if s == nil {
+		s = &fitScratch{}
+	}
 	if m == 2 {
-		assignFitness2(union, workers)
+		assignFitness2(union, workers, s)
 		return
 	}
 	n := len(union)
-	strength := make([]int, n)
-	domBy := make([][]int32, n) // dominators of i
+	s.strength = grow(s.strength, n)
+	strength := s.strength
+	clear(strength)
+	domBy := s.domByFor(n) // dominators of i
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
 			if Dominates(union[i].Obj, union[j].Obj) {
@@ -84,7 +114,8 @@ func assignFitness(union []Individual, m, workers int) {
 	_, invRange := normalizeRanges(union, m)
 	k := kNearest(n)
 	parallelFor(n, workers, func(lo, hi int) {
-		sel := newKSelect(k)
+		sel := getKSelect(k)
+		defer putKSelect(sel)
 		for i := lo; i < hi; i++ {
 			raw := 0
 			for _, j := range domBy[i] {
@@ -109,16 +140,18 @@ func assignFitness(union []Individual, m, workers int) {
 // unrolls to direct comparisons, and the k-th-nearest-neighbour
 // distance comes from a bounded max-heap scan (the same multiset value
 // the quickselect returned) with the distance arithmetic of objDist2.
-func assignFitness2(union []Individual, workers int) {
+func assignFitness2(union []Individual, workers int, s *fitScratch) {
 	n := len(union)
-	obj0 := make([]float64, n)
-	obj1 := make([]float64, n)
+	s.obj0, s.obj1 = grow(s.obj0, n), grow(s.obj1, n)
+	obj0, obj1 := s.obj0, s.obj1
 	for i := range union {
 		obj0[i] = union[i].Obj[0]
 		obj1[i] = union[i].Obj[1]
 	}
-	strength := make([]int, n)
-	domBy := make([][]int32, n)
+	s.strength = grow(s.strength, n)
+	strength := s.strength
+	clear(strength)
+	domBy := s.domByFor(n)
 	for i := 0; i < n; i++ {
 		a0, a1 := obj0[i], obj1[i]
 		for j := i + 1; j < n; j++ {
@@ -142,17 +175,18 @@ func assignFitness2(union []Individual, workers int) {
 	// the current k-th best, no remaining candidate can improve it
 	// (d' ≥ Δx'² ≥ Δx² in IEEE arithmetic — rounding is monotone) and
 	// the scan stops. Typical cost per point is O(k) instead of O(n).
-	ord := make([]int, n)
+	s.ord, s.pos = grow(s.ord, n), grow(s.pos, n)
+	ord, pos := s.ord, s.pos
 	for i := range ord {
 		ord[i] = i
 	}
 	sort.Slice(ord, func(a, b int) bool { return obj0[ord[a]] < obj0[ord[b]] })
-	pos := make([]int, n)
 	for p, i := range ord {
 		pos[i] = p
 	}
 	parallelFor(n, workers, func(lo, hi int) {
-		sel := newKSelect(k)
+		sel := getKSelect(k)
+		defer putKSelect(sel)
 		for i := lo; i < hi; i++ {
 			raw := 0
 			for _, j := range domBy[i] {
@@ -230,6 +264,23 @@ func newKSelect(k int) *kSelect {
 	return &kSelect{k: k, heap: make([]float64, 0, k)}
 }
 
+// kSelectPool recycles the heaps across generations and workers: every
+// parallel fitness chunk draws one instead of allocating.
+var kSelectPool = sync.Pool{New: func() any { return &kSelect{} }}
+
+func getKSelect(k int) *kSelect {
+	s := kSelectPool.Get().(*kSelect)
+	s.k = k
+	if cap(s.heap) < k {
+		s.heap = make([]float64, 0, k)
+	} else {
+		s.heap = s.heap[:0]
+	}
+	return s
+}
+
+func putKSelect(s *kSelect) { kSelectPool.Put(s) }
+
 func (s *kSelect) reset() { s.heap = s.heap[:0] }
 
 func (s *kSelect) offer(d float64) {
@@ -281,10 +332,28 @@ func (s *kSelect) kth() float64 {
 	return s.heap[0]
 }
 
+// selScratch is the reusable scratch of environmental selection: the
+// archive under construction, the dominated spill, and truncation's
+// liveness/nearest-neighbour bookkeeping. The returned archive aliases
+// the next buffer; the engine guarantees the previous archive is dead
+// (copied into the union) before the next selection runs.
+type selScratch struct {
+	next      []Individual
+	dominated []Individual
+	alive     []bool
+	protected []bool
+	nn        []int
+	nnD       []float64
+}
+
 // environmentalSelection builds the next archive of the given capacity.
-func environmentalSelection(union []Individual, capacity, m int) []Individual {
-	next := make([]Individual, 0, capacity)
-	var dominated []Individual
+// A nil scratch allocates fresh buffers.
+func environmentalSelection(union []Individual, capacity, m int, s *selScratch) []Individual {
+	if s == nil {
+		s = &selScratch{}
+	}
+	next := s.next[:0]
+	dominated := s.dominated[:0]
 	for i := range union {
 		if union[i].fitness < 1 {
 			next = append(next, union[i])
@@ -294,7 +363,7 @@ func environmentalSelection(union []Individual, capacity, m int) []Individual {
 	}
 	switch {
 	case len(next) > capacity:
-		next = truncate(next, capacity, m)
+		next = truncate(next, capacity, m, s)
 	case len(next) < capacity:
 		sort.Slice(dominated, func(i, j int) bool { return dominated[i].fitness < dominated[j].fitness })
 		need := capacity - len(next)
@@ -303,26 +372,33 @@ func environmentalSelection(union []Individual, capacity, m int) []Individual {
 		}
 		next = append(next, dominated[:need]...)
 	}
+	s.next = next
+	clear(dominated) // drop genome references until the next generation
+	s.dominated = dominated[:0]
 	return next
 }
 
 // truncate iteratively removes the individual with the smallest
 // nearest-neighbour distance in normalized objective space until the
-// set fits the capacity. (SPEA-2 breaks nearest-neighbour ties by the
-// next distances; with floating-point objective distances exact ties are
-// rare and first-neighbour truncation preserves the boundary points just
-// as well, at a fraction of the cost.)
-func truncate(set []Individual, capacity, m int) []Individual {
+// set fits the capacity, then compacts the survivors in place. (SPEA-2
+// breaks nearest-neighbour ties by the next distances; with
+// floating-point objective distances exact ties are rare and
+// first-neighbour truncation preserves the boundary points just as
+// well, at a fraction of the cost.)
+func truncate(set []Individual, capacity, m int, s *selScratch) []Individual {
 	_, invRange := normalizeRanges(set, m)
 	n := len(set)
-	alive := make([]bool, n)
+	s.alive = grow(s.alive, n)
+	alive := s.alive
 	for i := range alive {
 		alive[i] = true
 	}
 	// Protect the per-objective extremes, like NSGA-II's infinite
 	// boundary crowding: losing a corner of the front is never worth a
 	// density gain.
-	protected := make([]bool, n)
+	s.protected = grow(s.protected, n)
+	protected := s.protected
+	clear(protected)
 	for k := 0; k < m && capacity >= m; k++ {
 		best := 0
 		for i := 1; i < n; i++ {
@@ -332,8 +408,9 @@ func truncate(set []Individual, capacity, m int) []Individual {
 		}
 		protected[best] = true
 	}
-	nn := make([]int, n)      // index of current nearest neighbour
-	nnD := make([]float64, n) // distance to it
+	s.nn, s.nnD = grow(s.nn, n), grow(s.nnD, n)
+	nn := s.nn   // index of current nearest neighbour
+	nnD := s.nnD // distance to it
 	recompute := func(i int) {
 		nn[i], nnD[i] = -1, math.Inf(1)
 		for j := 0; j < n; j++ {
@@ -369,7 +446,7 @@ func truncate(set []Individual, capacity, m int) []Individual {
 			}
 		}
 	}
-	out := make([]Individual, 0, capacity)
+	out := set[:0]
 	for i := 0; i < n; i++ {
 		if alive[i] {
 			out = append(out, set[i])

@@ -60,18 +60,31 @@ func WriteTelemetry(w io.Writer, s telemetry.Snapshot) error {
 }
 
 // writeSpanTree prints the spans as an indented tree, children below
-// their parent in finish order, with duration and share of the root.
+// their parent in start order, with duration and share of the root.
+// Parentage is resolved over span IDs when the records carry them —
+// names repeat across the jobs of a scheduled sweep, IDs do not — and
+// falls back to name matching for ID-less records (old JSONL traces).
 func writeSpanTree(w io.Writer, spans []telemetry.SpanRecord) error {
-	children := make(map[string][]telemetry.SpanRecord)
-	isChild := make(map[string]bool)
+	// Children keyed by parent span ID (the common case) and, for
+	// records without IDs, by parent name.
+	byID := make(map[int64][]telemetry.SpanRecord)
+	byName := make(map[string][]telemetry.SpanRecord)
 	for _, sp := range spans {
-		if sp.Parent != "" {
-			children[sp.Parent] = append(children[sp.Parent], sp)
-			isChild[sp.Name] = true
+		switch {
+		case sp.ParentID != 0:
+			byID[sp.ParentID] = append(byID[sp.ParentID], sp)
+		case sp.Parent != "":
+			byName[sp.Parent] = append(byName[sp.Parent], sp)
 		}
 	}
-	for _, kids := range children {
+	byStart := func(kids []telemetry.SpanRecord) {
 		sort.Slice(kids, func(i, j int) bool { return kids[i].StartMS < kids[j].StartMS })
+	}
+	for _, kids := range byID {
+		byStart(kids)
+	}
+	for _, kids := range byName {
+		byStart(kids)
 	}
 	var walk func(sp telemetry.SpanRecord, depth int, rootDur float64) error
 	walk = func(sp telemetry.SpanRecord, depth int, rootDur float64) error {
@@ -83,7 +96,11 @@ func writeSpanTree(w io.Writer, spans []telemetry.SpanRecord) error {
 			strings.Repeat("  ", depth), 24-2*depth, sp.Name, sp.DurMS, share); err != nil {
 			return err
 		}
-		for _, kid := range children[sp.Name] {
+		kids := byName[sp.Name]
+		if sp.ID != 0 {
+			kids = byID[sp.ID]
+		}
+		for _, kid := range kids {
 			if err := walk(kid, depth+1, rootDur); err != nil {
 				return err
 			}
@@ -92,11 +109,11 @@ func writeSpanTree(w io.Writer, spans []telemetry.SpanRecord) error {
 	}
 	roots := make([]telemetry.SpanRecord, 0, len(spans))
 	for _, sp := range spans {
-		if !isChild[sp.Name] && sp.Parent == "" {
+		if sp.ParentID == 0 && sp.Parent == "" {
 			roots = append(roots, sp)
 		}
 	}
-	sort.Slice(roots, func(i, j int) bool { return roots[i].StartMS < roots[j].StartMS })
+	byStart(roots)
 	for _, root := range roots {
 		if err := walk(root, 0, root.DurMS); err != nil {
 			return err

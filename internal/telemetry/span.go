@@ -3,22 +3,29 @@ package telemetry
 import "time"
 
 // SpanRecord is one finished span: a named wall-clock interval with an
-// optional parent, timed relative to the collector's creation.
+// optional parent, timed relative to the collector's creation. ID and
+// ParentID identify the span instance: names repeat (every job of a
+// scheduled sweep opens a "synthesize" span), IDs do not, so a span
+// tree built over IDs stays a tree under concurrency.
 type SpanRecord struct {
-	Name    string  `json:"name"`
-	Parent  string  `json:"parent,omitempty"`
-	StartMS float64 `json:"start_ms"`
-	DurMS   float64 `json:"dur_ms"`
+	ID       int64   `json:"id,omitempty"`
+	ParentID int64   `json:"parent_id,omitempty"`
+	Name     string  `json:"name"`
+	Parent   string  `json:"parent,omitempty"`
+	StartMS  float64 `json:"start_ms"`
+	DurMS    float64 `json:"dur_ms"`
 }
 
 // Span is a live timed interval. Obtain one with Collector.StartSpan or
 // Span.Child and finish it with End. A nil span (from a nil collector)
 // is valid and does nothing.
 type Span struct {
-	c      *Collector
-	name   string
-	parent string
-	start  time.Time
+	c        *Collector
+	id       int64
+	parentID int64
+	name     string
+	parent   string
+	start    time.Time
 }
 
 // StartSpan opens a root span. Safe on a nil collector (returns a nil,
@@ -27,16 +34,24 @@ func (c *Collector) StartSpan(name string) *Span {
 	if c == nil {
 		return nil
 	}
-	return &Span{c: c, name: name, start: time.Now()}
+	return &Span{c: c, id: c.spanSeq.Add(1), name: name, start: time.Now()}
 }
 
 // Child opens a sub-span whose record names this span as its parent.
-// Safe on a nil span.
+// Safe on a nil span. Safe for concurrent calls on the same parent —
+// scheduled jobs branch their spans off one root.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{c: s.c, name: name, parent: s.name, start: time.Now()}
+	return &Span{
+		c:        s.c,
+		id:       s.c.spanSeq.Add(1),
+		parentID: s.id,
+		name:     name,
+		parent:   s.name,
+		start:    time.Now(),
+	}
 }
 
 // Name returns the span name ("" for a nil span).
@@ -45,6 +60,14 @@ func (s *Span) Name() string {
 		return ""
 	}
 	return s.name
+}
+
+// ID returns the span's collector-unique id (0 for a nil span).
+func (s *Span) ID() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
 }
 
 // End finishes the span, records it on the collector, streams it to the
@@ -56,10 +79,12 @@ func (s *Span) End() time.Duration {
 	}
 	d := time.Since(s.start)
 	rec := SpanRecord{
-		Name:    s.name,
-		Parent:  s.parent,
-		StartMS: s.c.sinceMS(s.start),
-		DurMS:   float64(d) / float64(time.Millisecond),
+		ID:       s.id,
+		ParentID: s.parentID,
+		Name:     s.name,
+		Parent:   s.parent,
+		StartMS:  s.c.sinceMS(s.start),
+		DurMS:    float64(d) / float64(time.Millisecond),
 	}
 	s.c.mu.Lock()
 	s.c.spans = append(s.c.spans, rec)

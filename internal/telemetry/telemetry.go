@@ -184,7 +184,8 @@ type Generation struct {
 // pipeline run. Create one with New; the nil *Collector is the valid
 // "telemetry off" instance.
 type Collector struct {
-	start time.Time
+	start   time.Time
+	spanSeq atomic.Int64 // span id allocator; ids are unique per collector
 
 	mu       sync.Mutex
 	counters map[string]*Counter
