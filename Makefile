@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race determinism bench bench-smoke benchjson bench-compare clean
+.PHONY: ci vet build test race determinism chaos fuzz bench bench-smoke benchjson bench-compare clean
 
 ci: vet build race determinism
 
@@ -19,10 +19,23 @@ race:
 	$(GO) test -race ./...
 
 # Determinism gate: identical fronts, picks and evaluation counts at
-# every worker count, scheduler job count, and with the evaluation
-# cache on or off.
+# every worker count, scheduler job count, with the evaluation cache on
+# or off, across checkpoint/resume boundaries, and under injected
+# faults.
 determinism:
-	$(GO) test -run 'WorkerDeterminism|WorkerInvariance|RunSetDeterminism|MemoOracle' ./internal/core ./internal/moea
+	$(GO) test -run 'WorkerDeterminism|WorkerInvariance|RunSetDeterminism|MemoOracle|ResumeEquivalence|ChaosGraceful' ./internal/core ./internal/moea ./internal/chaos ./cmd/rsnharden
+
+# Chaos gate: the fault-injection suite (panics, cancellation, delays,
+# corrupted checkpoints, crash-recovery drills) under the race
+# detector.
+chaos:
+	$(GO) test -race ./internal/chaos
+
+# Short fuzz pass over the hostile-input decoders: the ICL parser and
+# the checkpoint codec.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzParseICL -fuzztime=30s ./internal/icl
+	$(GO) test -run=NONE -fuzz=FuzzCheckpointDecode -fuzztime=30s ./internal/moea
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .

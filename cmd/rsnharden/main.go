@@ -7,6 +7,8 @@
 //	rsnharden -name p22810 -generations 1000
 //	rsnharden -in net.icl -generations 500 -algo nsga2 -front
 //	rsnharden -in net.icl -pick damage10 -o hardened.icl
+//	rsnharden -name p22810 -checkpoint run.ckpt    # SIGINT-safe, resumable
+//	rsnharden -name p22810 -resume run.ckpt        # continue where it stopped
 //
 // Input networks carry their criticality specification in the
 // instrument annotations; with -genspec the paper's randomized
@@ -14,9 +16,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"rsnrobust/internal/access"
@@ -56,8 +62,30 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
 		prog    = flag.Bool("progress", false, "print a live per-generation summary line and a telemetry summary to stderr")
+		ckpt    = flag.String("checkpoint", "", "write periodic checkpoints (and the final state on SIGINT) to this file")
+		ckptN   = flag.Int("checkpoint-every", 10, "generations between periodic checkpoints (with -checkpoint)")
+		resume  = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
+		ddl     = flag.Duration("deadline", 0, "run deadline; in multi-seed mode the per-job deadline (0 = none)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(runConfig{
+		seeds: *seeds, jobs: *jobs, workers: *workers, stagnation: *stag,
+		checkpoint: *ckpt, checkpointEvery: *ckptN, resume: *resume, deadline: *ddl,
+	}); err != nil {
+		fail(err)
+	}
+
+	// First SIGINT/SIGTERM cancels the context: the optimizer drains at
+	// the next generation boundary, writes a final checkpoint and returns
+	// a valid partial result. A second signal falls through to the
+	// default handler and kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
 
 	stopProfiles, err := telemetry.StartProfiles(*cpuProf, *memProf)
 	if err != nil {
@@ -106,10 +134,11 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		err := runSeedSweep(sweepConfig{
+		err := runSeedSweep(ctx, sweepConfig{
 			in: *in, name: *name, genspec: *genspec,
 			generations: generations, seed: *seed, seeds: *seeds, jobs: *jobs,
 			algo: *algo, scope: *scope, force: *force, stag: *stag, workers: *workers,
+			deadline: *ddl,
 		}, tel)
 		if err != nil {
 			fail(err)
@@ -129,11 +158,27 @@ func main() {
 		return
 	}
 
+	if *ddl > 0 {
+		var cancelDeadline context.CancelFunc
+		ctx, cancelDeadline = context.WithTimeout(ctx, *ddl)
+		defer cancelDeadline()
+	}
+
 	opt := core.DefaultOptions(generations, *seed)
 	opt.ForceCritical = *force
 	opt.Stagnation = *stag
 	opt.Workers = *workers
 	opt.Telemetry = tel
+	opt.Context = ctx
+	opt.CheckpointPath = *ckpt
+	opt.CheckpointEvery = *ckptN
+	if *resume != "" {
+		cp, err := moea.LoadCheckpoint(*resume)
+		if err != nil {
+			fail(err)
+		}
+		opt.Resume = cp
+	}
 	if *prog {
 		opt.OnGeneration = func(gen int, front []moea.Individual) bool {
 			if g, ok := tel.LastGeneration(); ok {
@@ -170,6 +215,15 @@ func main() {
 	fmt.Printf("generations    %d  (%s, %d evaluations)\n", s.Generations, opt.Algorithm, s.Evaluations)
 	fmt.Printf("front size     %d\n", len(s.Front))
 	fmt.Printf("must-harden    %d primitives protect all critical instruments\n", len(s.Analysis.MustHarden()))
+	if s.Interrupted {
+		// Printed only on interruption, so uninterrupted and resumed runs
+		// keep byte-identical stdout.
+		if *ckpt != "" {
+			fmt.Printf("interrupted    true  (partial result; resume with -resume %s)\n", *ckpt)
+		} else {
+			fmt.Println("interrupted    true  (partial result; rerun with -checkpoint to make it resumable)")
+		}
+	}
 	// Wall clock goes to stderr: stdout stays byte-identical for the same
 	// seed at every worker count.
 	fmt.Fprintf(os.Stderr, "synthesis time %v (%d workers)\n", s.Elapsed.Round(1000000), s.Workers)
@@ -339,6 +393,7 @@ type sweepConfig struct {
 	force       bool
 	stag        int
 	workers     int
+	deadline    time.Duration
 }
 
 // seedResult is one seed's outcome in the sweep summary.
@@ -351,6 +406,7 @@ type seedResult struct {
 	costD10, dmgD10  int64
 	costC10, dmgC10  int64
 	elapsed, evolveT time.Duration
+	interrupted      bool
 }
 
 // runSeedSweep runs the synthesis once per seed on a RunSet scheduler
@@ -361,12 +417,12 @@ type seedResult struct {
 // telemetry collector, every job's pipeline spans hang off that job's
 // "job:seed-N" span via Options.ParentSpan, so the trace stays a tree
 // under concurrency. Results and output are identical at any job count.
-func runSeedSweep(cfg sweepConfig, tel *telemetry.Collector) error {
+func runSeedSweep(ctx context.Context, cfg sweepConfig, tel *telemetry.Collector) error {
 	rs := moea.NewRunSet[seedResult]()
 	for i := 0; i < cfg.seeds; i++ {
 		s := cfg.seed + int64(i)
-		rs.Add(fmt.Sprintf("seed-%d", s), func(sp *telemetry.Span) (seedResult, error) {
-			return runOneSeed(cfg, s, tel, sp)
+		rs.Add(fmt.Sprintf("seed-%d", s), func(jctx context.Context, sp *telemetry.Span) (seedResult, error) {
+			return runOneSeed(jctx, cfg, s, tel, sp)
 		})
 	}
 	// Wall clock goes to stderr, like the single-seed path: stdout stays
@@ -374,16 +430,24 @@ func runSeedSweep(cfg sweepConfig, tel *telemetry.Collector) error {
 	tb := report.New("seed", "gens", "evals", "hits", "misses", "front",
 		"cost|d10", "dmg|d10", "cost|c10", "dmg|c10")
 	var (
-		results  []seedResult
-		sumD10   float64
-		bestD10  int64 = -1
-		sumC10   float64
-		bestC10  int64 = -1
-		sumEvolv time.Duration
+		results     []seedResult
+		sumD10      float64
+		bestD10     int64 = -1
+		sumC10      float64
+		bestC10     int64 = -1
+		sumEvolv    time.Duration
+		interrupted int
+		skipped     int
 	)
-	err := rs.Run(cfg.jobs, tel, func(i int, label string, r seedResult, err error) {
+	err := rs.Run(ctx, moea.RunOptions{Workers: cfg.jobs, Telemetry: tel, JobDeadline: cfg.deadline}, func(i int, label string, r seedResult, err error) {
 		if err != nil {
+			if errors.Is(err, moea.ErrInterrupted) {
+				skipped++
+			}
 			return // reported once by Run
+		}
+		if r.interrupted {
+			interrupted++
 		}
 		tb.Add(r.seed, r.gens, r.evals, r.cacheHits, r.cacheMisses, r.frontSize,
 			r.costD10, r.dmgD10, r.costC10, r.dmgC10)
@@ -404,7 +468,7 @@ func runSeedSweep(cfg sweepConfig, tel *telemetry.Collector) error {
 		fmt.Fprintf(os.Stderr, "done seed %-6d in %v (evolve %v)\n",
 			r.seed, r.elapsed.Round(time.Millisecond), r.evolveT.Round(time.Millisecond))
 	})
-	if err != nil {
+	if err != nil && !errors.Is(err, moea.ErrInterrupted) {
 		return err
 	}
 	fmt.Printf("seed sweep     %d seeds (%d..%d), %s\n",
@@ -418,11 +482,14 @@ func runSeedSweep(cfg sweepConfig, tel *telemetry.Collector) error {
 		fmt.Fprintf(os.Stderr, "mean evolve    %v over %d seeds\n",
 			(sumEvolv / time.Duration(len(results))).Round(time.Millisecond), len(results))
 	}
+	if interrupted > 0 || skipped > 0 {
+		fmt.Printf("interrupted    true  (%d partial seeds, %d never started)\n", interrupted, skipped)
+	}
 	return nil
 }
 
 // runOneSeed is one job of the sweep: a full, self-contained synthesis.
-func runOneSeed(cfg sweepConfig, seed int64, tel *telemetry.Collector, span *telemetry.Span) (seedResult, error) {
+func runOneSeed(ctx context.Context, cfg sweepConfig, seed int64, tel *telemetry.Collector, span *telemetry.Span) (seedResult, error) {
 	res := seedResult{seed: seed, costD10: -1, dmgD10: -1, costC10: -1, dmgC10: -1}
 	net, _, err := loadNetwork(cfg.in, cfg.name)
 	if err != nil {
@@ -444,6 +511,7 @@ func runOneSeed(cfg sweepConfig, seed int64, tel *telemetry.Collector, span *tel
 	opt.Workers = cfg.workers
 	opt.Telemetry = tel
 	opt.ParentSpan = span
+	opt.Context = ctx
 	if cfg.scope == "control" {
 		opt.Analysis.Scope = faults.ScopeControl
 	}
@@ -461,6 +529,7 @@ func runOneSeed(cfg sweepConfig, seed int64, tel *telemetry.Collector, span *tel
 	res.cacheHits = s.CacheHits
 	res.cacheMisses = s.CacheMisses
 	res.frontSize = len(s.Front)
+	res.interrupted = s.Interrupted
 	res.elapsed = s.Elapsed
 	res.evolveT = s.EvolveTime
 	if sol, ok := s.MinCostWithDamageAtMost(0.10); ok {

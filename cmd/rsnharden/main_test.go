@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rsnrobust/internal/moea"
+)
+
+// TestMain doubles the test binary as the rsnharden binary: when
+// re-exec'd with RSNHARDEN_BE_MAIN=1 it runs main() on its own flags.
+// The subprocess tests below use this to exercise the real CLI —
+// signal handling, checkpoint files, exact stdout — without a separate
+// build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("RSNHARDEN_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// runCLI re-execs the test binary as rsnharden and returns its stdout.
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RSNHARDEN_BE_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("rsnharden %v: %v\nstderr: %s", args, err, stderr.String())
+	}
+	return stdout.String()
+}
+
+// TestResumeEquivalenceCLI is the end-to-end resume gate: a run
+// resumed from a checkpoint file must print stdout byte-identical to
+// the uninterrupted run, at any worker count. The checkpoint comes
+// from a shorter-budget run — the trajectory is a prefix of the full
+// run's, since the budget only bounds the loop.
+func TestResumeEquivalenceCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	full := runCLI(t, "-name", "TreeFlat", "-generations", "25", "-seed", "3")
+	runCLI(t, "-name", "TreeFlat", "-generations", "12", "-seed", "3",
+		"-checkpoint", ckpt, "-checkpoint-every", "5")
+	for _, workers := range []string{"1", "2"} {
+		resumed := runCLI(t, "-name", "TreeFlat", "-generations", "25", "-seed", "3",
+			"-resume", ckpt, "-workers", workers)
+		if resumed != full {
+			t.Errorf("workers=%s: resumed stdout differs from uninterrupted run\n got:\n%s\nwant:\n%s",
+				workers, resumed, full)
+		}
+	}
+	if strings.Contains(full, "interrupted") {
+		t.Errorf("uninterrupted run printed an interrupted line:\n%s", full)
+	}
+}
+
+// TestSIGINTWritesCheckpoint interrupts a live run with the real
+// signal: the process must drain at a generation boundary, write a
+// loadable checkpoint, print the partial-result summary with the
+// interrupted marker, and exit zero.
+func TestSIGINTWritesCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	cmd := exec.Command(os.Args[0],
+		"-name", "TreeFlat", "-generations", "500000", "-seed", "3",
+		"-checkpoint", ckpt, "-checkpoint-every", "1")
+	cmd.Env = append(os.Environ(), "RSNHARDEN_BE_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first periodic checkpoint so the interrupt lands
+	// mid-optimization, then signal.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(ckpt); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("no checkpoint appeared within 30s\nstderr: %s", stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("interrupted run exited with %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("interrupted run did not drain within 30s")
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "interrupted    true") {
+		t.Errorf("partial-result summary lacks the interrupted marker:\n%s", out)
+	}
+	cp, err := moea.LoadCheckpoint(ckpt)
+	if err != nil {
+		t.Fatalf("checkpoint written on SIGINT does not load: %v", err)
+	}
+	if cp.Generation < 1 || len(cp.Pop) == 0 {
+		t.Errorf("checkpoint is not a usable state: generation %d, population %d", cp.Generation, len(cp.Pop))
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+// runConfig collects the flag values whose combinations are validated
+// up front, before hours of benchmark synthesis start.
+type runConfig struct {
+	jobs            int
+	workers         int
+	checkpoint      string
+	checkpointEvery int
+	resume          string
+	deadline        time.Duration
+}
+
+// validateFlags rejects configurations that would fail mid-table:
+// negative pool sizes, a checkpoint directory we cannot write into, a
+// resume directory that does not exist.
+func validateFlags(c runConfig) error {
+	if c.jobs < 0 {
+		return fmt.Errorf("-jobs must be >= 0, got %d", c.jobs)
+	}
+	if c.workers < 0 {
+		return fmt.Errorf("-workers must be >= 0, got %d", c.workers)
+	}
+	if c.checkpointEvery < 1 {
+		return fmt.Errorf("-checkpoint-every must be >= 1, got %d", c.checkpointEvery)
+	}
+	if c.deadline < 0 {
+		return fmt.Errorf("-deadline must be >= 0, got %v", c.deadline)
+	}
+	if c.checkpoint != "" {
+		if err := writableDir(c.checkpoint); err != nil {
+			return fmt.Errorf("-checkpoint: %w", err)
+		}
+	}
+	if c.resume != "" {
+		fi, err := os.Stat(c.resume)
+		if err != nil {
+			return fmt.Errorf("-resume: %w", err)
+		}
+		if !fi.IsDir() {
+			return fmt.Errorf("-resume: %s is not a directory (table1 keeps one checkpoint per row)", c.resume)
+		}
+	}
+	return nil
+}
+
+// writableDir probes the directory with a temp file: the only reliable
+// writability test across permission models.
+func writableDir(dir string) error {
+	f, err := os.CreateTemp(dir, ".table1-probe-*")
+	if err != nil {
+		return fmt.Errorf("directory %q is not writable: %w", dir, err)
+	}
+	f.Close()
+	os.Remove(f.Name())
+	return nil
+}

@@ -16,13 +16,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"syscall"
 	"time"
 
 	"rsnrobust/internal/baseline"
@@ -53,8 +58,29 @@ func main() {
 		bench   = flag.String("benchjson", "", "write machine-readable per-row results (BENCH_*.json schema) to this file")
 		workers = flag.Int("workers", 0, "objective-evaluation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 		jobs    = flag.Int("jobs", 0, "concurrent synthesis jobs (0 = GOMAXPROCS, 1 = serial); rows and output order are identical at any count")
+		ckpt    = flag.String("checkpoint", "", "write one checkpoint per row (<dir>/<name>.ckpt) into this directory")
+		ckptN   = flag.Int("checkpoint-every", 10, "generations between periodic checkpoints (with -checkpoint)")
+		resume  = flag.String("resume", "", "resume rows from checkpoints in this directory; rows without a checkpoint start fresh")
+		ddl     = flag.Duration("deadline", 0, "per-row synthesis deadline (0 = none)")
 	)
 	flag.Parse()
+
+	if err := validateFlags(runConfig{
+		jobs: *jobs, workers: *workers,
+		checkpoint: *ckpt, checkpointEvery: *ckptN, resume: *resume, deadline: *ddl,
+	}); err != nil {
+		fail(err)
+	}
+
+	// First SIGINT/SIGTERM drains the table gracefully: running rows
+	// checkpoint and return partial results, queued rows are skipped. A
+	// second signal kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		stopSignals()
+	}()
 
 	stopProfiles, err := telemetry.StartProfiles(*cpu, *mem)
 	if err != nil {
@@ -122,21 +148,29 @@ func main() {
 		if telWriter != nil {
 			telBufs[i] = &bytes.Buffer{}
 		}
-		rs.Add(e.Name, func(*telemetry.Span) (rowResult, error) {
+		rs.Add(e.Name, func(jctx context.Context, _ *telemetry.Span) (rowResult, error) {
 			var w io.Writer
 			if telBufs[i] != nil {
 				w = telBufs[i]
 			}
-			row, err := runRow(e, *seed, *quick, *algo, *scope, *refine, *workers, w)
+			row, err := runRow(jctx, e, rowOpts{
+				seed: *seed, quick: *quick, algo: *algo, scope: *scope,
+				refine: *refine, workers: *workers,
+				ckptDir: *ckpt, resumeDir: *resume, ckptEvery: *ckptN,
+			}, w)
 			if err != nil {
 				return row, fmt.Errorf("%s: %w", e.Name, err)
 			}
 			return row, nil
 		})
 	}
-	runErr := rs.Run(*jobs, nil, func(i int, label string, row rowResult, err error) {
+	interrupted := 0
+	runErr := rs.Run(ctx, moea.RunOptions{Workers: *jobs, JobDeadline: *ddl}, func(i int, label string, row rowResult, err error) {
 		if err != nil {
 			return // reported once by Run
+		}
+		if row.interrupted {
+			interrupted++
 		}
 		e := entries[i]
 		if telBufs[i] != nil {
@@ -179,11 +213,18 @@ func main() {
 		})
 		fmt.Fprintf(os.Stderr, "done %-18s in %v\n", e.Name, row.elapsed.Round(time.Second/10))
 	})
-	if runErr != nil {
+	if runErr != nil && !errors.Is(runErr, moea.ErrInterrupted) {
 		fail(runErr)
 	}
 	if err := tb.Write(os.Stdout, *format); err != nil {
 		fail(err)
+	}
+	if runErr != nil || interrupted > 0 {
+		note := "interrupted: the table above is partial"
+		if *ckpt != "" {
+			note += "; rerun with -resume " + *ckpt + " to continue"
+		}
+		fmt.Fprintln(os.Stderr, note)
 	}
 	if *bench != "" {
 		if err := writeBenchJSON(*bench, *seed, *quick, *algo, *workers, *jobs, benchRows); err != nil {
@@ -266,6 +307,19 @@ func writeBenchJSON(path string, seed int64, quick bool, algo string, workers, j
 	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
+// rowOpts is the per-row synthesis configuration shared by every row
+// of the table: the optimizer knobs plus the checkpoint/resume
+// directories (one <name>.ckpt file per row).
+type rowOpts struct {
+	seed               int64
+	quick              bool
+	algo, scope        string
+	refine             bool
+	workers            int
+	ckptDir, resumeDir string
+	ckptEvery          int
+}
+
 type rowResult struct {
 	maxCost, maxDamage int64
 	gens               int
@@ -277,6 +331,7 @@ type rowResult struct {
 	costD10, dmgD10    int64
 	costC10, dmgC10    int64
 	critD10, critC10   bool
+	interrupted        bool
 	elapsed            time.Duration
 	analysisTime       time.Duration
 	evolveTime         time.Duration
@@ -313,8 +368,9 @@ func budget(e benchnets.Entry, quick bool) int {
 	return cap
 }
 
-func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refine bool, workers int, telWriter io.Writer) (rowResult, error) {
+func runRow(ctx context.Context, e benchnets.Entry, ro rowOpts, telWriter io.Writer) (rowResult, error) {
 	var res rowResult
+	seed, quick, algo := ro.seed, ro.quick, ro.algo
 	net, err := benchnets.GenerateEntry(e)
 	if err != nil {
 		return res, err
@@ -324,11 +380,27 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 		return res, err
 	}
 	opt := core.DefaultOptions(budget(e, quick), seed)
-	opt.Workers = workers
+	opt.Workers = ro.workers
+	opt.Context = ctx
+	if ro.ckptDir != "" {
+		opt.CheckpointPath = filepath.Join(ro.ckptDir, e.Name+".ckpt")
+		opt.CheckpointEvery = ro.ckptEvery
+	}
+	if ro.resumeDir != "" {
+		// A missing per-row checkpoint just means the row never started
+		// (or the directory is from a different filter): run it fresh.
+		cp, err := moea.LoadCheckpoint(filepath.Join(ro.resumeDir, e.Name+".ckpt"))
+		switch {
+		case err == nil:
+			opt.Resume = cp
+		case !errors.Is(err, os.ErrNotExist):
+			return res, err
+		}
+	}
 	if algo == "nsga2" {
 		opt.Algorithm = core.AlgoNSGA2
 	}
-	if scope != "all" {
+	if ro.scope != "all" {
 		opt.Analysis.Scope = faults.ScopeControl
 	}
 	// One collector per row, all streaming into the shared JSONL file;
@@ -354,6 +426,7 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 	if err := tel.Close(); err != nil {
 		return res, err
 	}
+	res.interrupted = s.Interrupted
 	res.maxCost = s.MaxCost
 	res.maxDamage = s.MaxDamage
 	res.gens = s.Generations
@@ -372,7 +445,7 @@ func runRow(e benchnets.Entry, seed int64, quick bool, algo, scope string, refin
 	res.extractTime = s.ExtractTime
 	pickCost := s.MinCostWithDamageAtMost
 	pickDamage := s.MinDamageWithCostAtMost
-	if refine {
+	if ro.refine {
 		pickCost = s.RefinedMinCostWithDamageAtMost
 		pickDamage = s.RefinedMinDamageWithCostAtMost
 	}

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/bits"
@@ -89,6 +90,26 @@ type Options struct {
 	// counts only true (non-cached) evaluations. DefaultOptions enables
 	// it.
 	Memoize bool
+	// Context, if non-nil, cooperatively cancels the synthesis: the
+	// evolutionary run stops at the next generation or evaluation-chunk
+	// boundary and Synthesize returns a valid partial result with
+	// Interrupted set. A nil context never cancels.
+	Context context.Context
+	// CheckpointPath, if non-empty, enables checkpointing: the
+	// evolutionary state is atomically written there every
+	// CheckpointEvery generations (default 10) and once more when
+	// cancellation is observed at a generation boundary. Resuming from
+	// the file continues the run bit-identically.
+	CheckpointPath string
+	// CheckpointEvery overrides the checkpoint interval in generations
+	// (0 with a CheckpointPath selects the default of 10).
+	CheckpointEvery int
+	// Resume, if non-nil, restores the evolutionary run from a
+	// checkpoint instead of initializing a fresh population. The
+	// checkpoint must match the run (algorithm, seed, genome size,
+	// population, memoization); Stagnation cannot be combined with
+	// Resume — the early-stop state is not checkpointed.
+	Resume *moea.Checkpoint
 	// OnGeneration, if non-nil, receives progress callbacks.
 	OnGeneration func(gen int, front []moea.Individual) bool
 	// Telemetry, if non-nil, receives span timings for every pipeline
@@ -168,6 +189,11 @@ type Synthesis struct {
 	ExtractTime time.Duration
 	// Workers is the resolved evaluation worker-pool size the run used.
 	Workers int
+	// Interrupted reports that the evolutionary run was cancelled before
+	// its budget (Options.Context); the front is the best one at the
+	// last completed generation boundary and the accounting covers
+	// exactly the work performed.
+	Interrupted bool
 }
 
 // wordEvalMaxBits bounds the genome size for which the word-level
@@ -341,10 +367,23 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	} else {
 		root = tel.StartSpan("synthesize")
 	}
+	// fail closes the current stage span and the root before surfacing
+	// an error, so no span is left open (and lost) on any exit path.
+	fail := func(stage *telemetry.Span, err error) (*Synthesis, error) {
+		stage.SetStatus("error")
+		stage.End()
+		root.SetStatus("error")
+		root.End()
+		return nil, err
+	}
+
+	if opt.Resume != nil && opt.Stagnation > 0 {
+		return fail(nil, fmt.Errorf("core: Resume cannot be combined with Stagnation: %w", moea.ErrCheckpointMismatch))
+	}
 
 	sv := root.Child("validate")
 	if err := rsn.Validate(net); err != nil {
-		return nil, err
+		return fail(sv, err)
 	}
 	sv.End()
 
@@ -352,7 +391,7 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	st := root.Child("sp-tree")
 	tree, err := sptree.Build(net)
 	if err != nil {
-		return nil, err
+		return fail(st, err)
 	}
 	st.End()
 	tree.Publish(tel)
@@ -362,7 +401,7 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	sa := root.Child("criticality")
 	analysis, err := faults.Analyze(net, tree, sp, opt.Analysis)
 	if err != nil {
-		return nil, err
+		return fail(sa, err)
 	}
 	sa.End()
 	analysis.Publish(tel)
@@ -401,6 +440,18 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	if opt.Stagnation > 0 {
 		params.OnGeneration = stagnationStop(opt.Stagnation, analysis, params.OnGeneration)
 	}
+	params.Context = opt.Context
+	params.Resume = opt.Resume
+	if opt.CheckpointPath != "" {
+		path := opt.CheckpointPath
+		params.CheckpointEvery = opt.CheckpointEvery
+		if params.CheckpointEvery <= 0 {
+			params.CheckpointEvery = 10
+		}
+		params.CheckpointFn = func(cp *moea.Checkpoint) error {
+			return moea.SaveCheckpoint(path, cp)
+		}
+	}
 
 	// Diversify the initial population with the two trivial extreme
 	// solutions (nothing hardened / everything hardened): they are
@@ -424,7 +475,10 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 		res, err = moea.SPEA2(problem, params)
 	}
 	if err != nil {
-		return nil, err
+		return fail(se, err)
+	}
+	if res.Interrupted {
+		se.SetStatus("interrupted")
 	}
 	se.End()
 	evolveTime := time.Since(evolveStart)
@@ -445,6 +499,7 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 		TreeTime:     treeTime,
 		CritTime:     critTime,
 		Workers:      workers,
+		Interrupted:  res.Interrupted,
 	}
 	extractStart := time.Now()
 	sx := root.Child("extract")
@@ -453,6 +508,9 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	}
 	sx.End()
 	s.ExtractTime = time.Since(extractStart)
+	if s.Interrupted {
+		root.SetStatus("interrupted")
+	}
 	root.End()
 	tel.Gauge("front.size").Set(float64(len(s.Front)))
 	tel.Gauge("synthesize.generations").Set(float64(s.Generations))

@@ -6,10 +6,10 @@ import (
 	"testing"
 )
 
-// FuzzParse feeds arbitrary text to the parser. Any input that parses
+// FuzzParseICL feeds arbitrary text to the parser. Any input that parses
 // must validate, serialize, and re-parse to a structurally identical
 // network (round-trip stability); no input may panic.
-func FuzzParse(f *testing.F) {
+func FuzzParseICL(f *testing.F) {
 	seeds := []string{
 		"network a\n  segment s 4\nend",
 		"network b\n  sib x {\n    segment i 8 instrument t obs 2 set 3 critobs\n  }\nend",

@@ -1,0 +1,291 @@
+package moea
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runResultFingerprint folds everything a checkpointed run must
+// reproduce into one comparable string: the front, the generation count
+// and the exact evaluation/cache accounting.
+func runResultFingerprint(res *Result) string {
+	return fmt.Sprintf("front=%s gens=%d evals=%d hits=%d misses=%d interrupted=%v",
+		frontFingerprint(res.Front), res.Generations, res.Evaluations,
+		res.CacheHits, res.CacheMisses, res.Interrupted)
+}
+
+// ckptParams is the base configuration of the checkpoint tests.
+func ckptParams(seed int64, workers int, memoize bool) Params {
+	return Params{
+		Population: 30, Generations: 20, PCrossover: 0.95, PMutateBit: 0.02,
+		Seed: seed, Workers: workers, Memoize: memoize,
+	}
+}
+
+func runAlgo(t *testing.T, algo string, p Problem, par Params) *Result {
+	t.Helper()
+	var res *Result
+	var err error
+	if algo == "nsga2" {
+		res, err = NSGA2(p, par)
+	} else {
+		res, err = SPEA2(p, par)
+	}
+	if err != nil {
+		t.Fatalf("%s: %v", algo, err)
+	}
+	return res
+}
+
+// captureCheckpoint runs the full budget while capturing the checkpoint
+// written at generation `at`, returned as a decoded copy that owns its
+// memory (exactly what a CLI resume would read from disk). The run
+// completes, so its result doubles as the uninterrupted reference.
+func captureCheckpoint(t *testing.T, algo string, p Problem, par Params, at int) (*Result, *Checkpoint) {
+	t.Helper()
+	var cp *Checkpoint
+	par.CheckpointEvery = at
+	par.CheckpointFn = func(c *Checkpoint) error {
+		if c.Generation != at {
+			return nil
+		}
+		decoded, err := DecodeCheckpoint(EncodeCheckpoint(c))
+		if err != nil {
+			return err
+		}
+		cp = decoded
+		return nil
+	}
+	res := runAlgo(t, algo, p, par)
+	if cp == nil {
+		t.Fatalf("%s: no checkpoint captured at generation %d", algo, at)
+	}
+	return res, cp
+}
+
+// TestResumeEquivalence is the resume-bit-identity gate: a run
+// checkpointed at a generation boundary and resumed from the decoded
+// bytes produces exactly the result of the uninterrupted run — same
+// front, same generation count, same evaluation and cache accounting —
+// for both algorithms, with and without memoization, and across
+// different worker counts on either side of the interruption.
+func TestResumeEquivalence(t *testing.T) {
+	for _, algo := range []string{"spea2", "nsga2"} {
+		for _, memoize := range []bool{true, false} {
+			t.Run(fmt.Sprintf("%s/memo=%v", algo, memoize), func(t *testing.T) {
+				prob := newKnapsack(7, 48)
+				par := ckptParams(11, 1, memoize)
+				ref, cp := captureCheckpoint(t, algo, prob, par, 7)
+				want := runResultFingerprint(ref)
+				for _, workers := range []int{1, 4} {
+					rpar := ckptParams(11, workers, memoize)
+					rpar.Resume = cp
+					got := runResultFingerprint(runAlgo(t, algo, prob, rpar))
+					if got != want {
+						t.Errorf("workers=%d: resumed run differs from uninterrupted run\n got %s\nwant %s",
+							workers, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestResumeEquivalenceAcrossWorkers checkpoints a parallel run and
+// resumes it serially: the interruption boundary must not leak the
+// worker count into the trajectory.
+func TestResumeEquivalenceAcrossWorkers(t *testing.T) {
+	prob := newKnapsack(3, 64)
+	par := ckptParams(5, 4, true)
+	ref, cp := captureCheckpoint(t, "spea2", prob, par, 14)
+	rpar := ckptParams(5, 1, true)
+	rpar.Resume = cp
+	if got, want := runResultFingerprint(runAlgo(t, "spea2", prob, rpar)), runResultFingerprint(ref); got != want {
+		t.Errorf("parallel-checkpoint/serial-resume differs\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestCheckpointRoundTrip pins the codec: encode→decode is the
+// identity on every field.
+func TestCheckpointRoundTrip(t *testing.T) {
+	cp := &Checkpoint{
+		Algorithm: "spea2", Seed: -42, NumBits: 130, Population: 4, Memoized: true,
+		Generation: 9, RNGDraws: 12345, Evaluations: 678, CacheHits: 11, CacheMisses: 22,
+		Pop: []CheckpointIndividual{
+			{Genome: Genome{1, 2, 3}, Obj: []float64{1.5, -2.5}, Fitness: 0.25, Density: 3.75},
+			{Genome: Genome{4, 5, 6}, Obj: []float64{0, 7}, Fitness: 1, Density: 0},
+		},
+		Archive: []CheckpointIndividual{
+			{Genome: Genome{7, 8, 9}, Obj: []float64{2, 2}, Fitness: 0.5, Density: 0.5},
+		},
+		Memo: []MemoEntry{{Genome: Genome{10, 11, 12}, Obj: []float64{3, 4}}},
+	}
+	got, err := DecodeCheckpoint(EncodeCheckpoint(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%+v", cp)
+	if fmt.Sprintf("%+v", got) != want {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %s", got, want)
+	}
+}
+
+// TestCheckpointDecodeCorrupt feeds the decoder systematically damaged
+// inputs: every one must produce an error wrapping ErrCheckpointCorrupt
+// and none may panic.
+func TestCheckpointDecodeCorrupt(t *testing.T) {
+	cp := &Checkpoint{
+		Algorithm: "nsga2", Seed: 1, NumBits: 70, Population: 2, Generation: 3,
+		Pop: []CheckpointIndividual{
+			{Genome: Genome{1, 2}, Obj: []float64{1, 2}, Fitness: 0, Density: 1},
+			{Genome: Genome{3, 4}, Obj: []float64{3, 4}, Fitness: 1, Density: 0},
+		},
+	}
+	data := EncodeCheckpoint(cp)
+	if _, err := DecodeCheckpoint(data); err != nil {
+		t.Fatalf("pristine checkpoint rejected: %v", err)
+	}
+	t.Run("truncations", func(t *testing.T) {
+		for n := 0; n < len(data); n++ {
+			if _, err := DecodeCheckpoint(data[:n]); !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("truncation to %d bytes: error %v does not wrap ErrCheckpointCorrupt", n, err)
+			}
+		}
+	})
+	t.Run("bitflips", func(t *testing.T) {
+		for i := 0; i < len(data); i++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 0x40
+			if _, err := DecodeCheckpoint(mut); !errors.Is(err, ErrCheckpointCorrupt) {
+				t.Fatalf("bit flip at offset %d: error %v does not wrap ErrCheckpointCorrupt", i, err)
+			}
+		}
+	})
+	t.Run("extension", func(t *testing.T) {
+		if _, err := DecodeCheckpoint(append(append([]byte(nil), data...), 0xAA)); !errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("appended byte: error does not wrap ErrCheckpointCorrupt")
+		}
+	})
+}
+
+// TestResumeValidation checks that structurally valid checkpoints from
+// a different run are rejected with ErrCheckpointMismatch.
+func TestResumeValidation(t *testing.T) {
+	prob := newKnapsack(7, 48)
+	par := ckptParams(11, 1, true)
+	_, cp := captureCheckpoint(t, "spea2", prob, par, 7)
+	mutate := []struct {
+		name string
+		mut  func(c Checkpoint) Checkpoint
+	}{
+		{"algorithm", func(c Checkpoint) Checkpoint { c.Algorithm = "nsga2"; return c }},
+		{"seed", func(c Checkpoint) Checkpoint { c.Seed++; return c }},
+		{"numbits", func(c Checkpoint) Checkpoint { c.NumBits++; return c }},
+		{"population", func(c Checkpoint) Checkpoint { c.Population++; return c }},
+		{"memoized", func(c Checkpoint) Checkpoint { c.Memoized = false; return c }},
+		{"generation", func(c Checkpoint) Checkpoint { c.Generation = par.Generations; return c }},
+		{"empty-pop", func(c Checkpoint) Checkpoint { c.Pop = nil; return c }},
+	}
+	for _, m := range mutate {
+		bad := m.mut(*cp)
+		rpar := ckptParams(11, 1, true)
+		rpar.Resume = &bad
+		if _, err := SPEA2(prob, rpar); !errors.Is(err, ErrCheckpointMismatch) {
+			t.Errorf("%s: error %v does not wrap ErrCheckpointMismatch", m.name, err)
+		}
+	}
+}
+
+// TestCancelPartialResult cancels a run from inside a generation
+// callback and checks the partial-result contract: no error, a valid
+// nonempty front, Interrupted set, and accounting bounded by the
+// uninterrupted run's.
+func TestCancelPartialResult(t *testing.T) {
+	for _, algo := range []string{"spea2", "nsga2"} {
+		for _, workers := range []int{1, 4} {
+			prob := newKnapsack(7, 48)
+			full := runAlgo(t, algo, prob, ckptParams(11, workers, true))
+
+			ctx, cancel := context.WithCancel(context.Background())
+			par := ckptParams(11, workers, true)
+			par.Context = ctx
+			par.OnGeneration = func(gen int, front []Individual) bool {
+				if gen == 5 {
+					cancel()
+				}
+				return true
+			}
+			res := runAlgo(t, algo, prob, par)
+			cancel()
+			if !res.Interrupted {
+				t.Errorf("%s workers=%d: Interrupted not set", algo, workers)
+			}
+			if len(res.Front) == 0 {
+				t.Errorf("%s workers=%d: interrupted run lost its front", algo, workers)
+			}
+			if res.Generations <= 0 || res.Generations >= full.Generations {
+				t.Errorf("%s workers=%d: interrupted after %d generations, full run has %d",
+					algo, workers, res.Generations, full.Generations)
+			}
+			if res.Evaluations <= 0 || res.Evaluations >= full.Evaluations {
+				t.Errorf("%s workers=%d: interrupted evaluations %d vs full %d",
+					algo, workers, res.Evaluations, full.Evaluations)
+			}
+		}
+	}
+}
+
+// TestCancelBeforeStart checks the degenerate partial result of a run
+// cancelled before it begins: empty-or-initial front, no error.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	par := ckptParams(1, 1, true)
+	par.Context = ctx
+	res := runAlgo(t, "spea2", newKnapsack(1, 32), par)
+	if !res.Interrupted {
+		t.Error("Interrupted not set on pre-cancelled run")
+	}
+	if res.Generations != 0 {
+		t.Errorf("pre-cancelled run reports %d generations", res.Generations)
+	}
+}
+
+// TestSaveLoadCheckpoint exercises the atomic file round trip and the
+// load-side corruption errors.
+func TestSaveLoadCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	cp := &Checkpoint{
+		Algorithm: "spea2", Seed: 9, NumBits: 10, Population: 2, Generation: 1,
+		Pop: []CheckpointIndividual{{Genome: Genome{3}, Obj: []float64{1, 2}}},
+	}
+	if err := SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Algorithm != "spea2" || got.Seed != 9 || len(got.Pop) != 1 {
+		t.Errorf("loaded checkpoint differs: %+v", got)
+	}
+	// Truncate the file: the load must fail with a corruption error.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadCheckpoint(path); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("truncated file: error %v does not wrap ErrCheckpointCorrupt", err)
+	}
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing.ckpt")); err == nil {
+		t.Error("missing file: no error")
+	}
+}

@@ -1,7 +1,9 @@
 package moea
 
 import (
+	"context"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -25,7 +27,15 @@ const minParallelChunk = 16
 // every hit) and evaluation is pure, so the results are bit-identical
 // to the uncached run. Evaluate is not safe for concurrent calls on the
 // same Executor — each optimizer run owns one.
+//
+// The executor is also the failure domain of evaluation: a cancelled
+// context stops the batch at the next chunk boundary (completed chunks
+// are counted exactly, nothing else is), and a panic inside an
+// evaluation is recovered, converted into a *PanicError carrying the
+// offending genome, and returned after the remaining chunks have
+// drained — a poisoned genome never strands sibling goroutines.
 type Executor struct {
+	ctx     context.Context // nil = never cancelled
 	p       Problem
 	bp      BatchProblem // non-nil when p implements the batch fast path
 	m       int
@@ -34,34 +44,39 @@ type Executor struct {
 
 	// Reused per-batch scratch: the flattened genome/objective views
 	// handed to BatchProblem, the per-index hash/hit arrays of the memo
-	// lookup pass, and the compacted miss list.
+	// lookup pass, the compacted miss list, and the per-index
+	// evaluation-completed mask of the failure paths.
 	gsBuf   []Genome
 	outsBuf [][]float64
 	hashBuf []uint64
 	hitBuf  []bool
 	missBuf []Individual
 	missIdx []int32
+	okBuf   []bool
 
 	evals     *telemetry.Counter   // moea.evaluations
 	parEvals  *telemetry.Counter   // moea.parallel.evaluations
+	panics    *telemetry.Counter   // moea.panics
 	batchSize *telemetry.Gauge     // moea.executor.batch_size
 	util      *telemetry.Histogram // moea.executor.utilization_pct
 }
 
-// NewExecutor builds an executor over the problem. workers <= 0 selects
-// GOMAXPROCS. A nil collector disables the executor metrics at the cost
-// of one nil check per batch. memoize enables the per-run evaluation
-// cache.
-func NewExecutor(p Problem, workers int, tel *telemetry.Collector, memoize bool) *Executor {
+// NewExecutor builds an executor over the problem. A nil ctx never
+// cancels. workers <= 0 selects GOMAXPROCS. A nil collector disables
+// the executor metrics at the cost of one nil check per batch. memoize
+// enables the per-run evaluation cache.
+func NewExecutor(ctx context.Context, p Problem, workers int, tel *telemetry.Collector, memoize bool) *Executor {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	e := &Executor{
+		ctx:       ctx,
 		p:         p,
 		m:         p.NumObjectives(),
 		workers:   workers,
 		evals:     tel.Counter("moea.evaluations"),
 		parEvals:  tel.Counter("moea.parallel.evaluations"),
+		panics:    tel.Counter("moea.panics"),
 		batchSize: tel.Gauge("moea.executor.batch_size"),
 		util:      tel.Histogram("moea.executor.utilization_pct"),
 	}
@@ -80,14 +95,22 @@ func (e *Executor) Workers() int { return e.workers }
 // (zero without memoization).
 func (e *Executor) MemoStats() (hits, misses int64) { return e.memo.Stats() }
 
+// cancelled reports whether the run's context has been cancelled.
+func (e *Executor) cancelled() bool { return e.ctx != nil && e.ctx.Err() != nil }
+
 // Evaluate fills the objective vector of every individual in the batch
 // and returns the number of true (non-cached) objective evaluations
-// performed. Without memoization that is len(batch); with it, cache
-// hits are excluded.
-func (e *Executor) Evaluate(batch []Individual) int {
+// performed — exactly the completed ones, even on failure. The error is
+// ErrInterrupted when the context cancelled the batch (some objective
+// slots are then unwritten and the batch must be discarded), or a
+// *PanicError when an evaluation panicked.
+func (e *Executor) Evaluate(batch []Individual) (int, error) {
 	n := len(batch)
 	if n == 0 {
-		return 0
+		return 0, nil
+	}
+	if e.cancelled() {
+		return 0, ErrInterrupted
 	}
 	for i := range batch {
 		if batch[i].Obj == nil {
@@ -96,9 +119,9 @@ func (e *Executor) Evaluate(batch []Individual) int {
 	}
 	e.batchSize.Set(float64(n))
 	if e.memo == nil {
-		e.evals.Add(int64(n))
-		e.evaluateAll(batch)
-		return n
+		_, evaluated, err := e.evaluateAll(batch)
+		e.evals.Add(int64(evaluated))
+		return evaluated, err
 	}
 	return e.evaluateMemo(batch)
 }
@@ -107,8 +130,9 @@ func (e *Executor) Evaluate(batch []Individual) int {
 // resolves hits straight from the cache, the misses are compacted (in
 // batch order, so chunking stays deterministic) and evaluated, and the
 // new results are stored in this serial section, visible to the
-// lock-free lookups of later batches.
-func (e *Executor) evaluateMemo(batch []Individual) int {
+// lock-free lookups of later batches. On interruption or panic only the
+// chunks that completed are stored and accounted.
+func (e *Executor) evaluateMemo(batch []Individual) (int, error) {
 	n := len(batch)
 	if cap(e.hashBuf) < n {
 		e.hashBuf = make([]uint64, n)
@@ -134,25 +158,34 @@ func (e *Executor) evaluateMemo(batch []Individual) int {
 			missIdx = append(missIdx, int32(i))
 		}
 	}
-	e.evals.Add(int64(len(miss)))
-	e.evaluateAll(miss)
+	ok, evaluated, err := e.evaluateAll(miss)
 	for j := range miss {
-		e.memo.store(hashes[missIdx[j]], miss[j].G, miss[j].Obj)
+		if ok[j] {
+			e.memo.store(hashes[missIdx[j]], miss[j].G, miss[j].Obj)
+		}
 	}
-	e.memo.account(int64(n-len(miss)), int64(len(miss)))
-	evaluated := len(miss)
+	e.evals.Add(int64(evaluated))
+	e.memo.account(int64(n-len(miss)), int64(evaluated))
 	clear(miss) // drop genome references; the backing arrays are reused
 	e.missBuf, e.missIdx = miss[:0], missIdx[:0]
-	return evaluated
+	return evaluated, err
 }
 
 // evaluateAll evaluates the batch, splitting it across the worker pool
 // when it is large enough. Batches below 2*minParallelChunk (and all
-// batches at workers=1) run on the calling goroutine.
-func (e *Executor) evaluateAll(batch []Individual) {
+// batches at workers=1) run on the calling goroutine. ok[i] reports
+// whether slot i was evaluated (all true on a nil error); evaluated is
+// the exact count. A panic outranks an interruption in the returned
+// error, and the pool always drains before returning.
+func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, err error) {
 	n := len(batch)
+	if cap(e.okBuf) < n {
+		e.okBuf = make([]bool, n)
+	}
+	ok = e.okBuf[:n]
+	clear(ok)
 	if n == 0 {
-		return
+		return ok, 0, nil
 	}
 	if cap(e.gsBuf) < n {
 		e.gsBuf = make([]Genome, n)
@@ -168,8 +201,14 @@ func (e *Executor) evaluateAll(batch []Individual) {
 		clear(outs)
 	}()
 	if e.workers == 1 || n < 2*minParallelChunk {
-		e.evaluateRange(gs, outs)
-		return
+		if e.cancelled() {
+			return ok, 0, ErrInterrupted
+		}
+		if perr := e.evaluateRange(gs, outs, 0); perr != nil {
+			return ok, 0, perr
+		}
+		markEvaluated(ok, 0, n)
+		return ok, n, nil
 	}
 	chunk := (n + e.workers - 1) / e.workers
 	if chunk < minParallelChunk {
@@ -177,6 +216,7 @@ func (e *Executor) evaluateAll(batch []Individual) {
 	}
 	spawned := (n + chunk - 1) / chunk
 	busy := make([]time.Duration, spawned)
+	errs := make([]error, spawned)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < spawned; w++ {
@@ -188,32 +228,83 @@ func (e *Executor) evaluateAll(batch []Individual) {
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			// The chunk boundary is the cancellation point: a chunk
+			// either runs to completion or not at all, so ok/evaluated
+			// stay exact.
+			if e.cancelled() {
+				errs[w] = ErrInterrupted
+				return
+			}
 			t0 := time.Now()
-			e.evaluateRange(gs[lo:hi], outs[lo:hi])
+			if errs[w] = e.evaluateRange(gs[lo:hi], outs[lo:hi], lo); errs[w] == nil {
+				markEvaluated(ok, lo, hi) // disjoint ranges: no contention
+			}
 			busy[w] = time.Since(t0)
 		}(w, lo, hi)
 	}
 	wg.Wait()
-	e.parEvals.Add(int64(n))
-	if wall := time.Since(start); wall > 0 {
+	for i := range ok {
+		if ok[i] {
+			evaluated++
+		}
+	}
+	e.parEvals.Add(int64(evaluated))
+	if wall := time.Since(start); wall > 0 && evaluated > 0 {
 		var total time.Duration
 		for _, d := range busy {
 			total += d
 		}
 		e.util.Observe(100 * float64(total) / (float64(wall) * float64(spawned)))
 	}
+	// A panic is the root cause to surface; interruption only says the
+	// run is winding down.
+	var interrupted error
+	for _, cerr := range errs {
+		switch cerr.(type) {
+		case nil:
+		case *PanicError:
+			return ok, evaluated, cerr
+		default:
+			interrupted = cerr
+		}
+	}
+	return ok, evaluated, interrupted
+}
+
+// markEvaluated flips the completed range of the evaluation mask.
+func markEvaluated(ok []bool, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		ok[i] = true
+	}
 }
 
 // evaluateRange evaluates one contiguous sub-batch on the calling
-// goroutine, preferring the problem's batch entry point.
-func (e *Executor) evaluateRange(gs []Genome, outs [][]float64) {
+// goroutine, preferring the problem's batch entry point. A panic inside
+// an evaluation is recovered into a *PanicError carrying the offending
+// genome (per-genome path) or the chunk (batch path) as root-cause
+// evidence.
+func (e *Executor) evaluateRange(gs []Genome, outs [][]float64, base int) (err error) {
+	cur := -1
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics.Inc()
+			pe := &PanicError{Op: "evaluate", Index: -1, Value: r, Stack: debug.Stack()}
+			if cur >= 0 && cur < len(gs) {
+				pe.Index = base + cur
+				pe.Genome = gs[cur].Clone()
+			}
+			err = pe
+		}
+	}()
 	if e.bp != nil {
 		e.bp.EvaluateBatch(gs, outs)
-		return
+		return nil
 	}
 	for i := range gs {
+		cur = i
 		e.p.Evaluate(gs[i], outs[i])
 	}
+	return nil
 }
 
 // parallelFor runs f over contiguous chunks of [0, n) on up to workers

@@ -1,0 +1,59 @@
+package moea
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCheckpointDecode feeds arbitrary bytes to the checkpoint
+// decoder. Corrupted, truncated or hostile inputs must fail with an
+// error — never panic, never over-allocate on a forged length field —
+// and any input that decodes must re-encode to the same bytes
+// (canonical form round trip).
+func FuzzCheckpointDecode(f *testing.F) {
+	// Seed the corpus with genuine checkpoints of both algorithms plus
+	// systematic damage: truncation, a flipped header bit, a flipped
+	// payload bit, and a forged length field.
+	seeds := [][]byte{
+		EncodeCheckpoint(&Checkpoint{Algorithm: "spea2", Seed: 1, NumBits: 40, Population: 2, Generation: 3,
+			Pop: []CheckpointIndividual{
+				{Genome: Genome{1}, Obj: []float64{1, 2}, Fitness: 0.5, Density: 1},
+				{Genome: Genome{2}, Obj: []float64{3, 4}, Fitness: 1, Density: 0},
+			},
+			Archive: []CheckpointIndividual{{Genome: Genome{3}, Obj: []float64{5, 6}}},
+			Memo:    []MemoEntry{{Genome: Genome{4}, Obj: []float64{7, 8}}},
+		}),
+		EncodeCheckpoint(&Checkpoint{Algorithm: "nsga2", Seed: -9, NumBits: 130, Population: 2,
+			Memoized: true, Generation: 1, RNGDraws: 77, Evaluations: 60, CacheHits: 5, CacheMisses: 55,
+			Pop: []CheckpointIndividual{
+				{Genome: Genome{1, 2, 3}, Obj: []float64{0, 0}},
+				{Genome: Genome{4, 5, 6}, Obj: []float64{1, 1}},
+			},
+		}),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+		f.Add(s[:len(s)/2])
+		flipped := append([]byte(nil), s...)
+		flipped[9] ^= 0x10
+		f.Add(flipped)
+		flipped = append([]byte(nil), s...)
+		flipped[len(flipped)/2] ^= 0x01
+		f.Add(flipped)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("RSNCKPT\x01"))
+	// A forged genome-length field claiming gigabytes of payload.
+	forged := append([]byte("RSNCKPT\x01"), bytes.Repeat([]byte{0xFF}, 64)...)
+	f.Add(forged)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cp, err := DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeCheckpoint(cp), data) {
+			t.Fatalf("decoded checkpoint does not re-encode to its input (%d bytes)", len(data))
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package moea
 
 import (
+	"fmt"
 	"sync/atomic"
 
 	"rsnrobust/internal/telemetry"
@@ -189,4 +190,51 @@ func (m *memoCache) Stats() (hits, misses int64) {
 		return 0, 0
 	}
 	return m.hits.Load(), m.misses.Load()
+}
+
+// snapshot views the cache contents as checkpoint entries, in insertion
+// order per shard (a deterministic order: stores happen in the
+// executor's serial section in batch order). The entries alias the
+// shard slabs — valid only while the engine is parked in CheckpointFn.
+func (m *memoCache) snapshot() []MemoEntry {
+	if m == nil {
+		return nil
+	}
+	n := 0
+	for i := range m.shards {
+		n += len(m.shards[i].entries)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]MemoEntry, 0, n)
+	for i := range m.shards {
+		for _, e := range m.shards[i].entries {
+			out = append(out, MemoEntry{Genome: e.g, Obj: e.obj})
+		}
+	}
+	return out
+}
+
+// memoSnapshot exposes the cache snapshot to the engine's checkpoint
+// writer (nil without memoization).
+func (e *Executor) memoSnapshot() []MemoEntry { return e.memo.snapshot() }
+
+// restoreMemo refills the cache from a checkpoint: every entry is
+// re-hashed and stored (set semantics — the slot layout need not match
+// the original run), and the exact hit/miss accounting is restored so a
+// resumed run reports the same totals as the uninterrupted one.
+func (e *Executor) restoreMemo(cp *Checkpoint) error {
+	if e.memo == nil {
+		if len(cp.Memo) > 0 {
+			return fmt.Errorf("%w: checkpoint carries a %d-entry cache but memoization is off", ErrCheckpointMismatch, len(cp.Memo))
+		}
+		return nil
+	}
+	for _, en := range cp.Memo {
+		e.memo.store(hashGenome(en.Genome), en.Genome, en.Obj)
+	}
+	e.memo.hits.Store(cp.CacheHits)
+	e.memo.misses.Store(cp.CacheMisses)
+	return nil
 }

@@ -1,6 +1,7 @@
 package moea
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -18,11 +19,37 @@ func NSGA2(p Problem, par Params) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	pop := e.initialPopulation()
-	rankAndCrowd(pop, e.m, &e.nsga)
+	pop, _, gen0, err := e.start("nsga2")
+	if err != nil {
+		if errors.Is(err, ErrInterrupted) {
+			e.res.Interrupted = true
+			return e.finish(pop), nil
+		}
+		return nil, err
+	}
+	if par.Resume == nil {
+		rankAndCrowd(pop, e.m, &e.nsga)
+	}
 	var offspring []Individual
-	for gen := 0; gen < par.Generations; gen++ {
-		offspring = e.offspring(offspring, nsga2Tournament(pop, &par, e.rng))
+	for gen := gen0; gen < par.Generations; gen++ {
+		if e.stopRequested() {
+			e.res.Interrupted = true
+			if cerr := e.checkpointNow("nsga2", gen, pop, nil); cerr != nil {
+				return nil, cerr
+			}
+			break
+		}
+		if cerr := e.checkpointIfDue("nsga2", gen, gen0, pop, nil); cerr != nil {
+			return nil, cerr
+		}
+		offspring, err = e.offspring(offspring, nsga2Tournament(pop, &par, e.rng))
+		if err != nil {
+			if errors.Is(err, ErrInterrupted) {
+				e.res.Interrupted = true
+				break
+			}
+			return nil, err
+		}
 		union := e.unionInto(pop, offspring)
 		fronts := nondominatedSort(union, &e.nsga)
 		pop = pop[:0]

@@ -1,6 +1,7 @@
 package moea
 
 import (
+	"context"
 	"fmt"
 
 	"rsnrobust/internal/telemetry"
@@ -110,6 +111,28 @@ type Params struct {
 	// (evaluation counters, batch-size gauge, utilization histogram,
 	// memo hit/miss counters).
 	Telemetry *telemetry.Collector
+	// Context, if non-nil, cooperatively cancels the run: cancellation
+	// is observed at generation boundaries and between evaluation
+	// chunks, and the run returns a valid partial Result — the best
+	// front so far with Interrupted set and exact evaluation/cache
+	// accounting for the work that completed. A nil context never
+	// cancels.
+	Context context.Context
+	// CheckpointEvery, together with CheckpointFn, enables periodic
+	// checkpointing: every CheckpointEvery generations (at the loop
+	// top, a consistent boundary) and once more when cancellation is
+	// observed at a boundary, CheckpointFn receives the run state.
+	CheckpointEvery int
+	// CheckpointFn persists a checkpoint. The *Checkpoint aliases live
+	// engine buffers and is valid only for the duration of the call —
+	// encode or copy before returning. A non-nil error aborts the run.
+	CheckpointFn func(*Checkpoint) error
+	// Resume, if non-nil, restores the run from a checkpoint instead of
+	// initializing a fresh population. The checkpoint must match the
+	// run (algorithm, seed, genome size, population, memoization) or
+	// the run fails with ErrCheckpointMismatch. A resumed run is
+	// bit-identical to the uninterrupted run from the same parameters.
+	Resume *Checkpoint
 	// OnGeneration, if non-nil, is called after every generation with
 	// the current nondominated front; returning false stops the run
 	// early. The individuals (including their genome and objective
@@ -153,6 +176,12 @@ func (p *Params) normalize() error {
 	if p.TournamentSize < 2 {
 		p.TournamentSize = 2
 	}
+	if p.CheckpointEvery < 0 {
+		return fmt.Errorf("moea: checkpoint interval must be non-negative, got %d", p.CheckpointEvery)
+	}
+	if p.CheckpointEvery > 0 && p.CheckpointFn == nil {
+		return fmt.Errorf("moea: CheckpointEvery set without a CheckpointFn")
+	}
 	return nil
 }
 
@@ -171,4 +200,9 @@ type Result struct {
 	// of the run (both zero without memoization). CacheMisses equals
 	// Evaluations when memoization is enabled.
 	CacheHits, CacheMisses int64
+	// Interrupted reports that the run was cancelled before its budget
+	// (Params.Context); Front is the best front at the last completed
+	// generation boundary and the accounting covers exactly the work
+	// performed.
+	Interrupted bool
 }

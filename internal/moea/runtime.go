@@ -1,6 +1,10 @@
 package moea
 
-import "math/rand"
+import (
+	"context"
+	"fmt"
+	"math/rand"
+)
 
 // engine is the shared optimizer runtime: the plumbing that was
 // historically duplicated between SPEA2 and NSGA2 — parameter
@@ -25,6 +29,8 @@ import "math/rand"
 type engine struct {
 	prob  Problem
 	par   *Params
+	ctx   context.Context // nil = never cancelled
+	src   *countedSource  // seeded source with a checkpointable position
 	rng   *rand.Rand
 	exec  *Executor
 	res   *Result
@@ -56,11 +62,14 @@ func newEngine(p Problem, par *Params) (*engine, error) {
 	if err := par.normalize(); err != nil {
 		return nil, err
 	}
+	src := newCountedSource(par.Seed)
 	return &engine{
 		prob:  p,
 		par:   par,
-		rng:   rand.New(rand.NewSource(par.Seed)),
-		exec:  NewExecutor(p, par.Workers, par.Telemetry, par.Memoize),
+		ctx:   par.Context,
+		src:   src,
+		rng:   rand.New(src),
+		exec:  NewExecutor(par.Context, p, par.Workers, par.Telemetry, par.Memoize),
 		res:   &Result{},
 		nbits: p.NumBits(),
 		m:     p.NumObjectives(),
@@ -69,9 +78,124 @@ func newEngine(p Problem, par *Params) (*engine, error) {
 }
 
 // evaluate batch-evaluates the individuals, accounting only true
-// (non-cached) objective evaluations in Result.Evaluations.
-func (e *engine) evaluate(pop []Individual) {
-	e.res.Evaluations += e.exec.Evaluate(pop)
+// (non-cached) objective evaluations in Result.Evaluations — exactly
+// the completed ones even when the batch is interrupted or panics.
+func (e *engine) evaluate(pop []Individual) error {
+	n, err := e.exec.Evaluate(pop)
+	e.res.Evaluations += n
+	return err
+}
+
+// stopRequested reports whether the run's context has been cancelled.
+func (e *engine) stopRequested() bool {
+	return e.ctx != nil && e.ctx.Err() != nil
+}
+
+// start initializes a fresh run or restores a checkpointed one,
+// returning the population, the archive (nil unless resumed from a
+// SPEA-2 checkpoint) and the generation index to re-enter the loop at.
+func (e *engine) start(algo string) (pop, archive []Individual, gen0 int, err error) {
+	if cp := e.par.Resume; cp != nil {
+		if err := e.validateResume(algo, cp); err != nil {
+			return nil, nil, 0, err
+		}
+		e.res.Evaluations = cp.Evaluations
+		e.res.Generations = cp.Generation
+		e.src.skip(cp.RNGDraws)
+		if err := e.exec.restoreMemo(cp); err != nil {
+			return nil, nil, 0, err
+		}
+		return restoreIndividuals(cp.Pop, e.m), restoreIndividuals(cp.Archive, e.m), cp.Generation, nil
+	}
+	pop, err = e.initialPopulation()
+	return pop, nil, 0, err
+}
+
+// checkpointIfDue writes a periodic checkpoint when the loop top at gen
+// falls on the configured interval. The generation the run (re)started
+// at is skipped — its state is exactly what initialization or resume
+// just produced.
+func (e *engine) checkpointIfDue(algo string, gen, gen0 int, pop, archive []Individual) error {
+	if e.par.CheckpointFn == nil || e.par.CheckpointEvery <= 0 {
+		return nil
+	}
+	if gen == gen0 || gen%e.par.CheckpointEvery != 0 {
+		return nil
+	}
+	return e.writeCheckpoint(algo, gen, pop, archive)
+}
+
+// checkpointNow writes an out-of-schedule checkpoint (the cancellation
+// path) when checkpointing is configured at all.
+func (e *engine) checkpointNow(algo string, gen int, pop, archive []Individual) error {
+	if e.par.CheckpointFn == nil {
+		return nil
+	}
+	return e.writeCheckpoint(algo, gen, pop, archive)
+}
+
+func (e *engine) writeCheckpoint(algo string, gen int, pop, archive []Individual) error {
+	hits, misses := e.exec.MemoStats()
+	cp := &Checkpoint{
+		Algorithm:   algo,
+		Seed:        e.par.Seed,
+		NumBits:     e.nbits,
+		Population:  e.par.Population,
+		Memoized:    e.par.Memoize,
+		Generation:  gen,
+		RNGDraws:    e.src.draws,
+		Evaluations: e.res.Evaluations,
+		CacheHits:   hits,
+		CacheMisses: misses,
+		Pop:         snapshotIndividuals(pop),
+		Archive:     snapshotIndividuals(archive),
+		Memo:        e.exec.memoSnapshot(),
+	}
+	if err := e.par.CheckpointFn(cp); err != nil {
+		return fmt.Errorf("moea: checkpoint at generation %d: %w", gen, err)
+	}
+	return nil
+}
+
+// snapshotIndividuals views live individuals as checkpoint records. The
+// records alias the live buffers — valid only while the engine is
+// parked inside CheckpointFn.
+func snapshotIndividuals(ins []Individual) []CheckpointIndividual {
+	if len(ins) == 0 {
+		return nil
+	}
+	out := make([]CheckpointIndividual, len(ins))
+	for i := range ins {
+		out[i] = CheckpointIndividual{
+			Genome:  ins[i].G,
+			Obj:     ins[i].Obj,
+			Fitness: ins[i].fitness,
+			Density: ins[i].density,
+		}
+	}
+	return out
+}
+
+// restoreIndividuals rebuilds live individuals from checkpoint records.
+// Buffers are deep-copied: the engine's arena recycles individual
+// buffers into future generations, and the caller's checkpoint must
+// survive the run (a test may resume from it twice).
+func restoreIndividuals(ins []CheckpointIndividual, m int) []Individual {
+	if len(ins) == 0 {
+		return nil
+	}
+	out := make([]Individual, len(ins))
+	for i := range ins {
+		obj := make([]float64, m)
+		copy(obj, ins[i].Obj)
+		out[i] = Individual{
+			G:       ins[i].Genome.Clone(),
+			Obj:     obj,
+			fitness: ins[i].Fitness,
+			density: ins[i].Density,
+		}
+	}
+	return out
 }
 
 // grabGenome returns a genome buffer from the pool, or a fresh one. The
@@ -136,7 +260,7 @@ func (e *engine) unionInto(a, b []Individual) []Individual {
 
 // initialPopulation builds the diversified random initial population,
 // with optional seed genomes occupying the first slots.
-func (e *engine) initialPopulation() []Individual {
+func (e *engine) initialPopulation() ([]Individual, error) {
 	par := e.par
 	pop := make([]Individual, par.Population)
 	i := 0
@@ -149,13 +273,14 @@ func (e *engine) initialPopulation() []Individual {
 		g.Randomize(e.rng, density, e.nbits)
 		pop[i] = Individual{G: g}
 	}
-	e.evaluate(pop)
-	return pop
+	return pop, e.evaluate(pop)
 }
 
 // offspring refills dst with Population children bred from pairs of
-// pick() tournament winners, then batch-evaluates them.
-func (e *engine) offspring(dst []Individual, pick func() Genome) []Individual {
+// pick() tournament winners, then batch-evaluates them. On error the
+// returned slice must still replace the caller's (the buffers were
+// already consumed) but its objectives are not all valid.
+func (e *engine) offspring(dst []Individual, pick func() Genome) ([]Individual, error) {
 	if cap(dst) < e.par.Population {
 		dst = make([]Individual, 0, e.par.Population)
 	} else {
@@ -166,8 +291,7 @@ func (e *engine) offspring(dst []Individual, pick func() Genome) []Individual {
 	for len(dst) < e.par.Population {
 		dst = e.vary(dst, pick(), pick())
 	}
-	e.evaluate(dst)
-	return dst
+	return dst, e.evaluate(dst)
 }
 
 // vary produces one offspring pair from two parents using the

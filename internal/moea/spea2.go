@@ -1,6 +1,7 @@
 package moea
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"sort"
@@ -24,16 +25,37 @@ import (
 //     crossover and per-bit mutation produce the next population.
 //
 // Population initialization, batched (optionally parallel and memoized)
-// objective evaluation, evaluation accounting, buffer recycling and the
-// OnGeneration protocol live in the shared engine runtime.
+// objective evaluation, evaluation accounting, buffer recycling,
+// checkpointing, cancellation and the OnGeneration protocol live in the
+// shared engine runtime. Cancellation (Params.Context) is observed at
+// the loop top and at evaluation-chunk boundaries; an interrupted run
+// returns a valid partial Result with Interrupted set, never an error.
 func SPEA2(p Problem, par Params) (*Result, error) {
 	e, err := newEngine(p, &par)
 	if err != nil {
 		return nil, err
 	}
-	pop := e.initialPopulation()
-	var archive []Individual
-	for gen := 0; gen < par.Generations; gen++ {
+	pop, archive, gen0, err := e.start("spea2")
+	if err != nil {
+		if errors.Is(err, ErrInterrupted) {
+			e.res.Interrupted = true
+			return e.finish(pop), nil
+		}
+		return nil, err
+	}
+	for gen := gen0; gen < par.Generations; gen++ {
+		if e.stopRequested() {
+			// The loop top is a consistent boundary — checkpoint it, so
+			// SIGINT loses no completed generation.
+			e.res.Interrupted = true
+			if cerr := e.checkpointNow("spea2", gen, pop, archive); cerr != nil {
+				return nil, cerr
+			}
+			break
+		}
+		if cerr := e.checkpointIfDue("spea2", gen, gen0, pop, archive); cerr != nil {
+			return nil, cerr
+		}
 		union := e.unionInto(pop, archive)
 		assignFitness(union, e.m, e.exec.Workers(), &e.fit)
 		archive = environmentalSelection(union, par.Archive, e.m, &e.sel)
@@ -41,7 +63,20 @@ func SPEA2(p Problem, par Params) (*Result, error) {
 			break
 		}
 		e.recycle(union, archive)
-		pop = e.offspring(pop, spea2Tournament(archive, &par, e.rng))
+		pop, err = e.offspring(pop, spea2Tournament(archive, &par, e.rng))
+		if err != nil {
+			if errors.Is(err, ErrInterrupted) {
+				// Mid-batch cancellation: the half-evaluated offspring are
+				// discarded; the archive from the last completed selection
+				// is the partial result.
+				e.res.Interrupted = true
+				break
+			}
+			return nil, err
+		}
+	}
+	if archive == nil {
+		archive = pop // interrupted before the first selection
 	}
 	return e.finish(archive), nil
 }

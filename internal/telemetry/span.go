@@ -14,6 +14,9 @@ type SpanRecord struct {
 	Parent   string  `json:"parent,omitempty"`
 	StartMS  float64 `json:"start_ms"`
 	DurMS    float64 `json:"dur_ms"`
+	// Status is empty for a span that ended normally; otherwise a short
+	// outcome marker ("error", "panic", "slow", "interrupted").
+	Status string `json:"status,omitempty"`
 }
 
 // Span is a live timed interval. Obtain one with Collector.StartSpan or
@@ -25,6 +28,7 @@ type Span struct {
 	parentID int64
 	name     string
 	parent   string
+	status   string
 	start    time.Time
 }
 
@@ -62,6 +66,16 @@ func (s *Span) Name() string {
 	return s.name
 }
 
+// SetStatus marks the span's outcome ("error", "panic", "slow", ...);
+// the value lands in the record at End. Safe on a nil span. Must be
+// called from the goroutine that owns the span (like End).
+func (s *Span) SetStatus(status string) {
+	if s == nil {
+		return
+	}
+	s.status = status
+}
+
 // ID returns the span's collector-unique id (0 for a nil span).
 func (s *Span) ID() int64 {
 	if s == nil {
@@ -85,6 +99,7 @@ func (s *Span) End() time.Duration {
 		Parent:   s.parent,
 		StartMS:  s.c.sinceMS(s.start),
 		DurMS:    float64(d) / float64(time.Millisecond),
+		Status:   s.status,
 	}
 	s.c.mu.Lock()
 	s.c.spans = append(s.c.spans, rec)
