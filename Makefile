@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet build test race determinism chaos fuzz bench bench-smoke benchjson bench-compare clean
+.PHONY: ci vet build test race determinism serve-smoke chaos fuzz bench bench-smoke benchjson bench-compare clean
 
-ci: vet build race determinism
+ci: vet build race determinism serve-smoke
 
 vet:
 	$(GO) vet ./...
@@ -24,6 +24,12 @@ race:
 # faults.
 determinism:
 	$(GO) test -run 'WorkerDeterminism|WorkerInvariance|RunSetDeterminism|MemoOracle|ResumeEquivalence|ChaosGraceful' ./internal/core ./internal/moea ./internal/chaos ./cmd/rsnharden
+
+# Service smoke gate: boot rsnserve on a loopback port and drive the
+# end-to-end battery (analyze, harden, cache hit, deadline truncation,
+# concurrent burst, metrics) through the real HTTP stack.
+serve-smoke:
+	$(GO) run ./cmd/rsnserve -selftest
 
 # Chaos gate: the fault-injection suite (panics, cancellation, delays,
 # corrupted checkpoints, crash-recovery drills) under the race

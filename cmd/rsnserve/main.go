@@ -1,0 +1,102 @@
+// Command rsnserve exposes the hardening pipeline as an HTTP service:
+// POST /v1/analyze for the criticality analysis, POST /v1/harden for
+// the full selective-hardening synthesis, plus /healthz, /readyz and
+// /metrics. See internal/serve for the API contract.
+//
+// Usage:
+//
+//	rsnserve -addr :8080 -workers 4 -queue 16
+//	rsnserve -selftest            # in-process smoke test, exits 0/1
+//
+// On SIGINT/SIGTERM the server drains gracefully: /readyz flips to 503
+// and new jobs are rejected while in-flight requests keep running; when
+// the grace period expires, the remaining syntheses are aborted
+// cooperatively and return their partial fronts before the process
+// exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rsnrobust/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent synthesis jobs (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 16, "admitted-but-waiting jobs beyond the running ones; beyond that requests get 429 (negative = no waiting room)")
+		evalW    = flag.Int("eval-workers", 1, "objective-evaluation workers per job")
+		cacheN   = flag.Int("cache", 256, "harden result cache entries (negative disables)")
+		maxDdl   = flag.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines")
+		maxGens  = flag.Int("max-generations", 100_000, "cap on requested generations")
+		maxPop   = flag.Int("max-population", 5_000, "cap on requested population size")
+		grace    = flag.Duration("drain-grace", 10*time.Second, "how long a drain waits before aborting in-flight jobs")
+		selftest = flag.Bool("selftest", false, "start the server on a loopback port, run a load-generating smoke test against it, and exit")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		EvalWorkers:    *evalW,
+		CacheEntries:   *cacheN,
+		MaxDeadline:    *maxDdl,
+		MaxGenerations: *maxGens,
+		MaxPopulation:  *maxPop,
+	})
+
+	if *selftest {
+		if err := runSelftest(srv); err != nil {
+			fmt.Fprintf(os.Stderr, "rsnserve: selftest FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("rsnserve: selftest PASS")
+		return
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rsnserve: %v\n", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+
+	// The printed address is the resolved one (":0" picks a port), so
+	// wrappers and tests can parse where to connect.
+	fmt.Printf("rsnserve: listening on %s\n", ln.Addr())
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		fmt.Printf("rsnserve: %s, draining (grace %s)\n", sig, *grace)
+	case err := <-errCh:
+		fmt.Fprintf(os.Stderr, "rsnserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	// Drain: stop admitting, let in-flight requests run for the grace
+	// period, then abort the rest cooperatively — each returns its
+	// partial front to its waiting client, so Shutdown's wait always
+	// terminates shortly after the timer fires.
+	srv.StartDrain()
+	timer := time.AfterFunc(*grace, srv.AbortInFlight)
+	defer timer.Stop()
+	if err := httpSrv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "rsnserve: shutdown: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("rsnserve: drained")
+}

@@ -1,0 +1,194 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMain doubles the test binary as the rsnserve binary: re-exec'd
+// with RSNSERVE_BE_MAIN=1 it runs main() on its own flags, so the
+// subprocess tests exercise the real signal path without a build step.
+func TestMain(m *testing.M) {
+	if os.Getenv("RSNSERVE_BE_MAIN") == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// startServer launches rsnserve on a loopback port and returns the
+// base URL parsed from its "listening on" line.
+func startServer(t *testing.T, extraArgs ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "RSNSERVE_BE_MAIN=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+
+	sc := bufio.NewScanner(stdout)
+	var addr string
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "rsnserve: listening on "); ok {
+			addr = rest
+			break
+		}
+	}
+	if addr == "" {
+		cmd.Process.Kill()
+		t.Fatalf("no listening line on stdout\nstderr: %s", stderr.String())
+	}
+	// Keep draining stdout so the child never blocks on a full pipe.
+	go io.Copy(io.Discard, stdout)
+	return cmd, "http://" + addr, &stderr
+}
+
+func waitExit(t *testing.T, cmd *exec.Cmd, stderr *bytes.Buffer) {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rsnserve exited with %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("rsnserve did not exit within 30s of SIGTERM")
+	}
+}
+
+// TestSIGTERMDrainIdle sends the real signal to an idle server: it
+// must exit zero promptly.
+func TestSIGTERMDrainIdle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cmd, base, stderr := startServer(t)
+	resp, err := http.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readyz = %d", resp.StatusCode)
+	}
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitExit(t, cmd, stderr)
+}
+
+// TestSIGTERMDrainInFlight is the end-to-end drain gate: SIGTERM lands
+// while a long synthesis is running under a short grace period. The
+// in-flight client must still get a 200 with a valid partial front and
+// "interrupted": true, and the process must then exit zero.
+func TestSIGTERMDrainInFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cmd, base, stderr := startServer(t, "-drain-grace", "500ms", "-workers", "2")
+
+	type result struct {
+		resp map[string]any
+		err  error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/harden", "application/json",
+			strings.NewReader(`{"network":{"name":"TreeBalanced"},"spec":{"seed":5},
+			  "options":{"generations":100000,"seed":5}}`))
+		if err != nil {
+			done <- result{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			done <- result{err: fmt.Errorf("status %d: %s", resp.StatusCode, b)}
+			return
+		}
+		var m map[string]any
+		done <- result{resp: m, err: json.Unmarshal(b, &m)}
+	}()
+
+	// Wait until the job occupies a worker before signalling.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := http.Get(base + "/metrics?format=json")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			Gauges map[string]float64 `json:"gauges"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err == nil && snap.Gauges["serve.queue.running"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("synthesis never started running")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-done:
+		if r.err != nil {
+			t.Fatalf("in-flight request failed during drain: %v", r.err)
+		}
+		if r.resp["interrupted"] != true {
+			t.Errorf("drained response not marked interrupted: %v", r.resp)
+		}
+		if front, ok := r.resp["front"].([]any); !ok || len(front) == 0 {
+			t.Errorf("drained response has no partial front: %v", r.resp["front"])
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("in-flight request did not complete during drain")
+	}
+	waitExit(t, cmd, stderr)
+}
+
+// TestSelftestCLI runs the -selftest battery through the real binary.
+func TestSelftestCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	cmd := exec.Command(os.Args[0], "-selftest")
+	cmd.Env = append(os.Environ(), "RSNSERVE_BE_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("selftest failed: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "selftest PASS") {
+		t.Errorf("selftest output lacks PASS marker:\n%s", out)
+	}
+}

@@ -1,0 +1,170 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"rsnrobust/internal/serve"
+)
+
+// runSelftest starts the server on a loopback port and drives a small
+// load-generation battery through the real HTTP stack: the analysis
+// and synthesis endpoints, result caching, deadline truncation, and a
+// burst of concurrent jobs. It is the smoke gate `make serve-smoke`
+// runs in CI.
+func runSelftest(srv *serve.Server) error {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go httpSrv.Serve(ln)
+	defer httpSrv.Close()
+	base := "http://" + ln.Addr().String()
+
+	steps := []struct {
+		name string
+		fn   func() error
+	}{
+		{"healthz", func() error {
+			return expectStatus(http.Get(base + "/healthz"))
+		}},
+		{"analyze", func() error {
+			body, err := postJSON(base+"/v1/analyze",
+				`{"network":{"name":"TreeFlat"},"spec":{"seed":1},"top_damages":3}`)
+			if err != nil {
+				return err
+			}
+			return expectFields(body, map[string]func(any) bool{
+				"segments":     func(v any) bool { return v == float64(24) },
+				"total_damage": func(v any) bool { d, ok := v.(float64); return ok && d > 0 },
+			})
+		}},
+		{"harden", func() error {
+			body, err := postJSON(base+"/v1/harden",
+				`{"network":{"name":"TreeFlat"},"spec":{"seed":1},"options":{"generations":30,"seed":1}}`)
+			if err != nil {
+				return err
+			}
+			return expectFields(body, map[string]func(any) bool{
+				"front":       func(v any) bool { f, ok := v.([]any); return ok && len(f) > 1 },
+				"interrupted": func(v any) bool { return v == false },
+				"cached":      func(v any) bool { return v == false },
+			})
+		}},
+		{"cache hit", func() error {
+			body, err := postJSON(base+"/v1/harden",
+				`{"network":{"name":"TreeFlat"},"spec":{"seed":1},"options":{"generations":30,"seed":1}}`)
+			if err != nil {
+				return err
+			}
+			return expectFields(body, map[string]func(any) bool{
+				"cached": func(v any) bool { return v == true },
+			})
+		}},
+		{"deadline truncation", func() error {
+			body, err := postJSON(base+"/v1/harden",
+				`{"network":{"name":"TreeBalanced"},"spec":{"seed":2},
+				  "options":{"generations":100000,"seed":2,"deadline_ms":200,"no_cache":true}}`)
+			if err != nil {
+				return err
+			}
+			return expectFields(body, map[string]func(any) bool{
+				"interrupted": func(v any) bool { return v == true },
+				"front":       func(v any) bool { f, ok := v.([]any); return ok && len(f) > 0 },
+			})
+		}},
+		{"concurrent burst", func() error {
+			const n = 8
+			var wg sync.WaitGroup
+			errs := make(chan error, n)
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					_, err := postJSON(base+"/v1/harden", fmt.Sprintf(
+						`{"network":{"name":"TreeFlat"},"spec":{"seed":%d},"options":{"generations":15,"seed":%d}}`, i, i))
+					if err != nil {
+						errs <- fmt.Errorf("job %d: %w", i, err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			close(errs)
+			for err := range errs {
+				return err
+			}
+			return nil
+		}},
+		{"metrics", func() error {
+			resp, err := http.Get(base + "/metrics")
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			b, _ := io.ReadAll(resp.Body)
+			for _, want := range []string{"rsn_serve_http_requests", "rsn_serve_cache_hits", "rsn_serve_job_ms_count"} {
+				if !strings.Contains(string(b), want) {
+					return fmt.Errorf("exposition lacks %s:\n%s", want, b)
+				}
+			}
+			return nil
+		}},
+	}
+	for _, st := range steps {
+		t0 := time.Now()
+		if err := st.fn(); err != nil {
+			return fmt.Errorf("%s: %w", st.name, err)
+		}
+		fmt.Printf("rsnserve: selftest %-20s ok (%v)\n", st.name, time.Since(t0).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// postJSON posts body and returns the decoded 200 response.
+func postJSON(url, body string) (map[string]any, error) {
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, b)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		return nil, fmt.Errorf("bad JSON: %w (%s)", err, b)
+	}
+	return m, nil
+}
+
+func expectStatus(resp *http.Response, err error) error {
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+func expectFields(m map[string]any, checks map[string]func(any) bool) error {
+	for field, ok := range checks {
+		if !ok(m[field]) {
+			return fmt.Errorf("field %q has unexpected value %v", field, m[field])
+		}
+	}
+	return nil
+}

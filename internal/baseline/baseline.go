@@ -14,6 +14,7 @@
 package baseline
 
 import (
+	"math/bits"
 	"math/rand"
 	"sort"
 
@@ -38,12 +39,17 @@ func GreedyFront(a *faults.Analysis) []core.Solution {
 	}
 	// Decreasing d/c; free items (c == 0) first, zero-damage items last.
 	sort.SliceStable(items, func(i, j int) bool {
-		// Compare d_i/c_i > d_j/c_j without division: d_i*c_j > d_j*c_i.
-		// Zero costs sort as infinite ratio when damage > 0.
-		li := items[i].d * items[j].c
-		lj := items[j].d * items[i].c
-		if li != lj {
-			return li > lj
+		// Compare d_i/c_i > d_j/c_j without division: d_i*c_j > d_j*c_i,
+		// in 128 bits — damage × cost products overflow int64 on big
+		// nets (TotalDamage ~1e9 × areas ~1e10), which would flip the
+		// sort. Zero costs sort as infinite ratio when damage > 0.
+		hi, lo := bits.Mul64(uint64(items[i].d), uint64(items[j].c))
+		hj, lj := bits.Mul64(uint64(items[j].d), uint64(items[i].c))
+		if hi != hj {
+			return hi > hj
+		}
+		if lo != lj {
+			return lo > lj
 		}
 		return items[i].d > items[j].d
 	})

@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"math/bits"
 	"testing"
 	"testing/quick"
 
@@ -181,3 +182,124 @@ func TestTMROverheadExceedsSelective(t *testing.T) {
 }
 
 var _ = core.Solution{} // keep the core dependency explicit
+
+// TestGreedyFrontRatioOverflow is the regression test for the int64
+// overflow in the greedy ratio sort: damage × cost products at the
+// 1e9 × 1e9.5 scale exceed 2^63 and used to wrap, flipping the order.
+// Item A (d=3.1e9, c=4e9, ratio 0.775) beats item B (d=2.3e9, c=3e9,
+// ratio 0.767), but dA·cB = 9.3e18 wraps negative while dB·cA = 9.2e18
+// stays positive, so the wrapped comparison sorted B first.
+func TestGreedyFrontRatioOverflow(t *testing.T) {
+	b := rsn.NewBuilder("overflow")
+	b.Segment("A", 1, &rsn.Instrument{Name: "A", DamageObs: 1})
+	b.Segment("B", 1, &rsn.Instrument{Name: "B", DamageObs: 1})
+	net := b.Finish()
+	a := analyze(t, net)
+	if len(a.Prims) != 2 {
+		t.Fatalf("fixture has %d prims, want 2", len(a.Prims))
+	}
+	idA, idB := net.Lookup("A"), net.Lookup("B")
+	const (
+		dA, cA = int64(3_100_000_000), int64(4_000_000_000)
+		dB, cB = int64(2_300_000_000), int64(3_000_000_000)
+	)
+	// The products must actually overflow int64 for the test to bite.
+	if hi, lo := bits.Mul64(uint64(dA), uint64(cB)); hi != 0 || lo < 1<<63 {
+		t.Fatal("fixture products sized wrong: want a product in (2^63, 2^64)")
+	}
+	a.Damage[idA], a.Spec.Cost[idA] = dA, cA
+	a.Damage[idB], a.Spec.Cost[idB] = dB, cB
+	a.TotalDamage = dA + dB
+
+	front := GreedyFront(a)
+	if len(front) != 3 {
+		t.Fatalf("front has %d solutions, want 3", len(front))
+	}
+	// The better-ratio item A must be hardened first.
+	if !front[1].Mask[idA] || front[1].Mask[idB] {
+		t.Errorf("first greedy pick hardened B (ratio %.3f) before A (ratio %.3f)",
+			float64(dB)/float64(cB), float64(dA)/float64(cA))
+	}
+	if front[1].Cost != cA || front[1].Damage != dB {
+		t.Errorf("front[1] = (%d,%d), want (%d,%d)", front[1].Cost, front[1].Damage, cA, dB)
+	}
+}
+
+// TestGreedyFrontInvariants checks the greedy staircase on random
+// networks: strictly increasing cost, strictly decreasing damage (so
+// the output is mutually nondominated), endpoints at (0, TotalDamage)
+// and (≤MaxCost, 0), and objectives that recompute from the masks.
+func TestGreedyFrontInvariants(t *testing.T) {
+	check := func(seed int64) bool {
+		net := benchnets.Random(benchnets.RandomOptions{Seed: seed, TargetPrims: 40, SegmentControls: true})
+		a := analyze(t, net)
+		front := GreedyFront(a)
+		if len(front) == 0 {
+			t.Log("empty front")
+			return false
+		}
+		first, last := front[0], front[len(front)-1]
+		if first.Cost != 0 || first.Damage != a.TotalDamage {
+			t.Logf("seed %d: first = (%d,%d), want (0,%d)", seed, first.Cost, first.Damage, a.TotalDamage)
+			return false
+		}
+		if last.Damage != 0 {
+			t.Logf("seed %d: last damage = %d, want 0 (full-hardening floor)", seed, last.Damage)
+			return false
+		}
+		if last.Cost > a.MaxCost() {
+			t.Logf("seed %d: last cost %d exceeds MaxCost %d", seed, last.Cost, a.MaxCost())
+			return false
+		}
+		for i := 1; i < len(front); i++ {
+			if front[i].Cost <= front[i-1].Cost || front[i].Damage >= front[i-1].Damage {
+				t.Logf("seed %d: staircase violated at %d: (%d,%d) after (%d,%d)", seed, i,
+					front[i].Cost, front[i].Damage, front[i-1].Cost, front[i-1].Damage)
+				return false
+			}
+		}
+		// Strict monotonicity in both objectives ⇒ mutually nondominated;
+		// cross-check against the generic dominance filter anyway.
+		if got := paretoSolutions(front); len(got) != len(front) {
+			t.Logf("seed %d: %d of %d greedy solutions dominated", seed, len(front)-len(got), len(front))
+			return false
+		}
+		for _, s := range front {
+			if a.ResidualDamage(s.Mask) != s.Damage || a.HardeningCost(s.Mask) != s.Cost {
+				t.Logf("seed %d: bookkeeping inconsistent: %+v", seed, s)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDedupe exercises the staircase deduper directly: equal-cost
+// prefixes keep only the last (least damage), prefixes that fail to
+// reduce damage are dropped.
+func TestDedupe(t *testing.T) {
+	mk := func(cost, damage int64) core.Solution { return core.Solution{Cost: cost, Damage: damage} }
+	in := []core.Solution{
+		mk(0, 100),
+		mk(0, 90),  // same cost, less damage: replaces the previous
+		mk(5, 90),  // more cost, same damage: dominated, dropped
+		mk(5, 80),  // same cost as the dropped one: kept
+		mk(7, 80),  // no damage reduction: dropped
+		mk(9, 10),
+		mk(9, 10),  // exact duplicate: dropped
+		mk(12, 0),
+	}
+	want := []core.Solution{mk(0, 90), mk(5, 80), mk(9, 10), mk(12, 0)}
+	got := dedupe(in)
+	if len(got) != len(want) {
+		t.Fatalf("dedupe returned %d solutions, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i].Cost != want[i].Cost || got[i].Damage != want[i].Damage {
+			t.Errorf("dedupe[%d] = (%d,%d), want (%d,%d)", i, got[i].Cost, got[i].Damage, want[i].Cost, want[i].Damage)
+		}
+	}
+}

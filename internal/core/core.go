@@ -73,6 +73,12 @@ type Options struct {
 	// population 300 for networks with more than 100 multiplexers else
 	// 100, crossover 0.95, per-bit mutation 0.01.
 	Params *moea.Params
+	// Population, if positive, overrides the population size without
+	// replacing the rest of the parameter set — the single evolutionary
+	// knob request-driven callers (rsnserve) expose. It applies on top
+	// of Params or the paper defaults; the SPEA-2 archive follows the
+	// population unless Params pins it explicitly.
+	Population int
 	// Seeds optionally injects warm-start genomes (bit i refers to the
 	// i-th primitive in ID order).
 	Seeds []moea.Genome
@@ -422,6 +428,9 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	}
 	if opt.Generations > 0 {
 		params.Generations = opt.Generations
+	}
+	if opt.Population > 0 {
+		params.Population = opt.Population
 	}
 	params.Seed = opt.Seed
 	params.Telemetry = tel

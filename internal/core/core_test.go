@@ -462,3 +462,40 @@ func TestWorkerDeterminism(t *testing.T) {
 		}
 	}
 }
+
+// TestOptionsPopulation: the Population knob overrides the default
+// population without replacing the rest of the parameter set, and the
+// evaluation effort scales accordingly.
+func TestOptionsPopulation(t *testing.T) {
+	optSmall := DefaultOptions(20, 1)
+	optSmall.Population = 8
+	optSmall.Memoize = false
+	small := synthesizeExample(t, optSmall)
+
+	optBig := DefaultOptions(20, 1)
+	optBig.Population = 32
+	optBig.Memoize = false
+	big := synthesizeExample(t, optBig)
+
+	if small.Evaluations >= big.Evaluations {
+		t.Errorf("population 8 evaluated %d genomes, population 32 evaluated %d — knob has no effect",
+			small.Evaluations, big.Evaluations)
+	}
+	// The knob must compose with an explicit Params override too.
+	par := moea.Defaults(0, 20, 1)
+	optPar := DefaultOptions(20, 1)
+	optPar.Params = &par
+	optPar.Population = 6
+	s := synthesizeExample(t, optPar)
+	if len(s.Front) == 0 {
+		t.Fatal("empty front with Params + Population override")
+	}
+	// An invalid population must surface moea's validation error.
+	optBad := DefaultOptions(20, 1)
+	optBad.Population = 1
+	net := fixture.PaperExample()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	if _, err := Synthesize(net, sp, optBad); err == nil {
+		t.Error("population 1 accepted; want moea validation error")
+	}
+}

@@ -125,7 +125,11 @@ func multiBackward(net *rsn.Network, skip []bool, dead map[edgeKey]bool) []bool 
 
 // MultiFaultStats summarizes a Monte-Carlo multi-fault campaign.
 type MultiFaultStats struct {
-	// Samples is the number of sampled fault combinations.
+	// Samples is the number of fault combinations actually sampled. It
+	// is zero when the campaign is degenerate — no unhardened fault
+	// sites, no instruments, or a non-positive sample request — so
+	// "N samples, mean damage 0" can never be mistaken for a measured
+	// result on a fully-hardened network.
 	Samples int
 	// MeanDamage and WorstDamage are over the sampled combinations.
 	MeanDamage  float64
@@ -162,11 +166,12 @@ func SampleMultiFault(net *rsn.Network, sp *spec.Spec, opts Options, k, samples 
 		totalW += w
 	}
 	instr := net.Instruments()
-	st := MultiFaultStats{Samples: samples}
 	if len(sites) == 0 || len(instr) == 0 || samples <= 0 {
-		st.MeanAccessible = 1
-		return st
+		// Degenerate campaign: nothing was sampled, so report zero
+		// samples (with full accessibility as the vacuous truth).
+		return MultiFaultStats{MeanAccessible: 1}
 	}
+	st := MultiFaultStats{Samples: samples}
 	if k > len(sites) {
 		k = len(sites)
 	}
@@ -211,26 +216,36 @@ func SampleMultiFault(net *rsn.Network, sp *spec.Spec, opts Options, k, samples 
 }
 
 // sampleSites draws k distinct fault sites weighted by area and
-// assigns random fault modes.
+// assigns random fault modes. Each chosen site is swap-removed and its
+// weight subtracted from the remaining mass, so every draw is over the
+// weights still in play: the loop terminates in exactly k draws no
+// matter how skewed the weights are (rejection sampling would redraw
+// essentially forever when one site dominates the mass and k approaches
+// len(sites)), and later draws are correctly conditioned on the earlier
+// ones instead of being biased toward the already-removed heavy sites.
 func sampleSites(rng *rand.Rand, net *rsn.Network, sites []rsn.NodeID, weights []int64, totalW int64, k int) []Fault {
-	chosen := map[int]bool{}
+	remSites := append([]rsn.NodeID(nil), sites...)
+	remW := append([]int64(nil), weights...)
 	fs := make([]Fault, 0, k)
-	for len(fs) < k {
+	for len(fs) < k && totalW > 0 {
 		r := rng.Int63n(totalW)
-		idx := 0
-		for i, w := range weights {
+		idx := len(remW) - 1
+		for i, w := range remW {
 			if r < w {
 				idx = i
 				break
 			}
 			r -= w
 		}
-		if chosen[idx] {
-			continue // rejection sampling for distinctness
-		}
-		chosen[idx] = true
-		id := sites[idx]
-		if net.Node(id).Kind == rsn.KindMux {
+		id := remSites[idx]
+		totalW -= remW[idx]
+		last := len(remW) - 1
+		remSites[idx], remW[idx] = remSites[last], remW[last]
+		remSites, remW = remSites[:last], remW[:last]
+		// A mux with no predecessors (degenerate but constructible via
+		// the builder) has no port to pin: treat it as a broken segment
+		// instead of panicking in Intn(0).
+		if net.Node(id).Kind == rsn.KindMux && len(net.Pred(id)) > 0 {
 			fs = append(fs, Fault{Kind: MuxStuck, Node: id, Port: rng.Intn(len(net.Pred(id)))})
 		} else {
 			fs = append(fs, Fault{Kind: SegmentBreak, Node: id})

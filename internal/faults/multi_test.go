@@ -1,8 +1,11 @@
 package faults
 
 import (
+	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"rsnrobust/internal/benchnets"
 	"rsnrobust/internal/fixture"
@@ -134,5 +137,148 @@ func TestSampleMultiFaultDeterministic(t *testing.T) {
 	b := SampleMultiFault(net, sp, DefaultOptions(), 2, 200, 3)
 	if a != b {
 		t.Errorf("sampling not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestSampleSitesSkewedWeightsTerminate is the regression test for the
+// rejection-sampling hang: with one site holding >99.9% of the weight
+// mass and k == len(sites), the old redraw loop kept hitting the
+// already-chosen heavy site essentially forever. Weight-removal
+// sampling must finish in exactly k draws and cover every site.
+func TestSampleSitesSkewedWeightsTerminate(t *testing.T) {
+	b := rsn.NewBuilder("skewed")
+	// ~1e12 : 1 weight skew: the heavy site holds all but 9e-12 of the
+	// mass, so the old redraw loop needed ~1e12 iterations per remaining
+	// draw — never terminating in practice.
+	b.Segment("huge", 1<<40, &rsn.Instrument{Name: "huge", DamageObs: 1})
+	for i := 0; i < 9; i++ {
+		name := fmt.Sprintf("tiny%d", i)
+		b.Segment(name, 1, &rsn.Instrument{Name: name, DamageObs: 1})
+	}
+	net := b.Finish()
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+
+	sites := net.Primitives()
+	weights := make([]int64, len(sites))
+	var totalW int64
+	for i, id := range sites {
+		weights[i] = sp.Cost[id]
+		totalW += weights[i]
+	}
+	if frac := float64(weights[0]) / float64(totalW); frac < 0.999 {
+		t.Fatalf("fixture not skewed enough: heavy site holds %.4f of the mass", frac)
+	}
+
+	done := make(chan []Fault, 1)
+	go func() {
+		rng := rand.New(rand.NewSource(1))
+		done <- sampleSites(rng, net, sites, weights, totalW, len(sites))
+	}()
+	var fs []Fault
+	select {
+	case fs = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("sampleSites did not terminate with skewed weights and k == len(sites)")
+	}
+	if len(fs) != len(sites) {
+		t.Fatalf("drew %d faults, want %d", len(fs), len(sites))
+	}
+	seen := map[rsn.NodeID]bool{}
+	for _, f := range fs {
+		if seen[f.Node] {
+			t.Fatalf("site %d drawn twice", f.Node)
+		}
+		seen[f.Node] = true
+	}
+	for _, id := range sites {
+		if !seen[id] {
+			t.Errorf("site %d never drawn although k == len(sites)", id)
+		}
+	}
+
+	// End to end: the Monte-Carlo campaign over the same skewed network
+	// must terminate and count every requested sample.
+	st := SampleMultiFault(net, sp, DefaultOptions(), len(sites), 50, 1)
+	if st.Samples != 50 {
+		t.Errorf("Samples = %d, want 50", st.Samples)
+	}
+}
+
+// TestSampleSitesZeroPredMux: a multiplexer with zero predecessors is
+// degenerate but constructible via the builder (ForkAny closed with no
+// branches). Sampling it must fall back to a SegmentBreak instead of
+// panicking in rng.Intn(0).
+func TestSampleSitesZeroPredMux(t *testing.T) {
+	b := rsn.NewBuilder("zero-pred-mux")
+	b.Segment("head", 2, &rsn.Instrument{Name: "head", DamageObs: 1, DamageSet: 1})
+	bs := b.ForkAny("f0")
+	mux := bs.Join("m0", rsn.External())
+	b.Segment("tail", 2, &rsn.Instrument{Name: "tail", DamageObs: 1, DamageSet: 1})
+	net := b.Finish()
+	if n := len(net.Pred(mux)); n != 0 {
+		t.Fatalf("fixture mux has %d predecessors, want 0", n)
+	}
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+
+	sites := net.Primitives()
+	weights := make([]int64, len(sites))
+	var totalW int64
+	for i, id := range sites {
+		weights[i] = sp.Cost[id]
+		totalW += weights[i]
+	}
+	rng := rand.New(rand.NewSource(5))
+	fs := sampleSites(rng, net, sites, weights, totalW, len(sites)) // must not panic
+	var muxFault *Fault
+	for i := range fs {
+		if fs[i].Node == mux {
+			muxFault = &fs[i]
+		}
+	}
+	if muxFault == nil {
+		t.Fatal("degenerate mux never sampled although k == len(sites)")
+	}
+	if muxFault.Kind != SegmentBreak {
+		t.Errorf("zero-pred mux sampled as %v, want SegmentBreak fallback", muxFault.Kind)
+	}
+	if st := SampleMultiFault(net, sp, DefaultOptions(), len(sites), 25, 5); st.Samples != 25 {
+		t.Errorf("Samples = %d, want 25", st.Samples)
+	}
+}
+
+// TestSampleMultiFaultDegenerateSamples: a campaign that samples
+// nothing — fully hardened network, no instruments, or a non-positive
+// sample request — must report Samples == 0, never "N samples, mean
+// damage 0".
+func TestSampleMultiFaultDegenerateSamples(t *testing.T) {
+	net := fixture.SIBChain(4)
+	sp := spec.FromNetwork(net, spec.DefaultCostModel)
+	opts := DefaultOptions()
+
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	st := SampleMultiFault(net, sp, opts, 2, 300, 11)
+	if st.Samples != 0 {
+		t.Errorf("fully hardened: Samples = %d, want 0", st.Samples)
+	}
+	if st.MeanAccessible != 1 {
+		t.Errorf("fully hardened: MeanAccessible = %v, want 1", st.MeanAccessible)
+	}
+
+	fresh := fixture.SIBChain(4)
+	freshSp := spec.FromNetwork(fresh, spec.DefaultCostModel)
+	if st := SampleMultiFault(fresh, freshSp, opts, 2, 0, 11); st.Samples != 0 {
+		t.Errorf("samples<=0: Samples = %d, want 0", st.Samples)
+	}
+
+	b := rsn.NewBuilder("no-instr")
+	b.Segment("s", 4, nil)
+	noInstr := b.Finish()
+	noInstrSp := spec.FromNetwork(noInstr, spec.DefaultCostModel)
+	if st := SampleMultiFault(noInstr, noInstrSp, opts, 1, 100, 11); st.Samples != 0 {
+		t.Errorf("no instruments: Samples = %d, want 0", st.Samples)
 	}
 }

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"container/list"
+	"encoding/binary"
+	"hash/fnv"
+	"sync"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// resultCache is the content-addressed harden result cache: a
+// fixed-capacity LRU keyed by FNV-1a over the canonical request bytes
+// (network source, spec selector, evolutionary options, seed). It sits
+// above the per-run genome memo cache of the optimizer — the memo
+// dedups evaluations inside one run, this dedups whole runs across
+// requests. Only completed (uninterrupted) results are stored, so a
+// deadline-truncated front can never shadow the real one; the deadline
+// itself is deliberately not part of the key, because it bounds effort
+// rather than defining the result.
+type resultCache struct {
+	mu      sync.Mutex
+	entries map[uint64]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+
+	hits   *telemetry.Counter
+	misses *telemetry.Counter
+	size   *telemetry.Gauge
+}
+
+type cacheEntry struct {
+	key uint64
+	val *HardenResponse
+}
+
+// newResultCache builds a cache of the given capacity; capacity < 0
+// disables caching (every lookup misses, stores are dropped).
+func newResultCache(capacity int, tel *telemetry.Collector) *resultCache {
+	return &resultCache{
+		entries: make(map[uint64]*list.Element),
+		order:   list.New(),
+		cap:     capacity,
+		hits:    tel.Counter("serve.cache.hits"),
+		misses:  tel.Counter("serve.cache.misses"),
+		size:    tel.Gauge("serve.cache.size"),
+	}
+}
+
+// get returns a copy of the cached response for key, with Cached set.
+func (c *resultCache) get(key uint64) (*HardenResponse, bool) {
+	if c.cap < 0 {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.order.MoveToFront(el)
+	// Shallow-copy the response so the caller's Cached flag (and any
+	// later mutation) cannot leak into the shared cached value; the
+	// slices inside are treated as immutable by contract.
+	cp := *el.Value.(*cacheEntry).val
+	cp.Cached = true
+	return &cp, true
+}
+
+// put stores a completed response under key, evicting the least
+// recently used entry when full.
+func (c *resultCache) put(key uint64, val *HardenResponse) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	c.size.Set(float64(len(c.entries)))
+}
+
+// cacheKey hashes the canonical request content with FNV-1a/64. Every
+// field is length- or tag-delimited, so distinct requests cannot
+// collide by concatenation.
+type cacheKey struct {
+	h interface {
+		Write([]byte) (int, error)
+		Sum64() uint64
+	}
+}
+
+func newCacheKey() *cacheKey { return &cacheKey{h: fnv.New64a()} }
+
+func (k *cacheKey) str(tag string, s string) *cacheKey {
+	k.h.Write([]byte(tag))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	k.h.Write(n[:])
+	k.h.Write([]byte(s))
+	return k
+}
+
+func (k *cacheKey) i64(tag string, v int64) *cacheKey {
+	k.h.Write([]byte(tag))
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(v))
+	k.h.Write(n[:])
+	return k
+}
+
+func (k *cacheKey) boolean(tag string, v bool) *cacheKey {
+	b := int64(0)
+	if v {
+		b = 1
+	}
+	return k.i64(tag, b)
+}
+
+func (k *cacheKey) sum() uint64 { return k.h.Sum64() }
+
+// hardenCacheKey derives the content address of a harden request from
+// its semantic payload: the network bytes (inline ICL or the named
+// generator), the spec selector and seed, and every option that shapes
+// the result. DeadlineMS and NoCache are excluded on purpose — they
+// modulate effort and caching policy, not the converged answer.
+func hardenCacheKey(req *HardenRequest) uint64 {
+	k := newCacheKey()
+	k.str("icl", req.Network.ICL)
+	k.str("name", req.Network.Name)
+	k.boolean("spec.gen", req.Spec.Generate)
+	k.i64("spec.seed", req.Spec.Seed)
+	o := req.Options
+	k.str("algo", o.Algorithm)
+	k.i64("gens", int64(o.Generations))
+	k.i64("pop", int64(o.Population))
+	k.i64("seed", o.Seed)
+	k.str("scope", o.Scope)
+	k.boolean("force", o.ForceCritical)
+	k.i64("stag", int64(o.Stagnation))
+	return k.sum()
+}

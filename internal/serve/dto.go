@@ -1,0 +1,275 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"rsnrobust/internal/benchnets"
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/icl"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/spec"
+)
+
+// NetworkRef selects the network a request operates on: exactly one of
+// an inline ICL source or a named benchmark generator (the Table I and
+// extended suites of internal/benchnets).
+type NetworkRef struct {
+	ICL  string `json:"icl,omitempty"`
+	Name string `json:"name,omitempty"`
+}
+
+// SpecRef selects the criticality specification. Generate requests the
+// paper's randomized specification (Section VI) under Seed; otherwise
+// the designer annotations embedded in the network are used. Named
+// benchmark networks carry no annotations, so they always generate.
+type SpecRef struct {
+	Generate bool  `json:"generate,omitempty"`
+	Seed     int64 `json:"seed,omitempty"`
+}
+
+// AnalyzeRequest is the body of POST /v1/analyze.
+type AnalyzeRequest struct {
+	Network NetworkRef `json:"network"`
+	Spec    SpecRef    `json:"spec"`
+	// Scope selects the fault universe: "all" (default) or "control".
+	Scope string `json:"scope,omitempty"`
+	// TopDamages bounds the per-primitive damage ranking in the
+	// response (0 = omit the ranking).
+	TopDamages int `json:"top_damages,omitempty"`
+	// DeadlineMS bounds the request (0 = the server's MaxDeadline).
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+}
+
+// DamageEntry is one primitive in the damage ranking.
+type DamageEntry struct {
+	Name     string `json:"name"`
+	Node     int    `json:"node"`
+	Damage   int64  `json:"damage"`
+	Cost     int64  `json:"cost"`
+	Critical bool   `json:"critical"`
+}
+
+// AnalyzeResponse is the body of a successful POST /v1/analyze.
+type AnalyzeResponse struct {
+	Network     string        `json:"network"`
+	Segments    int           `json:"segments"`
+	Muxes       int           `json:"muxes"`
+	Instruments int           `json:"instruments"`
+	Primitives  int           `json:"primitives"`
+	Scope       string        `json:"scope"`
+	MaxCost     int64         `json:"max_cost"`
+	TotalDamage int64         `json:"total_damage"`
+	MustHarden  int           `json:"must_harden"`
+	TopDamages  []DamageEntry `json:"top_damages,omitempty"`
+	ElapsedMS   float64       `json:"elapsed_ms"`
+}
+
+// HardenOptions are the evolutionary knobs of POST /v1/harden.
+type HardenOptions struct {
+	// Algorithm is "spea2" (default) or "nsga2".
+	Algorithm string `json:"algorithm,omitempty"`
+	// Generations is the evolutionary budget (default 500, capped by
+	// the server's MaxGenerations).
+	Generations int `json:"generations,omitempty"`
+	// Population overrides the paper-default population size (0 =
+	// default, capped by MaxPopulation).
+	Population int `json:"population,omitempty"`
+	// Seed drives the deterministic run (same request ⇒ same front).
+	Seed int64 `json:"seed,omitempty"`
+	// Scope selects the fault universe: "all" (default) or "control".
+	Scope string `json:"scope,omitempty"`
+	// ForceCritical pins the hardening bits of critical-hitting
+	// primitives.
+	ForceCritical bool `json:"force_critical,omitempty"`
+	// Stagnation stops early after N generations without hypervolume
+	// improvement (0 = full budget).
+	Stagnation int `json:"stagnation,omitempty"`
+	// DeadlineMS bounds the synthesis; an expired deadline returns the
+	// partial front with "interrupted": true. 0 = the server's
+	// MaxDeadline.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
+	// NoCache bypasses the content-addressed result cache (the result
+	// is still not stored).
+	NoCache bool `json:"no_cache,omitempty"`
+}
+
+// HardenRequest is the body of POST /v1/harden.
+type HardenRequest struct {
+	Network NetworkRef    `json:"network"`
+	Spec    SpecRef       `json:"spec"`
+	Options HardenOptions `json:"options"`
+}
+
+// FrontPoint is one trade-off point of the returned front.
+type FrontPoint struct {
+	Cost            int64 `json:"cost"`
+	Damage          int64 `json:"damage"`
+	Hardened        int   `json:"hardened"`
+	CriticalCovered bool  `json:"critical_covered"`
+}
+
+// Picks are the paper's Table I constrained selections; a nil entry
+// means no front solution meets the constraint.
+type Picks struct {
+	Damage10 *FrontPoint `json:"damage10,omitempty"`
+	Cost10   *FrontPoint `json:"cost10,omitempty"`
+}
+
+// HardenResponse is the body of a successful POST /v1/harden.
+type HardenResponse struct {
+	Network     string       `json:"network"`
+	Algorithm   string       `json:"algorithm"`
+	Seed        int64        `json:"seed"`
+	MaxCost     int64        `json:"max_cost"`
+	MaxDamage   int64        `json:"max_damage"`
+	Generations int          `json:"generations"`
+	Evaluations int          `json:"evaluations"`
+	MemoHits    int64        `json:"memo_hits"`
+	MemoMisses  int64        `json:"memo_misses"`
+	Front       []FrontPoint `json:"front"`
+	Picks       Picks        `json:"picks"`
+	// Interrupted marks a deadline- or drain-truncated run: the front
+	// is the best one at the last completed generation boundary.
+	Interrupted bool `json:"interrupted"`
+	// Cached marks a response served from the content-addressed cache.
+	Cached    bool    `json:"cached"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// errorResponse is the body of every non-2xx response.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// validationError marks a client-side (400) problem.
+type validationError struct{ msg string }
+
+func (e *validationError) Error() string { return e.msg }
+
+func invalidf(format string, args ...any) error {
+	return &validationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// validate checks a NetworkRef without loading it.
+func (n NetworkRef) validate() error {
+	switch {
+	case n.ICL == "" && n.Name == "":
+		return invalidf("network: need exactly one of icl or name")
+	case n.ICL != "" && n.Name != "":
+		return invalidf("network: icl and name are mutually exclusive")
+	case n.Name != "":
+		if _, ok := benchnets.Lookup(n.Name); !ok {
+			return invalidf("network: unknown benchmark %q (see /v1 docs for the suite)", n.Name)
+		}
+	}
+	return nil
+}
+
+// load materializes the referenced network. The caller must have
+// validated the reference first.
+func (n NetworkRef) load() (*rsn.Network, error) {
+	if n.Name != "" {
+		e, ok := benchnets.Lookup(n.Name)
+		if !ok {
+			return nil, invalidf("network: unknown benchmark %q", n.Name)
+		}
+		return benchnets.GenerateEntry(e)
+	}
+	net, err := icl.Parse(strings.NewReader(n.ICL))
+	if err != nil {
+		return nil, invalidf("network: %v", err)
+	}
+	return net, nil
+}
+
+// buildSpec materializes the criticality specification for net.
+func (sr SpecRef) buildSpec(net *rsn.Network, named bool) (*spec.Spec, error) {
+	if sr.Generate || named {
+		return spec.Generate(net, spec.PaperGenOptions(sr.Seed))
+	}
+	return spec.FromNetwork(net, spec.DefaultCostModel), nil
+}
+
+// parseScope maps the wire scope to the analysis option.
+func parseScope(s string) (faults.Scope, error) {
+	switch s {
+	case "", "all":
+		return faults.ScopeAll, nil
+	case "control":
+		return faults.ScopeControl, nil
+	default:
+		return 0, invalidf("scope: unknown %q (want all or control)", s)
+	}
+}
+
+// parseAlgorithm maps the wire algorithm to the optimizer.
+func parseAlgorithm(s string) (core.Algorithm, error) {
+	switch s {
+	case "", "spea2":
+		return core.AlgoSPEA2, nil
+	case "nsga2":
+		return core.AlgoNSGA2, nil
+	default:
+		return 0, invalidf("algorithm: unknown %q (want spea2 or nsga2)", s)
+	}
+}
+
+// validate checks the harden request against the server's caps and
+// fills defaults in place (so the cache key sees canonical values).
+func (req *HardenRequest) validate(cfg Config) error {
+	if err := req.Network.validate(); err != nil {
+		return err
+	}
+	if _, err := parseAlgorithm(req.Options.Algorithm); err != nil {
+		return err
+	}
+	if _, err := parseScope(req.Options.Scope); err != nil {
+		return err
+	}
+	o := &req.Options
+	if o.Generations < 0 || o.Generations > cfg.MaxGenerations {
+		return invalidf("generations: %d out of range [0, %d]", o.Generations, cfg.MaxGenerations)
+	}
+	if o.Generations == 0 {
+		o.Generations = 500
+	}
+	if o.Population < 0 || o.Population == 1 || o.Population > cfg.MaxPopulation {
+		return invalidf("population: %d out of range ({0} ∪ [2, %d])", o.Population, cfg.MaxPopulation)
+	}
+	if o.Stagnation < 0 {
+		return invalidf("stagnation: must be non-negative, got %d", o.Stagnation)
+	}
+	if o.DeadlineMS < 0 {
+		return invalidf("deadline_ms: must be non-negative, got %d", o.DeadlineMS)
+	}
+	return nil
+}
+
+// validate checks the analyze request against the server's caps.
+func (req *AnalyzeRequest) validate(cfg Config) error {
+	if err := req.Network.validate(); err != nil {
+		return err
+	}
+	if _, err := parseScope(req.Scope); err != nil {
+		return err
+	}
+	if req.TopDamages < 0 {
+		return invalidf("top_damages: must be non-negative, got %d", req.TopDamages)
+	}
+	if req.DeadlineMS < 0 {
+		return invalidf("deadline_ms: must be non-negative, got %d", req.DeadlineMS)
+	}
+	return nil
+}
+
+// clampDeadline resolves a requested deadline against the server cap.
+func clampDeadline(ms int64, cap time.Duration) time.Duration {
+	d := time.Duration(ms) * time.Millisecond
+	if d <= 0 || d > cap {
+		return cap
+	}
+	return d
+}

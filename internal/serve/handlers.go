@@ -1,0 +1,330 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"rsnrobust/internal/core"
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/moea"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/sptree"
+	"rsnrobust/internal/telemetry"
+)
+
+// writeJSON renders v with the proper content type.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError renders the uniform error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}
+
+// decodeBody parses a JSON request body under the configured size cap.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return invalidf("body: %v", err)
+	}
+	return nil
+}
+
+// admit runs the common gatekeeping of the two compute endpoints:
+// drain refusal and queue admission with backpressure. The returned
+// release func must be called when the request is done; ok=false means
+// the response has already been written.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	if s.Draining() {
+		w.Header().Set("Connection", "close")
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return nil, false
+	}
+	if !s.queue.enter() {
+		sec := int(s.queue.retryAfter() / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Sprintf("queue full (%d running + %d waiting); retry after ~%ds",
+				s.cfg.Workers, s.cfg.QueueDepth, sec))
+		return nil, false
+	}
+	if err := s.queue.acquire(r.Context()); err != nil {
+		s.queue.leave()
+		writeError(w, http.StatusServiceUnavailable, "cancelled while queued: "+err.Error())
+		return nil, false
+	}
+	return func() {
+		s.queue.release()
+		s.queue.leave()
+	}, true
+}
+
+// finishJobError maps a failed job to an HTTP response.
+func finishJobError(w http.ResponseWriter, err error) {
+	var ve *validationError
+	var pe *moea.PanicError
+	switch {
+	case errors.As(err, &ve):
+		writeError(w, http.StatusBadRequest, ve.Error())
+	case errors.As(err, &pe):
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("job panicked: %v", pe.Value))
+	case errors.Is(err, moea.ErrInterrupted):
+		writeError(w, http.StatusServiceUnavailable, "job skipped: "+err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// handleAnalyze serves POST /v1/analyze: parse/generate → validate →
+// SP-tree → exact criticality analysis, as a queued job.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	var req AnalyzeRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.validate(s.cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	deadline := clampDeadline(req.DeadlineMS, s.cfg.MaxDeadline)
+	t0 := time.Now()
+	resp, err := runQueued(s, ctx, "analyze", deadline, func(jctx context.Context, sp *telemetry.Span) (*AnalyzeResponse, error) {
+		return s.analyze(&req, sp)
+	})
+	if err != nil {
+		finishJobError(w, err)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// analyze is the body of one analyze job.
+func (s *Server) analyze(req *AnalyzeRequest, span *telemetry.Span) (*AnalyzeResponse, error) {
+	net, err := req.Network.load()
+	if err != nil {
+		return nil, err
+	}
+	if err := rsn.Validate(net); err != nil {
+		return nil, invalidf("network: %v", err)
+	}
+	sp, err := req.Spec.buildSpec(net, req.Network.Name != "")
+	if err != nil {
+		return nil, invalidf("spec: %v", err)
+	}
+	scope, err := parseScope(req.Scope)
+	if err != nil {
+		return nil, err
+	}
+	tree, err := sptree.Build(net)
+	if err != nil {
+		return nil, invalidf("sp-tree: %v", err)
+	}
+	opts := faults.DefaultOptions()
+	opts.Scope = scope
+	a, err := faults.Analyze(net, tree, sp, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	st := net.Stats()
+	resp := &AnalyzeResponse{
+		Network:     net.Name,
+		Segments:    st.Segments,
+		Muxes:       st.Muxes,
+		Instruments: st.Instruments,
+		Primitives:  len(a.Prims),
+		Scope:       scope.String(),
+		MaxCost:     a.MaxCost(),
+		TotalDamage: a.TotalDamage,
+		MustHarden:  len(a.MustHarden()),
+	}
+	if req.TopDamages > 0 {
+		ranked := append([]rsn.NodeID(nil), a.Prims...)
+		sort.SliceStable(ranked, func(i, j int) bool {
+			return a.Damage[ranked[i]] > a.Damage[ranked[j]]
+		})
+		if len(ranked) > req.TopDamages {
+			ranked = ranked[:req.TopDamages]
+		}
+		for _, id := range ranked {
+			nd := net.Node(id)
+			resp.TopDamages = append(resp.TopDamages, DamageEntry{
+				Name:     nd.Name,
+				Node:     int(id),
+				Damage:   a.Damage[id],
+				Cost:     a.Spec.Cost[id],
+				Critical: a.CritHit[id],
+			})
+		}
+	}
+	return resp, nil
+}
+
+// handleHarden serves POST /v1/harden: the full synthesis pipeline as
+// a queued, deadline-bounded, cached job.
+func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
+	var req HardenRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := req.validate(s.cfg); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	key := hardenCacheKey(&req)
+	if !req.Options.NoCache {
+		if resp, ok := s.cache.get(key); ok {
+			writeJSON(w, http.StatusOK, resp)
+			return
+		}
+	}
+	release, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	ctx, cancel := s.jobContext(r.Context())
+	defer cancel()
+	deadline := clampDeadline(req.Options.DeadlineMS, s.cfg.MaxDeadline)
+	resp, err := runQueued(s, ctx, "harden", deadline, func(jctx context.Context, sp *telemetry.Span) (*HardenResponse, error) {
+		return s.harden(jctx, &req, sp)
+	})
+	if err != nil {
+		finishJobError(w, err)
+		return
+	}
+	if resp.Interrupted {
+		s.tel.Counter("serve.jobs.interrupted").Inc()
+	} else if !req.Options.NoCache {
+		s.cache.put(key, resp)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// harden is the body of one harden job: a full, self-contained
+// synthesis parented under the job's telemetry span.
+func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry.Span) (*HardenResponse, error) {
+	net, err := req.Network.load()
+	if err != nil {
+		return nil, err
+	}
+	sp, err := req.Spec.buildSpec(net, req.Network.Name != "")
+	if err != nil {
+		return nil, invalidf("spec: %v", err)
+	}
+	o := req.Options
+	algo, err := parseAlgorithm(o.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	scope, err := parseScope(o.Scope)
+	if err != nil {
+		return nil, err
+	}
+
+	opt := core.DefaultOptions(o.Generations, o.Seed)
+	opt.Algorithm = algo
+	opt.Analysis.Scope = scope
+	opt.Population = o.Population
+	opt.ForceCritical = o.ForceCritical
+	opt.Stagnation = o.Stagnation
+	opt.Workers = s.cfg.EvalWorkers
+	opt.Context = ctx
+	opt.Telemetry = s.tel
+	opt.ParentSpan = span
+
+	syn, err := core.Synthesize(net, sp, opt)
+	if err != nil {
+		return nil, invalidf("synthesize: %v", err)
+	}
+
+	resp := &HardenResponse{
+		Network:     net.Name,
+		Algorithm:   algo.String(),
+		Seed:        o.Seed,
+		MaxCost:     syn.MaxCost,
+		MaxDamage:   syn.MaxDamage,
+		Generations: syn.Generations,
+		Evaluations: syn.Evaluations,
+		MemoHits:    syn.CacheHits,
+		MemoMisses:  syn.CacheMisses,
+		Interrupted: syn.Interrupted,
+		ElapsedMS:   float64(syn.Elapsed) / float64(time.Millisecond),
+	}
+	for _, sol := range syn.Front {
+		resp.Front = append(resp.Front, frontPoint(sol))
+	}
+	if sol, ok := syn.MinCostWithDamageAtMost(0.10); ok {
+		fp := frontPoint(sol)
+		resp.Picks.Damage10 = &fp
+	}
+	if sol, ok := syn.MinDamageWithCostAtMost(0.10); ok {
+		fp := frontPoint(sol)
+		resp.Picks.Cost10 = &fp
+	}
+	return resp, nil
+}
+
+func frontPoint(sol core.Solution) FrontPoint {
+	return FrontPoint{
+		Cost:            sol.Cost,
+		Damage:          sol.Damage,
+		Hardened:        len(sol.Hardened),
+		CriticalCovered: sol.CriticalCovered,
+	}
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz reports readiness: 503 once draining so load balancers
+// rotate this instance out while in-flight work completes.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+}
+
+// handleMetrics exposes the collector: the text exposition format by
+// default, the full JSON snapshot (spans, generations included) with
+// ?format=json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.tel.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WriteMetricsText(w, snap); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}

@@ -1,0 +1,67 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// statusRecorder captures the status code a handler writes so the
+// middleware can count response classes after the fact.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// instrument wraps a route handler with the service's HTTP telemetry —
+// request counter, per-route latency histogram, in-flight gauge,
+// response-class counters — and a panic backstop that converts an
+// escaped panic into a 500 instead of tearing down the server.
+// (Synthesis jobs already recover panics inside the RunSet; this
+// guards the handlers themselves.)
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	requests := s.tel.Counter("serve.http.requests")
+	inflight := s.tel.Gauge("serve.http.inflight")
+	latency := s.tel.Histogram("serve.http.latency_ms." + route)
+	panics := s.tel.Counter("serve.http.panics")
+	classes := [6]*telemetry.Counter{
+		2: s.tel.Counter("serve.http.status.2xx"),
+		3: s.tel.Counter("serve.http.status.3xx"),
+		4: s.tel.Counter("serve.http.status.4xx"),
+		5: s.tel.Counter("serve.http.status.5xx"),
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		inflight.Set(float64(s.inFlight.Add(1)))
+		t0 := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			if v := recover(); v != nil {
+				panics.Inc()
+				if rec.status == 0 {
+					writeError(rec, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+				}
+			}
+			latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+			inflight.Set(float64(s.inFlight.Add(-1)))
+			if c := rec.status / 100; c >= 2 && c <= 5 {
+				classes[c].Inc()
+			}
+		}()
+		h(rec, r)
+	})
+}

@@ -1,0 +1,174 @@
+// Package serve is the hardening-as-a-service HTTP subsystem: a
+// production-grade JSON API over the existing synthesis machinery.
+//
+//	POST /v1/analyze  — parse an ICL network (or generate a named
+//	                    benchmark), build the SP-tree, run the exact
+//	                    criticality analysis and return the damage
+//	                    profile.
+//	POST /v1/harden   — the full selective-hardening synthesis with
+//	                    algorithm / population / generations / deadline
+//	                    knobs, returning the Pareto front and the
+//	                    Table I constrained picks.
+//	GET  /healthz     — liveness (200 while the process runs).
+//	GET  /readyz      — readiness (503 once draining).
+//	GET  /metrics     — instrument exposition (text; ?format=json for
+//	                    the full telemetry snapshot).
+//
+// Every request-driven computation runs as a job on a moea.RunSet
+// behind a bounded admission queue: at most Workers jobs run at once,
+// at most QueueDepth more may wait, and anything beyond that is
+// rejected immediately with 429 and a Retry-After estimate — the
+// backpressure contract that keeps latency bounded under overload
+// instead of letting requests pile up. Each job gets a per-request
+// context deadline wired through the PR 4 cancellation path, so a
+// timed-out request returns the best front at the last completed
+// generation boundary with "interrupted": true rather than an error.
+// Completed (uninterrupted) harden results land in a content-addressed
+// LRU cache keyed by FNV-1a over (network bytes, spec, options, seed),
+// layered above the per-run genome memo cache.
+package serve
+
+import (
+	"context"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// Config sizes the server. The zero value is usable: Defaults fills
+// every field that is unset.
+type Config struct {
+	// Workers is the number of synthesis jobs allowed to run
+	// concurrently (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth is the number of admitted-but-waiting jobs beyond the
+	// running ones; a request arriving with the queue full is rejected
+	// with 429 (<0 = 0, i.e. no waiting room; default 16).
+	QueueDepth int
+	// EvalWorkers sizes each job's objective-evaluation pool. The
+	// default 1 keeps jobs single-threaded so Workers alone bounds the
+	// CPU the service uses; raise it only when jobs are scarce and big.
+	EvalWorkers int
+	// CacheEntries bounds the content-addressed harden result cache
+	// (0 = default 256, <0 disables caching).
+	CacheEntries int
+	// MaxDeadline caps the per-request deadline; requests asking for
+	// more (or for none at all) are clamped to it. 0 = default 5m.
+	MaxDeadline time.Duration
+	// MaxGenerations and MaxPopulation bound the evolutionary knobs a
+	// request may ask for (defaults 100000 and 5000).
+	MaxGenerations int
+	MaxPopulation  int
+	// MaxBodyBytes bounds the request body, which bounds inline ICL
+	// size (0 = default 8 MiB).
+	MaxBodyBytes int64
+	// Telemetry receives every instrument and span of the service and
+	// its jobs; nil creates a fresh collector (the /metrics endpoint
+	// needs one to be useful).
+	Telemetry *telemetry.Collector
+}
+
+// Defaults returns cfg with every unset field filled in.
+func (cfg Config) Defaults() Config {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.QueueDepth < 0 {
+		cfg.QueueDepth = 0
+	}
+	if cfg.EvalWorkers <= 0 {
+		cfg.EvalWorkers = 1
+	}
+	if cfg.CacheEntries == 0 {
+		cfg.CacheEntries = 256
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = 5 * time.Minute
+	}
+	if cfg.MaxGenerations <= 0 {
+		cfg.MaxGenerations = 100_000
+	}
+	if cfg.MaxPopulation <= 0 {
+		cfg.MaxPopulation = 5_000
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	return cfg
+}
+
+// Server is the hardening service. Create one with New, mount
+// Handler() on an http.Server, and on shutdown call StartDrain (stop
+// admitting), then AbortInFlight once the grace period runs out (the
+// in-flight jobs return their partial fronts and the handlers finish).
+type Server struct {
+	cfg   Config
+	tel   *telemetry.Collector
+	cache *resultCache
+	queue *jobQueue
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	inFlight atomic.Int64
+	// hardCtx is cancelled by AbortInFlight: every job context derives
+	// from it, so cancellation reaches running syntheses cooperatively.
+	hardCtx  context.Context
+	hardStop context.CancelFunc
+}
+
+// New builds a Server from the configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.Defaults()
+	s := &Server{
+		cfg:   cfg,
+		tel:   cfg.Telemetry,
+		cache: newResultCache(cfg.CacheEntries, cfg.Telemetry),
+		queue: newJobQueue(cfg.Workers, cfg.QueueDepth, cfg.Telemetry),
+	}
+	s.hardCtx, s.hardStop = context.WithCancel(context.Background())
+	s.mux = http.NewServeMux()
+	s.mux.Handle("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
+	s.mux.Handle("POST /v1/harden", s.instrument("harden", s.handleHarden))
+	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
+	s.mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
+	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Telemetry returns the collector the service reports into.
+func (s *Server) Telemetry() *telemetry.Collector { return s.tel }
+
+// StartDrain begins a graceful drain: /readyz flips to 503 so load
+// balancers stop routing here, and new analysis/harden requests are
+// rejected with 503. Requests already admitted keep running.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AbortInFlight cancels the context every in-flight job derives from.
+// Running syntheses observe it at the next generation boundary and
+// return valid partial results ("interrupted": true) to their waiting
+// clients — the cooperative end of the drain, used when the grace
+// period expires before the jobs finish on their own.
+func (s *Server) AbortInFlight() { s.hardStop() }
+
+// jobContext derives a job's context from the request context, folding
+// in the server-wide abort signal.
+func (s *Server) jobContext(reqCtx context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(reqCtx)
+	stop := context.AfterFunc(s.hardCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}

@@ -1,0 +1,67 @@
+package telemetry
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteMetricsText renders the snapshot's instruments in the
+// line-oriented text exposition format scrapers expect: one
+// `name value` line per sample, `# TYPE` comments per family, names
+// sanitized to [a-zA-Z0-9_] with the "rsn_" prefix. Histograms expand
+// into _count/_sum/_min/_max/_mean and quantile samples. Spans and
+// generation records are trace data, not metrics, and are not emitted —
+// use the JSONL stream or the JSON snapshot for those.
+//
+// Families are written in lexical order, so the output is
+// deterministic for a fixed snapshot and diffs cleanly across scrapes.
+func WriteMetricsText(w io.Writer, s Snapshot) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range sortedKeys(s.Counters) {
+		m := metricName(name)
+		fmt.Fprintf(bw, "# TYPE %s counter\n%s %d\n", m, m, s.Counters[name])
+	}
+	for _, name := range sortedKeys(s.Gauges) {
+		m := metricName(name)
+		fmt.Fprintf(bw, "# TYPE %s gauge\n%s %s\n", m, m, formatSample(s.Gauges[name]))
+	}
+	for _, name := range sortedKeys(s.Histograms) {
+		h := s.Histograms[name]
+		m := metricName(name)
+		fmt.Fprintf(bw, "# TYPE %s summary\n", m)
+		fmt.Fprintf(bw, "%s_count %d\n", m, h.Count)
+		fmt.Fprintf(bw, "%s_sum %s\n", m, formatSample(h.Sum))
+		fmt.Fprintf(bw, "%s_min %s\n", m, formatSample(h.Min))
+		fmt.Fprintf(bw, "%s_max %s\n", m, formatSample(h.Max))
+		fmt.Fprintf(bw, "%s_mean %s\n", m, formatSample(h.Mean))
+		fmt.Fprintf(bw, "%s{quantile=\"0.5\"} %s\n", m, formatSample(h.P50))
+		fmt.Fprintf(bw, "%s{quantile=\"0.9\"} %s\n", m, formatSample(h.P90))
+		fmt.Fprintf(bw, "%s{quantile=\"0.99\"} %s\n", m, formatSample(h.P99))
+	}
+	return bw.Flush()
+}
+
+// metricName maps an instrument name ("serve.http.latency_ms") to a
+// legal exposition identifier ("rsn_serve_http_latency_ms").
+func metricName(name string) string {
+	var b strings.Builder
+	b.Grow(4 + len(name))
+	b.WriteString("rsn_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// formatSample renders a float sample without trailing-zero noise.
+func formatSample(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

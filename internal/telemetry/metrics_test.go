@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteMetricsText(t *testing.T) {
+	c := New()
+	c.Counter("serve.http.requests").Add(7)
+	c.Gauge("serve.queue.depth").Set(3)
+	h := c.Histogram("serve.http.latency_ms")
+	h.Observe(2)
+	h.Observe(10)
+
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE rsn_serve_http_requests counter",
+		"rsn_serve_http_requests 7",
+		"# TYPE rsn_serve_queue_depth gauge",
+		"rsn_serve_queue_depth 3",
+		"# TYPE rsn_serve_http_latency_ms summary",
+		"rsn_serve_http_latency_ms_count 2",
+		"rsn_serve_http_latency_ms_sum 12",
+		"rsn_serve_http_latency_ms_min 2",
+		"rsn_serve_http_latency_ms_max 10",
+		"rsn_serve_http_latency_ms_mean 6",
+		`rsn_serve_http_latency_ms{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(line, "# ") && !strings.HasPrefix(line, "rsn_") {
+			t.Errorf("unprefixed sample line %q", line)
+		}
+	}
+}
+
+func TestWriteMetricsTextDeterministic(t *testing.T) {
+	c := New()
+	for _, n := range []string{"b.two", "a.one", "c.three"} {
+		c.Counter(n).Inc()
+	}
+	var first, second strings.Builder
+	if err := WriteMetricsText(&first, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetricsText(&second, c.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Error("exposition not deterministic across renders")
+	}
+	a := strings.Index(first.String(), "rsn_a_one")
+	b := strings.Index(first.String(), "rsn_b_two")
+	cc := strings.Index(first.String(), "rsn_c_three")
+	if !(a < b && b < cc) {
+		t.Errorf("families not in lexical order: a@%d b@%d c@%d", a, b, cc)
+	}
+}
+
+func TestWriteMetricsTextEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, Snapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", sb.String())
+	}
+}
