@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
@@ -66,8 +67,16 @@ func main() {
 		ckptN   = flag.Int("checkpoint-every", 10, "generations between periodic checkpoints (with -checkpoint)")
 		resume  = flag.String("resume", "", "resume from a checkpoint file written by -checkpoint")
 		ddl     = flag.Duration("deadline", 0, "run deadline; in multi-seed mode the per-job deadline (0 = none)")
+		logLvl  = flag.String("log", "", "emit structured JSONL diagnostics to stderr at this level (debug, info, warn, error; empty disables)")
 	)
 	flag.Parse()
+
+	// Structured diagnostics are strictly additive: they go to stderr
+	// only, so stdout stays byte-identical with and without -log.
+	logger := telemetry.DiscardLogger()
+	if *logLvl != "" {
+		logger = telemetry.NewLogger(os.Stderr, telemetry.ParseLogLevel(*logLvl), "json")
+	}
 
 	if err := validateFlags(runConfig{
 		seeds: *seeds, jobs: *jobs, workers: *workers, stagnation: *stag,
@@ -103,6 +112,10 @@ func main() {
 			generations = entry.Generations
 		}
 	}
+	netStats := net.Stats()
+	logger.Info("run start", "tool", "rsnharden", "network", net.Name,
+		"segments", netStats.Segments, "muxes", netStats.Muxes,
+		"algo", *algo, "seed", *seed, "seeds", *seeds, "generations", generations)
 
 	var sp *spec.Spec
 	if *genspec || *name != "" {
@@ -139,7 +152,7 @@ func main() {
 			generations: generations, seed: *seed, seeds: *seeds, jobs: *jobs,
 			algo: *algo, scope: *scope, force: *force, stag: *stag, workers: *workers,
 			deadline: *ddl,
-		}, tel)
+		}, tel, logger)
 		if err != nil {
 			fail(err)
 		}
@@ -178,6 +191,7 @@ func main() {
 			fail(err)
 		}
 		opt.Resume = cp
+		logger.Info("resuming", "checkpoint", *resume, "generation", cp.Generation)
 	}
 	if *prog {
 		opt.OnGeneration = func(gen int, front []moea.Individual) bool {
@@ -204,6 +218,10 @@ func main() {
 	if *prog {
 		fmt.Fprintln(os.Stderr)
 	}
+	logger.Info("synthesis done", "generations", s.Generations,
+		"evaluations", s.Evaluations, "cache_hits", s.CacheHits,
+		"front", len(s.Front), "interrupted", s.Interrupted,
+		"elapsed_ms", float64(s.Elapsed)/float64(time.Millisecond), "workers", s.Workers)
 
 	st := net.Stats()
 	fmt.Printf("network        %s\n", net.Name)
@@ -417,7 +435,7 @@ type seedResult struct {
 // telemetry collector, every job's pipeline spans hang off that job's
 // "job:seed-N" span via Options.ParentSpan, so the trace stays a tree
 // under concurrency. Results and output are identical at any job count.
-func runSeedSweep(ctx context.Context, cfg sweepConfig, tel *telemetry.Collector) error {
+func runSeedSweep(ctx context.Context, cfg sweepConfig, tel *telemetry.Collector, logger *slog.Logger) error {
 	rs := moea.NewRunSet[seedResult]()
 	for i := 0; i < cfg.seeds; i++ {
 		s := cfg.seed + int64(i)
@@ -467,6 +485,9 @@ func runSeedSweep(ctx context.Context, cfg sweepConfig, tel *telemetry.Collector
 		}
 		fmt.Fprintf(os.Stderr, "done seed %-6d in %v (evolve %v)\n",
 			r.seed, r.elapsed.Round(time.Millisecond), r.evolveT.Round(time.Millisecond))
+		logger.Info("seed done", "seed", r.seed, "generations", r.gens,
+			"evaluations", r.evals, "front", r.frontSize, "interrupted", r.interrupted,
+			"elapsed_ms", float64(r.elapsed)/float64(time.Millisecond))
 	})
 	if err != nil && !errors.Is(err, moea.ErrInterrupted) {
 		return err

@@ -1,24 +1,34 @@
 // Command rsnserve exposes the hardening pipeline as an HTTP service:
 // POST /v1/analyze for the criticality analysis, POST /v1/harden for
-// the full selective-hardening synthesis, plus /healthz, /readyz and
-// /metrics. See internal/serve for the API contract.
+// the full selective-hardening synthesis (add `Accept:
+// text/event-stream` or ?stream=1 for live per-generation progress),
+// plus /healthz, /readyz, /metrics, /v1/jobs and /debug/flight. See
+// internal/serve for the API contract.
 //
 // Usage:
 //
 //	rsnserve -addr :8080 -workers 4 -queue 16
+//	rsnserve -log-level debug -log-format text
 //	rsnserve -selftest            # in-process smoke test, exits 0/1
+//
+// Logs are structured (JSONL on stderr by default), every line
+// correlated by the request's trace and request IDs.
 //
 // On SIGINT/SIGTERM the server drains gracefully: /readyz flips to 503
 // and new jobs are rejected while in-flight requests keep running; when
 // the grace period expires, the remaining syntheses are aborted
 // cooperatively and return their partial fronts before the process
-// exits.
+// exits. The drain also dumps the flight recorder — the last completed
+// jobs with their span trees — to stderr as JSON, so a terminated pod
+// leaves its black box in the log stream.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -27,22 +37,28 @@ import (
 	"time"
 
 	"rsnrobust/internal/serve"
+	"rsnrobust/internal/telemetry"
 )
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "concurrent synthesis jobs (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 16, "admitted-but-waiting jobs beyond the running ones; beyond that requests get 429 (negative = no waiting room)")
-		evalW    = flag.Int("eval-workers", 1, "objective-evaluation workers per job")
-		cacheN   = flag.Int("cache", 256, "harden result cache entries (negative disables)")
-		maxDdl   = flag.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines")
-		maxGens  = flag.Int("max-generations", 100_000, "cap on requested generations")
-		maxPop   = flag.Int("max-population", 5_000, "cap on requested population size")
-		grace    = flag.Duration("drain-grace", 10*time.Second, "how long a drain waits before aborting in-flight jobs")
-		selftest = flag.Bool("selftest", false, "start the server on a loopback port, run a load-generating smoke test against it, and exit")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent synthesis jobs (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 16, "admitted-but-waiting jobs beyond the running ones; beyond that requests get 429 (negative = no waiting room)")
+		evalW     = flag.Int("eval-workers", 1, "objective-evaluation workers per job")
+		cacheN    = flag.Int("cache", 256, "harden result cache entries (negative disables)")
+		maxDdl    = flag.Duration("max-deadline", 5*time.Minute, "cap on per-request deadlines")
+		maxGens   = flag.Int("max-generations", 100_000, "cap on requested generations")
+		maxPop    = flag.Int("max-population", 5_000, "cap on requested population size")
+		grace     = flag.Duration("drain-grace", 10*time.Second, "how long a drain waits before aborting in-flight jobs")
+		logLevel  = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logFormat = flag.String("log-format", "json", "log format: json (one object per line) or text")
+		flight    = flag.Int("flight", 128, "flight recorder capacity in completed jobs (negative disables; dumped on drain and served at /debug/flight)")
+		selftest  = flag.Bool("selftest", false, "start the server on a loopback port, run a load-generating smoke test against it, and exit")
 	)
 	flag.Parse()
+
+	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLogLevel(*logLevel), *logFormat)
 
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
@@ -52,6 +68,8 @@ func main() {
 		MaxDeadline:    *maxDdl,
 		MaxGenerations: *maxGens,
 		MaxPopulation:  *maxPop,
+		Logger:         logger,
+		FlightEntries:  *flight,
 	})
 
 	if *selftest {
@@ -73,6 +91,7 @@ func main() {
 	// The printed address is the resolved one (":0" picks a port), so
 	// wrappers and tests can parse where to connect.
 	fmt.Printf("rsnserve: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String(), "workers", *workers, "queue", *queue)
 
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
@@ -82,6 +101,7 @@ func main() {
 	select {
 	case sig := <-sigCh:
 		fmt.Printf("rsnserve: %s, draining (grace %s)\n", sig, *grace)
+		logger.Info("draining", "signal", sig.String(), "grace", grace.String())
 	case err := <-errCh:
 		fmt.Fprintf(os.Stderr, "rsnserve: %v\n", err)
 		os.Exit(1)
@@ -98,5 +118,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "rsnserve: shutdown: %v\n", err)
 		os.Exit(1)
 	}
+	dumpFlight(srv, logger)
 	fmt.Println("rsnserve: drained")
+}
+
+// dumpFlight writes the flight recorder's final snapshot to stderr as
+// one JSON object — the process's black box, preserved in the log
+// stream of a terminated instance.
+func dumpFlight(srv *serve.Server, logger *slog.Logger) {
+	fr := srv.Flight()
+	if fr == nil {
+		return
+	}
+	snap := fr.Snapshot()
+	logger.Info("flight recorder dump", "recorded", snap.Recorded, "jobs", len(snap.Jobs), "dropped_spans", snap.DroppedSpans)
+	enc := json.NewEncoder(os.Stderr)
+	_ = enc.Encode(snap)
 }

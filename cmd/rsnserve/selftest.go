@@ -28,6 +28,10 @@ func runSelftest(srv *serve.Server) error {
 	defer httpSrv.Close()
 	base := "http://" + ln.Addr().String()
 
+	// lastTrace carries the streamed harden's trace ID forward to the
+	// flight-recorder step, which looks the job up by it.
+	var lastTrace string
+
 	steps := []struct {
 		name string
 		fn   func() error
@@ -109,10 +113,117 @@ func runSelftest(srv *serve.Server) error {
 			}
 			defer resp.Body.Close()
 			b, _ := io.ReadAll(resp.Body)
-			for _, want := range []string{"rsn_serve_http_requests", "rsn_serve_cache_hits", "rsn_serve_job_ms_count"} {
+			for _, want := range []string{"rsn_serve_http_requests", "rsn_serve_cache_hits", "rsn_serve_job_ms_count", "rsn_proc_goroutines"} {
 				if !strings.Contains(string(b), want) {
 					return fmt.Errorf("exposition lacks %s:\n%s", want, b)
 				}
+			}
+			return nil
+		}},
+		{"request id echo", func() error {
+			req, err := http.NewRequest(http.MethodGet, base+"/healthz", nil)
+			if err != nil {
+				return err
+			}
+			req.Header.Set("X-Request-Id", "selftest-rid-1")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			if got := resp.Header.Get("X-Request-Id"); got != "selftest-rid-1" {
+				return fmt.Errorf("X-Request-Id not echoed: got %q", got)
+			}
+			// And when absent, the server generates one.
+			resp2, err := http.Get(base + "/healthz")
+			if err != nil {
+				return err
+			}
+			defer resp2.Body.Close()
+			io.Copy(io.Discard, resp2.Body)
+			if resp2.Header.Get("X-Request-Id") == "" {
+				return fmt.Errorf("no generated X-Request-Id on response")
+			}
+			return nil
+		}},
+		{"streamed harden", func() error {
+			req, err := http.NewRequest(http.MethodPost, base+"/v1/harden?stream=1", strings.NewReader(
+				`{"network":{"name":"TreeFlat"},"spec":{"seed":3},
+				  "options":{"generations":20,"seed":3,"no_cache":true,"stream_every":1}}`))
+			if err != nil {
+				return err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				b, _ := io.ReadAll(resp.Body)
+				return fmt.Errorf("status %d: %s", resp.StatusCode, b)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+				return fmt.Errorf("content type %q, want text/event-stream", ct)
+			}
+			lastTrace = traceID(resp.Header.Get("Traceparent"))
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return err
+			}
+			gens := strings.Count(string(b), "event: generation\n")
+			results := strings.Count(string(b), "event: result\n")
+			if gens < 1 || results != 1 {
+				return fmt.Errorf("stream had %d generation and %d result events:\n%s", gens, results, b)
+			}
+			return nil
+		}},
+		{"jobs listing", func() error {
+			resp, err := http.Get(base + "/v1/jobs")
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return err
+			}
+			var jl struct {
+				Recent []map[string]any `json:"recent"`
+			}
+			if err := json.Unmarshal(b, &jl); err != nil {
+				return fmt.Errorf("bad JSON: %w (%s)", err, b)
+			}
+			if len(jl.Recent) == 0 {
+				return fmt.Errorf("no recent jobs after the battery: %s", b)
+			}
+			return nil
+		}},
+		{"flight recorder", func() error {
+			if lastTrace == "" {
+				return fmt.Errorf("no trace ID captured from the streamed harden")
+			}
+			resp, err := http.Get(base + "/debug/flight?trace_id=" + lastTrace)
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			b, err := io.ReadAll(resp.Body)
+			if err != nil {
+				return err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d: %s", resp.StatusCode, b)
+			}
+			var job struct {
+				Spans []map[string]any `json:"spans"`
+			}
+			if err := json.Unmarshal(b, &job); err != nil {
+				return fmt.Errorf("bad JSON: %w (%s)", err, b)
+			}
+			if len(job.Spans) == 0 {
+				return fmt.Errorf("flight entry has no spans: %s", b)
 			}
 			return nil
 		}},
@@ -125,6 +236,15 @@ func runSelftest(srv *serve.Server) error {
 		fmt.Printf("rsnserve: selftest %-20s ok (%v)\n", st.name, time.Since(t0).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// traceID extracts the trace-id field of a traceparent header value.
+func traceID(tp string) string {
+	parts := strings.Split(tp, "-")
+	if len(parts) != 4 {
+		return ""
+	}
+	return parts[1]
 }
 
 // postJSON posts body and returns the decoded 200 response.

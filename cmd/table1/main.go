@@ -62,8 +62,16 @@ func main() {
 		ckptN   = flag.Int("checkpoint-every", 10, "generations between periodic checkpoints (with -checkpoint)")
 		resume  = flag.String("resume", "", "resume rows from checkpoints in this directory; rows without a checkpoint start fresh")
 		ddl     = flag.Duration("deadline", 0, "per-row synthesis deadline (0 = none)")
+		logLvl  = flag.String("log", "", "emit structured JSONL diagnostics to stderr at this level (debug, info, warn, error; empty disables)")
 	)
 	flag.Parse()
+
+	// Structured diagnostics are strictly additive: they go to stderr
+	// only, so stdout stays byte-identical with and without -log.
+	logger := telemetry.DiscardLogger()
+	if *logLvl != "" {
+		logger = telemetry.NewLogger(os.Stderr, telemetry.ParseLogLevel(*logLvl), "json")
+	}
 
 	if err := validateFlags(runConfig{
 		jobs: *jobs, workers: *workers,
@@ -138,6 +146,8 @@ func main() {
 
 	var benchRows []benchRow
 	grand := time.Now()
+	logger.Info("run start", "tool", "table1", "rows", len(entries),
+		"algo", *algo, "seed", *seed, "quick", *quick, "jobs", *jobs, "workers", *workers)
 	rs := moea.NewRunSet[rowResult]()
 	telBufs := make([]*bytes.Buffer, len(entries))
 	for i := range entries {
@@ -212,6 +222,9 @@ func main() {
 			DmgC10:       row.dmgC10,
 		})
 		fmt.Fprintf(os.Stderr, "done %-18s in %v\n", e.Name, row.elapsed.Round(time.Second/10))
+		logger.Info("row done", "network", e.Name, "generations", row.gens,
+			"evaluations", row.evaluations, "front", row.frontSize,
+			"interrupted", row.interrupted, "elapsed_ms", durMS(row.elapsed))
 	})
 	if runErr != nil && !errors.Is(runErr, moea.ErrInterrupted) {
 		fail(runErr)
@@ -236,6 +249,8 @@ func main() {
 		fail(err)
 	}
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(grand).Round(time.Second))
+	logger.Info("run done", "rows", len(benchRows), "interrupted_rows", interrupted,
+		"elapsed_ms", durMS(time.Since(grand)))
 }
 
 // benchRow is one row of the machine-readable BENCH_*.json perf

@@ -118,6 +118,13 @@ type Options struct {
 	Resume *moea.Checkpoint
 	// OnGeneration, if non-nil, receives progress callbacks.
 	OnGeneration func(gen int, front []moea.Individual) bool
+	// OnProgress, if non-nil, receives one Progress per generation with
+	// exact per-run convergence and effort counters — unlike the
+	// collector's generation records, these are scoped to this run alone
+	// and safe under concurrent synthesis jobs sharing a collector.
+	// Returning false stops the run early (same contract as
+	// OnGeneration; both may be set and both are honored).
+	OnProgress func(p Progress) bool
 	// Telemetry, if non-nil, receives span timings for every pipeline
 	// stage, structural gauges from the tree and the analysis, the
 	// moea.evaluations counter and per-generation convergence records.
@@ -140,6 +147,18 @@ func DefaultOptions(generations int, seed int64) Options {
 		Analysis:    faults.DefaultOptions(),
 		Memoize:     true,
 	}
+}
+
+// Progress is one per-generation report handed to Options.OnProgress:
+// the standard convergence record plus the run's exact memoization
+// counters. Every field is computed from this run's own state — nothing
+// is read from shared telemetry instruments, so concurrent runs cannot
+// pollute each other's reports.
+type Progress struct {
+	telemetry.Generation
+	// CacheHits and CacheMisses are the run's cumulative memoization
+	// counters (both zero without Options.Memoize).
+	CacheHits, CacheMisses int64
 }
 
 // Solution is one hardening decision with its evaluated objectives.
@@ -449,6 +468,9 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	if opt.Stagnation > 0 {
 		params.OnGeneration = stagnationStop(opt.Stagnation, analysis, params.OnGeneration)
 	}
+	if opt.OnProgress != nil {
+		params.OnProgress = progressHook(analysis, opt.OnProgress)
+	}
 	params.Context = opt.Context
 	params.Resume = opt.Resume
 	if opt.CheckpointPath != "" {
@@ -568,6 +590,46 @@ func telemetryProgress(tel *telemetry.Collector, a *faults.Analysis, evals *tele
 			return user(gen, front)
 		}
 		return true
+	}
+}
+
+// progressHook adapts Options.OnProgress to the optimizer's exact
+// per-run progress protocol: convergence quality (front size,
+// hypervolume, per-objective bests) is computed here from the live
+// front, effort counters come verbatim from the engine's accounting.
+func progressHook(a *faults.Analysis, user func(Progress) bool) func(moea.Progress, []moea.Individual) bool {
+	ref := moea.RefPoint(float64(a.TotalDamage), float64(a.MaxCost()))
+	last := time.Now()
+	return func(p moea.Progress, front []moea.Individual) bool {
+		now := time.Now()
+		genMS := float64(now.Sub(last)) / float64(time.Millisecond)
+		last = now
+		bestD, bestC := math.Inf(1), math.Inf(1)
+		for i := range front {
+			if front[i].Obj[0] < bestD {
+				bestD = front[i].Obj[0]
+			}
+			if front[i].Obj[1] < bestC {
+				bestC = front[i].Obj[1]
+			}
+		}
+		if len(front) == 0 {
+			bestD, bestC = 0, 0
+		}
+		return user(Progress{
+			Generation: telemetry.Generation{
+				Gen:         p.Gen,
+				Front:       len(front),
+				Hypervolume: moea.Hypervolume(front, ref),
+				NormHV:      moea.NormalizedHypervolume(front, ref),
+				BestDamage:  bestD,
+				BestCost:    bestC,
+				Evaluations: int64(p.Evaluations),
+				ElapsedMS:   genMS,
+			},
+			CacheHits:   p.CacheHits,
+			CacheMisses: p.CacheMisses,
+		})
 	}
 }
 

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+)
+
+func TestOnProgressReportsPerRunState(t *testing.T) {
+	var seen []Progress
+	opt := DefaultOptions(12, 3)
+	opt.OnProgress = func(p Progress) bool {
+		seen = append(seen, p)
+		return true
+	}
+	s := synthesizeExample(t, opt)
+	if len(seen) != s.Generations {
+		t.Fatalf("OnProgress fired %d times for %d generations", len(seen), s.Generations)
+	}
+	for i, p := range seen {
+		if p.Gen != i {
+			t.Errorf("report %d carries gen %d", i, p.Gen)
+		}
+		if p.Front <= 0 {
+			t.Errorf("gen %d: front size %d", i, p.Front)
+		}
+		if p.NormHV < 0 || p.NormHV > 1 {
+			t.Errorf("gen %d: normalized hypervolume %v outside [0,1]", i, p.NormHV)
+		}
+		if i > 0 && p.Evaluations < seen[i-1].Evaluations {
+			t.Errorf("gen %d: evaluations decreased", i)
+		}
+	}
+	// The final report agrees with the synthesis result's own exact
+	// accounting — the whole point of the per-run hook.
+	last := seen[len(seen)-1]
+	if last.Evaluations != int64(s.Evaluations) {
+		t.Errorf("final evaluations %d != synthesis %d", last.Evaluations, s.Evaluations)
+	}
+	if last.CacheHits != s.CacheHits || last.CacheMisses != s.CacheMisses {
+		t.Errorf("final cache %d/%d != synthesis %d/%d", last.CacheHits, last.CacheMisses, s.CacheHits, s.CacheMisses)
+	}
+}
+
+func TestOnProgressEarlyStopAndDeterminism(t *testing.T) {
+	opt := DefaultOptions(50, 5)
+	opt.OnProgress = func(p Progress) bool { return p.Gen < 4 }
+	s := synthesizeExample(t, opt)
+	if s.Generations != 5 {
+		t.Errorf("stopped after %d generations, want 5", s.Generations)
+	}
+
+	// Attaching a pass-through OnProgress must not change the outcome.
+	plain := synthesizeExample(t, DefaultOptions(20, 7))
+	hooked := DefaultOptions(20, 7)
+	hooked.OnProgress = func(p Progress) bool { return true }
+	withHook := synthesizeExample(t, hooked)
+	if len(plain.Front) != len(withHook.Front) {
+		t.Fatalf("front size changed: %d vs %d", len(plain.Front), len(withHook.Front))
+	}
+	for i := range plain.Front {
+		if plain.Front[i].Cost != withHook.Front[i].Cost || plain.Front[i].Damage != withHook.Front[i].Damage {
+			t.Fatalf("front member %d differs with OnProgress attached", i)
+		}
+	}
+}

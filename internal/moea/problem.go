@@ -140,6 +140,28 @@ type Params struct {
 	// recycles the buffers of non-survivors into the next generation.
 	// Callers that retain them must deep-copy.
 	OnGeneration func(gen int, front []Individual) bool
+	// OnProgress, if non-nil, is called after every generation with the
+	// run's exact per-run progress counters (unlike collector-global
+	// telemetry, these are not polluted by concurrent runs) and the
+	// current nondominated front. Returning false stops the run early,
+	// exactly like OnGeneration; when both hooks are set, both are
+	// called (OnProgress first) and the run stops if either says so.
+	// The front slice follows the OnGeneration validity contract.
+	OnProgress func(p Progress, front []Individual) bool
+}
+
+// Progress is the exact per-run state handed to Params.OnProgress at
+// each generation boundary. All counters are cumulative for this run
+// only — they come from the engine's own accounting, not from shared
+// telemetry instruments.
+type Progress struct {
+	// Gen is the zero-based generation index just completed.
+	Gen int
+	// Evaluations counts true (non-cached) objective evaluations so far.
+	Evaluations int
+	// CacheHits and CacheMisses are the run's memoization counters
+	// (both zero without Memoize).
+	CacheHits, CacheMisses int64
 }
 
 // Defaults returns the paper's parameters for a problem with the given

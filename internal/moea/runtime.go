@@ -340,14 +340,32 @@ func (e *engine) vary(dst []Individual, a, b Genome) []Individual {
 }
 
 // onGeneration advances the generation counter and invokes the user
-// callback (if any) on the current nondominated front; it reports
-// whether the run should continue.
+// callbacks (if any) on the current nondominated front; it reports
+// whether the run should continue. OnProgress additionally receives
+// the engine's exact per-run accounting — evaluation and memo-cache
+// counters that, unlike collector-global telemetry, cannot be polluted
+// by concurrent runs sharing a collector.
 func (e *engine) onGeneration(gen int, current []Individual) bool {
 	e.res.Generations = gen + 1
-	if e.par.OnGeneration == nil {
+	if e.par.OnGeneration == nil && e.par.OnProgress == nil {
 		return true
 	}
-	return e.par.OnGeneration(gen, ParetoFilter(current))
+	front := ParetoFilter(current)
+	cont := true
+	if e.par.OnProgress != nil {
+		hits, misses := e.exec.MemoStats()
+		p := Progress{
+			Gen:         gen,
+			Evaluations: e.res.Evaluations,
+			CacheHits:   hits,
+			CacheMisses: misses,
+		}
+		cont = e.par.OnProgress(p, front)
+	}
+	if e.par.OnGeneration != nil && !e.par.OnGeneration(gen, front) {
+		cont = false
+	}
+	return cont
 }
 
 // finish extracts the final nondominated front, folds in the cache

@@ -106,6 +106,12 @@ func (rs *RunSet[T]) Run(ctx context.Context, opts RunOptions, emit func(idx int
 	}
 	tel := opts.Telemetry
 	root := tel.StartSpan("runset")
+	if tc, ok := telemetry.TraceFrom(ctx); ok {
+		// The run belongs to a traced request: stamp the trace ID on the
+		// root so every job span (and their children) inherits it and the
+		// whole tree reassembles under the request's trace.
+		root.SetTrace(tc.TraceID)
+	}
 	defer root.End()
 	tel.Gauge("runset.jobs").Set(float64(n))
 	tel.Gauge("runset.workers").Set(float64(workers))

@@ -94,6 +94,11 @@ type HardenOptions struct {
 	// NoCache bypasses the content-addressed result cache (the result
 	// is still not stored).
 	NoCache bool `json:"no_cache,omitempty"`
+	// StreamEvery, for streamed requests, emits a progress event every
+	// N generations (0 = adaptive: generation 0 plus at most ~10
+	// events/second). Like DeadlineMS and NoCache it is a transport
+	// knob, excluded from the result cache key.
+	StreamEvery int `json:"stream_every,omitempty"`
 }
 
 // HardenRequest is the body of POST /v1/harden.
@@ -139,9 +144,12 @@ type HardenResponse struct {
 	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
-// errorResponse is the body of every non-2xx response.
+// errorResponse is the body of every non-2xx response. The request ID
+// mirrors the X-Request-Id header so a logged body alone is enough to
+// join with the server's access log and flight recorder.
 type errorResponse struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // validationError marks a client-side (400) problem.
@@ -244,6 +252,9 @@ func (req *HardenRequest) validate(cfg Config) error {
 	}
 	if o.DeadlineMS < 0 {
 		return invalidf("deadline_ms: must be non-negative, got %d", o.DeadlineMS)
+	}
+	if o.StreamEvery < 0 {
+		return invalidf("stream_every: must be non-negative, got %d", o.StreamEvery)
 	}
 	return nil
 }

@@ -22,14 +22,22 @@ import (
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetEscapeHTML(false)
-	_ = enc.Encode(v)
+	_, _ = w.Write(encodeJSONBody(v))
 }
 
-// writeError renders the uniform error body.
-func writeError(w http.ResponseWriter, status int, msg string) {
-	writeJSON(w, status, errorResponse{Error: msg})
+// writeError renders the uniform error body. The request ID rides along
+// in the body (the X-Request-Id header is set by the middleware), so an
+// error a client logs is joinable with the server's own records even
+// when only the body survives. r may be nil when no request context is
+// available.
+func writeError(w http.ResponseWriter, r *http.Request, status int, msg string) {
+	body := errorResponse{Error: msg}
+	if r != nil {
+		if id, ok := telemetry.RequestIDFrom(r.Context()); ok {
+			body.RequestID = id
+		}
+	}
+	writeJSON(w, status, body)
 }
 
 // decodeBody parses a JSON request body under the configured size cap.
@@ -50,20 +58,20 @@ func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error
 func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	if s.Draining() {
 		w.Header().Set("Connection", "close")
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, r, http.StatusServiceUnavailable, "server is draining")
 		return nil, false
 	}
 	if !s.queue.enter() {
 		sec := int(s.queue.retryAfter() / time.Second)
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
-		writeError(w, http.StatusTooManyRequests,
+		writeError(w, r, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d running + %d waiting); retry after ~%ds",
 				s.cfg.Workers, s.cfg.QueueDepth, sec))
 		return nil, false
 	}
 	if err := s.queue.acquire(r.Context()); err != nil {
 		s.queue.leave()
-		writeError(w, http.StatusServiceUnavailable, "cancelled while queued: "+err.Error())
+		writeError(w, r, http.StatusServiceUnavailable, "cancelled while queued: "+err.Error())
 		return nil, false
 	}
 	return func() {
@@ -72,20 +80,77 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 	}, true
 }
 
-// finishJobError maps a failed job to an HTTP response.
-func finishJobError(w http.ResponseWriter, err error) {
+// jobErrorStatus maps a failed job to the status and message of the
+// uniform error response.
+func jobErrorStatus(err error) (int, string) {
 	var ve *validationError
 	var pe *moea.PanicError
 	switch {
 	case errors.As(err, &ve):
-		writeError(w, http.StatusBadRequest, ve.Error())
+		return http.StatusBadRequest, ve.Error()
 	case errors.As(err, &pe):
-		writeError(w, http.StatusInternalServerError, fmt.Sprintf("job panicked: %v", pe.Value))
+		return http.StatusInternalServerError, fmt.Sprintf("job panicked: %v", pe.Value)
 	case errors.Is(err, moea.ErrInterrupted):
-		writeError(w, http.StatusServiceUnavailable, "job skipped: "+err.Error())
+		return http.StatusServiceUnavailable, "job skipped: " + err.Error()
 	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		return http.StatusInternalServerError, err.Error()
 	}
+}
+
+// finishJobError maps a failed job to an HTTP response.
+func finishJobError(w http.ResponseWriter, r *http.Request, err error) {
+	status, msg := jobErrorStatus(err)
+	writeError(w, r, status, msg)
+}
+
+// jobStatus classifies a finished job for the registry and the flight
+// recorder: "ok", "error", "panic" or "interrupted".
+func jobStatus(err error, interrupted bool) string {
+	var pe *moea.PanicError
+	switch {
+	case errors.As(err, &pe):
+		return "panic"
+	case err != nil:
+		return "error"
+	case interrupted:
+		return "interrupted"
+	default:
+		return "ok"
+	}
+}
+
+// completeFlight seals one finished job into the flight recorder,
+// claiming the span tree that accumulated under the request's trace ID
+// while the job ran. Call it after runQueued returns — by then every
+// span of the job (the runset root included) has ended.
+func (s *Server) completeFlight(r *http.Request, label, detail string, start time.Time, gens int, err error, interrupted bool) {
+	if s.flight == nil {
+		return
+	}
+	tc, ok := telemetry.TraceFrom(r.Context())
+	if !ok {
+		return
+	}
+	job := telemetry.FlightJob{
+		TraceID:     tc.TraceID,
+		Label:       label,
+		Detail:      detail,
+		Start:       start,
+		DurMS:       float64(time.Since(start)) / float64(time.Millisecond),
+		Status:      jobStatus(err, interrupted),
+		Generations: gens,
+	}
+	if id, ok := telemetry.RequestIDFrom(r.Context()); ok {
+		job.RequestID = id
+	}
+	if err != nil {
+		job.Error = err.Error()
+		var pe *moea.PanicError
+		if errors.As(err, &pe) {
+			job.PanicStack = string(pe.Stack)
+		}
+	}
+	s.flight.Complete(job)
 }
 
 // handleAnalyze serves POST /v1/analyze: parse/generate → validate →
@@ -93,11 +158,11 @@ func finishJobError(w http.ResponseWriter, err error) {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	var req AnalyzeRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if err := req.validate(s.cfg); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	release, ok := s.admit(w, r)
@@ -110,15 +175,37 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	deadline := clampDeadline(req.DeadlineMS, s.cfg.MaxDeadline)
 	t0 := time.Now()
+	jobID := s.jobs.begin(s.jobInfo(r, "analyze", req.Network))
 	resp, err := runQueued(s, ctx, "analyze", deadline, func(jctx context.Context, sp *telemetry.Span) (*AnalyzeResponse, error) {
 		return s.analyze(&req, sp)
 	})
+	s.jobs.finish(jobID, jobStatus(err, false), errString(err), time.Since(t0))
+	s.completeFlight(r, "analyze", req.Network.Name, t0, 0, err, false)
 	if err != nil {
-		finishJobError(w, err)
+		finishJobError(w, r, err)
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(t0)) / float64(time.Millisecond)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// jobInfo seeds a registry entry with the request's correlation IDs.
+func (s *Server) jobInfo(r *http.Request, route string, net NetworkRef) JobInfo {
+	info := JobInfo{Route: route, Network: net.Name, Started: time.Now()}
+	if tc, ok := telemetry.TraceFrom(r.Context()); ok {
+		info.TraceID = tc.TraceID
+	}
+	if id, ok := telemetry.RequestIDFrom(r.Context()); ok {
+		info.RequestID = id
+	}
+	return info
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
 }
 
 // analyze is the body of one analyze job.
@@ -184,24 +271,38 @@ func (s *Server) analyze(req *AnalyzeRequest, span *telemetry.Span) (*AnalyzeRes
 }
 
 // handleHarden serves POST /v1/harden: the full synthesis pipeline as
-// a queued, deadline-bounded, cached job.
+// a queued, deadline-bounded, cached job. With `Accept:
+// text/event-stream` (or ?stream=1) the response is an SSE stream of
+// per-generation progress events, terminated by a "result" event whose
+// payload is byte-identical to the plain JSON response for the same
+// request — live progress is a transport decoration, not a different
+// computation, so the streaming knobs stay out of the cache key.
 func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 	var req HardenRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
 	if err := req.validate(s.cfg); err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
+		writeError(w, r, http.StatusBadRequest, err.Error())
 		return
 	}
+	stream := wantStream(r)
 	key := hardenCacheKey(&req)
 	if !req.Options.NoCache {
 		if resp, ok := s.cache.get(key); ok {
+			if stream {
+				if sse, ok := startSSE(w); ok {
+					sse.event("result", resp)
+					return
+				}
+			}
 			writeJSON(w, http.StatusOK, resp)
 			return
 		}
 	}
+	// Admission before the SSE upgrade: a 429/503 rejection stays a
+	// plain JSON response with Retry-After, whatever the client asked.
 	release, ok := s.admit(w, r)
 	if !ok {
 		return
@@ -211,11 +312,57 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.jobContext(r.Context())
 	defer cancel()
 	deadline := clampDeadline(req.Options.DeadlineMS, s.cfg.MaxDeadline)
+
+	var sse *sseWriter
+	if stream {
+		if sse, ok = startSSE(w); !ok {
+			sse = nil // writer cannot flush; fall back to the plain form
+		}
+	}
+
+	t0 := time.Now()
+	jobID := s.jobs.begin(s.jobInfo(r, "harden", req.Network))
+	throttle := newStreamThrottle(req.Options.StreamEvery)
+	// The job runs on this goroutine (the queue degrades its single-job
+	// RunSet to a serial loop), so emitting SSE frames from the progress
+	// hook needs no synchronization.
+	onProgress := func(p core.Progress) bool {
+		s.jobs.progress(jobID, p.Gen)
+		if sse != nil && throttle.admit(p.Gen, time.Now()) {
+			sse.event("generation", generationEvent{
+				Gen:         p.Gen,
+				Front:       p.Front,
+				Hypervolume: p.Hypervolume,
+				NormHV:      p.NormHV,
+				Evaluations: p.Evaluations,
+				CacheHits:   p.CacheHits,
+				CacheMisses: p.CacheMisses,
+				ElapsedMS:   p.ElapsedMS,
+			})
+		}
+		return true
+	}
 	resp, err := runQueued(s, ctx, "harden", deadline, func(jctx context.Context, sp *telemetry.Span) (*HardenResponse, error) {
-		return s.harden(jctx, &req, sp)
+		return s.harden(jctx, &req, sp, onProgress)
 	})
+	interrupted := err == nil && resp.Interrupted
+	s.jobs.finish(jobID, jobStatus(err, interrupted), errString(err), time.Since(t0))
+	gens := 0
+	if resp != nil {
+		gens = resp.Generations
+	}
+	s.completeFlight(r, "harden", req.Network.Name, t0, gens, err, interrupted)
 	if err != nil {
-		finishJobError(w, err)
+		if sse != nil {
+			status, msg := jobErrorStatus(err)
+			ev := errorEvent{errorResponse: errorResponse{Error: msg}, Status: status}
+			if id, ok := telemetry.RequestIDFrom(r.Context()); ok {
+				ev.RequestID = id
+			}
+			sse.event("error", ev)
+			return
+		}
+		finishJobError(w, r, err)
 		return
 	}
 	if resp.Interrupted {
@@ -223,12 +370,17 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 	} else if !req.Options.NoCache {
 		s.cache.put(key, resp)
 	}
+	if sse != nil {
+		sse.event("result", resp)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // harden is the body of one harden job: a full, self-contained
-// synthesis parented under the job's telemetry span.
-func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry.Span) (*HardenResponse, error) {
+// synthesis parented under the job's telemetry span. onProgress, if
+// non-nil, receives the run's exact per-generation progress.
+func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry.Span, onProgress func(core.Progress) bool) (*HardenResponse, error) {
 	net, err := req.Network.load()
 	if err != nil {
 		return nil, err
@@ -257,6 +409,7 @@ func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry
 	opt.Context = ctx
 	opt.Telemetry = s.tel
 	opt.ParentSpan = span
+	opt.OnProgress = onProgress
 
 	syn, err := core.Synthesize(net, sp, opt)
 	if err != nil {
@@ -316,8 +469,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 
 // handleMetrics exposes the collector: the text exposition format by
 // default, the full JSON snapshot (spans, generations included) with
-// ?format=json.
+// ?format=json. Each scrape also samples the Go runtime's own health
+// (heap, goroutines, GC pauses, scheduler latency) into proc.* gauges.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	telemetry.SampleProcessMetrics(s.tel)
 	snap := s.tel.Snapshot()
 	if r.URL.Query().Get("format") == "json" {
 		writeJSON(w, http.StatusOK, snap)
@@ -325,6 +480,27 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := telemetry.WriteMetricsText(w, snap); err != nil {
-		writeError(w, http.StatusInternalServerError, err.Error())
+		writeError(w, r, http.StatusInternalServerError, err.Error())
 	}
+}
+
+// handleFlight serves GET /debug/flight: the flight recorder's ring of
+// completed jobs with their span trees — the black box a live (or
+// misbehaving) process can always be asked about. ?trace_id= narrows
+// the answer to one job.
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, r, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	if id := r.URL.Query().Get("trace_id"); id != "" {
+		job, ok := s.flight.Find(id)
+		if !ok {
+			writeError(w, r, http.StatusNotFound, fmt.Sprintf("no recorded job with trace_id %q", id))
+			return
+		}
+		writeJSON(w, http.StatusOK, job)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.flight.Snapshot())
 }

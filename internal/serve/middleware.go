@@ -27,12 +27,31 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
+// Flush forwards to the underlying writer so streaming handlers can
+// flush SSE frames through the middleware wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // instrument wraps a route handler with the service's HTTP telemetry —
 // request counter, per-route latency histogram, in-flight gauge,
-// response-class counters — and a panic backstop that converts an
-// escaped panic into a 500 instead of tearing down the server.
-// (Synthesis jobs already recover panics inside the RunSet; this
-// guards the handlers themselves.)
+// response-class counters — plus the observability plumbing every
+// request gets:
+//
+//   - the W3C traceparent header is honored (a new trace is minted when
+//     absent or malformed) and the trace context rides the request
+//     context, so job spans and log lines correlate to the caller's
+//     trace; the response echoes a traceparent naming this server's
+//     span within the trace;
+//   - X-Request-Id is honored or generated and echoed on every
+//     response, including error responses;
+//   - one structured access-log line per request, carrying both IDs;
+//   - a panic backstop converts an escaped handler panic into a 500
+//     instead of tearing down the server. (Synthesis jobs already
+//     recover panics inside the RunSet; this guards the handlers
+//     themselves.)
 func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 	requests := s.tel.Counter("serve.http.requests")
 	inflight := s.tel.Gauge("serve.http.inflight")
@@ -48,19 +67,47 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
 		requests.Inc()
 		inflight.Set(float64(s.inFlight.Add(1)))
 		t0 := time.Now()
+
+		// Trace context: adopt the caller's trace, or start one. Either
+		// way this request's work is one span within it.
+		tc, err := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tc = telemetry.NewTraceContext()
+		} else {
+			tc.SpanID = telemetry.NewSpanID()
+		}
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		ctx := telemetry.WithRequestID(telemetry.WithTrace(r.Context(), tc), reqID)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-Id", reqID)
+		w.Header().Set("traceparent", tc.Traceparent())
+
 		rec := &statusRecorder{ResponseWriter: w}
 		defer func() {
 			if v := recover(); v != nil {
 				panics.Inc()
+				s.log.ErrorContext(ctx, "handler panic", "route", route, "panic", fmt.Sprint(v))
 				if rec.status == 0 {
-					writeError(rec, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+					writeError(rec, r, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
 				}
 			}
-			latency.Observe(float64(time.Since(t0)) / float64(time.Millisecond))
+			durMS := float64(time.Since(t0)) / float64(time.Millisecond)
+			latency.Observe(durMS)
 			inflight.Set(float64(s.inFlight.Add(-1)))
 			if c := rec.status / 100; c >= 2 && c <= 5 {
 				classes[c].Inc()
 			}
+			s.log.InfoContext(ctx, "request",
+				"route", route,
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", rec.status,
+				"dur_ms", durMS,
+				"remote", r.RemoteAddr,
+			)
 		}()
 		h(rec, r)
 	})

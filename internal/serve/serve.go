@@ -30,6 +30,7 @@ package serve
 
 import (
 	"context"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -69,6 +70,19 @@ type Config struct {
 	// its jobs; nil creates a fresh collector (the /metrics endpoint
 	// needs one to be useful).
 	Telemetry *telemetry.Collector
+	// Logger receives the structured access and job logs, every line
+	// correlated by the request's trace and request IDs. nil discards.
+	Logger *slog.Logger
+	// FlightEntries sizes the flight recorder's ring of completed jobs
+	// served at /debug/flight (0 = default 128, <0 disables).
+	FlightEntries int
+	// JobHistory sizes the recent-jobs ring served at /v1/jobs
+	// (0 = default 64).
+	JobHistory int
+	// SpanLimit bounds the collector's retained span history — a
+	// long-running server must not accumulate spans without bound
+	// (0 = default 4096, <0 keeps everything).
+	SpanLimit int
 }
 
 // Defaults returns cfg with every unset field filled in.
@@ -103,6 +117,18 @@ func (cfg Config) Defaults() Config {
 	if cfg.Telemetry == nil {
 		cfg.Telemetry = telemetry.New()
 	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.DiscardLogger()
+	}
+	if cfg.FlightEntries == 0 {
+		cfg.FlightEntries = 128
+	}
+	if cfg.JobHistory <= 0 {
+		cfg.JobHistory = 64
+	}
+	if cfg.SpanLimit == 0 {
+		cfg.SpanLimit = 4096
+	}
 	return cfg
 }
 
@@ -111,11 +137,14 @@ func (cfg Config) Defaults() Config {
 // admitting), then AbortInFlight once the grace period runs out (the
 // in-flight jobs return their partial fronts and the handlers finish).
 type Server struct {
-	cfg   Config
-	tel   *telemetry.Collector
-	cache *resultCache
-	queue *jobQueue
-	mux   *http.ServeMux
+	cfg    Config
+	tel    *telemetry.Collector
+	log    *slog.Logger
+	cache  *resultCache
+	queue  *jobQueue
+	flight *telemetry.FlightRecorder
+	jobs   *jobRegistry
+	mux    *http.ServeMux
 
 	draining atomic.Bool
 	inFlight atomic.Int64
@@ -131,16 +160,27 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:   cfg,
 		tel:   cfg.Telemetry,
+		log:   cfg.Logger,
 		cache: newResultCache(cfg.CacheEntries, cfg.Telemetry),
 		queue: newJobQueue(cfg.Workers, cfg.QueueDepth, cfg.Telemetry),
+		jobs:  newJobRegistry(cfg.JobHistory),
+	}
+	if cfg.SpanLimit > 0 {
+		s.tel.SetSpanLimit(cfg.SpanLimit)
+	}
+	if cfg.FlightEntries > 0 {
+		s.flight = telemetry.NewFlightRecorder(cfg.FlightEntries)
+		s.tel.OnSpanEnd(s.flight.ObserveSpan)
 	}
 	s.hardCtx, s.hardStop = context.WithCancel(context.Background())
 	s.mux = http.NewServeMux()
 	s.mux.Handle("POST /v1/analyze", s.instrument("analyze", s.handleAnalyze))
 	s.mux.Handle("POST /v1/harden", s.instrument("harden", s.handleHarden))
+	s.mux.Handle("GET /v1/jobs", s.instrument("jobs", s.handleJobs))
 	s.mux.Handle("GET /healthz", s.instrument("healthz", s.handleHealthz))
 	s.mux.Handle("GET /readyz", s.instrument("readyz", s.handleReadyz))
 	s.mux.Handle("GET /metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.Handle("GET /debug/flight", s.instrument("flight", s.handleFlight))
 	return s
 }
 
@@ -149,6 +189,10 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Telemetry returns the collector the service reports into.
 func (s *Server) Telemetry() *telemetry.Collector { return s.tel }
+
+// Flight returns the server's flight recorder (nil when disabled) —
+// the process's black box, dumped by rsnserve on SIGTERM drain.
+func (s *Server) Flight() *telemetry.FlightRecorder { return s.flight }
 
 // StartDrain begins a graceful drain: /readyz flips to 503 so load
 // balancers stop routing here, and new analysis/harden requests are

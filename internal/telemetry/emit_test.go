@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestJSONLConcurrentWriters drives the JSONL stream from many
+// goroutines at once and checks the emitter's contract: the output is
+// exactly one valid JSON object per line (no interleaved or torn
+// writes), and events from any single writer appear in the order that
+// writer emitted them.
+func TestJSONLConcurrentWriters(t *testing.T) {
+	const writers = 16
+	const perWriter = 200
+
+	var buf bytes.Buffer
+	c := New()
+	c.SetOutput(&buf)
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Meta(map[string]any{"writer": w, "seq": i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Every line parses as one standalone JSON object.
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	nextSeq := make([]int, writers)
+	var metaLines, otherLines int
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			t.Fatalf("line %d: empty line in JSONL stream", lineNo)
+		}
+		var ev struct {
+			Type string         `json:"type"`
+			Meta map[string]any `json:"meta"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("line %d not valid JSON (interleaved write?): %v\n%s", lineNo, err, line)
+		}
+		if ev.Type != "meta" {
+			otherLines++ // Close's instrument flush
+			continue
+		}
+		metaLines++
+		w := int(ev.Meta["writer"].(float64))
+		seq := int(ev.Meta["seq"].(float64))
+		if w < 0 || w >= writers {
+			t.Fatalf("line %d: writer id %d out of range", lineNo, w)
+		}
+		// Per-writer ordering: each writer's events appear in emit order.
+		if seq != nextSeq[w] {
+			t.Fatalf("line %d: writer %d emitted seq %d, expected %d (reordering)", lineNo, w, seq, nextSeq[w])
+		}
+		nextSeq[w]++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	if metaLines != writers*perWriter {
+		t.Errorf("got %d meta lines, want %d (lost writes)", metaLines, writers*perWriter)
+	}
+}
+
+// TestJSONLConcurrentSpanAndGenerationEvents mixes the three event
+// producers (spans, generation records, meta) across goroutines and
+// verifies no line is torn.
+func TestJSONLConcurrentSpanAndGenerationEvents(t *testing.T) {
+	var buf bytes.Buffer
+	c := New()
+	c.SetOutput(&buf)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				switch i % 3 {
+				case 0:
+					sp := c.StartSpan(fmt.Sprintf("w%d", w))
+					sp.Child("inner").End()
+					sp.End()
+				case 1:
+					c.RecordGeneration(Generation{Gen: i, Front: w})
+				case 2:
+					c.Meta(map[string]any{"w": w, "i": i})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	sc := bufio.NewScanner(bytes.NewReader(buf.Bytes()))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	types := map[string]int{}
+	for lineNo := 1; sc.Scan(); lineNo++ {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("line %d torn: %v\n%s", lineNo, err, sc.Bytes())
+		}
+		if ev.Type == "" {
+			t.Fatalf("line %d missing type discriminator: %s", lineNo, sc.Bytes())
+		}
+		types[ev.Type]++
+	}
+	for _, want := range []string{"span", "generation", "meta"} {
+		if types[want] == 0 {
+			t.Errorf("no %q events in stream (%v)", want, types)
+		}
+	}
+}
+
+// TestEmitterNilAndErrorPaths covers the drop-on-nil and sticky-error
+// contracts.
+func TestEmitterNilAndErrorPaths(t *testing.T) {
+	var e *emitter
+	e.emit(map[string]int{"x": 1}) // nil emitter drops silently
+
+	c := New()
+	c.Meta(map[string]any{"k": "v"}) // no output set — dropped
+	if err := c.Close(); err != nil {
+		t.Errorf("Close without output: %v", err)
+	}
+
+	c2 := New()
+	c2.SetOutput(failWriter{})
+	c2.Meta(map[string]any{"k": "v"})
+	if err := c2.Close(); err == nil {
+		t.Error("write error not surfaced by Close")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }

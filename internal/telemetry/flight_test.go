@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestFlightRecorderClaimsSpansByTrace(t *testing.T) {
+	f := NewFlightRecorder(8)
+	f.ObserveSpan(SpanRecord{ID: 1, Name: "runset", TraceID: "aaaa"})
+	f.ObserveSpan(SpanRecord{ID: 2, Name: "job:harden", TraceID: "aaaa"})
+	f.ObserveSpan(SpanRecord{ID: 3, Name: "other", TraceID: "bbbb"})
+	f.ObserveSpan(SpanRecord{ID: 4, Name: "untraced"}) // no trace — dropped
+
+	f.Complete(FlightJob{TraceID: "aaaa", Label: "harden", Status: "ok", Start: time.Now()})
+
+	job, ok := f.Find("aaaa")
+	if !ok {
+		t.Fatal("completed job not findable by trace")
+	}
+	if len(job.Spans) != 2 {
+		t.Fatalf("job claimed %d spans, want 2", len(job.Spans))
+	}
+	if job.Spans[0].Name != "runset" || job.Spans[1].Name != "job:harden" {
+		t.Errorf("claimed wrong spans: %+v", job.Spans)
+	}
+
+	s := f.Snapshot()
+	if s.Recorded != 1 || len(s.Jobs) != 1 {
+		t.Errorf("snapshot recorded=%d jobs=%d", s.Recorded, len(s.Jobs))
+	}
+	if s.PendingTraces != 1 { // "bbbb" still pending
+		t.Errorf("pending traces = %d, want 1", s.PendingTraces)
+	}
+	f.Forget("bbbb")
+	if f.Snapshot().PendingTraces != 0 {
+		t.Error("Forget left pending spans behind")
+	}
+}
+
+func TestFlightRecorderRingEvictsOldest(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.Complete(FlightJob{TraceID: fmt.Sprintf("t%d", i), Label: "job", Status: "ok"})
+	}
+	s := f.Snapshot()
+	if s.Capacity != 3 || s.Recorded != 5 || len(s.Jobs) != 3 {
+		t.Fatalf("capacity=%d recorded=%d held=%d", s.Capacity, s.Recorded, len(s.Jobs))
+	}
+	// Newest first: t4, t3, t2.
+	for i, want := range []string{"t4", "t3", "t2"} {
+		if s.Jobs[i].TraceID != want {
+			t.Errorf("jobs[%d] = %s, want %s", i, s.Jobs[i].TraceID, want)
+		}
+	}
+	if _, ok := f.Find("t0"); ok {
+		t.Error("evicted job still findable")
+	}
+	if _, ok := f.Find("t4"); !ok {
+		t.Error("newest job not findable")
+	}
+}
+
+func TestFlightRecorderBoundsPendingStore(t *testing.T) {
+	f := NewFlightRecorder(4)
+	// Overflow per-trace span cap.
+	for i := 0; i < maxSpansPerJob+10; i++ {
+		f.ObserveSpan(SpanRecord{ID: int64(i + 1), Name: "s", TraceID: "big"})
+	}
+	// Overflow the trace-count cap.
+	for i := 0; i < maxPendingTraces+10; i++ {
+		f.ObserveSpan(SpanRecord{ID: 1, Name: "s", TraceID: fmt.Sprintf("trace-%d", i)})
+	}
+	s := f.Snapshot()
+	if s.PendingTraces > maxPendingTraces {
+		t.Errorf("pending traces %d exceeds cap %d", s.PendingTraces, maxPendingTraces)
+	}
+	if s.DroppedSpans == 0 {
+		t.Error("overflow did not count dropped spans")
+	}
+	f.Complete(FlightJob{TraceID: "big", Label: "big", Status: "ok"})
+	job, _ := f.Find("big")
+	if len(job.Spans) > maxSpansPerJob {
+		t.Errorf("job kept %d spans, cap is %d", len(job.Spans), maxSpansPerJob)
+	}
+}
+
+func TestFlightRecorderNilSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.ObserveSpan(SpanRecord{TraceID: "x"})
+	f.Complete(FlightJob{TraceID: "x"})
+	f.Forget("x")
+	if s := f.Snapshot(); s.Capacity != 0 || len(s.Jobs) != 0 {
+		t.Errorf("nil snapshot = %+v", s)
+	}
+	if _, ok := f.Find("x"); ok {
+		t.Error("nil recorder found a job")
+	}
+}
+
+func TestFlightRecorderCollectorFeed(t *testing.T) {
+	// End-to-end: spans ended on a collector flow into the recorder via
+	// OnSpanEnd and get claimed at Complete.
+	c := New()
+	f := NewFlightRecorder(4)
+	c.OnSpanEnd(f.ObserveSpan)
+
+	root := c.StartSpan("runset")
+	root.SetTrace("feedfeedfeedfeedfeedfeedfeedfeed")
+	job := root.Child("job:harden")
+	job.End()
+	root.End()
+
+	f.Complete(FlightJob{TraceID: "feedfeedfeedfeedfeedfeedfeedfeed", Label: "harden", Status: "ok"})
+	got, ok := f.Find("feedfeedfeedfeedfeedfeedfeedfeed")
+	if !ok || len(got.Spans) != 2 {
+		t.Fatalf("found=%v spans=%d, want 2 spans", ok, len(got.Spans))
+	}
+	// Children end before parents, so the job span precedes the root.
+	if got.Spans[0].Name != "job:harden" || got.Spans[1].Name != "runset" {
+		t.Errorf("span order: %q, %q", got.Spans[0].Name, got.Spans[1].Name)
+	}
+	if got.Spans[0].ParentID != got.Spans[1].ID {
+		t.Error("span tree lost parent linkage")
+	}
+}

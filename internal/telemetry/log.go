@@ -1,0 +1,75 @@
+package telemetry
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the pipeline's structured logger: leveled slog
+// output, one JSON object per line by default ("text" for the
+// key=value form), with every line automatically correlated by the
+// trace ID and request ID riding the context — the log side of the
+// same identity the spans and the flight recorder key on.
+//
+// Passing a log line's context is what makes correlation work:
+//
+//	log.InfoContext(ctx, "job done", "route", "harden")
+//	// {"level":"INFO","msg":"job done","route":"harden",
+//	//  "trace_id":"4bf9…","request_id":"a1b2…"}
+func NewLogger(w io.Writer, level slog.Level, format string) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if strings.EqualFold(format, "text") {
+		h = slog.NewTextHandler(w, opts)
+	} else {
+		h = slog.NewJSONHandler(w, opts)
+	}
+	return slog.New(correlateHandler{h})
+}
+
+// DiscardLogger returns a logger that drops everything — the nil-safe
+// default for components whose caller did not wire logging up.
+func DiscardLogger() *slog.Logger {
+	return slog.New(correlateHandler{slog.NewJSONHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)})})
+}
+
+// ParseLogLevel maps the flag spelling to a slog level, defaulting to
+// Info for anything unrecognized.
+func ParseLogLevel(s string) slog.Level {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}
+
+// correlateHandler decorates an slog handler with the trace and
+// request IDs found in the record's context.
+type correlateHandler struct {
+	slog.Handler
+}
+
+func (h correlateHandler) Handle(ctx context.Context, r slog.Record) error {
+	if tc, ok := TraceFrom(ctx); ok {
+		r.AddAttrs(slog.String("trace_id", tc.TraceID))
+	}
+	if id, ok := RequestIDFrom(ctx); ok {
+		r.AddAttrs(slog.String("request_id", id))
+	}
+	return h.Handler.Handle(ctx, r)
+}
+
+func (h correlateHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return correlateHandler{h.Handler.WithAttrs(attrs)}
+}
+
+func (h correlateHandler) WithGroup(name string) slog.Handler {
+	return correlateHandler{h.Handler.WithGroup(name)}
+}

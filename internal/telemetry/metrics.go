@@ -8,13 +8,21 @@ import (
 	"strings"
 )
 
+// histogramHelp is the HELP annotation every histogram family carries:
+// the quantiles come from power-of-two buckets, so operators reading
+// the exposition must know they are upper bounds, not exact order
+// statistics (see Histogram).
+const histogramHelp = "p50/p90/p99 are power-of-two bucket upper bounds (at most 2x above the true quantile)"
+
 // WriteMetricsText renders the snapshot's instruments in the
 // line-oriented text exposition format scrapers expect: one
-// `name value` line per sample, `# TYPE` comments per family, names
-// sanitized to [a-zA-Z0-9_] with the "rsn_" prefix. Histograms expand
-// into _count/_sum/_min/_max/_mean and quantile samples. Spans and
-// generation records are trace data, not metrics, and are not emitted —
-// use the JSONL stream or the JSON snapshot for those.
+// `name value` line per sample, `# TYPE` and `# HELP` comments per
+// family, names sanitized to [a-zA-Z0-9_] with the "rsn_" prefix.
+// Histograms expand into _count/_sum/_min/_max/_mean and P50/P90/P99
+// quantile samples; their HELP text documents that the quantiles are
+// bucketed upper bounds. Spans and generation records are trace data,
+// not metrics, and are not emitted — use the JSONL stream or the JSON
+// snapshot for those.
 //
 // Families are written in lexical order, so the output is
 // deterministic for a fixed snapshot and diffs cleanly across scrapes.
@@ -31,6 +39,7 @@ func WriteMetricsText(w io.Writer, s Snapshot) error {
 	for _, name := range sortedKeys(s.Histograms) {
 		h := s.Histograms[name]
 		m := metricName(name)
+		fmt.Fprintf(bw, "# HELP %s %s\n", m, histogramHelp)
 		fmt.Fprintf(bw, "# TYPE %s summary\n", m)
 		fmt.Fprintf(bw, "%s_count %d\n", m, h.Count)
 		fmt.Fprintf(bw, "%s_sum %s\n", m, formatSample(h.Sum))

@@ -30,6 +30,9 @@ func TestWriteMetricsText(t *testing.T) {
 		"rsn_serve_http_latency_ms_max 10",
 		"rsn_serve_http_latency_ms_mean 6",
 		`rsn_serve_http_latency_ms{quantile="0.5"}`,
+		`rsn_serve_http_latency_ms{quantile="0.9"}`,
+		`rsn_serve_http_latency_ms{quantile="0.99"}`,
+		"# HELP rsn_serve_http_latency_ms " + histogramHelp,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition lacks %q:\n%s", want, out)

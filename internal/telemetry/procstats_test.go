@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestSampleProcessMetricsPublishesGauges(t *testing.T) {
+	runtime.GC() // ensure at least one GC cycle is on the books
+	c := New()
+	SampleProcessMetrics(c)
+	s := c.Snapshot()
+
+	for _, g := range []string{
+		"proc.goroutines",
+		"proc.heap_bytes",
+		"proc.mem_total_bytes",
+		"proc.gc_cycles",
+		"proc.gc_pause_p50_ms",
+		"proc.gc_pause_p99_ms",
+		"proc.sched_latency_p50_ms",
+		"proc.sched_latency_p99_ms",
+	} {
+		if _, ok := s.Gauges[g]; !ok {
+			t.Errorf("gauge %q not published", g)
+		}
+	}
+	if s.Gauges["proc.goroutines"] < 1 {
+		t.Errorf("goroutines = %v, want >= 1", s.Gauges["proc.goroutines"])
+	}
+	if s.Gauges["proc.heap_bytes"] <= 0 {
+		t.Errorf("heap_bytes = %v, want > 0", s.Gauges["proc.heap_bytes"])
+	}
+	if s.Gauges["proc.gc_cycles"] < 1 {
+		t.Errorf("gc_cycles = %v, want >= 1 after runtime.GC", s.Gauges["proc.gc_cycles"])
+	}
+
+	// The proc gauges flow into the standard exposition.
+	var sb strings.Builder
+	if err := WriteMetricsText(&sb, s); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rsn_proc_goroutines ") {
+		t.Error("proc gauges missing from text exposition")
+	}
+}
+
+func TestSampleProcessMetricsNilCollector(t *testing.T) {
+	SampleProcessMetrics(nil) // must not panic
+}

@@ -17,6 +17,10 @@ type SpanRecord struct {
 	// Status is empty for a span that ended normally; otherwise a short
 	// outcome marker ("error", "panic", "slow", "interrupted").
 	Status string `json:"status,omitempty"`
+	// TraceID, when set, is the W3C trace the span belongs to: children
+	// inherit it, so a whole request's span tree shares one trace ID
+	// and survives reassembly across process boundaries.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Span is a live timed interval. Obtain one with Collector.StartSpan or
@@ -29,6 +33,7 @@ type Span struct {
 	name     string
 	parent   string
 	status   string
+	trace    string
 	start    time.Time
 }
 
@@ -54,6 +59,7 @@ func (s *Span) Child(name string) *Span {
 		parentID: s.id,
 		name:     name,
 		parent:   s.name,
+		trace:    s.trace,
 		start:    time.Now(),
 	}
 }
@@ -74,6 +80,24 @@ func (s *Span) SetStatus(status string) {
 		return
 	}
 	s.status = status
+}
+
+// SetTrace associates the span (and every child opened afterwards)
+// with a W3C trace ID. Safe on a nil span. Must be called before
+// children are opened and from the goroutine that owns the span.
+func (s *Span) SetTrace(traceID string) {
+	if s == nil {
+		return
+	}
+	s.trace = traceID
+}
+
+// Trace returns the span's trace ID ("" for a nil or untraced span).
+func (s *Span) Trace() string {
+	if s == nil {
+		return ""
+	}
+	return s.trace
 }
 
 // ID returns the span's collector-unique id (0 for a nil span).
@@ -100,11 +124,24 @@ func (s *Span) End() time.Duration {
 		StartMS:  s.c.sinceMS(s.start),
 		DurMS:    float64(d) / float64(time.Millisecond),
 		Status:   s.status,
+		TraceID:  s.trace,
 	}
 	s.c.mu.Lock()
+	if lim := s.c.spanLimit; lim > 0 && len(s.c.spans) >= lim {
+		// Long-running processes (rsnserve) bound span retention: drop
+		// the oldest half in one copy, so appends stay amortized O(1)
+		// and Snapshot keeps the most recent history.
+		keep := lim / 2
+		n := copy(s.c.spans, s.c.spans[len(s.c.spans)-keep:])
+		s.c.spans = s.c.spans[:n]
+	}
 	s.c.spans = append(s.c.spans, rec)
 	e := s.c.emitter
+	obs := s.c.spanObservers
 	s.c.mu.Unlock()
 	e.emit(spanEvent{Type: "span", SpanRecord: rec})
+	for _, fn := range obs {
+		fn(rec)
+	}
 	return d
 }

@@ -194,6 +194,13 @@ type Collector struct {
 	spans    []SpanRecord
 	gens     []Generation
 	emitter  *emitter
+	// spanLimit, when positive, bounds the retained span history: once
+	// reached, the oldest half is dropped. 0 keeps everything (the CLI
+	// default — one run, finite spans).
+	spanLimit int
+	// spanObservers are called synchronously with every finished span
+	// record (the flight recorder's feed).
+	spanObservers []func(SpanRecord)
 }
 
 // New creates an empty collector. Pass nil anywhere a Collector is
@@ -258,6 +265,31 @@ func (c *Collector) Histogram(name string) *Histogram {
 		c.hists[name] = h
 	}
 	return h
+}
+
+// SetSpanLimit bounds the retained span history to roughly n records:
+// when the limit is reached the oldest half is discarded, so a
+// long-running process keeps recent spans without unbounded growth.
+// n <= 0 restores unbounded retention. Safe on a nil collector.
+func (c *Collector) SetSpanLimit(n int) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.spanLimit = n
+	c.mu.Unlock()
+}
+
+// OnSpanEnd registers fn to be called with every subsequently finished
+// span record. Callbacks run synchronously on the goroutine ending the
+// span and must be fast and non-blocking. Safe on a nil collector.
+func (c *Collector) OnSpanEnd(fn func(SpanRecord)) {
+	if c == nil || fn == nil {
+		return
+	}
+	c.mu.Lock()
+	c.spanObservers = append(c.spanObservers, fn)
+	c.mu.Unlock()
 }
 
 // RecordGeneration appends one convergence record and streams it to the

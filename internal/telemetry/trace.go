@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// TraceContext is a W3C trace-context identity: the trace ID shared by
+// every span of one distributed request, and the span ID of the current
+// hop. It crosses process boundaries as the `traceparent` HTTP header
+// (version 00), so spans recorded here correlate with whatever emitted
+// or receives the request — the enabler for the coming
+// coordinator/worker split, where one harden job spans several
+// processes.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters, not all zero.
+	TraceID string
+	// SpanID is 16 lowercase hex characters, not all zero: the ID of
+	// the current hop's span (the "parent" from the callee's view).
+	SpanID string
+	// Flags is the trace-flags octet; bit 0 is "sampled".
+	Flags byte
+}
+
+// Traceparent renders the context in the W3C header form
+// "00-<trace-id>-<span-id>-<flags>".
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tc.TraceID, tc.SpanID, tc.Flags)
+}
+
+// Valid reports whether both IDs have the right length, are hex, and
+// are not all zero.
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+// ParseTraceparent parses a W3C traceparent header. Only version 00 is
+// understood; anything malformed (wrong field count, bad lengths,
+// non-hex, all-zero IDs) is an error, and the caller should mint a
+// fresh context instead of guessing.
+func ParseTraceparent(h string) (TraceContext, error) {
+	// "00-" + 32 + "-" + 16 + "-" + 2 = 55 bytes.
+	if len(h) < 55 {
+		return TraceContext{}, fmt.Errorf("traceparent: too short (%d bytes)", len(h))
+	}
+	if h[:3] != "00-" || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, fmt.Errorf("traceparent: malformed %q", h)
+	}
+	if len(h) > 55 && h[55] != '-' {
+		// Future versions may append fields; version 00 must not.
+		return TraceContext{}, fmt.Errorf("traceparent: trailing junk in %q", h)
+	}
+	tc := TraceContext{TraceID: h[3:35], SpanID: h[36:52]}
+	flags, err := hex.DecodeString(h[53:55])
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("traceparent: bad flags in %q", h)
+	}
+	tc.Flags = flags[0]
+	if !tc.Valid() {
+		return TraceContext{}, fmt.Errorf("traceparent: invalid IDs in %q", h)
+	}
+	return tc, nil
+}
+
+// validHexID reports whether s is exactly n lowercase hex characters
+// and not all zero.
+func validHexID(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	zero := true
+	for i := 0; i < n; i++ {
+		c := s[i]
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+		if c != '0' {
+			zero = false
+		}
+	}
+	return !zero
+}
+
+// randomHex returns n/2 random bytes as n lowercase hex characters,
+// never all zero.
+func randomHex(n int) string {
+	b := make([]byte, n/2)
+	for {
+		if _, err := rand.Read(b); err != nil {
+			// crypto/rand failing is unheard of; a zeroed buffer would
+			// loop forever, so treat it as fatal-by-construction and
+			// fall back to a fixed nonzero pattern.
+			for i := range b {
+				b[i] = 0xab
+			}
+		}
+		for _, c := range b {
+			if c != 0 {
+				return hex.EncodeToString(b)
+			}
+		}
+	}
+}
+
+// NewTraceContext mints a fresh sampled trace context with random IDs.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: randomHex(32), SpanID: randomHex(16), Flags: 0x01}
+}
+
+// NewSpanID mints a random 16-hex-character span ID, used when this
+// process becomes a new hop inside an existing trace.
+func NewSpanID() string { return randomHex(16) }
+
+// NewRequestID mints a random 16-hex-character request ID for
+// responses that arrived without an X-Request-Id.
+func NewRequestID() string { return randomHex(16) }
+
+// Context plumbing. Trace context and request ID ride the
+// context.Context through HTTP middleware, job scheduling and the
+// synthesis pipeline, so spans and log lines anywhere below can
+// correlate without threading extra parameters.
+type traceCtxKey struct{}
+type requestIDCtxKey struct{}
+
+// WithTrace returns ctx carrying tc.
+func WithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom extracts the trace context, if any.
+func TraceFrom(ctx context.Context) (TraceContext, bool) {
+	if ctx == nil {
+		return TraceContext{}, false
+	}
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}
+
+// WithRequestID returns ctx carrying the request ID.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDCtxKey{}, id)
+}
+
+// RequestIDFrom extracts the request ID, if any.
+func RequestIDFrom(ctx context.Context) (string, bool) {
+	if ctx == nil {
+		return "", false
+	}
+	id, ok := ctx.Value(requestIDCtxKey{}).(string)
+	return id, ok
+}
