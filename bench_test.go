@@ -83,17 +83,17 @@ func runRow(b *testing.B, e benchnets.Entry, gens int) {
 	}
 }
 
-// TestBenchJSONArtifact validates the committed BENCH_3.json against the
-// rsnrobust-bench/v3 schema (per-stage wall clock, worker and job
-// counts, memoization counters, steady-state allocation rate).
-// Regenerate the artifact with
+// TestBenchJSONArtifact validates the committed BENCH_4.json against the
+// rsnrobust-bench/v4 schema (per-stage wall clock, worker and job
+// counts, memoization counters, steady-state allocation rate, and the
+// objective list of K-objective rows). Regenerate the artifact with
 //
-//	go run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_3.json
+//	go run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_4.json
 //
-// (-jobs 1 keeps evolve_ms comparable with the serial BENCH_2.json;
+// (-jobs 1 keeps evolve_ms comparable with the serial BENCH_3.json;
 // allocs_per_gen is only meaningful without concurrent rows.)
 func TestBenchJSONArtifact(t *testing.T) {
-	raw, err := os.ReadFile("BENCH_3.json")
+	raw, err := os.ReadFile("BENCH_4.json")
 	if err != nil {
 		t.Skipf("no benchmark artifact: %v", err)
 	}
@@ -105,6 +105,7 @@ func TestBenchJSONArtifact(t *testing.T) {
 		Jobs       int    `json:"jobs"`
 		Rows       []struct {
 			Network     string  `json:"network"`
+			Objectives  string  `json:"objectives"`
 			Segments    int     `json:"segments"`
 			Muxes       int     `json:"muxes"`
 			Primitives  int     `json:"primitives"`
@@ -126,10 +127,10 @@ func TestBenchJSONArtifact(t *testing.T) {
 		} `json:"rows"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		t.Fatalf("BENCH_3.json is not valid JSON: %v", err)
+		t.Fatalf("BENCH_4.json is not valid JSON: %v", err)
 	}
-	if doc.Schema != "rsnrobust-bench/v3" {
-		t.Fatalf("schema = %q, want rsnrobust-bench/v3", doc.Schema)
+	if doc.Schema != "rsnrobust-bench/v4" {
+		t.Fatalf("schema = %q, want rsnrobust-bench/v4", doc.Schema)
 	}
 	if doc.GOMAXPROCS <= 0 || doc.Workers <= 0 || doc.Jobs <= 0 {
 		t.Fatalf("gomaxprocs=%d workers=%d jobs=%d, want all positive",
@@ -143,6 +144,13 @@ func TestBenchJSONArtifact(t *testing.T) {
 		if !ok {
 			t.Errorf("row %q: not a Table I benchmark", r.Network)
 			continue
+		}
+		// The committed artifact is the 2-objective perf baseline: a
+		// non-empty objective tag would silently drop the row from the
+		// benchdiff gate.
+		if r.Objectives != "" {
+			t.Errorf("row %q: committed artifact must use default objectives, got %q",
+				r.Network, r.Objectives)
 		}
 		if r.Primitives != r.Segments+r.Muxes {
 			t.Errorf("row %q: primitives %d != segments %d + muxes %d",

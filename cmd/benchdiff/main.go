@@ -7,8 +7,12 @@
 //	go run ./cmd/benchdiff -threshold 15 BENCH_2.json BENCH_3.json
 //
 // Rows only present in one file are reported but do not fail the gate
-// (the row set legitimately changes with -quick/-maxprims). Both the v2
-// and v3 schemas are accepted — the compared fields are common to both.
+// (the row set legitimately changes with -quick/-maxprims). The v2, v3
+// and v4 schemas are all accepted — the compared fields are common to
+// every version. Rows carrying a non-default objective list (v4's
+// "objectives" field; absent means the default damage/cost pair) are
+// excluded from the gate: a K-objective evolve loop is a different
+// workload and must not mask a 2-objective fast-path regression.
 package main
 
 import (
@@ -23,8 +27,9 @@ type benchDoc struct {
 	Algo   string `json:"algo"`
 	Jobs   int    `json:"jobs"`
 	Rows   []struct {
-		Network string `json:"network"`
-		Stages  struct {
+		Network    string `json:"network"`
+		Objectives string `json:"objectives"`
+		Stages     struct {
 			EvolveMS float64 `json:"evolve_ms"`
 		} `json:"stages"`
 	} `json:"rows"`
@@ -70,6 +75,9 @@ func main() {
 
 	oldRows := map[string]float64{}
 	for _, r := range oldDoc.Rows {
+		if r.Objectives != "" {
+			continue // K-objective row: not part of the 2-objective gate
+		}
 		oldRows[r.Network] = r.Stages.EvolveMS
 	}
 
@@ -77,6 +85,11 @@ func main() {
 	regressions, compared := 0, 0
 	seen := map[string]bool{}
 	for _, r := range newDoc.Rows {
+		if r.Objectives != "" {
+			fmt.Printf("%-22s %12s %9.1fms   (objectives %s, not compared)\n",
+				r.Network, "-", r.Stages.EvolveMS, r.Objectives)
+			continue
+		}
 		seen[r.Network] = true
 		old, ok := oldRows[r.Network]
 		if !ok {
@@ -97,7 +110,7 @@ func main() {
 		fmt.Printf("%-22s %10.1fms %10.1fms %+8.1f%%%s\n", r.Network, old, r.Stages.EvolveMS, pct, mark)
 	}
 	for _, r := range oldDoc.Rows {
-		if !seen[r.Network] {
+		if r.Objectives == "" && !seen[r.Network] {
 			fmt.Printf("%-22s %10.1fms %12s   (row dropped, not compared)\n", r.Network, r.Stages.EvolveMS, "-")
 		}
 	}

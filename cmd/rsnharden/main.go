@@ -23,6 +23,8 @@ import (
 	"log/slog"
 	"os"
 	"os/signal"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +61,7 @@ func main() {
 		seeds   = flag.Int("seeds", 1, "run this many consecutive seeds (seed .. seed+N-1) and report per-seed plus aggregate results")
 		jobs    = flag.Int("jobs", 0, "concurrent synthesis jobs in multi-seed mode (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 		scope   = flag.String("universe", "all", "fault universe: all or control")
+		objs    = flag.String("objectives", "", "comma-separated objectives to optimize (registered: damage, cost, test_time, yield_loss; empty = damage,cost)")
 		telOut  = flag.String("telemetry", "", "write telemetry events (JSONL) to this file")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file")
@@ -102,6 +105,10 @@ func main() {
 	}
 
 	net, entry, err := loadNetwork(*in, *name)
+	if err != nil {
+		fail(err)
+	}
+	objNames, err := core.ParseObjectives(*objs)
 	if err != nil {
 		fail(err)
 	}
@@ -151,7 +158,7 @@ func main() {
 			in: *in, name: *name, genspec: *genspec,
 			generations: generations, seed: *seed, seeds: *seeds, jobs: *jobs,
 			algo: *algo, scope: *scope, force: *force, stag: *stag, workers: *workers,
-			deadline: *ddl,
+			deadline: *ddl, objectives: objNames,
 		}, tel, logger)
 		if err != nil {
 			fail(err)
@@ -181,6 +188,7 @@ func main() {
 	opt.ForceCritical = *force
 	opt.Stagnation = *stag
 	opt.Workers = *workers
+	opt.Objectives = objNames
 	opt.Telemetry = tel
 	opt.Context = ctx
 	opt.CheckpointPath = *ckpt
@@ -232,6 +240,12 @@ func main() {
 	fmt.Printf("max damage     %d  (nothing hardened)\n", s.MaxDamage)
 	fmt.Printf("generations    %d  (%s, %d evaluations)\n", s.Generations, opt.Algorithm, s.Evaluations)
 	fmt.Printf("front size     %d\n", len(s.Front))
+	// Printed only for a non-default objective set, so historical
+	// damage/cost runs keep byte-identical stdout.
+	kObjectives := !slices.Equal(s.Objectives, core.DefaultObjectives())
+	if kObjectives {
+		fmt.Printf("objectives     %s\n", strings.Join(s.Objectives, ", "))
+	}
 	fmt.Printf("must-harden    %d primitives protect all critical instruments\n", len(s.Analysis.MustHarden()))
 	if s.Interrupted {
 		// Printed only on interruption, so uninterrupted and resumed runs
@@ -273,9 +287,25 @@ func main() {
 	}
 
 	if *front {
-		tb := report.New("cost", "damage", "hardened", "critical")
-		for _, sol := range s.Front {
-			tb.Add(sol.Cost, sol.Damage, len(sol.Hardened), sol.CriticalCovered)
+		var tb *report.Table
+		if kObjectives {
+			// One column per named objective, in the synthesis' canonical
+			// order (Values[k] is objective s.Objectives[k]).
+			hdr := append(append([]string(nil), s.Objectives...), "hardened", "critical")
+			tb = report.New(hdr...)
+			for _, sol := range s.Front {
+				cells := make([]any, 0, len(sol.Values)+2)
+				for _, v := range sol.Values {
+					cells = append(cells, v)
+				}
+				cells = append(cells, len(sol.Hardened), sol.CriticalCovered)
+				tb.Add(cells...)
+			}
+		} else {
+			tb = report.New("cost", "damage", "hardened", "critical")
+			for _, sol := range s.Front {
+				tb.Add(sol.Cost, sol.Damage, len(sol.Hardened), sol.CriticalCovered)
+			}
 		}
 		fmt.Println()
 		if err := tb.WriteText(os.Stdout); err != nil {
@@ -412,6 +442,7 @@ type sweepConfig struct {
 	stag        int
 	workers     int
 	deadline    time.Duration
+	objectives  []string
 }
 
 // seedResult is one seed's outcome in the sweep summary.
@@ -530,6 +561,7 @@ func runOneSeed(ctx context.Context, cfg sweepConfig, seed int64, tel *telemetry
 	opt.ForceCritical = cfg.force
 	opt.Stagnation = cfg.stag
 	opt.Workers = cfg.workers
+	opt.Objectives = cfg.objectives
 	opt.Telemetry = tel
 	opt.ParentSpan = span
 	opt.Context = ctx

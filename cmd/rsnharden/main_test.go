@@ -64,6 +64,34 @@ func TestResumeEquivalenceCLI(t *testing.T) {
 	}
 }
 
+// TestThreeObjectivesGoldenCLI pins the shipped 3-objective scenario
+// (damage × cost × test time on TreeFlat) to a golden stdout: the
+// objectives line, the Table-I-style constrained picks, and the named
+// per-objective front table must reproduce byte for byte, at any
+// worker count.
+func TestThreeObjectivesGoldenCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "three_objectives_treeflat.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []string{"1", "2"} {
+		got := runCLI(t, "-name", "TreeFlat", "-generations", "25", "-seed", "3",
+			"-objectives", "damage,cost,test_time", "-front", "-workers", workers)
+		if got != string(want) {
+			t.Errorf("workers=%s: 3-objective stdout deviates from golden\n got:\n%s\nwant:\n%s",
+				workers, got, want)
+		}
+	}
+	// A permuted spelling canonicalizes to the same run.
+	if got := runCLI(t, "-name", "TreeFlat", "-generations", "25", "-seed", "3",
+		"-objectives", "test_time,cost,damage", "-front"); got != string(want) {
+		t.Errorf("permuted objective spelling deviates from golden\n got:\n%s", got)
+	}
+}
+
 // TestSIGINTWritesCheckpoint interrupts a live run with the real
 // signal: the process must drain at a generation boundary, write a
 // loadable checkpoint, print the partial-result summary with the

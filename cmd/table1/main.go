@@ -27,6 +27,8 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"slices"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +51,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "random seed for specification and optimizer")
 		algo    = flag.String("algo", "spea2", "optimizer: spea2 or nsga2")
 		scope   = flag.String("universe", "control", "fault universe: control (paper harness) or all")
+		objs    = flag.String("objectives", "", "comma-separated objectives to optimize (registered: damage, cost, test_time, yield_loss; empty = damage,cost)")
 		ablate  = flag.Bool("ablate", false, "run the optimizer ablation instead of Table I")
 		maxP    = flag.Int("maxprims", 0, "skip benchmarks with more primitives (0 = no limit)")
 		refine  = flag.Bool("refine", false, "apply greedy 1-opt refinement to the constrained picks")
@@ -114,6 +117,17 @@ func main() {
 		}
 	}
 
+	objNames, err := core.ParseObjectives(*objs)
+	if err != nil {
+		fail(err)
+	}
+	// The bench rows record a non-default objective set so benchdiff can
+	// exclude them from the 2-objective perf gate.
+	objTag := ""
+	if !slices.Equal(objNames, core.DefaultObjectives()) {
+		objTag = strings.Join(objNames, ",")
+	}
+
 	if *ablate {
 		runAblation(filter, *seed, *quick)
 		return
@@ -167,6 +181,7 @@ func main() {
 				seed: *seed, quick: *quick, algo: *algo, scope: *scope,
 				refine: *refine, workers: *workers,
 				ckptDir: *ckpt, resumeDir: *resume, ckptEvery: *ckptN,
+				objectives: objNames,
 			}, w)
 			if err != nil {
 				return row, fmt.Errorf("%s: %w", e.Name, err)
@@ -198,6 +213,7 @@ func main() {
 		tb.Add(cells...)
 		benchRows = append(benchRows, benchRow{
 			Network:     e.Name,
+			Objectives:  objTag,
 			Segments:    e.Segments,
 			Muxes:       e.Muxes,
 			Primitives:  e.Segments + e.Muxes,
@@ -258,9 +274,13 @@ func main() {
 // much evolutionary effort was spent. Since rsnrobust-bench/v2 every
 // row also carries the per-stage wall clock split; v3 adds the
 // evaluation-cache counters (evaluations counts only true, non-cached
-// evaluations) and the allocation rate of the generation loop.
+// evaluations) and the allocation rate of the generation loop; v4 adds
+// the canonical objective list of non-default K-objective runs (empty
+// = the default damage/cost pair) so perf gates can compare
+// like-for-like rows.
 type benchRow struct {
 	Network     string  `json:"network"`
+	Objectives  string  `json:"objectives,omitempty"`
 	Segments    int     `json:"segments"`
 	Muxes       int     `json:"muxes"`
 	Primitives  int     `json:"primitives"`
@@ -313,7 +333,7 @@ func writeBenchJSON(path string, seed int64, quick bool, algo string, workers, j
 		Workers    int        `json:"workers"`
 		Jobs       int        `json:"jobs"`
 		Rows       []benchRow `json:"rows"`
-	}{Schema: "rsnrobust-bench/v3", Seed: seed, Quick: quick, Algo: algo,
+	}{Schema: "rsnrobust-bench/v4", Seed: seed, Quick: quick, Algo: algo,
 		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Jobs: jobs, Rows: rows}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
@@ -333,6 +353,7 @@ type rowOpts struct {
 	workers            int
 	ckptDir, resumeDir string
 	ckptEvery          int
+	objectives         []string
 }
 
 type rowResult struct {
@@ -396,6 +417,7 @@ func runRow(ctx context.Context, e benchnets.Entry, ro rowOpts, telWriter io.Wri
 	}
 	opt := core.DefaultOptions(budget(e, quick), seed)
 	opt.Workers = ro.workers
+	opt.Objectives = ro.objectives
 	opt.Context = ctx
 	if ro.ckptDir != "" {
 		opt.CheckpointPath = filepath.Join(ro.ckptDir, e.Name+".ckpt")
@@ -567,7 +589,7 @@ func frontOf(s *core.Synthesis) []core.Solution {
 // to the exact optimum's hypervolume (or the raw reference box if the
 // exact DP is intractable) and the two constrained picks.
 func addAblationRow(tb *report.Table, design, method string, front []core.Solution, s *core.Synthesis, elapsed time.Duration) {
-	ref := [2]float64{float64(s.MaxDamage) * 1.01, float64(s.MaxCost) * 1.01}
+	ref := []float64{float64(s.MaxDamage) * 1.01, float64(s.MaxCost) * 1.01}
 	inds := make([]moea.Individual, len(front))
 	for i, sol := range front {
 		inds[i] = moea.Individual{Obj: []float64{float64(sol.Damage), float64(sol.Cost)}}

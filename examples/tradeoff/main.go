@@ -66,7 +66,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	ref := [2]float64{maxD * 1.01, maxC * 1.01}
+	ref := []float64{maxD * 1.01, maxC * 1.01}
 	hv := func(front []core.Solution) float64 {
 		inds := make([]moea.Individual, len(front))
 		for i, s := range front {

@@ -68,6 +68,13 @@ type Options struct {
 	// fault would hit a critical instrument, guaranteeing that all
 	// important instruments stay accessible in every candidate solution.
 	ForceCritical bool
+	// Objectives selects the optimization objectives by registered
+	// provider name (see RegisterObjective; built-ins are "damage",
+	// "cost", "test_time" and "yield_loss"). The list is canonicalized —
+	// validated, deduplicated and reordered — before use, and an empty
+	// list selects the paper's (damage, cost) pair on its dedicated
+	// fast path.
+	Objectives []string
 	// Params, if non-nil, overrides the evolutionary parameters
 	// (population, operators). Otherwise the paper's defaults are used:
 	// population 300 for networks with more than 100 multiplexers else
@@ -175,6 +182,10 @@ type Solution struct {
 	// critical instrument is hardened, i.e. all important instruments
 	// remain accessible under any single fault.
 	CriticalCovered bool
+	// Values holds the per-objective values in the synthesis' canonical
+	// objective order (Synthesis.Objectives), in natural units. On the
+	// default 2-objective run it is {damage, cost}.
+	Values []float64
 }
 
 // Synthesis is the result of a selective-hardening run.
@@ -184,6 +195,9 @@ type Synthesis struct {
 	Spec     *spec.Spec
 	Analysis *faults.Analysis
 
+	// Objectives is the canonical objective-name list the run optimized
+	// (index k names Values[k] of every front solution).
+	Objectives []string
 	// MaxCost is the cost of hardening everything (Table I column 4).
 	MaxCost int64
 	// MaxDamage is the damage with no hardening (Table I column 5).
@@ -228,14 +242,23 @@ type Synthesis struct {
 const wordEvalMaxBits = 1 << 17
 
 // Problem is the selective-hardening optimization problem as seen by the
-// evolutionary algorithms: bit i hardens the i-th primitive (ID order),
-// objective 0 is residual damage, objective 1 is hardening cost.
+// evolutionary algorithms: bit i hardens the i-th primitive (ID order).
+// The default problem is the paper's pair — objective 0 residual
+// damage, objective 1 hardening cost — evaluated on a dedicated 2-obj
+// fast path; NewProblemWithObjectives generalizes to any registered
+// objective set via the compiled-objective general path.
 type Problem struct {
 	prims    []rsn.NodeID
 	damage   []int64 // by bit index
 	cost     []int64 // by bit index
 	total    int64
 	critMask moea.Genome // bits forced on by ForceCritical (may be nil)
+
+	// names is the canonical objective-name list; objs is the compiled
+	// general evaluation path, nil when the problem runs the dedicated
+	// 2-obj (damage, cost) fast path below.
+	names []string
+	objs  []compiledObjective
 
 	// dmgTab/costTab are the word-level fast path: per byte position of
 	// the packed genome, a 256-entry table holding the summed weight of
@@ -250,11 +273,24 @@ type Problem struct {
 // criticality analysis. If forceCritical is set, every critical-hitting
 // primitive's bit is treated as hardened in all evaluations.
 func NewProblem(a *faults.Analysis, forceCritical bool) *Problem {
+	p := newBaseProblem(a, forceCritical)
+	if len(p.prims) <= wordEvalMaxBits {
+		p.dmgTab = buildWordTables(p.damage)
+		p.costTab = buildWordTables(p.cost)
+	}
+	return p
+}
+
+// newBaseProblem builds the objective-agnostic part of the problem:
+// the primitive order, the damage/cost vectors (solution extraction
+// reads them whatever the objective set) and the forced-critical mask.
+func newBaseProblem(a *faults.Analysis, forceCritical bool) *Problem {
 	prims := a.Prims
 	p := &Problem{
 		prims:  prims,
 		damage: make([]int64, len(prims)),
 		cost:   make([]int64, len(prims)),
+		names:  DefaultObjectives(),
 	}
 	for i, id := range prims {
 		p.damage[i] = a.Damage[id]
@@ -269,11 +305,30 @@ func NewProblem(a *faults.Analysis, forceCritical bool) *Problem {
 			}
 		}
 	}
-	if len(prims) <= wordEvalMaxBits {
-		p.dmgTab = buildWordTables(p.damage)
-		p.costTab = buildWordTables(p.cost)
-	}
 	return p
+}
+
+// NewProblemWithObjectives builds the optimization problem over an
+// arbitrary registered objective set. The list is canonicalized first;
+// the canonical default pair (damage, cost) yields the exact same
+// 2-obj fast-path problem NewProblem builds, so callers can thread a
+// user-supplied list unconditionally without losing the hot path.
+func NewProblemWithObjectives(a *faults.Analysis, forceCritical bool, objectives []string) (*Problem, error) {
+	names, err := CanonicalObjectives(objectives)
+	if err != nil {
+		return nil, err
+	}
+	if isDefaultObjectives(names) {
+		return NewProblem(a, forceCritical), nil
+	}
+	objs, err := compileObjectives(a, names)
+	if err != nil {
+		return nil, err
+	}
+	p := newBaseProblem(a, forceCritical)
+	p.names = names
+	p.objs = objs
+	return p, nil
 }
 
 // buildWordTables precomputes, for every byte position of the packed
@@ -301,14 +356,72 @@ func buildWordTables(weight []int64) [][256]int64 {
 // NumBits returns the number of hardening candidates.
 func (p *Problem) NumBits() int { return len(p.prims) }
 
-// NumObjectives returns 2: residual damage and hardening cost.
-func (p *Problem) NumObjectives() int { return 2 }
+// NumObjectives returns the objective count: 2 on the default
+// (damage, cost) fast path, the canonical list length otherwise.
+func (p *Problem) NumObjectives() int {
+	if p.names == nil {
+		return 2
+	}
+	return len(p.names)
+}
 
-// Evaluate computes (residual damage, cost) for a hardening genome. It
-// dispatches to the word-level table path when the tables exist and
-// falls back to the per-bit loop otherwise; both produce identical
-// sums (integer arithmetic, no reassociation concerns).
+// ObjectiveNames returns the problem's objective names in canonical
+// order (index k names objective slot k of every evaluation).
+func (p *Problem) ObjectiveNames() []string {
+	if p.names == nil {
+		return DefaultObjectives()
+	}
+	return append([]string(nil), p.names...)
+}
+
+// ObjectiveMaxes returns, per objective, an inclusive upper bound on
+// its value over all genomes — the input to moea.RefPoint for the
+// hypervolume reference point.
+func (p *Problem) ObjectiveMaxes() []float64 {
+	if p.objs == nil {
+		return []float64{float64(p.total), float64(p.maxCost())}
+	}
+	maxes := make([]float64, len(p.objs))
+	for k := range p.objs {
+		maxes[k] = p.objs[k].max
+	}
+	return maxes
+}
+
+func (p *Problem) maxCost() int64 {
+	var c int64
+	for _, x := range p.cost {
+		c += x
+	}
+	return c
+}
+
+// ObjectiveValues evaluates a genome and reports the per-objective
+// values in natural units: fixed-point objectives (yield loss) are
+// divided by their scale, everything else is returned as the optimizer
+// saw it.
+func (p *Problem) ObjectiveValues(g moea.Genome) []float64 {
+	out := make([]float64, p.NumObjectives())
+	p.Evaluate(g, out)
+	for k := range p.objs {
+		if s := p.objs[k].scale; s != 1 {
+			out[k] /= s
+		}
+	}
+	return out
+}
+
+// Evaluate computes the objective vector for a hardening genome. The
+// default (damage, cost) problem dispatches to the dedicated 2-obj
+// word-level table path when the tables exist and falls back to the
+// per-bit loop otherwise; general objective sets run the compiled
+// per-objective pipeline. All paths produce identical sums (integer
+// arithmetic, no reassociation concerns).
 func (p *Problem) Evaluate(g moea.Genome, out []float64) {
+	if p.objs != nil {
+		p.evaluateK(g, out)
+		return
+	}
 	if p.dmgTab != nil {
 		p.evaluateWords(g, out)
 		return
@@ -321,6 +434,12 @@ func (p *Problem) Evaluate(g moea.Genome, out []float64) {
 // concurrent calls on disjoint batches — evaluation only reads the
 // problem.
 func (p *Problem) EvaluateBatch(gs []moea.Genome, outs [][]float64) {
+	if p.objs != nil {
+		for i := range gs {
+			p.evaluateK(gs[i], outs[i])
+		}
+		return
+	}
 	if p.dmgTab != nil {
 		for i := range gs {
 			p.evaluateWords(gs[i], outs[i])
@@ -329,6 +448,59 @@ func (p *Problem) EvaluateBatch(gs []moea.Genome, outs [][]float64) {
 	}
 	for i := range gs {
 		p.evaluateBits(gs[i], outs[i])
+	}
+}
+
+// evaluateK is the general evaluation path: one pass per compiled
+// objective, through its word tables when built, its per-bit weights
+// otherwise, or its genome-level evaluator. Linear sums stay in int64
+// until the final store, so the table and bit paths agree exactly.
+func (p *Problem) evaluateK(g moea.Genome, out []float64) {
+	var effective moea.Genome // lazily built genome ∪ critMask for eval objectives
+	for k := range p.objs {
+		o := &p.objs[k]
+		if o.eval != nil {
+			eg := g
+			if p.critMask != nil {
+				if effective == nil {
+					effective = make(moea.Genome, len(g))
+					for w := range g {
+						effective[w] = g[w] | p.critMask[w]
+					}
+				}
+				eg = effective
+			}
+			out[k] = o.eval(eg)
+			continue
+		}
+		sum := o.base
+		if o.tabs != nil {
+			for w, word := range g {
+				if p.critMask != nil {
+					word |= p.critMask[w]
+				}
+				base := w << 3
+				for word != 0 {
+					if v := word & 0xff; v != 0 {
+						sum += o.tabs[base][v]
+					}
+					word >>= 8
+					base++
+				}
+			}
+		} else {
+			for w, word := range g {
+				if p.critMask != nil {
+					word |= p.critMask[w]
+				}
+				base := w << 6
+				for word != 0 {
+					sum += o.weights[base+bits.TrailingZeros64(word)]
+					word &= word - 1
+				}
+			}
+		}
+		out[k] = float64(sum)
 	}
 }
 
@@ -436,7 +608,13 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	// The problem goes to the optimizer undecorated so the executor sees
 	// its BatchProblem fast path; evaluation accounting moved into the
 	// executor, which feeds the same "moea.evaluations" counter.
-	problem := NewProblem(analysis, opt.ForceCritical)
+	problem, err := NewProblemWithObjectives(analysis, opt.ForceCritical, opt.Objectives)
+	if err != nil {
+		return fail(nil, err)
+	}
+	// ref is the hypervolume reference point over the run's objective
+	// set; every convergence hook below shares it.
+	ref := moea.RefPoint(problem.ObjectiveMaxes()...)
 	evals := tel.Counter("moea.evaluations")
 
 	var params moea.Params
@@ -463,13 +641,13 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	}
 	params.OnGeneration = opt.OnGeneration
 	if tel != nil {
-		params.OnGeneration = telemetryProgress(tel, analysis, evals, opt.OnGeneration)
+		params.OnGeneration = telemetryProgress(tel, ref, evals, opt.OnGeneration)
 	}
 	if opt.Stagnation > 0 {
-		params.OnGeneration = stagnationStop(opt.Stagnation, analysis, params.OnGeneration)
+		params.OnGeneration = stagnationStop(opt.Stagnation, ref, params.OnGeneration)
 	}
 	if opt.OnProgress != nil {
-		params.OnProgress = progressHook(analysis, opt.OnProgress)
+		params.OnProgress = progressHook(ref, opt.OnProgress)
 	}
 	params.Context = opt.Context
 	params.Resume = opt.Resume
@@ -519,6 +697,7 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 		Tree:         tree,
 		Spec:         sp,
 		Analysis:     analysis,
+		Objectives:   problem.ObjectiveNames(),
 		MaxCost:      analysis.MaxCost(),
 		MaxDamage:    analysis.TotalDamage,
 		Generations:  res.Generations,
@@ -554,8 +733,7 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 // hypervolume (raw and normalized to the reference box), the two
 // per-objective bests, the cumulated evaluation count and the
 // generation wall time.
-func telemetryProgress(tel *telemetry.Collector, a *faults.Analysis, evals *telemetry.Counter, user func(int, []moea.Individual) bool) func(int, []moea.Individual) bool {
-	ref := moea.RefPoint(float64(a.TotalDamage), float64(a.MaxCost()))
+func telemetryProgress(tel *telemetry.Collector, ref []float64, evals *telemetry.Counter, user func(int, []moea.Individual) bool) func(int, []moea.Individual) bool {
 	genHist := tel.Histogram("moea.gen_ms")
 	last := time.Now()
 	return func(gen int, front []moea.Individual) bool {
@@ -597,8 +775,7 @@ func telemetryProgress(tel *telemetry.Collector, a *faults.Analysis, evals *tele
 // per-run progress protocol: convergence quality (front size,
 // hypervolume, per-objective bests) is computed here from the live
 // front, effort counters come verbatim from the engine's accounting.
-func progressHook(a *faults.Analysis, user func(Progress) bool) func(moea.Progress, []moea.Individual) bool {
-	ref := moea.RefPoint(float64(a.TotalDamage), float64(a.MaxCost()))
+func progressHook(ref []float64, user func(Progress) bool) func(moea.Progress, []moea.Individual) bool {
 	last := time.Now()
 	return func(p moea.Progress, front []moea.Individual) bool {
 		now := time.Now()
@@ -635,8 +812,7 @@ func progressHook(a *faults.Analysis, user func(Progress) bool) func(moea.Progre
 
 // stagnationStop composes a hypervolume-stagnation early stop with an
 // optional user callback.
-func stagnationStop(window int, a *faults.Analysis, user func(int, []moea.Individual) bool) func(int, []moea.Individual) bool {
-	ref := moea.RefPoint(float64(a.TotalDamage), float64(a.MaxCost()))
+func stagnationStop(window int, ref []float64, user func(int, []moea.Individual) bool) func(int, []moea.Individual) bool {
 	best := -1.0
 	flat := 0
 	return func(gen int, front []moea.Individual) bool {
@@ -672,6 +848,7 @@ func solutionFrom(p *Problem, a *faults.Analysis, g moea.Genome) Solution {
 		Mask:     mask,
 		Cost:     cost,
 		Damage:   a.ResidualDamage(mask),
+		Values:   p.ObjectiveValues(g),
 	}
 	sol.CriticalCovered = criticalCovered(a, mask)
 	return sol

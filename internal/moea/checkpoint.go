@@ -39,6 +39,18 @@ type Checkpoint struct {
 	NumBits    int
 	Population int
 	Memoized   bool
+	// NumObjectives is the objective-vector length of every serialized
+	// individual and cache entry. Since format version 2 the engine
+	// writes it explicitly, so an empty population cannot misreport the
+	// run's objective count; when zero, the encoder falls back to
+	// inferring it from the first serialized vector (the v1 behavior,
+	// kept for hand-built checkpoints).
+	NumObjectives int
+	// version is the format version the checkpoint was decoded from
+	// (zero for in-memory checkpoints, which encode to the current
+	// version); re-encoding preserves it so decode∘encode is the
+	// identity on valid inputs of either version.
+	version byte
 	// Generation is the loop index the checkpoint was captured at; the
 	// resumed run re-enters the loop there.
 	Generation int
@@ -72,8 +84,17 @@ type MemoEntry struct {
 	Obj    []float64
 }
 
-// ckptMagic identifies the format; the trailing byte is the version.
-var ckptMagic = [8]byte{'R', 'S', 'N', 'C', 'K', 'P', 'T', 1}
+// ckptMagic identifies the format; the trailing byte is the current
+// version. Version 2 made the header objective count authoritative
+// (v1 inferred it from the first serialized individual at encode time,
+// which misreports on an empty population); the wire layout is
+// unchanged, so the decoder accepts both versions.
+var ckptMagic = [8]byte{'R', 'S', 'N', 'C', 'K', 'P', 'T', ckptVersion}
+
+const (
+	ckptVersion    = 2
+	ckptVersionMin = 1
+)
 
 // ckptMaxBits bounds NumBits accepted by the decoder — far above any
 // real network, low enough that a hostile count cannot drive huge
@@ -85,12 +106,17 @@ const ckptMaxBits = 1 << 28
 // over everything before it.
 func EncodeCheckpoint(cp *Checkpoint) []byte {
 	nwords := (cp.NumBits + 63) / 64
-	m := cp.numObjectives()
+	m := cp.headerObjectives()
 	indSize := nwords*8 + m*8 + 16
 	size := len(ckptMagic) + 1 + len(cp.Algorithm) + 69 +
 		(len(cp.Pop)+len(cp.Archive))*indSize + len(cp.Memo)*(nwords*8+m*8) + 8
 	b := make([]byte, 0, size)
-	b = append(b, ckptMagic[:]...)
+	b = append(b, ckptMagic[:7]...)
+	if cp.version != 0 {
+		b = append(b, cp.version)
+	} else {
+		b = append(b, ckptVersion)
+	}
 	b = append(b, byte(len(cp.Algorithm)))
 	b = append(b, cp.Algorithm...)
 	b = le64(b, uint64(cp.Seed))
@@ -129,9 +155,20 @@ func EncodeCheckpoint(cp *Checkpoint) []byte {
 	return le64(b, fnv1a(b))
 }
 
+// headerObjectives is the objective count written into the header: the
+// explicit field when set, otherwise inferred from the first serialized
+// vector.
+func (cp *Checkpoint) headerObjectives() int {
+	if cp.NumObjectives > 0 {
+		return cp.NumObjectives
+	}
+	return cp.numObjectives()
+}
+
 // numObjectives infers the objective count from the first serialized
 // vector (populations are never empty in a valid checkpoint; an empty
-// one encodes m=0 and decodes back to empty slices).
+// one infers m=0, which is exactly the misreport the explicit
+// NumObjectives header field exists to prevent).
 func (cp *Checkpoint) numObjectives() int {
 	for _, set := range [][]CheckpointIndividual{cp.Pop, cp.Archive} {
 		if len(set) > 0 {
@@ -152,7 +189,8 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	if len(data) < len(ckptMagic)+8 {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCheckpointCorrupt, len(data))
 	}
-	if [8]byte(data[:8]) != ckptMagic {
+	if [7]byte(data[:7]) != [7]byte(ckptMagic[:7]) ||
+		data[7] < ckptVersionMin || data[7] > ckptVersion {
 		return nil, fmt.Errorf("%w: bad magic or version", ErrCheckpointCorrupt)
 	}
 	body, sum := data[:len(data)-8], binary.LittleEndian.Uint64(data[len(data)-8:])
@@ -160,13 +198,14 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 		return nil, fmt.Errorf("%w: checksum mismatch", ErrCheckpointCorrupt)
 	}
 	r := ckptReader{b: body[8:]}
-	cp := &Checkpoint{}
+	cp := &Checkpoint{version: data[7]}
 	alen := int(r.u8())
 	cp.Algorithm = string(r.take(alen))
 	cp.Seed = int64(r.u64())
 	cp.NumBits = int(r.u32())
 	cp.Population = int(r.u32())
 	m := int(r.u32())
+	cp.NumObjectives = m
 	cp.Memoized = r.u8() != 0
 	cp.Generation = int(r.u32())
 	cp.RNGDraws = r.u64()
@@ -274,8 +313,8 @@ func (e *engine) validateResume(algo string, cp *Checkpoint) error {
 		return fmt.Errorf("%w: checkpoint generation %d is beyond the %d-generation budget", ErrCheckpointMismatch, cp.Generation, e.par.Generations)
 	case len(cp.Pop) == 0:
 		return fmt.Errorf("%w: checkpoint has no population", ErrCheckpointMismatch)
-	case cp.numObjectives() != e.m:
-		return fmt.Errorf("%w: checkpoint has %d objectives, problem has %d", ErrCheckpointMismatch, cp.numObjectives(), e.m)
+	case cp.headerObjectives() != e.m:
+		return fmt.Errorf("%w: checkpoint has %d objectives, problem has %d", ErrCheckpointMismatch, cp.headerObjectives(), e.m)
 	}
 	return nil
 }

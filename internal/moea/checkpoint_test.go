@@ -128,9 +128,57 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// The decoder materializes the header objective count and the
+	// format version the bytes carried.
+	cp.NumObjectives = 2
+	cp.version = ckptVersion
 	want := fmt.Sprintf("%+v", cp)
 	if fmt.Sprintf("%+v", got) != want {
 		t.Errorf("round trip mismatch:\n got %+v\nwant %s", got, want)
+	}
+}
+
+// TestCheckpointEmptyPopObjectives is the regression test for the v2
+// header: with an empty population the v1 codec inferred m=0 from the
+// (missing) first individual, so a crafted empty-pop checkpoint
+// misreported the run's objective count. The explicit header field must
+// survive the round trip even when nothing else in the payload records
+// it, and resume validation must use it.
+func TestCheckpointEmptyPopObjectives(t *testing.T) {
+	cp := &Checkpoint{
+		Algorithm: "spea2", Seed: 5, NumBits: 12, Population: 4,
+		NumObjectives: 3, Generation: 1,
+	}
+	got, err := DecodeCheckpoint(EncodeCheckpoint(cp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumObjectives != 3 {
+		t.Errorf("empty-pop checkpoint decoded NumObjectives = %d, want 3", got.NumObjectives)
+	}
+	if got.numObjectives() != 0 {
+		t.Errorf("inference on empty pop = %d, want 0 (the misreport the header fixes)", got.numObjectives())
+	}
+	// A v1-style checkpoint of the same run (no explicit count) decodes
+	// with the inferred — wrong — zero, proving the field is load-bearing.
+	v1 := &Checkpoint{Algorithm: "spea2", Seed: 5, NumBits: 12, Population: 4, Generation: 1}
+	gotV1, err := DecodeCheckpoint(EncodeCheckpoint(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotV1.NumObjectives != 0 {
+		t.Errorf("inferred empty-pop checkpoint decoded NumObjectives = %d, want 0", gotV1.NumObjectives)
+	}
+	// Resume validation reads the explicit header count: a 3-objective
+	// checkpoint must not validate against a 2-objective engine.
+	e := &engine{par: &Params{Seed: 5, Population: 4, Memoize: false, Generations: 9}, nbits: 12, m: 2}
+	got.Pop = []CheckpointIndividual{{Genome: Genome{1}, Obj: []float64{1, 2, 3}}}
+	if err := e.validateResume("spea2", got); !errors.Is(err, ErrCheckpointMismatch) {
+		t.Errorf("3-objective checkpoint against 2-objective engine: err = %v, want ErrCheckpointMismatch", err)
+	}
+	e.m = 3
+	if err := e.validateResume("spea2", got); err != nil {
+		t.Errorf("3-objective checkpoint against 3-objective engine: unexpected err %v", err)
 	}
 }
 

@@ -73,21 +73,54 @@ func equalObjectives(a, b []float64) bool {
 	return true
 }
 
-// Hypervolume computes the dominated hypervolume of a two-objective
-// front with respect to the reference point ref (both objectives
-// minimized; points not strictly dominating ref are ignored). It is the
-// standard quality indicator used to compare the optimizers.
-func Hypervolume(front []Individual, ref [2]float64) float64 {
-	pts := make([][2]float64, 0, len(front))
+// Hypervolume computes the dominated hypervolume of a front with
+// respect to the reference point ref, one coordinate per objective (all
+// objectives minimized; points not strictly dominating ref are
+// ignored). It is the standard quality indicator used to compare the
+// optimizers. Two objectives use the classic O(n log n) sweep; higher
+// dimensions fall back to exact hypervolume-by-slicing-objectives
+// recursion, whose cost grows steeply with the dimension — fine for the
+// K ≤ 4 fronts this engine targets.
+func Hypervolume(front []Individual, ref []float64) float64 {
+	m := len(ref)
+	if m == 0 {
+		return 0
+	}
+	pts := make([][]float64, 0, len(front))
 	for i := range front {
-		p := [2]float64{front[i].Obj[0], front[i].Obj[1]}
-		if p[0] < ref[0] && p[1] < ref[1] {
-			pts = append(pts, p)
+		p := front[i].Obj
+		inside := len(p) >= m
+		for k := 0; k < m && inside; k++ {
+			inside = p[k] < ref[k]
+		}
+		if inside {
+			pts = append(pts, p[:m])
 		}
 	}
 	if len(pts) == 0 {
 		return 0
 	}
+	switch m {
+	case 1:
+		best := pts[0][0]
+		for _, p := range pts[1:] {
+			if p[0] < best {
+				best = p[0]
+			}
+		}
+		return ref[0] - best
+	case 2:
+		return hypervolume2(pts, ref)
+	default:
+		return hvSlice(pts, ref)
+	}
+}
+
+// hypervolume2 is the two-objective sweep: points sorted by the first
+// objective, each contributing the rectangle between itself, the best
+// second objective seen so far, and the reference corner. Every point
+// strictly dominates ref.
+func hypervolume2(pts [][]float64, ref []float64) float64 {
 	sort.Slice(pts, func(i, j int) bool {
 		if pts[i][0] != pts[j][0] {
 			return pts[i][0] < pts[j][0]
@@ -100,6 +133,37 @@ func Hypervolume(front []Individual, ref [2]float64) float64 {
 		if p[1] < bestY {
 			hv += (ref[0] - p[0]) * (minf(bestY, ref[1]) - p[1])
 			bestY = p[1]
+		}
+	}
+	return hv
+}
+
+// hvSlice implements hypervolume by slicing objectives (HSO): sort the
+// points ascending on the last objective, sweep the slabs between
+// consecutive coordinates, and weight each slab's height by the
+// (m-1)-dimensional hypervolume of the points at or below its floor.
+// Dominated points in a slab are harmless — the recursive volume is a
+// union of boxes, so they simply add nothing. Both hypervolume2 and
+// this function reorder pts in place; callers pass scratch slices.
+func hvSlice(pts [][]float64, ref []float64) float64 {
+	m := len(ref)
+	if m == 2 {
+		return hypervolume2(pts, ref)
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		return pts[i][m-1] < pts[j][m-1]
+	})
+	hv := 0.0
+	proj := make([][]float64, 0, len(pts))
+	for i := range pts {
+		proj = append(proj, pts[i][:m-1])
+		lo := pts[i][m-1]
+		hi := ref[m-1]
+		if i+1 < len(pts) {
+			hi = pts[i+1][m-1]
+		}
+		if hi > lo {
+			hv += (hi - lo) * hvSlice(proj, ref[:m-1])
 		}
 	}
 	return hv

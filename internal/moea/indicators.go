@@ -1,26 +1,42 @@
 package moea
 
 // This file holds the quality indicators consumed by the telemetry
-// layer's per-generation convergence stats. The raw two-objective
+// layer's per-generation convergence stats. The raw K-objective
 // Hypervolume lives in dominance.go; here are the derived forms.
 
 // RefPoint returns the standard hypervolume reference point for the
-// selective-hardening problem: slightly beyond the two extreme
-// objective values (max damage, max cost), so that both trivial
-// solutions — nothing hardened and everything hardened — contribute
-// positive volume.
-func RefPoint(maxObj0, maxObj1 float64) [2]float64 {
-	return [2]float64{maxObj0*1.01 + 1, maxObj1*1.01 + 1}
+// selective-hardening problem: one coordinate per objective, each
+// padded per dimension to max*1.01 + 1 — slightly beyond that
+// objective's extreme value, so that the trivial solutions (nothing
+// hardened and everything hardened) both contribute positive volume.
+// The historical two-argument call sites keep compiling unchanged.
+func RefPoint(maxes ...float64) []float64 {
+	ref := make([]float64, len(maxes))
+	for k, v := range maxes {
+		ref[k] = v*1.01 + 1
+	}
+	return ref
+}
+
+// RefPoint2 is the fixed-arity forerunner of RefPoint.
+//
+// Deprecated: use RefPoint, which takes one extreme value per
+// objective.
+func RefPoint2(maxObj0, maxObj1 float64) []float64 {
+	return RefPoint(maxObj0, maxObj1)
 }
 
 // NormalizedHypervolume returns the dominated hypervolume as a fraction
-// of the reference box area ref[0]*ref[1], in [0, 1]. It is the
-// scale-free convergence indicator recorded per generation: comparable
-// across networks whose absolute damage and cost ranges differ by
-// orders of magnitude.
-func NormalizedHypervolume(front []Individual, ref [2]float64) float64 {
-	box := ref[0] * ref[1]
-	if box <= 0 {
+// of the reference box volume (the product of the ref coordinates), in
+// [0, 1]. It is the scale-free convergence indicator recorded per
+// generation: comparable across networks whose absolute objective
+// ranges differ by orders of magnitude.
+func NormalizedHypervolume(front []Individual, ref []float64) float64 {
+	box := 1.0
+	for _, r := range ref {
+		box *= r
+	}
+	if len(ref) == 0 || box <= 0 {
 		return 0
 	}
 	return Hypervolume(front, ref) / box
@@ -32,7 +48,7 @@ func NormalizedHypervolume(front []Individual, ref [2]float64) float64 {
 // contribute zero, and so does every copy of a duplicated objective
 // vector (removing one copy loses nothing). The contribution is the
 // standard measure of how much a single front member matters.
-func HypervolumeContributions(front []Individual, ref [2]float64) []float64 {
+func HypervolumeContributions(front []Individual, ref []float64) []float64 {
 	out := make([]float64, len(front))
 	if len(front) == 0 {
 		return out

@@ -85,14 +85,14 @@ func TestHypervolume(t *testing.T) {
 		{Obj: []float64{3, 1}},
 	}
 	// ref (4,4): boxes: (4-1)*(4-3)=3, (4-2)*(3-2)=2, (4-3)*(2-1)=1.
-	if got := Hypervolume(front, [2]float64{4, 4}); got != 6 {
+	if got := Hypervolume(front, []float64{4, 4}); got != 6 {
 		t.Errorf("Hypervolume = %v, want 6", got)
 	}
-	if got := Hypervolume(nil, [2]float64{4, 4}); got != 0 {
+	if got := Hypervolume(nil, []float64{4, 4}); got != 0 {
 		t.Errorf("empty Hypervolume = %v, want 0", got)
 	}
 	// Points outside the reference box are ignored.
-	if got := Hypervolume([]Individual{{Obj: []float64{5, 5}}}, [2]float64{4, 4}); got != 0 {
+	if got := Hypervolume([]Individual{{Obj: []float64{5, 5}}}, []float64{4, 4}); got != 0 {
 		t.Errorf("out-of-box Hypervolume = %v, want 0", got)
 	}
 }

@@ -137,19 +137,20 @@ func (e *engine) checkpointNow(algo string, gen int, pop, archive []Individual) 
 func (e *engine) writeCheckpoint(algo string, gen int, pop, archive []Individual) error {
 	hits, misses := e.exec.MemoStats()
 	cp := &Checkpoint{
-		Algorithm:   algo,
-		Seed:        e.par.Seed,
-		NumBits:     e.nbits,
-		Population:  e.par.Population,
-		Memoized:    e.par.Memoize,
-		Generation:  gen,
-		RNGDraws:    e.src.draws,
-		Evaluations: e.res.Evaluations,
-		CacheHits:   hits,
-		CacheMisses: misses,
-		Pop:         snapshotIndividuals(pop),
-		Archive:     snapshotIndividuals(archive),
-		Memo:        e.exec.memoSnapshot(),
+		Algorithm:     algo,
+		Seed:          e.par.Seed,
+		NumBits:       e.nbits,
+		Population:    e.par.Population,
+		Memoized:      e.par.Memoize,
+		NumObjectives: e.m,
+		Generation:    gen,
+		RNGDraws:      e.src.draws,
+		Evaluations:   e.res.Evaluations,
+		CacheHits:     hits,
+		CacheMisses:   misses,
+		Pop:           snapshotIndividuals(pop),
+		Archive:       snapshotIndividuals(archive),
+		Memo:          e.exec.memoSnapshot(),
 	}
 	if err := e.par.CheckpointFn(cp); err != nil {
 		return fmt.Errorf("moea: checkpoint at generation %d: %w", gen, err)

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"encoding/binary"
 	"hash/fnv"
+	"strings"
 	"sync"
 
 	"rsnrobust/internal/telemetry"
@@ -150,5 +151,9 @@ func hardenCacheKey(req *HardenRequest) uint64 {
 	k.str("scope", o.Scope)
 	k.boolean("force", o.ForceCritical)
 	k.i64("stag", int64(o.Stagnation))
+	// Objectives were canonicalized by validate (sorted into registry
+	// order, deduplicated, default pair collapsed to empty), so a
+	// permuted spelling of the same set hashes identically.
+	k.str("objs", strings.Join(o.Objectives, ","))
 	return k.sum()
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"time"
 
@@ -87,6 +88,12 @@ type HardenOptions struct {
 	// Stagnation stops early after N generations without hypervolume
 	// improvement (0 = full budget).
 	Stagnation int `json:"stagnation,omitempty"`
+	// Objectives names the objectives to optimize (empty = the paper's
+	// damage/cost pair). Names are validated against the registered
+	// providers and canonicalized — trimmed, deduplicated, reordered —
+	// before the run and the cache key, so permutations of the same set
+	// are one request.
+	Objectives []string `json:"objectives,omitempty"`
 	// DeadlineMS bounds the synthesis; an expired deadline returns the
 	// partial front with "interrupted": true. 0 = the server's
 	// MaxDeadline.
@@ -108,12 +115,16 @@ type HardenRequest struct {
 	Options HardenOptions `json:"options"`
 }
 
-// FrontPoint is one trade-off point of the returned front.
+// FrontPoint is one trade-off point of the returned front. Values
+// carries the named per-objective values for runs with a non-default
+// objective set; the default damage/cost pair keeps its dedicated
+// fields (and its historical wire shape) instead.
 type FrontPoint struct {
-	Cost            int64 `json:"cost"`
-	Damage          int64 `json:"damage"`
-	Hardened        int   `json:"hardened"`
-	CriticalCovered bool  `json:"critical_covered"`
+	Cost            int64              `json:"cost"`
+	Damage          int64              `json:"damage"`
+	Hardened        int                `json:"hardened"`
+	CriticalCovered bool               `json:"critical_covered"`
+	Values          map[string]float64 `json:"values,omitempty"`
 }
 
 // Picks are the paper's Table I constrained selections; a nil entry
@@ -125,17 +136,20 @@ type Picks struct {
 
 // HardenResponse is the body of a successful POST /v1/harden.
 type HardenResponse struct {
-	Network     string       `json:"network"`
-	Algorithm   string       `json:"algorithm"`
-	Seed        int64        `json:"seed"`
-	MaxCost     int64        `json:"max_cost"`
-	MaxDamage   int64        `json:"max_damage"`
-	Generations int          `json:"generations"`
-	Evaluations int          `json:"evaluations"`
-	MemoHits    int64        `json:"memo_hits"`
-	MemoMisses  int64        `json:"memo_misses"`
-	Front       []FrontPoint `json:"front"`
-	Picks       Picks        `json:"picks"`
+	Network     string `json:"network"`
+	Algorithm   string `json:"algorithm"`
+	Seed        int64  `json:"seed"`
+	MaxCost     int64  `json:"max_cost"`
+	MaxDamage   int64  `json:"max_damage"`
+	Generations int    `json:"generations"`
+	Evaluations int    `json:"evaluations"`
+	MemoHits    int64  `json:"memo_hits"`
+	MemoMisses  int64  `json:"memo_misses"`
+	// Objectives is the canonical objective list of the run, present
+	// only when it differs from the default damage/cost pair.
+	Objectives []string     `json:"objectives,omitempty"`
+	Front      []FrontPoint `json:"front"`
+	Picks      Picks        `json:"picks"`
 	// Interrupted marks a deadline- or drain-truncated run: the front
 	// is the best one at the last completed generation boundary.
 	Interrupted bool `json:"interrupted"`
@@ -255,6 +269,22 @@ func (req *HardenRequest) validate(cfg Config) error {
 	}
 	if o.StreamEvery < 0 {
 		return invalidf("stream_every: must be non-negative, got %d", o.StreamEvery)
+	}
+	if len(o.Objectives) > 0 {
+		// Canonicalize in place so permutations and duplicates of the
+		// same objective set hash to one cache key; an unknown name is a
+		// 400 that lists what the server actually provides.
+		objs, err := core.CanonicalObjectives(o.Objectives)
+		if err != nil {
+			return invalidf("objectives: %v", err)
+		}
+		// An explicit spelling of the default pair collapses to the
+		// empty form, so it shares the default's cache entry and wire
+		// shape.
+		if slices.Equal(objs, core.DefaultObjectives()) {
+			objs = nil
+		}
+		o.Objectives = objs
 	}
 	return nil
 }

@@ -405,6 +405,7 @@ func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry
 	opt.Population = o.Population
 	opt.ForceCritical = o.ForceCritical
 	opt.Stagnation = o.Stagnation
+	opt.Objectives = o.Objectives
 	opt.Workers = s.cfg.EvalWorkers
 	opt.Context = ctx
 	opt.Telemetry = s.tel
@@ -429,27 +430,45 @@ func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry
 		Interrupted: syn.Interrupted,
 		ElapsedMS:   float64(syn.Elapsed) / float64(time.Millisecond),
 	}
+	// Only a non-default objective set surfaces on the wire: the
+	// historical damage/cost responses keep their exact shape, while a
+	// K-objective run names its axes and labels every point's values.
+	var names []string
+	if len(o.Objectives) > 0 {
+		names = syn.Objectives
+		resp.Objectives = names
+	}
 	for _, sol := range syn.Front {
-		resp.Front = append(resp.Front, frontPoint(sol))
+		resp.Front = append(resp.Front, frontPoint(sol, names))
 	}
 	if sol, ok := syn.MinCostWithDamageAtMost(0.10); ok {
-		fp := frontPoint(sol)
+		fp := frontPoint(sol, names)
 		resp.Picks.Damage10 = &fp
 	}
 	if sol, ok := syn.MinDamageWithCostAtMost(0.10); ok {
-		fp := frontPoint(sol)
+		fp := frontPoint(sol, names)
 		resp.Picks.Cost10 = &fp
 	}
 	return resp, nil
 }
 
-func frontPoint(sol core.Solution) FrontPoint {
-	return FrontPoint{
+// frontPoint maps one solution to the wire; names, when non-nil, keys
+// the solution's objective values (JSON object keys marshal sorted, so
+// the encoding stays deterministic).
+func frontPoint(sol core.Solution, names []string) FrontPoint {
+	fp := FrontPoint{
 		Cost:            sol.Cost,
 		Damage:          sol.Damage,
 		Hardened:        len(sol.Hardened),
 		CriticalCovered: sol.CriticalCovered,
 	}
+	if len(names) > 0 && len(sol.Values) >= len(names) {
+		fp.Values = make(map[string]float64, len(names))
+		for i, n := range names {
+			fp.Values[n] = sol.Values[i]
+		}
+	}
+	return fp
 }
 
 // handleHealthz reports liveness.

@@ -42,9 +42,9 @@ type Model struct {
 // DefaultModel uses λ = 1e-4 defects per cell and perfect hardening.
 var DefaultModel = Model{Lambda: 1e-4, HardenedFactor: 0}
 
-// failProb returns the defect probability of a primitive with the given
+// FailProb returns the defect probability of a primitive with the given
 // area under the model.
-func (m Model) failProb(area int64, hardened bool) float64 {
+func (m Model) FailProb(area int64, hardened bool) float64 {
 	lambda := m.Lambda
 	if hardened {
 		lambda *= m.HardenedFactor
@@ -73,7 +73,7 @@ func Evaluate(a *faults.Analysis, m Model) Report {
 	pNoDefect := 1.0
 	pNoCritical := 1.0
 	for _, id := range a.Prims {
-		p := m.failProb(a.Spec.Cost[id], a.Net.Node(id).Hardened)
+		p := m.FailProb(a.Spec.Cost[id], a.Net.Node(id).Hardened)
 		rep.ExpectedDamage += p * float64(a.Damage[id])
 		pNoDefect *= 1 - p
 		if a.CritHit[id] {
@@ -120,7 +120,7 @@ func evaluateUnhardened(a *faults.Analysis, m Model) Report {
 	pNoDefect := 1.0
 	pNoCritical := 1.0
 	for _, id := range a.Prims {
-		p := m.failProb(a.Spec.Cost[id], false)
+		p := m.FailProb(a.Spec.Cost[id], false)
 		rep.ExpectedDamage += p * float64(a.Damage[id])
 		pNoDefect *= 1 - p
 		if a.CritHit[id] {

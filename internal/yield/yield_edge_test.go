@@ -1,0 +1,89 @@
+package yield_test
+
+import (
+	"math"
+	"testing"
+
+	"rsnrobust/internal/faults"
+	"rsnrobust/internal/fixture"
+	"rsnrobust/internal/rsn"
+	"rsnrobust/internal/yield"
+)
+
+// Degenerate-input coverage for Evaluate and Sweep: zero-area
+// primitives, the hardening-factor extremes, and an empty analysis.
+
+// TestEvaluateZeroAreaPrimitives: a primitive with zero area has zero
+// defect probability under the Poisson model, so zeroing every cost
+// zeroes every report field regardless of λ or hardening.
+func TestEvaluateZeroAreaPrimitives(t *testing.T) {
+	net := fixture.PaperExample()
+	a := analyze(t, net)
+	for i := range a.Spec.Cost {
+		a.Spec.Cost[i] = 0
+	}
+	for _, lambda := range []float64{1e-6, 1e-2, 10} {
+		rep := yield.Evaluate(a, yield.Model{Lambda: lambda, HardenedFactor: 0.5})
+		if rep.ExpectedDamage != 0 || rep.AnyDefect != 0 || rep.CriticalFailure != 0 {
+			t.Errorf("lambda %v: zero-area network reports risk: %+v", lambda, rep)
+		}
+	}
+	if p := (yield.Model{Lambda: 5}).FailProb(0, false); p != 0 {
+		t.Errorf("FailProb(0) = %v, want 0", p)
+	}
+}
+
+// TestHardenedFactorExtremes: factor 0 (the paper's perfect avoidance)
+// zeroes hardened primitives' contribution; factor 1 makes hardening
+// irrelevant — the report must equal the unhardened baseline exactly.
+func TestHardenedFactorExtremes(t *testing.T) {
+	net := fixture.PaperExample()
+	net.Nodes(func(nd *rsn.Node) {
+		if nd.IsPrimitive() {
+			nd.Hardened = true
+		}
+	})
+	a := analyze(t, net)
+
+	perfect := yield.Evaluate(a, yield.Model{Lambda: 1e-3, HardenedFactor: 0})
+	if perfect.ExpectedDamage != 0 || perfect.AnyDefect != 0 || perfect.CriticalFailure != 0 {
+		t.Errorf("factor 0 with everything hardened leaves risk: %+v", perfect)
+	}
+
+	useless := yield.Evaluate(a, yield.Model{Lambda: 1e-3, HardenedFactor: 1})
+	pts := yield.Sweep(a, 1e-3, 1e-3, 2, 1)
+	for _, p := range pts {
+		if p.Report != p.Baseline {
+			t.Errorf("factor 1: hardened report %+v differs from baseline %+v", p.Report, p.Baseline)
+		}
+	}
+	if useless != pts[0].Baseline {
+		t.Errorf("factor-1 Evaluate %+v differs from unhardened baseline %+v", useless, pts[0].Baseline)
+	}
+	if useless.ExpectedDamage <= 0 {
+		t.Error("factor 1 must report the full unhardened risk")
+	}
+}
+
+// TestEmptyAnalysis: an analysis with no primitives yields the
+// all-zeros report everywhere, and Sweep still produces its grid
+// (clamped to >= 2 points) without dividing by zero.
+func TestEmptyAnalysis(t *testing.T) {
+	a := &faults.Analysis{}
+	rep := yield.Evaluate(a, yield.DefaultModel)
+	if rep.ExpectedDamage != 0 || rep.AnyDefect != 0 || rep.CriticalFailure != 0 {
+		t.Errorf("empty analysis reports risk: %+v", rep)
+	}
+	pts := yield.Sweep(a, 1e-6, 1e-2, 0, 0) // points < 2 clamps to 2
+	if len(pts) != 2 {
+		t.Fatalf("Sweep with 0 points returned %d, want 2 (clamped)", len(pts))
+	}
+	for _, p := range pts {
+		if p.Report != (yield.Report{}) || p.Baseline != (yield.Report{}) {
+			t.Errorf("empty analysis sweep point reports risk: %+v", p)
+		}
+		if math.IsNaN(p.Lambda) || p.Lambda <= 0 {
+			t.Errorf("bad lambda %v", p.Lambda)
+		}
+	}
+}

@@ -1,4 +1,4 @@
-package yield
+package yield_test
 
 import (
 	"math"
@@ -10,6 +10,7 @@ import (
 	"rsnrobust/internal/rsn"
 	"rsnrobust/internal/spec"
 	"rsnrobust/internal/sptree"
+	"rsnrobust/internal/yield"
 )
 
 func analyze(t *testing.T, net *rsn.Network) *faults.Analysis {
@@ -29,7 +30,7 @@ func analyze(t *testing.T, net *rsn.Network) *faults.Analysis {
 func TestEvaluateUnhardened(t *testing.T) {
 	net := fixture.PaperExample()
 	a := analyze(t, net)
-	rep := Evaluate(a, DefaultModel)
+	rep := yield.Evaluate(a, yield.DefaultModel)
 	if rep.ExpectedDamage <= 0 {
 		t.Error("expected damage must be positive on the unhardened example")
 	}
@@ -50,7 +51,7 @@ func TestPerfectHardeningZeroesEverything(t *testing.T) {
 		}
 	})
 	a := analyze(t, net)
-	rep := Evaluate(a, DefaultModel)
+	rep := yield.Evaluate(a, yield.DefaultModel)
 	if rep.ExpectedDamage != 0 || rep.AnyDefect != 0 || rep.CriticalFailure != 0 {
 		t.Errorf("perfect hardening leaves risk: %+v", rep)
 	}
@@ -64,12 +65,12 @@ func TestImperfectHardeningFactor(t *testing.T) {
 		}
 	})
 	a := analyze(t, net)
-	m := Model{Lambda: 1e-3, HardenedFactor: 0.1}
-	rep := Evaluate(a, m)
+	m := yield.Model{Lambda: 1e-3, HardenedFactor: 0.1}
+	rep := yield.Evaluate(a, m)
 	if rep.ExpectedDamage <= 0 {
 		t.Error("imperfect hardening must leave residual risk")
 	}
-	full := Evaluate(a, Model{Lambda: 1e-3, HardenedFactor: 1})
+	full := yield.Evaluate(a, yield.Model{Lambda: 1e-3, HardenedFactor: 1})
 	if rep.ExpectedDamage >= full.ExpectedDamage {
 		t.Error("hardening factor 0.1 must beat factor 1")
 	}
@@ -96,7 +97,7 @@ func TestSelectiveHardeningReducesCriticalFailure(t *testing.T) {
 	core.Apply(net, sol)
 
 	a := analyze(t, net)
-	rep := Evaluate(a, DefaultModel)
+	rep := yield.Evaluate(a, yield.DefaultModel)
 	if rep.CriticalFailure != 0 {
 		t.Errorf("critical coverage with perfect hardening must zero the failure probability, got %v",
 			rep.CriticalFailure)
@@ -109,7 +110,7 @@ func TestSelectiveHardeningReducesCriticalFailure(t *testing.T) {
 func TestSweepMonotone(t *testing.T) {
 	net := fixture.SIBChain(5)
 	a := analyze(t, net)
-	pts := Sweep(a, 1e-6, 1e-2, 9, 0)
+	pts := yield.Sweep(a, 1e-6, 1e-2, 9, 0)
 	if len(pts) != 9 {
 		t.Fatalf("got %d points", len(pts))
 	}
@@ -134,11 +135,11 @@ func TestSweepMonotone(t *testing.T) {
 }
 
 func TestFailProbBounds(t *testing.T) {
-	m := Model{Lambda: 0.5, HardenedFactor: 0}
-	if p := m.failProb(1000, false); p <= 0.99 {
+	m := yield.Model{Lambda: 0.5, HardenedFactor: 0}
+	if p := m.FailProb(1000, false); p <= 0.99 {
 		t.Errorf("large area must have near-certain defect, got %v", p)
 	}
-	if p := m.failProb(1000, true); p != 0 {
+	if p := m.FailProb(1000, true); p != 0 {
 		t.Errorf("perfectly hardened primitive failed with p=%v", p)
 	}
 }
