@@ -33,11 +33,13 @@ race:
 	$(GO) test -race ./...
 
 # Determinism gate: identical fronts, picks and evaluation counts at
-# every worker count, scheduler job count, with the evaluation cache on
-# or off, across checkpoint/resume boundaries, and under injected
-# faults.
+# every worker count, scheduler job count, island count, with the
+# evaluation cache on or off, with incremental (delta) evaluation
+# against the full-evaluation oracle, across checkpoint/resume
+# boundaries, and under injected faults. WorkerInvariance also matches
+# the island-count invariance matrix (islands x workers).
 determinism:
-	$(GO) test -run 'WorkerDeterminism|WorkerInvariance|RunSetDeterminism|MemoOracle|ResumeEquivalence|ChaosGraceful' ./internal/core ./internal/moea ./internal/chaos ./cmd/rsnharden
+	$(GO) test -run 'WorkerDeterminism|WorkerInvariance|RunSetDeterminism|MemoOracle|DeltaOracle|ResumeEquivalence|ChaosGraceful' ./internal/core ./internal/moea ./internal/chaos ./cmd/rsnharden
 
 # Service smoke gate: boot rsnserve on a loopback port and drive the
 # end-to-end battery (analyze, harden, cache hit, deadline truncation,
@@ -69,13 +71,13 @@ bench-smoke:
 # (validated by TestBenchJSONArtifact). -jobs 1 keeps the per-row
 # evolve_ms serial and therefore comparable across artifact versions.
 benchjson:
-	$(GO) run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_4.json
+	$(GO) run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_5.json
 
 # Fail if any shared 2-objective row's evolve_ms regressed >15% vs the
 # previous committed artifact (K-objective rows are excluded from the
-# gate by their v4 "objectives" tag).
+# gate by their "objectives" tag).
 bench-compare:
-	$(GO) run ./cmd/benchdiff -threshold 15 BENCH_3.json BENCH_4.json
+	$(GO) run ./cmd/benchdiff -threshold 15 BENCH_4.json BENCH_5.json
 
 clean:
 	$(GO) clean ./...

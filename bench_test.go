@@ -83,17 +83,18 @@ func runRow(b *testing.B, e benchnets.Entry, gens int) {
 	}
 }
 
-// TestBenchJSONArtifact validates the committed BENCH_4.json against the
-// rsnrobust-bench/v4 schema (per-stage wall clock, worker and job
-// counts, memoization counters, steady-state allocation rate, and the
-// objective list of K-objective rows). Regenerate the artifact with
+// TestBenchJSONArtifact validates the committed BENCH_5.json against the
+// rsnrobust-bench/v5 schema (per-stage wall clock, worker and job
+// counts, memoization counters, the delta/full evaluation split,
+// steady-state allocation rate, and the objective list of K-objective
+// rows). Regenerate the artifact with
 //
-//	go run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_4.json
+//	go run ./cmd/table1 -quick -maxprims 60000 -jobs 1 -benchjson BENCH_5.json
 //
-// (-jobs 1 keeps evolve_ms comparable with the serial BENCH_3.json;
+// (-jobs 1 keeps evolve_ms comparable with the serial BENCH_4.json;
 // allocs_per_gen is only meaningful without concurrent rows.)
 func TestBenchJSONArtifact(t *testing.T) {
-	raw, err := os.ReadFile("BENCH_4.json")
+	raw, err := os.ReadFile("BENCH_5.json")
 	if err != nil {
 		t.Skipf("no benchmark artifact: %v", err)
 	}
@@ -103,6 +104,7 @@ func TestBenchJSONArtifact(t *testing.T) {
 		GOMAXPROCS int    `json:"gomaxprocs"`
 		Workers    int    `json:"workers"`
 		Jobs       int    `json:"jobs"`
+		Islands    int    `json:"islands"`
 		Rows       []struct {
 			Network     string  `json:"network"`
 			Objectives  string  `json:"objectives"`
@@ -111,6 +113,8 @@ func TestBenchJSONArtifact(t *testing.T) {
 			Primitives  int     `json:"primitives"`
 			Generations int     `json:"generations"`
 			Evaluations int64   `json:"evaluations"`
+			DeltaEvals  int64   `json:"delta_evals"`
+			FullEvals   int64   `json:"full_evals"`
 			CacheHits   int64   `json:"cache_hits"`
 			CacheMisses int64   `json:"cache_misses"`
 			AnalysisMS  float64 `json:"analysis_ms"`
@@ -127,14 +131,14 @@ func TestBenchJSONArtifact(t *testing.T) {
 		} `json:"rows"`
 	}
 	if err := json.Unmarshal(raw, &doc); err != nil {
-		t.Fatalf("BENCH_4.json is not valid JSON: %v", err)
+		t.Fatalf("BENCH_5.json is not valid JSON: %v", err)
 	}
-	if doc.Schema != "rsnrobust-bench/v4" {
-		t.Fatalf("schema = %q, want rsnrobust-bench/v4", doc.Schema)
+	if doc.Schema != "rsnrobust-bench/v5" {
+		t.Fatalf("schema = %q, want rsnrobust-bench/v5", doc.Schema)
 	}
-	if doc.GOMAXPROCS <= 0 || doc.Workers <= 0 || doc.Jobs <= 0 {
-		t.Fatalf("gomaxprocs=%d workers=%d jobs=%d, want all positive",
-			doc.GOMAXPROCS, doc.Workers, doc.Jobs)
+	if doc.GOMAXPROCS <= 0 || doc.Workers <= 0 || doc.Jobs <= 0 || doc.Islands <= 0 {
+		t.Fatalf("gomaxprocs=%d workers=%d jobs=%d islands=%d, want all positive",
+			doc.GOMAXPROCS, doc.Workers, doc.Jobs, doc.Islands)
 	}
 	if len(doc.Rows) == 0 {
 		t.Fatal("no benchmark rows")
@@ -171,6 +175,16 @@ func TestBenchJSONArtifact(t *testing.T) {
 		}
 		if r.CacheHits < 0 {
 			t.Errorf("row %q: negative cache_hits %d", r.Network, r.CacheHits)
+		}
+		// The incremental path splits the evaluation count exactly; a
+		// zero delta share on a committed artifact would mean the delta
+		// evaluator silently stopped engaging.
+		if r.DeltaEvals+r.FullEvals != r.Evaluations {
+			t.Errorf("row %q: delta_evals %d + full_evals %d != evaluations %d",
+				r.Network, r.DeltaEvals, r.FullEvals, r.Evaluations)
+		}
+		if r.DeltaEvals <= 0 {
+			t.Errorf("row %q: delta_evals = %d, want > 0", r.Network, r.DeltaEvals)
 		}
 		if r.AllocsPerGen < 0 {
 			t.Errorf("row %q: negative allocs_per_gen %.1f", r.Network, r.AllocsPerGen)
@@ -263,6 +277,58 @@ func BenchmarkEvaluate(b *testing.B) {
 		b.Run(fmt.Sprintf("%s_bits=%d", name, p.NumBits()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				p.Evaluate(g, out)
+			}
+		})
+	}
+}
+
+// BenchmarkDeltaEval measures the incremental child evaluation against
+// the full evaluation it replaces, on mutation-shaped pairs (a handful
+// of flipped bits). The gap is the per-child payoff of the delta path;
+// it widens with the genome because EvaluateDelta touches only the
+// changed words while Evaluate scans them all.
+func BenchmarkDeltaEval(b *testing.B) {
+	for _, name := range []string{"p22810", "MBIST_5_20_20", "MBIST_20_20_20"} {
+		net, err := benchnets.Generate(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sp, err := spec.Generate(net, spec.PaperGenOptions(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		tree, err := sptree.Build(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		a, err := faults.Analyze(net, tree, sp, faults.DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := core.NewProblem(a, false)
+		n := p.NumBits()
+		base := moea.NewGenome(n)
+		for i := 0; i < n; i += 7 {
+			base.Set(i, true)
+		}
+		child := moea.NewGenome(n)
+		child.CopyFrom(base)
+		for i := 1; i < n && i < 6*97; i += 97 {
+			child.Set(i, !child.Get(i))
+		}
+		baseObj := make([]float64, 2)
+		out := make([]float64, 2)
+		p.Evaluate(base, baseObj)
+		b.Run(fmt.Sprintf("%s_bits=%d/delta", name, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !p.EvaluateDelta(child, base, baseObj, out) {
+					b.Fatal("delta evaluation declined a mutation-shaped pair")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%s_bits=%d/full", name, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Evaluate(child, out)
 			}
 		})
 	}

@@ -4,12 +4,14 @@
 // regresses by more than the threshold. It is the Makefile's
 // `bench-compare` gate:
 //
-//	go run ./cmd/benchdiff -threshold 15 BENCH_2.json BENCH_3.json
+//	go run ./cmd/benchdiff -threshold 15 BENCH_4.json BENCH_5.json
 //
 // Rows only present in one file are reported but do not fail the gate
-// (the row set legitimately changes with -quick/-maxprims). The v2, v3
-// and v4 schemas are all accepted — the compared fields are common to
-// every version. Rows carrying a non-default objective list (v4's
+// (the row set legitimately changes with -quick/-maxprims). The v2
+// through v5 schemas are all accepted — the compared fields are common
+// to every version, so a v4 baseline diffs cleanly against a v5
+// artifact (v5 adds islands and the delta/full evaluation split, which
+// this gate does not read). Rows carrying a non-default objective list (v4's
 // "objectives" field; absent means the default damage/cost pair) are
 // excluded from the gate: a K-objective evolve loop is a different
 // workload and must not mask a 2-objective fast-path regression.

@@ -58,6 +58,7 @@ func main() {
 		rep     = flag.Bool("report", false, "print the robustness report of the damage<=10% solution (single- and double-fault)")
 		stag    = flag.Int("stagnation", 0, "stop early after N generations without hypervolume improvement (0 = full budget)")
 		workers = flag.Int("workers", 0, "objective-evaluation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		islands = flag.Int("islands", 0, "island-model sub-populations with ring migration (0/1 = single population); results depend only on seed and island count")
 		seeds   = flag.Int("seeds", 1, "run this many consecutive seeds (seed .. seed+N-1) and report per-seed plus aggregate results")
 		jobs    = flag.Int("jobs", 0, "concurrent synthesis jobs in multi-seed mode (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
 		scope   = flag.String("universe", "all", "fault universe: all or control")
@@ -158,7 +159,7 @@ func main() {
 			in: *in, name: *name, genspec: *genspec,
 			generations: generations, seed: *seed, seeds: *seeds, jobs: *jobs,
 			algo: *algo, scope: *scope, force: *force, stag: *stag, workers: *workers,
-			deadline: *ddl, objectives: objNames,
+			islands: *islands, deadline: *ddl, objectives: objNames,
 		}, tel, logger)
 		if err != nil {
 			fail(err)
@@ -188,6 +189,7 @@ func main() {
 	opt.ForceCritical = *force
 	opt.Stagnation = *stag
 	opt.Workers = *workers
+	opt.Islands = *islands
 	opt.Objectives = objNames
 	opt.Telemetry = tel
 	opt.Context = ctx
@@ -441,6 +443,7 @@ type sweepConfig struct {
 	force       bool
 	stag        int
 	workers     int
+	islands     int
 	deadline    time.Duration
 	objectives  []string
 }
@@ -561,6 +564,7 @@ func runOneSeed(ctx context.Context, cfg sweepConfig, seed int64, tel *telemetry
 	opt.ForceCritical = cfg.force
 	opt.Stagnation = cfg.stag
 	opt.Workers = cfg.workers
+	opt.Islands = cfg.islands
 	opt.Objectives = cfg.objectives
 	opt.Telemetry = tel
 	opt.ParentSpan = span

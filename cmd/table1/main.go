@@ -60,6 +60,7 @@ func main() {
 		mem     = flag.String("memprofile", "", "write a heap profile to this file")
 		bench   = flag.String("benchjson", "", "write machine-readable per-row results (BENCH_*.json schema) to this file")
 		workers = flag.Int("workers", 0, "objective-evaluation workers (0 = GOMAXPROCS, 1 = serial); results are identical at any count")
+		islands = flag.Int("islands", 0, "island-model sub-populations with ring migration (0/1 = single population); results depend only on seed and island count")
 		jobs    = flag.Int("jobs", 0, "concurrent synthesis jobs (0 = GOMAXPROCS, 1 = serial); rows and output order are identical at any count")
 		ckpt    = flag.String("checkpoint", "", "write one checkpoint per row (<dir>/<name>.ckpt) into this directory")
 		ckptN   = flag.Int("checkpoint-every", 10, "generations between periodic checkpoints (with -checkpoint)")
@@ -179,7 +180,7 @@ func main() {
 			}
 			row, err := runRow(jctx, e, rowOpts{
 				seed: *seed, quick: *quick, algo: *algo, scope: *scope,
-				refine: *refine, workers: *workers,
+				refine: *refine, workers: *workers, islands: *islands,
 				ckptDir: *ckpt, resumeDir: *resume, ckptEvery: *ckptN,
 				objectives: objNames,
 			}, w)
@@ -219,6 +220,8 @@ func main() {
 			Primitives:  e.Segments + e.Muxes,
 			Generations: row.gens,
 			Evaluations: row.evaluations,
+			DeltaEvals:  row.deltaEvals,
+			FullEvals:   row.fullEvals,
 			CacheHits:   row.cacheHits,
 			CacheMisses: row.cacheMisses,
 			AnalysisMS:  durMS(row.analysisTime),
@@ -256,7 +259,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, note)
 	}
 	if *bench != "" {
-		if err := writeBenchJSON(*bench, *seed, *quick, *algo, *workers, *jobs, benchRows); err != nil {
+		if err := writeBenchJSON(*bench, *seed, *quick, *algo, *workers, *jobs, *islands, benchRows); err != nil {
 			fail(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *bench)
@@ -279,13 +282,18 @@ func main() {
 // = the default damage/cost pair) so perf gates can compare
 // like-for-like rows.
 type benchRow struct {
-	Network     string  `json:"network"`
-	Objectives  string  `json:"objectives,omitempty"`
-	Segments    int     `json:"segments"`
-	Muxes       int     `json:"muxes"`
-	Primitives  int     `json:"primitives"`
-	Generations int     `json:"generations"`
-	Evaluations int     `json:"evaluations"`
+	Network     string `json:"network"`
+	Objectives  string `json:"objectives,omitempty"`
+	Segments    int    `json:"segments"`
+	Muxes       int    `json:"muxes"`
+	Primitives  int    `json:"primitives"`
+	Generations int    `json:"generations"`
+	Evaluations int    `json:"evaluations"`
+	// DeltaEvals and FullEvals split Evaluations by path: children
+	// scored incrementally from their parent versus full evaluations.
+	// Their sum equals Evaluations; both are worker-invariant.
+	DeltaEvals  int     `json:"delta_evals"`
+	FullEvals   int     `json:"full_evals"`
 	CacheHits   int64   `json:"cache_hits"`
 	CacheMisses int64   `json:"cache_misses"`
 	AnalysisMS  float64 `json:"analysis_ms"`
@@ -317,7 +325,7 @@ func durMS(d time.Duration) float64 {
 	return float64(d) / float64(time.Millisecond)
 }
 
-func writeBenchJSON(path string, seed int64, quick bool, algo string, workers, jobs int, rows []benchRow) error {
+func writeBenchJSON(path string, seed int64, quick bool, algo string, workers, jobs, islands int, rows []benchRow) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -332,9 +340,11 @@ func writeBenchJSON(path string, seed int64, quick bool, algo string, workers, j
 		GOMAXPROCS int        `json:"gomaxprocs"`
 		Workers    int        `json:"workers"`
 		Jobs       int        `json:"jobs"`
+		Islands    int        `json:"islands"`
 		Rows       []benchRow `json:"rows"`
-	}{Schema: "rsnrobust-bench/v4", Seed: seed, Quick: quick, Algo: algo,
-		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Jobs: jobs, Rows: rows}
+	}{Schema: "rsnrobust-bench/v5", Seed: seed, Quick: quick, Algo: algo,
+		GOMAXPROCS: runtime.GOMAXPROCS(0), Workers: workers, Jobs: jobs,
+		Islands: max(islands, 1), Rows: rows}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return err
@@ -351,6 +361,7 @@ type rowOpts struct {
 	algo, scope        string
 	refine             bool
 	workers            int
+	islands            int
 	ckptDir, resumeDir string
 	ckptEvery          int
 	objectives         []string
@@ -360,6 +371,8 @@ type rowResult struct {
 	maxCost, maxDamage int64
 	gens               int
 	evaluations        int
+	deltaEvals         int
+	fullEvals          int
 	cacheHits          int64
 	cacheMisses        int64
 	allocsPerGen       float64
@@ -417,6 +430,7 @@ func runRow(ctx context.Context, e benchnets.Entry, ro rowOpts, telWriter io.Wri
 	}
 	opt := core.DefaultOptions(budget(e, quick), seed)
 	opt.Workers = ro.workers
+	opt.Islands = ro.islands
 	opt.Objectives = ro.objectives
 	opt.Context = ctx
 	if ro.ckptDir != "" {
@@ -468,6 +482,8 @@ func runRow(ctx context.Context, e benchnets.Entry, ro rowOpts, telWriter io.Wri
 	res.maxDamage = s.MaxDamage
 	res.gens = s.Generations
 	res.evaluations = s.Evaluations
+	res.deltaEvals = s.DeltaEvals
+	res.fullEvals = s.FullEvals
 	res.cacheHits = s.CacheHits
 	res.cacheMisses = s.CacheMisses
 	if s.Generations > 0 {

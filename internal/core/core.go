@@ -93,6 +93,12 @@ type Options struct {
 	// GOMAXPROCS, 1 forces serial evaluation. Results are bit-for-bit
 	// identical at every worker count.
 	Workers int
+	// Islands, if greater than 1, partitions the run into that many
+	// independently seeded sub-populations evolving in lockstep with
+	// deterministic ring migration (see moea.Params.Islands). The final
+	// front merges all islands; results depend only on (Seed, Islands),
+	// never on Workers.
+	Islands int
 	// Stagnation, if positive, stops the evolution early once the
 	// front's hypervolume has not improved for that many consecutive
 	// generations — the practical alternative to the paper's fixed
@@ -208,6 +214,15 @@ type Synthesis struct {
 	// Evaluations counts true (non-cached) objective evaluations.
 	Generations int
 	Evaluations int
+	// DeltaEvals and FullEvals split Evaluations by path: children whose
+	// objectives were derived incrementally from a parent versus genomes
+	// evaluated from scratch. Their sum equals Evaluations; the split is
+	// identical at every worker count.
+	DeltaEvals int
+	FullEvals  int
+	// Islands is the island count the run used (0 or 1: single
+	// population).
+	Islands int
 	// CacheHits and CacheMisses are the evaluation-cache counts (both
 	// zero when Options.Memoize is off).
 	CacheHits   int64
@@ -267,6 +282,12 @@ type Problem struct {
 	// problems above wordEvalMaxBits.
 	dmgTab  [][256]int64
 	costTab [][256]int64
+
+	// deltaLimit is the incremental-evaluation cutoff: a child differing
+	// from its base in more than this many non-forced bits is evaluated
+	// fully instead. A pure function of the problem size, so the
+	// delta/full split is identical at every worker count.
+	deltaLimit int
 }
 
 // NewProblem builds the optimization problem from a completed
@@ -304,6 +325,15 @@ func newBaseProblem(a *faults.Analysis, forceCritical bool) *Problem {
 				p.critMask.Set(i, true)
 			}
 		}
+	}
+	// Mutation flips ~1% of bits and crossover against the
+	// majority-contributing parent preserves most of the rest, so real
+	// children sit far under this cutoff; it exists to bounce the rare
+	// distant pair back to the word-table path, where per-flip updates
+	// would cost more than a full scan.
+	p.deltaLimit = len(prims) / 4
+	if p.deltaLimit < 64 {
+		p.deltaLimit = 64
 	}
 	return p
 }
@@ -547,6 +577,153 @@ func (p *Problem) evaluateBits(g moea.Genome, out []float64) {
 	out[1] = float64(cost)
 }
 
+// CanDelta reports whether incremental evaluation is worthwhile: the
+// default (damage, cost) problem always is, and a general objective set
+// is when at least one compiled objective carries flip deltas. Sets
+// beyond eight objectives fall back to full evaluation (the incremental
+// accumulator is a fixed-size array).
+func (p *Problem) CanDelta() bool {
+	if p.objs == nil {
+		return true
+	}
+	if len(p.objs) > 8 {
+		return false
+	}
+	for k := range p.objs {
+		if p.objs[k].flip != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// EvaluateDelta computes the child's objective vector from its base's
+// by walking only the bits where the two genomes differ. Forced bits
+// are masked out of the difference first — with critMask OR'd into
+// every evaluation, their flips cannot change any sum. If the genomes
+// differ in more than deltaLimit effective bits the method declines
+// (returns false) and the caller evaluates fully; the cutoff depends
+// only on the genomes, so the delta/full split is identical at every
+// worker count. All arithmetic stays in int64 on top of the base's
+// integer-valued objectives, so the result is bit-identical to a full
+// evaluation.
+func (p *Problem) EvaluateDelta(g, base moea.Genome, baseObj, out []float64) bool {
+	if len(g) != len(base) {
+		return false
+	}
+	if p.objs != nil {
+		return p.evaluateDeltaK(g, base, baseObj, out)
+	}
+	// Single fused pass: words with no effective difference (the vast
+	// majority) cost one XOR and a branch; the popcount cutoff and the
+	// per-bit flips run only on differing words. Declining mid-scan
+	// leaves out untouched, and the count reaching the limit does not
+	// depend on scan order, so the delta/full split is unchanged.
+	base = base[:len(g)]
+	crit := p.critMask
+	n := 0
+	var d0, d1 int64
+	for w := range g {
+		d := g[w] ^ base[w]
+		if d == 0 {
+			continue
+		}
+		if crit != nil {
+			d &^= crit[w]
+			if d == 0 {
+				continue
+			}
+		}
+		if n += bits.OnesCount64(d); n > p.deltaLimit {
+			return false
+		}
+		wbase := w << 6
+		for on := d & g[w]; on != 0; on &= on - 1 {
+			i := wbase + bits.TrailingZeros64(on)
+			d0 -= p.damage[i]
+			d1 += p.cost[i]
+		}
+		for off := d &^ g[w]; off != 0; off &= off - 1 {
+			i := wbase + bits.TrailingZeros64(off)
+			d0 += p.damage[i]
+			d1 -= p.cost[i]
+		}
+	}
+	out[0] = float64(int64(baseObj[0]) + d0)
+	out[1] = float64(int64(baseObj[1]) + d1)
+	return true
+}
+
+// evaluateDeltaK is the general-path incremental evaluation: flip-able
+// objectives accumulate per-differing-bit deltas, the rest are
+// evaluated fully (mirroring evaluateK's effective-genome handling).
+// The deltaLimit cutoff is fused into the same scan as the 2-objective
+// fast path, with identical decline semantics.
+func (p *Problem) evaluateDeltaK(g, base moea.Genome, baseObj, out []float64) bool {
+	var acc [8]int64
+	crit := p.critMask
+	n := 0
+	incremental := false
+	for w := range g {
+		d := g[w] ^ base[w]
+		if d == 0 {
+			continue
+		}
+		if crit != nil {
+			d &^= crit[w]
+			if d == 0 {
+				continue
+			}
+		}
+		if n += bits.OnesCount64(d); n > p.deltaLimit {
+			return false
+		}
+		wbase := w << 6
+		for on := d & g[w]; on != 0; on &= on - 1 {
+			i := wbase + bits.TrailingZeros64(on)
+			for k := range p.objs {
+				if f := p.objs[k].flip; f != nil {
+					acc[k] += f[i]
+				}
+			}
+		}
+		for off := d &^ g[w]; off != 0; off &= off - 1 {
+			i := wbase + bits.TrailingZeros64(off)
+			for k := range p.objs {
+				if f := p.objs[k].flip; f != nil {
+					acc[k] -= f[i]
+				}
+			}
+		}
+	}
+	var effective moea.Genome
+	for k := range p.objs {
+		o := &p.objs[k]
+		if o.flip != nil {
+			out[k] = float64(int64(baseObj[k]) + acc[k])
+			incremental = true
+			continue
+		}
+		// Not flip-able: full evaluation of this objective only.
+		if o.eval != nil {
+			eg := g
+			if p.critMask != nil {
+				if effective == nil {
+					effective = make(moea.Genome, len(g))
+					for w := range g {
+						effective[w] = g[w] | p.critMask[w]
+					}
+				}
+				eg = effective
+			}
+			out[k] = o.eval(eg)
+			continue
+		}
+		return false // linear objectives always carry flip; defensive
+	}
+	return incremental
+}
+
 // Primitives returns the hardening candidates in bit-index order.
 func (p *Problem) Primitives() []rsn.NodeID { return p.prims }
 
@@ -635,6 +812,9 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	if opt.Workers != 0 {
 		params.Workers = opt.Workers
 	}
+	if opt.Islands != 0 {
+		params.Islands = opt.Islands
+	}
 	workers := params.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -702,6 +882,9 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 		MaxDamage:    analysis.TotalDamage,
 		Generations:  res.Generations,
 		Evaluations:  res.Evaluations,
+		DeltaEvals:   res.DeltaEvals,
+		FullEvals:    res.FullEvals,
+		Islands:      max(params.Islands, 1),
 		CacheHits:    res.CacheHits,
 		CacheMisses:  res.CacheMisses,
 		AnalysisTime: analysisTime,
@@ -833,7 +1016,13 @@ func stagnationStop(window int, ref []float64, user func(int, []moea.Individual)
 // solutionFrom materializes a genome into a Solution.
 func solutionFrom(p *Problem, a *faults.Analysis, g moea.Genome) Solution {
 	mask := make([]bool, a.Net.NumNodes())
-	var hardened []rsn.NodeID
+	non := 0
+	for i := range p.prims {
+		if g.Get(i) || (p.critMask != nil && p.critMask.Get(i)) {
+			non++
+		}
+	}
+	hardened := make([]rsn.NodeID, 0, non)
 	var cost int64
 	for i, id := range p.prims {
 		on := g.Get(i) || (p.critMask != nil && p.critMask.Get(i))

@@ -70,6 +70,21 @@ type GenomeObjective interface {
 	Evaluator(a *faults.Analysis) (eval func(g moea.Genome) float64, max float64, err error)
 }
 
+// DeltaProvider is the optional incremental-evaluation extension of the
+// provider protocol. FlipDeltas returns, in analysis bit order, the
+// exact integer change of the objective value when bit i flips 0→1 (the
+// 1→0 change is its negation), valid from any base genome — i.e. the
+// objective must be affine in the hardened-bit set. LinearObjective
+// providers get this for free (their weights are the flip deltas);
+// GenomeObjective providers may opt in by implementing it, and those
+// that cannot promise exactness simply don't — the problem then
+// evaluates that objective fully on every child while the flip-able
+// objectives still go incremental.
+type DeltaProvider interface {
+	ObjectiveProvider
+	FlipDeltas(a *faults.Analysis) ([]int64, error)
+}
+
 // objectiveRegistry is the global provider registry. Registration
 // order defines the canonical objective order used everywhere a list
 // of objective names is normalized (CLI flags, the serve API and its
@@ -350,6 +365,11 @@ type compiledObjective struct {
 	scale   float64      // divides integer values into reported units
 	eval    func(moea.Genome) float64
 	max     float64 // inclusive upper bound, for the reference point
+	// flip holds the per-bit 0→1 deltas of the incremental path: the
+	// linear weights themselves, or a DeltaProvider's FlipDeltas for a
+	// genome-level objective that opted in. Nil means the objective must
+	// be evaluated fully on every child.
+	flip []int64
 }
 
 // compileObjectives builds the general-path objective set in canonical
@@ -373,6 +393,7 @@ func compileObjectives(a *faults.Analysis, names []string) ([]compiledObjective,
 				return nil, fmt.Errorf("core: objective %q: %d weights for %d primitives", name, len(w), len(a.Prims))
 			}
 			co.base, co.weights = base, w
+			co.flip = w
 			if scale > 0 {
 				co.scale = scale
 			}
@@ -392,6 +413,16 @@ func compileObjectives(a *faults.Analysis, names []string) ([]compiledObjective,
 				return nil, fmt.Errorf("core: objective %q: %w", name, err)
 			}
 			co.eval, co.max = eval, max
+			if dp, ok := p.(DeltaProvider); ok {
+				flip, err := dp.FlipDeltas(a)
+				if err != nil {
+					return nil, fmt.Errorf("core: objective %q: %w", name, err)
+				}
+				if len(flip) != len(a.Prims) {
+					return nil, fmt.Errorf("core: objective %q: %d flip deltas for %d primitives", name, len(flip), len(a.Prims))
+				}
+				co.flip = flip
+			}
 		default:
 			return nil, fmt.Errorf("core: objective %q implements neither LinearObjective nor GenomeObjective", name)
 		}

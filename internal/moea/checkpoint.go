@@ -61,6 +61,18 @@ type Checkpoint struct {
 	// accounting of the interrupted prefix.
 	Evaluations            int
 	CacheHits, CacheMisses int64
+	// DeltaEvals and FullEvals split Evaluations by evaluation path
+	// (format version 3; zero when decoded from older checkpoints, which
+	// predate delta evaluation).
+	DeltaEvals, FullEvals int
+	// Islands is the island count of an island-model run (format
+	// version 3; zero for a classic single-population checkpoint). An
+	// island checkpoint carries the whole lockstep state in IslandCkpts
+	// — one nested single-population checkpoint per island, in ring
+	// order — and its own Pop/Archive/Memo are empty: the top level
+	// records only the aggregate accounting.
+	Islands     int
+	IslandCkpts []*Checkpoint
 	// Pop and Archive are the live individuals at the loop top (Archive
 	// is empty for NSGA-II).
 	Pop, Archive []CheckpointIndividual
@@ -87,13 +99,20 @@ type MemoEntry struct {
 // ckptMagic identifies the format; the trailing byte is the current
 // version. Version 2 made the header objective count authoritative
 // (v1 inferred it from the first serialized individual at encode time,
-// which misreports on an empty population); the wire layout is
-// unchanged, so the decoder accepts both versions.
+// which misreports on an empty population). Version 3 added the
+// delta/full evaluation split to the header and, for island-model runs,
+// an island section: a count after the memo count and one
+// length-prefixed nested checkpoint blob per island after the memo
+// entries. The decoder accepts all three versions and re-encoding
+// preserves the decoded version, so decode∘encode stays the identity.
 var ckptMagic = [8]byte{'R', 'S', 'N', 'C', 'K', 'P', 'T', ckptVersion}
 
 const (
-	ckptVersion    = 2
+	ckptVersion    = 3
 	ckptVersionMin = 1
+	// ckptMaxIslands bounds the island count accepted by the decoder;
+	// far above any real configuration.
+	ckptMaxIslands = 4096
 )
 
 // ckptMaxBits bounds NumBits accepted by the decoder — far above any
@@ -105,18 +124,18 @@ const ckptMaxBits = 1 << 28
 // the individuals and cache entries, and a trailing FNV-1a checksum
 // over everything before it.
 func EncodeCheckpoint(cp *Checkpoint) []byte {
+	ver := cp.version
+	if ver == 0 {
+		ver = ckptVersion
+	}
 	nwords := (cp.NumBits + 63) / 64
 	m := cp.headerObjectives()
 	indSize := nwords*8 + m*8 + 16
-	size := len(ckptMagic) + 1 + len(cp.Algorithm) + 69 +
+	size := len(ckptMagic) + 1 + len(cp.Algorithm) + 89 +
 		(len(cp.Pop)+len(cp.Archive))*indSize + len(cp.Memo)*(nwords*8+m*8) + 8
 	b := make([]byte, 0, size)
 	b = append(b, ckptMagic[:7]...)
-	if cp.version != 0 {
-		b = append(b, cp.version)
-	} else {
-		b = append(b, ckptVersion)
-	}
+	b = append(b, ver)
 	b = append(b, byte(len(cp.Algorithm)))
 	b = append(b, cp.Algorithm...)
 	b = le64(b, uint64(cp.Seed))
@@ -133,9 +152,16 @@ func EncodeCheckpoint(cp *Checkpoint) []byte {
 	b = le64(b, uint64(cp.Evaluations))
 	b = le64(b, uint64(cp.CacheHits))
 	b = le64(b, uint64(cp.CacheMisses))
+	if ver >= 3 {
+		b = le64(b, uint64(cp.DeltaEvals))
+		b = le64(b, uint64(cp.FullEvals))
+	}
 	b = le32(b, uint32(len(cp.Pop)))
 	b = le32(b, uint32(len(cp.Archive)))
 	b = le32(b, uint32(len(cp.Memo)))
+	if ver >= 3 {
+		b = le32(b, uint32(len(cp.IslandCkpts)))
+	}
 	for _, in := range cp.Pop {
 		b = appendGenome(b, in.Genome, nwords)
 		b = appendFloats(b, in.Obj)
@@ -151,6 +177,13 @@ func EncodeCheckpoint(cp *Checkpoint) []byte {
 	for _, e := range cp.Memo {
 		b = appendGenome(b, e.Genome, nwords)
 		b = appendFloats(b, e.Obj)
+	}
+	if ver >= 3 {
+		for _, ic := range cp.IslandCkpts {
+			blob := EncodeCheckpoint(ic)
+			b = le32(b, uint32(len(blob)))
+			b = append(b, blob...)
+		}
 	}
 	return le64(b, fnv1a(b))
 }
@@ -186,6 +219,13 @@ func (cp *Checkpoint) numObjectives() int {
 // mismatch, counts inconsistent with the payload size — returns an
 // error wrapping ErrCheckpointCorrupt; no input panics.
 func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	return decodeCheckpoint(data, 0)
+}
+
+// decodeCheckpoint is DecodeCheckpoint with a nesting depth: island
+// sub-checkpoints (depth 1) are single-population runs and may not
+// carry islands of their own, which bounds the recursion.
+func decodeCheckpoint(data []byte, depth int) (*Checkpoint, error) {
 	if len(data) < len(ckptMagic)+8 {
 		return nil, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCheckpointCorrupt, len(data))
 	}
@@ -212,21 +252,41 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	cp.Evaluations = int(r.u64())
 	cp.CacheHits = int64(r.u64())
 	cp.CacheMisses = int64(r.u64())
+	if cp.version >= 3 {
+		cp.DeltaEvals = int(r.u64())
+		cp.FullEvals = int(r.u64())
+	}
 	npop := int(r.u32())
 	narch := int(r.u32())
 	nmemo := int(r.u32())
+	nislands := 0
+	if cp.version >= 3 {
+		nislands = int(r.u32())
+	}
 	if r.bad {
 		return nil, fmt.Errorf("%w: truncated header", ErrCheckpointCorrupt)
 	}
 	if cp.NumBits < 0 || cp.NumBits > ckptMaxBits || m < 0 || m > 64 ||
-		cp.Generation < 0 || cp.Population < 0 || cp.Evaluations < 0 {
+		cp.Generation < 0 || cp.Population < 0 || cp.Evaluations < 0 ||
+		cp.DeltaEvals < 0 || cp.FullEvals < 0 || nislands > ckptMaxIslands {
 		return nil, fmt.Errorf("%w: implausible header values", ErrCheckpointCorrupt)
 	}
+	if nislands > 0 && depth > 0 {
+		return nil, fmt.Errorf("%w: nested island checkpoint", ErrCheckpointCorrupt)
+	}
+	cp.Islands = nislands
 	nwords := (cp.NumBits + 63) / 64
 	indSize := uint64(nwords)*8 + uint64(m)*8 + 16
 	memoSize := uint64(nwords)*8 + uint64(m)*8
 	want := uint64(npop)*indSize + uint64(narch)*indSize + uint64(nmemo)*memoSize
-	if uint64(len(r.b)) != want {
+	if cp.version >= 3 {
+		// The island blobs that follow the memo entries are
+		// length-prefixed, so only a lower bound is known here; the
+		// trailing-bytes check below closes the envelope.
+		if uint64(len(r.b)) < want {
+			return nil, fmt.Errorf("%w: payload is %d bytes, header implies at least %d", ErrCheckpointCorrupt, len(r.b), want)
+		}
+	} else if uint64(len(r.b)) != want {
 		return nil, fmt.Errorf("%w: payload is %d bytes, header implies %d", ErrCheckpointCorrupt, len(r.b), want)
 	}
 	readInd := func() CheckpointIndividual {
@@ -248,6 +308,20 @@ func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
 	cp.Memo = make([]MemoEntry, nmemo)
 	for i := range cp.Memo {
 		cp.Memo[i] = MemoEntry{Genome: r.genome(nwords), Obj: r.floats(m)}
+	}
+	if nislands > 0 {
+		cp.IslandCkpts = make([]*Checkpoint, nislands)
+		for i := range cp.IslandCkpts {
+			blob := r.take(int(r.u32()))
+			if r.bad {
+				return nil, fmt.Errorf("%w: truncated island section", ErrCheckpointCorrupt)
+			}
+			ic, err := decodeCheckpoint(blob, depth+1)
+			if err != nil {
+				return nil, fmt.Errorf("island %d: %w", i, err)
+			}
+			cp.IslandCkpts[i] = ic
+		}
 	}
 	if r.bad || len(r.b) != 0 {
 		return nil, fmt.Errorf("%w: trailing or missing payload bytes", ErrCheckpointCorrupt)
@@ -299,6 +373,8 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 // by the engine's parameters.
 func (e *engine) validateResume(algo string, cp *Checkpoint) error {
 	switch {
+	case cp.Islands > 0:
+		return fmt.Errorf("%w: island checkpoint (%d islands) cannot resume a single-population run", ErrCheckpointMismatch, cp.Islands)
 	case cp.Algorithm != algo:
 		return fmt.Errorf("%w: checkpoint is a %s run, resuming %s", ErrCheckpointMismatch, cp.Algorithm, algo)
 	case cp.Seed != e.par.Seed:

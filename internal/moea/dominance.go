@@ -2,7 +2,7 @@ package moea
 
 import (
 	"math"
-	"sort"
+	"slices"
 )
 
 // Dominates reports whether objective vector a Pareto-dominates b: a is
@@ -42,14 +42,17 @@ func ParetoFilter(pop []Individual) []Individual {
 }
 
 func sortByObjectives(front []Individual) {
-	sort.Slice(front, func(i, j int) bool {
-		a, b := front[i].Obj, front[j].Obj
+	slices.SortFunc(front, func(x, y Individual) int {
+		a, b := x.Obj, y.Obj
 		for k := range a {
 			if a[k] != b[k] {
-				return a[k] < b[k]
+				if a[k] < b[k] {
+					return -1
+				}
+				return 1
 			}
 		}
-		return false
+		return 0
 	})
 }
 
@@ -121,11 +124,20 @@ func Hypervolume(front []Individual, ref []float64) float64 {
 // second objective seen so far, and the reference corner. Every point
 // strictly dominates ref.
 func hypervolume2(pts [][]float64, ref []float64) float64 {
-	sort.Slice(pts, func(i, j int) bool {
-		if pts[i][0] != pts[j][0] {
-			return pts[i][0] < pts[j][0]
+	slices.SortFunc(pts, func(a, b []float64) int {
+		if a[0] != b[0] {
+			if a[0] < b[0] {
+				return -1
+			}
+			return 1
 		}
-		return pts[i][1] < pts[j][1]
+		switch {
+		case a[1] < b[1]:
+			return -1
+		case a[1] > b[1]:
+			return 1
+		}
+		return 0
 	})
 	hv := 0.0
 	bestY := math.Inf(1)
@@ -150,8 +162,14 @@ func hvSlice(pts [][]float64, ref []float64) float64 {
 	if m == 2 {
 		return hypervolume2(pts, ref)
 	}
-	sort.Slice(pts, func(i, j int) bool {
-		return pts[i][m-1] < pts[j][m-1]
+	slices.SortFunc(pts, func(a, b []float64) int {
+		switch {
+		case a[m-1] < b[m-1]:
+			return -1
+		case a[m-1] > b[m-1]:
+			return 1
+		}
+		return 0
 	})
 	hv := 0.0
 	proj := make([][]float64, 0, len(pts))

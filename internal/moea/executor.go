@@ -38,23 +38,27 @@ type Executor struct {
 	ctx     context.Context // nil = never cancelled
 	p       Problem
 	bp      BatchProblem // non-nil when p implements the batch fast path
+	dp      DeltaProblem // non-nil when p offers delta evaluation
 	m       int
 	workers int
 	memo    *memoCache // non-nil when memoization is enabled
 
 	// Reused per-batch scratch: the flattened genome/objective views
 	// handed to BatchProblem, the per-index hash/hit arrays of the memo
-	// lookup pass, the compacted miss list, and the per-index
-	// evaluation-completed mask of the failure paths.
-	gsBuf   []Genome
-	outsBuf [][]float64
-	hashBuf []uint64
-	hitBuf  []bool
-	missBuf []Individual
-	missIdx []int32
-	okBuf   []bool
+	// lookup pass, the compacted miss list (with its original indices
+	// and evaluation bases), and the per-index evaluation-completed
+	// mask of the failure paths.
+	gsBuf    []Genome
+	outsBuf  [][]float64
+	hashBuf  []uint64
+	hitBuf   []bool
+	missBuf  []Individual
+	missIdx  []int32
+	missBase []EvalBase
+	okBuf    []bool
 
 	evals     *telemetry.Counter   // moea.evaluations
+	deltas    *telemetry.Counter   // moea.delta.evaluations
 	parEvals  *telemetry.Counter   // moea.parallel.evaluations
 	panics    *telemetry.Counter   // moea.panics
 	batchSize *telemetry.Gauge     // moea.executor.batch_size
@@ -75,12 +79,16 @@ func NewExecutor(ctx context.Context, p Problem, workers int, tel *telemetry.Col
 		m:         p.NumObjectives(),
 		workers:   workers,
 		evals:     tel.Counter("moea.evaluations"),
+		deltas:    tel.Counter("moea.delta.evaluations"),
 		parEvals:  tel.Counter("moea.parallel.evaluations"),
 		panics:    tel.Counter("moea.panics"),
 		batchSize: tel.Gauge("moea.executor.batch_size"),
 		util:      tel.Histogram("moea.executor.utilization_pct"),
 	}
 	e.bp, _ = p.(BatchProblem)
+	if dp, ok := p.(DeltaProblem); ok && dp.CanDelta() {
+		e.dp = dp
+	}
 	if memoize {
 		e.memo = newMemoCache(tel)
 	}
@@ -100,17 +108,20 @@ func (e *Executor) cancelled() bool { return e.ctx != nil && e.ctx.Err() != nil 
 
 // Evaluate fills the objective vector of every individual in the batch
 // and returns the number of true (non-cached) objective evaluations
-// performed — exactly the completed ones, even on failure. The error is
+// performed — exactly the completed ones, even on failure — and how
+// many of those were resolved incrementally from their evaluation base
+// (always 0 unless the problem offers delta evaluation and bases are
+// provided; bases, when non-nil, is indexed like batch). The error is
 // ErrInterrupted when the context cancelled the batch (some objective
 // slots are then unwritten and the batch must be discarded), or a
 // *PanicError when an evaluation panicked.
-func (e *Executor) Evaluate(batch []Individual) (int, error) {
+func (e *Executor) Evaluate(batch []Individual, bases []EvalBase) (evaluated, delta int, err error) {
 	n := len(batch)
 	if n == 0 {
-		return 0, nil
+		return 0, 0, nil
 	}
 	if e.cancelled() {
-		return 0, ErrInterrupted
+		return 0, 0, ErrInterrupted
 	}
 	for i := range batch {
 		if batch[i].Obj == nil {
@@ -119,11 +130,12 @@ func (e *Executor) Evaluate(batch []Individual) (int, error) {
 	}
 	e.batchSize.Set(float64(n))
 	if e.memo == nil {
-		_, evaluated, err := e.evaluateAll(batch)
+		_, evaluated, delta, err := e.evaluateAll(batch, bases)
 		e.evals.Add(int64(evaluated))
-		return evaluated, err
+		e.deltas.Add(int64(delta))
+		return evaluated, delta, err
 	}
-	return e.evaluateMemo(batch)
+	return e.evaluateMemo(batch, bases)
 }
 
 // evaluateMemo is the memoized batch path: a parallel lookup pass
@@ -131,8 +143,10 @@ func (e *Executor) Evaluate(batch []Individual) (int, error) {
 // batch order, so chunking stays deterministic) and evaluated, and the
 // new results are stored in this serial section, visible to the
 // lock-free lookups of later batches. On interruption or panic only the
-// chunks that completed are stored and accounted.
-func (e *Executor) evaluateMemo(batch []Individual) (int, error) {
+// chunks that completed are stored and accounted. Delta evaluation only
+// accelerates the miss evaluations, so the hit/miss accounting is
+// untouched by it.
+func (e *Executor) evaluateMemo(batch []Individual, bases []EvalBase) (int, int, error) {
 	n := len(batch)
 	if cap(e.hashBuf) < n {
 		e.hashBuf = make([]uint64, n)
@@ -152,32 +166,46 @@ func (e *Executor) evaluateMemo(batch []Individual) (int, error) {
 	})
 	miss := e.missBuf[:0]
 	missIdx := e.missIdx[:0]
+	missBase := e.missBase[:0]
 	for i := range hits {
 		if !hits[i] {
 			miss = append(miss, batch[i])
 			missIdx = append(missIdx, int32(i))
+			if bases != nil {
+				missBase = append(missBase, bases[i])
+			}
 		}
 	}
-	ok, evaluated, err := e.evaluateAll(miss)
+	if bases == nil {
+		missBase = nil
+	}
+	ok, evaluated, delta, err := e.evaluateAll(miss, missBase)
 	for j := range miss {
 		if ok[j] {
 			e.memo.store(hashes[missIdx[j]], miss[j].G, miss[j].Obj)
 		}
 	}
 	e.evals.Add(int64(evaluated))
+	e.deltas.Add(int64(delta))
 	e.memo.account(int64(n-len(miss)), int64(evaluated))
 	clear(miss) // drop genome references; the backing arrays are reused
 	e.missBuf, e.missIdx = miss[:0], missIdx[:0]
-	return evaluated, err
+	if missBase != nil {
+		clear(missBase)
+		e.missBase = missBase[:0]
+	}
+	return evaluated, delta, err
 }
 
 // evaluateAll evaluates the batch, splitting it across the worker pool
 // when it is large enough. Batches below 2*minParallelChunk (and all
 // batches at workers=1) run on the calling goroutine. ok[i] reports
 // whether slot i was evaluated (all true on a nil error); evaluated is
-// the exact count. A panic outranks an interruption in the returned
-// error, and the pool always drains before returning.
-func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, err error) {
+// the exact count and delta the number of evaluations resolved
+// incrementally (only completed chunks count toward either). A panic
+// outranks an interruption in the returned error, and the pool always
+// drains before returning.
+func (e *Executor) evaluateAll(batch []Individual, bases []EvalBase) (ok []bool, evaluated, delta int, err error) {
 	n := len(batch)
 	if cap(e.okBuf) < n {
 		e.okBuf = make([]bool, n)
@@ -185,7 +213,7 @@ func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, er
 	ok = e.okBuf[:n]
 	clear(ok)
 	if n == 0 {
-		return ok, 0, nil
+		return ok, 0, 0, nil
 	}
 	if cap(e.gsBuf) < n {
 		e.gsBuf = make([]Genome, n)
@@ -200,15 +228,22 @@ func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, er
 		clear(gs)
 		clear(outs)
 	}()
+	baseSlice := func(lo, hi int) []EvalBase {
+		if bases == nil {
+			return nil
+		}
+		return bases[lo:hi]
+	}
 	if e.workers == 1 || n < 2*minParallelChunk {
 		if e.cancelled() {
-			return ok, 0, ErrInterrupted
+			return ok, 0, 0, ErrInterrupted
 		}
-		if perr := e.evaluateRange(gs, outs, 0); perr != nil {
-			return ok, 0, perr
+		d, perr := e.evaluateRange(gs, outs, baseSlice(0, n), 0)
+		if perr != nil {
+			return ok, 0, 0, perr
 		}
 		markEvaluated(ok, 0, n)
-		return ok, n, nil
+		return ok, n, d, nil
 	}
 	chunk := (n + e.workers - 1) / e.workers
 	if chunk < minParallelChunk {
@@ -217,6 +252,7 @@ func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, er
 	spawned := (n + chunk - 1) / chunk
 	busy := make([]time.Duration, spawned)
 	errs := make([]error, spawned)
+	dcount := make([]int, spawned)
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < spawned; w++ {
@@ -236,7 +272,7 @@ func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, er
 				return
 			}
 			t0 := time.Now()
-			if errs[w] = e.evaluateRange(gs[lo:hi], outs[lo:hi], lo); errs[w] == nil {
+			if dcount[w], errs[w] = e.evaluateRange(gs[lo:hi], outs[lo:hi], baseSlice(lo, hi), lo); errs[w] == nil {
 				markEvaluated(ok, lo, hi) // disjoint ranges: no contention
 			}
 			busy[w] = time.Since(t0)
@@ -246,6 +282,11 @@ func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, er
 	for i := range ok {
 		if ok[i] {
 			evaluated++
+		}
+	}
+	for w := range errs {
+		if errs[w] == nil {
+			delta += dcount[w]
 		}
 	}
 	e.parEvals.Add(int64(evaluated))
@@ -263,12 +304,12 @@ func (e *Executor) evaluateAll(batch []Individual) (ok []bool, evaluated int, er
 		switch cerr.(type) {
 		case nil:
 		case *PanicError:
-			return ok, evaluated, cerr
+			return ok, evaluated, delta, cerr
 		default:
 			interrupted = cerr
 		}
 	}
-	return ok, evaluated, interrupted
+	return ok, evaluated, delta, interrupted
 }
 
 // markEvaluated flips the completed range of the evaluation mask.
@@ -283,7 +324,7 @@ func markEvaluated(ok []bool, lo, hi int) {
 // an evaluation is recovered into a *PanicError carrying the offending
 // genome (per-genome path) or the chunk (batch path) as root-cause
 // evidence.
-func (e *Executor) evaluateRange(gs []Genome, outs [][]float64, base int) (err error) {
+func (e *Executor) evaluateRange(gs []Genome, outs [][]float64, bases []EvalBase, base int) (delta int, err error) {
 	cur := -1
 	defer func() {
 		if r := recover(); r != nil {
@@ -296,15 +337,30 @@ func (e *Executor) evaluateRange(gs []Genome, outs [][]float64, base int) (err e
 			err = pe
 		}
 	}()
+	if e.dp != nil && bases != nil {
+		// Delta path: try each item against its recorded base; a nil base
+		// or a declined delta falls back to a full evaluation. The
+		// delta/full decision is a pure function of the genomes, so the
+		// split is identical at every worker count.
+		for i := range gs {
+			cur = i
+			if b := bases[i]; b.G != nil && e.dp.EvaluateDelta(gs[i], b.G, b.Obj, outs[i]) {
+				delta++
+			} else {
+				e.p.Evaluate(gs[i], outs[i])
+			}
+		}
+		return delta, nil
+	}
 	if e.bp != nil {
 		e.bp.EvaluateBatch(gs, outs)
-		return nil
+		return 0, nil
 	}
 	for i := range gs {
 		cur = i
 		e.p.Evaluate(gs[i], outs[i])
 	}
-	return nil
+	return 0, nil
 }
 
 // parallelFor runs f over contiguous chunks of [0, n) on up to workers

@@ -142,14 +142,22 @@ func TestExecutorTelemetry(t *testing.T) {
 
 // TestAssignFitness2MatchesReference cross-checks the two-objective
 // fitness fast path against an independent brute-force implementation of
-// the SPEA-2 definition, bit for bit.
+// the SPEA-2 definition, bit for bit. Half the trials quantize the
+// objectives to a handful of integer levels, forcing per-coordinate
+// ties and exact duplicate points — the cases the Fenwick-sweep
+// strength/raw-fitness computation must count exactly like the
+// pairwise definition (equal points dominate neither way).
 func TestAssignFitness2MatchesReference(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
-	for trial := 0; trial < 20; trial++ {
+	for trial := 0; trial < 40; trial++ {
 		n := 5 + rng.Intn(120)
 		union := make([]Individual, n)
 		for i := range union {
-			union[i] = Individual{Obj: []float64{rng.Float64() * 10, rng.Float64() * 10}}
+			if trial%2 == 0 {
+				union[i] = Individual{Obj: []float64{rng.Float64() * 10, rng.Float64() * 10}}
+			} else {
+				union[i] = Individual{Obj: []float64{float64(rng.Intn(6)), float64(rng.Intn(6))}}
+			}
 		}
 		ref := make([]Individual, n)
 		copy(ref, union)

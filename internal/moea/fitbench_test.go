@@ -1,0 +1,45 @@
+package moea
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkAssignFitness2 exercises the two-objective fitness fast path
+// on a union shaped like a converged selective-hardening population:
+// obj0 spread over a wide integer range, obj1 over a narrow one, both
+// with heavy ties and exact duplicates.
+func BenchmarkAssignFitness2(b *testing.B) {
+	for _, n := range []int{128, 416} {
+		b.Run(itoa(n), func(b *testing.B) {
+			rng := rand.New(rand.NewSource(7))
+			union := make([]Individual, n)
+			for i := range union {
+				base := float64(rng.Intn(n / 4))
+				union[i] = Individual{Obj: []float64{
+					1e6 * base * (1 + rng.Float64()*0.001),
+					float64(rng.Intn(80)),
+				}}
+			}
+			var s fitScratch
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				assignFitness(union, 2, 1, &s)
+			}
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

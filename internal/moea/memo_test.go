@@ -132,14 +132,15 @@ func TestGenerationAllocs(t *testing.T) {
 	for name, algo := range map[string]func(Problem, Params) (*Result, error){"SPEA2": SPEA2, "NSGA2": NSGA2} {
 		short, long := run(algo, 30), run(algo, 130)
 		perGen := float64(long-short) / 100
-		// The remaining per-generation allocations are sort.Slice
-		// closures and (for NSGA-II) per-front sorting — O(1) small
-		// allocations, not O(population) buffers. Measured steady state
-		// is under 10/gen; 64 leaves headroom for runtime-internal
-		// variation. Before the arena the loop allocated 2×population
-		// genome and objective buffers per generation (thousands).
-		if perGen > 64 {
-			t.Errorf("%s: %.1f allocs per generation in steady state, want <= 64", name, perGen)
+		// With the hot sorts on slices.SortFunc (no closure or Swapper
+		// allocation) the remaining steady state is occasional growth of
+		// the per-index dominance lists and front buffers — measured
+		// under 4/gen. 16 leaves headroom for runtime-internal variation
+		// while catching any O(population) buffer reintroduced into the
+		// loop (before the arena it allocated 2×population genome and
+		// objective buffers per generation — thousands).
+		if perGen > 16 {
+			t.Errorf("%s: %.1f allocs per generation in steady state, want <= 16", name, perGen)
 		}
 		t.Logf("%s: %.1f allocs/gen steady-state", name, perGen)
 	}

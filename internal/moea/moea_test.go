@@ -102,17 +102,17 @@ func TestKSelect(t *testing.T) {
 	for k := 1; k <= 5; k++ {
 		sel := newKSelect(k)
 		for _, x := range v {
-			sel.offer(x)
+			sel.offer(x, 1)
 		}
 		if got := sel.kth(); got != float64(k) {
 			t.Errorf("kSelect(k=%d).kth() = %v, want %v", k, got, float64(k))
 		}
 	}
-	// Fewer than k values: the largest seen, matching the clamped
+	// Fewer than k copies: the largest seen, matching the clamped
 	// quickselect it replaced. Empty: 0.
 	sel := newKSelect(10)
-	sel.offer(2)
-	sel.offer(7)
+	sel.offer(2, 1)
+	sel.offer(7, 1)
 	if got := sel.kth(); got != 7 {
 		t.Errorf("underfull kth() = %v, want 7", got)
 	}
@@ -120,21 +120,40 @@ func TestKSelect(t *testing.T) {
 	if got := sel.kth(); got != 0 {
 		t.Errorf("empty kth() = %v, want 0", got)
 	}
-	// Randomized cross-check against a full sort.
+	// Randomized cross-check against a full sort, with multiplicities:
+	// offering (d, c) must select exactly like c copies of d.
 	rng := rand.New(rand.NewSource(42))
-	for trial := 0; trial < 50; trial++ {
-		n := 1 + rng.Intn(100)
-		k := 1 + rng.Intn(n)
-		vals := make([]float64, n)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(60)
+		var vals []float64
+		type wv struct {
+			d float64
+			c int
+		}
+		offers := make([]wv, n)
+		for i := range offers {
+			d := rng.Float64()
+			if trial%3 == 0 {
+				d = float64(rng.Intn(5)) // force ties across offers
+			}
+			c := 1
+			if trial%2 == 1 {
+				c = 1 + rng.Intn(4)
+			}
+			offers[i] = wv{d, c}
+			for j := 0; j < c; j++ {
+				vals = append(vals, d)
+			}
+		}
+		k := 1 + rng.Intn(len(vals))
 		sel := newKSelect(k)
-		for i := range vals {
-			vals[i] = rng.Float64()
-			sel.offer(vals[i])
+		for _, o := range offers {
+			sel.offer(o.d, o.c)
 		}
 		sorted := append([]float64(nil), vals...)
 		sort.Float64s(sorted)
 		if got := sel.kth(); got != sorted[k-1] {
-			t.Fatalf("trial %d: kth(k=%d,n=%d) = %v, want %v", trial, k, n, got, sorted[k-1])
+			t.Fatalf("trial %d: kth(k=%d,copies=%d) = %v, want %v", trial, k, len(vals), got, sorted[k-1])
 		}
 	}
 }

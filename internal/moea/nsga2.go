@@ -4,7 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // NSGA2 runs the elitist nondominated-sorting genetic algorithm of Deb,
@@ -15,78 +15,149 @@ import (
 // evaluation, buffer recycling and the OnGeneration protocol come from
 // the shared engine runtime.
 func NSGA2(p Problem, par Params) (*Result, error) {
+	if par.Islands > 1 {
+		return runIslands("nsga2", p, par)
+	}
 	e, err := newEngine(p, &par)
 	if err != nil {
 		return nil, err
 	}
-	pop, _, gen0, err := e.start("nsga2")
+	r, gen0, err := newNSGA2Run(e)
 	if err != nil {
 		if errors.Is(err, ErrInterrupted) {
 			e.res.Interrupted = true
-			return e.finish(pop), nil
+			return e.finish(r.pop), nil
 		}
 		return nil, err
 	}
-	if par.Resume == nil {
-		rankAndCrowd(pop, e.m, &e.nsga)
-	}
-	var offspring []Individual
 	for gen := gen0; gen < par.Generations; gen++ {
 		if e.stopRequested() {
 			e.res.Interrupted = true
-			if cerr := e.checkpointNow("nsga2", gen, pop, nil); cerr != nil {
+			if cerr := e.checkpointNow("nsga2", gen, r.pop, nil); cerr != nil {
 				return nil, cerr
 			}
 			break
 		}
-		if cerr := e.checkpointIfDue("nsga2", gen, gen0, pop, nil); cerr != nil {
+		if cerr := e.checkpointIfDue("nsga2", gen, gen0, r.pop, nil); cerr != nil {
 			return nil, cerr
 		}
-		offspring, err = e.offspring(offspring, nsga2Tournament(pop, &par, e.rng))
-		if err != nil {
+		if err := r.selectPhase(gen); err != nil {
 			if errors.Is(err, ErrInterrupted) {
 				e.res.Interrupted = true
 				break
 			}
 			return nil, err
 		}
-		union := e.unionInto(pop, offspring)
-		fronts := nondominatedSort(union, &e.nsga)
-		pop = pop[:0]
-		for _, f := range fronts {
-			crowdingDistance(union, f, e.m, &e.nsga)
-			if len(pop)+len(f) <= par.Population {
-				for _, i := range f {
-					pop = append(pop, union[i])
-				}
-				continue
-			}
-			rest := par.Population - len(pop)
-			sort.Slice(f, func(a, b int) bool { return union[f[a]].density > union[f[b]].density })
-			for _, i := range f[:rest] {
+		if !e.hooks(gen, r.pop) || gen == par.Generations-1 {
+			break
+		}
+		r.breedPhase()
+	}
+	return e.finish(r.pop), nil
+}
+
+// nsga2Run is NSGA-II decomposed into the two phases the island driver
+// interleaves with migration. NSGA-II breeds at the top of a generation
+// (from the ranked population of the previous one), so its selection
+// phase covers breeding, the nondominated sort and the crowded
+// truncation; the breed phase is only the buffer recycle that must wait
+// until migration has decided which union members stay referenced.
+type nsga2Run struct {
+	e   *engine
+	pop []Individual
+	off []Individual
+	// lastUnion is the union buffer of the last selectPhase, still
+	// holding the dead individuals breedPhase must recycle.
+	lastUnion []Individual
+}
+
+// newNSGA2Run initializes or resumes a run, returning the generation to
+// re-enter the loop at.
+func newNSGA2Run(e *engine) (*nsga2Run, int, error) {
+	pop, _, gen0, err := e.start("nsga2")
+	r := &nsga2Run{e: e, pop: pop}
+	if err != nil {
+		return r, gen0, err
+	}
+	if e.par.Resume == nil {
+		rankAndCrowd(pop, e.m, &e.nsga)
+	}
+	return r, gen0, nil
+}
+
+// selectPhase breeds and evaluates the offspring of generation gen,
+// sorts the union and rebuilds the population by rank and crowding,
+// counting the generation as completed. On an interrupted evaluation
+// the previous population is left intact (the partial result).
+func (r *nsga2Run) selectPhase(gen int) error {
+	e := r.e
+	var err error
+	r.off, err = e.offspring(r.off, nsga2Tournament(r.pop, e.par, e.rng))
+	if err != nil {
+		return err
+	}
+	union := e.unionInto(r.pop, r.off)
+	fronts := nondominatedSort(union, &e.nsga)
+	pop := r.pop[:0]
+	for _, f := range fronts {
+		crowdingDistance(union, f, e.m, &e.nsga)
+		if len(pop)+len(f) <= e.par.Population {
+			for _, i := range f {
 				pop = append(pop, union[i])
 			}
-			break
+			continue
 		}
-		if !e.onGeneration(gen, pop) {
-			break
+		rest := e.par.Population - len(pop)
+		slices.SortFunc(f, func(a, b int) int {
+			switch {
+			case union[a].density > union[b].density:
+				return -1
+			case union[a].density < union[b].density:
+				return 1
+			}
+			return 0
+		})
+		for _, i := range f[:rest] {
+			pop = append(pop, union[i])
 		}
-		e.recycle(union, pop)
+		break
 	}
-	return e.finish(pop), nil
+	r.pop = pop
+	r.lastUnion = union
+	e.res.Generations = gen + 1
+	return nil
+}
+
+// breedPhase recycles the non-survivors of the last selection; the
+// actual breeding happens at the top of the next selectPhase.
+func (r *nsga2Run) breedPhase() error {
+	r.e.recycle(r.lastUnion, r.pop)
+	return nil
+}
+
+// current is the set to extract a front from.
+func (r *nsga2Run) current() []Individual { return r.pop }
+
+// Island-driver hooks: NSGA-II migrates through the population, ordered
+// by the crowded comparison (rank, then crowding distance).
+func (r *nsga2Run) eng() *engine                 { return r.e }
+func (r *nsga2Run) pool() []Individual           { return r.pop }
+func (r *nsga2Run) better(a, b *Individual) bool { return crowdedLess(a, b) }
+func (r *nsga2Run) snapshot(gen int) *Checkpoint {
+	return r.e.snapshot("nsga2", gen, r.pop, nil)
 }
 
 // nsga2Tournament is NSGA-II's mating selection: the crowded-comparison
 // winner of a size-TournamentSize tournament over the population.
-func nsga2Tournament(pop []Individual, par *Params, rng *rand.Rand) func() Genome {
-	return func() Genome {
+func nsga2Tournament(pop []Individual, par *Params, rng *rand.Rand) func() *Individual {
+	return func() *Individual {
 		best := rng.Intn(len(pop))
 		for t := 1; t < par.TournamentSize; t++ {
 			if c := rng.Intn(len(pop)); crowdedLess(&pop[c], &pop[best]) {
 				best = c
 			}
 		}
-		return pop[best].G
+		return &pop[best]
 	}
 }
 
@@ -208,7 +279,15 @@ func crowdingDistance(pop []Individual, front []int, m int, s *nsgaScratch) {
 	}
 	for k := 0; k < m; k++ {
 		copy(idx, front)
-		sort.Slice(idx, func(a, b int) bool { return pop[idx[a]].Obj[k] < pop[idx[b]].Obj[k] })
+		slices.SortFunc(idx, func(a, b int) int {
+			switch {
+			case pop[a].Obj[k] < pop[b].Obj[k]:
+				return -1
+			case pop[a].Obj[k] > pop[b].Obj[k]:
+				return 1
+			}
+			return 0
+		})
 		lo := pop[idx[0]].Obj[k]
 		hi := pop[idx[len(idx)-1]].Obj[k]
 		pop[idx[0]].density = math.Inf(1)

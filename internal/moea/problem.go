@@ -30,6 +30,35 @@ type BatchProblem interface {
 	EvaluateBatch(gs []Genome, outs [][]float64)
 }
 
+// DeltaProblem is an optional incremental fast path: a Problem that can
+// derive a child's objectives from an already-evaluated base genome and
+// the bit difference between the two, instead of re-scanning the whole
+// genome. The engine offers every offspring's breeding parent as the
+// base; the executor uses the path only when CanDelta reports it is
+// available for this problem instance.
+//
+// EvaluateDelta must either write into out exactly the values Evaluate
+// would produce for g (bit-for-bit — incremental arithmetic may not
+// drift) and return true, or leave out untouched and return false to
+// make the caller fall back to a full evaluation. The decision must be
+// a pure function of the genomes (typically a difference-size
+// threshold), never of timing or shared state, so evaluation stays
+// deterministic at every worker count. Implementations must be safe for
+// concurrent calls and must not retain any of the slices.
+type DeltaProblem interface {
+	Problem
+	CanDelta() bool
+	EvaluateDelta(g, base Genome, baseObj, out []float64) bool
+}
+
+// EvalBase names an already-evaluated genome whose objective vector can
+// seed a delta evaluation of a related genome (an offspring's breeding
+// parent). A zero EvalBase means "no base — evaluate fully".
+type EvalBase struct {
+	G   Genome
+	Obj []float64
+}
+
 // Individual is a candidate solution with its evaluated objectives.
 type Individual struct {
 	G   Genome
@@ -101,6 +130,22 @@ type Params struct {
 	// GOMAXPROCS, 1 forces serial evaluation. The result is
 	// bit-for-bit identical at every worker count.
 	Workers int
+	// Islands, when greater than 1, runs the island model: K seeded
+	// sub-populations (the total Population is split across them) evolve
+	// concurrently in generation lockstep, exchanging their best
+	// individuals along a ring every MigrationEvery generations, and the
+	// final front is the merged nondominated set. The run is a pure
+	// function of (Seed, Islands): bit-identical at any worker count.
+	// 0 and 1 select the classic single-population run.
+	Islands int
+	// MigrationEvery is the island-model migration interval in
+	// generations (default 10). Migration happens after the selection of
+	// every generation g with g > 0 and g % MigrationEvery == 0.
+	MigrationEvery int
+	// MigrationCount is the number of individuals each island sends to
+	// its ring successor per migration (default: a tenth of the island
+	// population, at least 1; clamped to the island size).
+	MigrationCount int
 	// Memoize enables the per-run genome-evaluation cache: repeated
 	// genomes (archive survivors, unmutated clones) are resolved from a
 	// content-hashed cache instead of re-evaluated. Results are
@@ -204,6 +249,21 @@ func (p *Params) normalize() error {
 	if p.CheckpointEvery > 0 && p.CheckpointFn == nil {
 		return fmt.Errorf("moea: CheckpointEvery set without a CheckpointFn")
 	}
+	if p.Islands < 0 {
+		return fmt.Errorf("moea: islands must be non-negative, got %d", p.Islands)
+	}
+	if p.Islands > 1 && p.Population < 2*p.Islands {
+		return fmt.Errorf("moea: population %d cannot seed %d islands of at least 2", p.Population, p.Islands)
+	}
+	if p.MigrationEvery < 0 {
+		return fmt.Errorf("moea: migration interval must be non-negative, got %d", p.MigrationEvery)
+	}
+	if p.MigrationCount < 0 {
+		return fmt.Errorf("moea: migration count must be non-negative, got %d", p.MigrationCount)
+	}
+	if p.MigrationEvery == 0 {
+		p.MigrationEvery = 10
+	}
 	return nil
 }
 
@@ -222,6 +282,12 @@ type Result struct {
 	// of the run (both zero without memoization). CacheMisses equals
 	// Evaluations when memoization is enabled.
 	CacheHits, CacheMisses int64
+	// DeltaEvals and FullEvals split Evaluations by path: evaluations
+	// resolved incrementally from a parent (DeltaProblem) versus full
+	// genome scans. They always sum to Evaluations; both values are
+	// identical at any worker count (the delta/full decision is a pure
+	// function of the genomes).
+	DeltaEvals, FullEvals int
 	// Interrupted reports that the run was cancelled before its budget
 	// (Params.Context); Front is the best front at the last completed
 	// generation boundary and the accounting covers exactly the work

@@ -42,6 +42,7 @@ type engine struct {
 	objPool    [][]float64
 	live       map[*uint64]struct{} // survivor identity during recycle
 	union      []Individual
+	bases      []EvalBase // per-offspring evaluation bases, parallel to dst
 	fit        fitScratch
 	sel        selScratch
 	nsga       nsgaScratch
@@ -79,10 +80,15 @@ func newEngine(p Problem, par *Params) (*engine, error) {
 
 // evaluate batch-evaluates the individuals, accounting only true
 // (non-cached) objective evaluations in Result.Evaluations — exactly
-// the completed ones even when the batch is interrupted or panics.
-func (e *engine) evaluate(pop []Individual) error {
-	n, err := e.exec.Evaluate(pop)
+// the completed ones even when the batch is interrupted or panics —
+// and splitting them into delta versus full evaluations. bases, when
+// non-nil, is indexed like pop and offers each individual's breeding
+// parent as an incremental-evaluation base.
+func (e *engine) evaluate(pop []Individual, bases []EvalBase) error {
+	n, d, err := e.exec.Evaluate(pop, bases)
 	e.res.Evaluations += n
+	e.res.DeltaEvals += d
+	e.res.FullEvals += n - d
 	return err
 }
 
@@ -100,6 +106,8 @@ func (e *engine) start(algo string) (pop, archive []Individual, gen0 int, err er
 			return nil, nil, 0, err
 		}
 		e.res.Evaluations = cp.Evaluations
+		e.res.DeltaEvals = cp.DeltaEvals
+		e.res.FullEvals = cp.FullEvals
 		e.res.Generations = cp.Generation
 		e.src.skip(cp.RNGDraws)
 		if err := e.exec.restoreMemo(cp); err != nil {
@@ -135,8 +143,19 @@ func (e *engine) checkpointNow(algo string, gen int, pop, archive []Individual) 
 }
 
 func (e *engine) writeCheckpoint(algo string, gen int, pop, archive []Individual) error {
+	if err := e.par.CheckpointFn(e.snapshot(algo, gen, pop, archive)); err != nil {
+		return fmt.Errorf("moea: checkpoint at generation %d: %w", gen, err)
+	}
+	return nil
+}
+
+// snapshot views the engine's current state as a checkpoint record. The
+// record aliases live buffers — valid only until the engine resumes
+// evolving. The island driver uses it directly to collect per-island
+// sub-checkpoints.
+func (e *engine) snapshot(algo string, gen int, pop, archive []Individual) *Checkpoint {
 	hits, misses := e.exec.MemoStats()
-	cp := &Checkpoint{
+	return &Checkpoint{
 		Algorithm:     algo,
 		Seed:          e.par.Seed,
 		NumBits:       e.nbits,
@@ -148,14 +167,12 @@ func (e *engine) writeCheckpoint(algo string, gen int, pop, archive []Individual
 		Evaluations:   e.res.Evaluations,
 		CacheHits:     hits,
 		CacheMisses:   misses,
+		DeltaEvals:    e.res.DeltaEvals,
+		FullEvals:     e.res.FullEvals,
 		Pop:           snapshotIndividuals(pop),
 		Archive:       snapshotIndividuals(archive),
 		Memo:          e.exec.memoSnapshot(),
 	}
-	if err := e.par.CheckpointFn(cp); err != nil {
-		return fmt.Errorf("moea: checkpoint at generation %d: %w", gen, err)
-	}
-	return nil
 }
 
 // snapshotIndividuals views live individuals as checkpoint records. The
@@ -274,14 +291,15 @@ func (e *engine) initialPopulation() ([]Individual, error) {
 		g.Randomize(e.rng, density, e.nbits)
 		pop[i] = Individual{G: g}
 	}
-	return pop, e.evaluate(pop)
+	return pop, e.evaluate(pop, nil)
 }
 
 // offspring refills dst with Population children bred from pairs of
-// pick() tournament winners, then batch-evaluates them. On error the
-// returned slice must still replace the caller's (the buffers were
-// already consumed) but its objectives are not all valid.
-func (e *engine) offspring(dst []Individual, pick func() Genome) ([]Individual, error) {
+// pick() tournament winners, then batch-evaluates them, offering each
+// child's closest breeding parent as its delta-evaluation base. On
+// error the returned slice must still replace the caller's (the buffers
+// were already consumed) but its objectives are not all valid.
+func (e *engine) offspring(dst []Individual, pick func() *Individual) ([]Individual, error) {
 	if cap(dst) < e.par.Population {
 		dst = make([]Individual, 0, e.par.Population)
 	} else {
@@ -289,24 +307,38 @@ func (e *engine) offspring(dst []Individual, pick func() Genome) ([]Individual, 
 		// must be exactly Population.
 		dst = dst[:0:e.par.Population]
 	}
+	e.bases = e.bases[:0]
 	for len(dst) < e.par.Population {
 		dst = e.vary(dst, pick(), pick())
 	}
-	return dst, e.evaluate(dst)
+	err := e.evaluate(dst, e.bases)
+	// Drop the parent-buffer aliases: the parents may die in the next
+	// selection and their buffers return to the pools.
+	clear(e.bases)
+	e.bases = e.bases[:0]
+	return dst, err
 }
 
 // vary produces one offspring pair from two parents using the
 // configured operators and appends them unevaluated to dst (respecting
-// its capacity limit). Children are written into pooled buffers; the
-// operators consume the RNG in exactly the order the historical
-// clone-and-evaluate code did, because neither pooling nor evaluation
-// touches the RNG.
-func (e *engine) vary(dst []Individual, a, b Genome) []Individual {
+// its capacity limit), recording each child's evaluation base — the
+// parent it shares the most bits with, decided from the crossover
+// geometry alone — in e.bases. Children are written into pooled
+// buffers; the operators consume the RNG in exactly the order the
+// historical clone-and-evaluate code did, because neither pooling nor
+// base bookkeeping nor evaluation touches the RNG.
+func (e *engine) vary(dst []Individual, pa, pb *Individual) []Individual {
 	par, nbits, rng := e.par, e.nbits, e.rng
+	a, b := pa.G, pb.G
 	c1 := e.grabGenome()
 	c2 := e.grabGenome()
 	c1.CopyFrom(a)
 	c2.CopyFrom(b)
+	// The base is the parent contributing the majority of each child's
+	// bits: for one-point at x, c1 is a[:x]+b[x:]; for two-point [x,y),
+	// c1 keeps a except b's middle. Uniform mixes ~half from each, so
+	// either parent works (the delta path falls back on large diffs).
+	b1, b2 := pa, pb
 	if nbits > 1 && rng.Float64() < par.PCrossover {
 		switch par.Crossover {
 		case Uniform:
@@ -324,44 +356,57 @@ func (e *engine) vary(dst []Individual, a, b Genome) []Individual {
 				}
 			}
 			crossTwoPoint(c1, c2, x, y, nbits)
+			if 2*(y-x) > nbits {
+				b1, b2 = pb, pa
+			}
 		default:
 			point := 1 + rng.Intn(nbits-1)
 			crossOnePoint(c1, c2, point)
+			if 2*point < nbits {
+				b1, b2 = pb, pa
+			}
 		}
 	}
 	c1.MutateBits(rng, par.PMutateBit, nbits)
 	c2.MutateBits(rng, par.PMutateBit, nbits)
 	dst = append(dst, Individual{G: c1, Obj: e.grabObj()})
+	e.bases = append(e.bases, EvalBase{G: b1.G, Obj: b1.Obj})
 	if len(dst) < cap(dst) {
 		dst = append(dst, Individual{G: c2, Obj: e.grabObj()})
+		e.bases = append(e.bases, EvalBase{G: b2.G, Obj: b2.Obj})
 	} else {
 		e.genomePool = append(e.genomePool, c2)
 	}
 	return dst
 }
 
-// onGeneration advances the generation counter and invokes the user
-// callbacks (if any) on the current nondominated front; it reports
-// whether the run should continue. OnProgress additionally receives
-// the engine's exact per-run accounting — evaluation and memo-cache
-// counters that, unlike collector-global telemetry, cannot be polluted
-// by concurrent runs sharing a collector.
-func (e *engine) onGeneration(gen int, current []Individual) bool {
-	e.res.Generations = gen + 1
+// progress reads the engine's exact per-run accounting — evaluation and
+// memo-cache counters that, unlike collector-global telemetry, cannot
+// be polluted by concurrent runs sharing a collector. The island driver
+// sums it across islands.
+func (e *engine) progress(gen int) Progress {
+	hits, misses := e.exec.MemoStats()
+	return Progress{
+		Gen:         gen,
+		Evaluations: e.res.Evaluations,
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+}
+
+// hooks invokes the user callbacks (if any) on the current
+// nondominated front; it reports whether the run should continue. The
+// generation counter itself is advanced by the algorithms' selection
+// phase so that island runs (which suppress per-island hooks) still
+// count generations.
+func (e *engine) hooks(gen int, current []Individual) bool {
 	if e.par.OnGeneration == nil && e.par.OnProgress == nil {
 		return true
 	}
 	front := ParetoFilter(current)
 	cont := true
 	if e.par.OnProgress != nil {
-		hits, misses := e.exec.MemoStats()
-		p := Progress{
-			Gen:         gen,
-			Evaluations: e.res.Evaluations,
-			CacheHits:   hits,
-			CacheMisses: misses,
-		}
-		cont = e.par.OnProgress(p, front)
+		cont = e.par.OnProgress(e.progress(gen), front)
 	}
 	if e.par.OnGeneration != nil && !e.par.OnGeneration(gen, front) {
 		cont = false

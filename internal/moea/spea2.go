@@ -4,7 +4,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 	"sync"
 )
 
@@ -31,15 +31,18 @@ import (
 // the loop top and at evaluation-chunk boundaries; an interrupted run
 // returns a valid partial Result with Interrupted set, never an error.
 func SPEA2(p Problem, par Params) (*Result, error) {
+	if par.Islands > 1 {
+		return runIslands("spea2", p, par)
+	}
 	e, err := newEngine(p, &par)
 	if err != nil {
 		return nil, err
 	}
-	pop, archive, gen0, err := e.start("spea2")
+	r, gen0, err := newSPEA2Run(e)
 	if err != nil {
 		if errors.Is(err, ErrInterrupted) {
 			e.res.Interrupted = true
-			return e.finish(pop), nil
+			return e.finish(r.pop), nil
 		}
 		return nil, err
 	}
@@ -48,23 +51,21 @@ func SPEA2(p Problem, par Params) (*Result, error) {
 			// The loop top is a consistent boundary — checkpoint it, so
 			// SIGINT loses no completed generation.
 			e.res.Interrupted = true
-			if cerr := e.checkpointNow("spea2", gen, pop, archive); cerr != nil {
+			if cerr := e.checkpointNow("spea2", gen, r.pop, r.archive); cerr != nil {
 				return nil, cerr
 			}
 			break
 		}
-		if cerr := e.checkpointIfDue("spea2", gen, gen0, pop, archive); cerr != nil {
+		if cerr := e.checkpointIfDue("spea2", gen, gen0, r.pop, r.archive); cerr != nil {
 			return nil, cerr
 		}
-		union := e.unionInto(pop, archive)
-		assignFitness(union, e.m, e.exec.Workers(), &e.fit)
-		archive = environmentalSelection(union, par.Archive, e.m, &e.sel)
-		if !e.onGeneration(gen, archive) || gen == par.Generations-1 {
+		if err := r.selectPhase(gen); err != nil {
+			return nil, err
+		}
+		if !e.hooks(gen, r.archive) || gen == par.Generations-1 {
 			break
 		}
-		e.recycle(union, archive)
-		pop, err = e.offspring(pop, spea2Tournament(archive, &par, e.rng))
-		if err != nil {
+		if err := r.breedPhase(); err != nil {
 			if errors.Is(err, ErrInterrupted) {
 				// Mid-batch cancellation: the half-evaluated offspring are
 				// discarded; the archive from the last completed selection
@@ -75,23 +76,84 @@ func SPEA2(p Problem, par Params) (*Result, error) {
 			return nil, err
 		}
 	}
-	if archive == nil {
-		archive = pop // interrupted before the first selection
+	return e.finish(r.current()), nil
+}
+
+// spea2Run is SPEA-2 decomposed into the two phases the island driver
+// interleaves with migration: selection (fitness over the union,
+// environmental selection into the archive) and breeding (recycle the
+// dead, tournament-select and vary the next population). The classic
+// single-population loop above is exactly selectPhase ∘ breedPhase.
+type spea2Run struct {
+	e       *engine
+	pop     []Individual
+	archive []Individual
+	// lastUnion is the union buffer of the last selectPhase, still
+	// holding the dead individuals breedPhase must recycle.
+	lastUnion []Individual
+}
+
+// newSPEA2Run initializes or resumes a run, returning the generation to
+// re-enter the loop at.
+func newSPEA2Run(e *engine) (*spea2Run, int, error) {
+	pop, archive, gen0, err := e.start("spea2")
+	return &spea2Run{e: e, pop: pop, archive: archive}, gen0, err
+}
+
+// selectPhase runs fitness assignment and environmental selection for
+// generation gen, leaving the new archive in place and counting the
+// generation as completed. The error is always nil (SPEA-2 evaluates
+// during breeding, not selection); the signature matches nsga2Run for
+// the island driver.
+func (r *spea2Run) selectPhase(gen int) error {
+	e := r.e
+	union := e.unionInto(r.pop, r.archive)
+	assignFitness(union, e.m, e.exec.Workers(), &e.fit)
+	r.archive = environmentalSelection(union, e.par.Archive, e.m, &e.sel)
+	r.lastUnion = union
+	e.res.Generations = gen + 1
+	return nil
+}
+
+// breedPhase recycles the non-survivors of the last selection and
+// breeds (and evaluates) the next population from the archive.
+func (r *spea2Run) breedPhase() error {
+	e := r.e
+	e.recycle(r.lastUnion, r.archive)
+	var err error
+	r.pop, err = e.offspring(r.pop, spea2Tournament(r.archive, e.par, e.rng))
+	return err
+}
+
+// current is the best set to extract a front from: the archive after
+// the first selection, the initial population before it.
+func (r *spea2Run) current() []Individual {
+	if r.archive == nil {
+		return r.pop
 	}
-	return e.finish(archive), nil
+	return r.archive
+}
+
+// Island-driver hooks: SPEA-2 migrates through the archive, ordered by
+// its fitness F (lower is better).
+func (r *spea2Run) eng() *engine                 { return r.e }
+func (r *spea2Run) pool() []Individual           { return r.archive }
+func (r *spea2Run) better(a, b *Individual) bool { return a.fitness < b.fitness }
+func (r *spea2Run) snapshot(gen int) *Checkpoint {
+	return r.e.snapshot("spea2", gen, r.pop, r.archive)
 }
 
 // spea2Tournament is SPEA-2's mating selection: the best-fitness winner
 // of a size-TournamentSize tournament over the archive.
-func spea2Tournament(archive []Individual, par *Params, rng *rand.Rand) func() Genome {
-	return func() Genome {
+func spea2Tournament(archive []Individual, par *Params, rng *rand.Rand) func() *Individual {
+	return func() *Individual {
 		best := rng.Intn(len(archive))
 		for t := 1; t < par.TournamentSize; t++ {
 			if c := rng.Intn(len(archive)); archive[c].fitness < archive[best].fitness {
 				best = c
 			}
 		}
-		return archive[best].G
+		return &archive[best]
 	}
 }
 
@@ -102,7 +164,29 @@ type fitScratch struct {
 	strength   []int
 	domBy      [][]int32
 	obj0, obj1 []float64
-	ord, pos   []int
+	ord        []int
+	// Fenwick-sweep scratch of the two-objective strength/raw-fitness
+	// computation: sorted/deduped obj1 values, y ranks, the tree itself,
+	// duplicate counts and the per-individual raw fitness.
+	ys        []float64
+	rank      []int
+	fen       []int
+	dup, rawf []int
+	// Distinct-point grouping of the density loop: group start offsets
+	// into ord (ng+1 entries), group coordinates and multiplicities,
+	// plus the uniform-grid buckets of the k-NN ring search (CSR cell
+	// offsets, the points of each cell, and each point's cell).
+	gs        []int
+	g0, g1    []float64
+	gcnt      []int
+	cellStart []int
+	cellPts   []int32
+	cellIdx   []int32
+	// Packed per-slot point data in cell order: coordinates and
+	// multiplicity of cellPts[p], so the scan reads contiguous memory
+	// instead of three indexed loads through the group arrays.
+	cellD0, cellD1 []float64
+	cellC          []int32
 }
 
 // domByFor returns the dominator-list array resized to n with every
@@ -159,7 +243,7 @@ func assignFitness(union []Individual, m, workers int, s *fitScratch) {
 			sel.reset()
 			for j := 0; j < n; j++ {
 				if j != i {
-					sel.offer(objDist2(union[i].Obj, union[j].Obj, invRange))
+					sel.offer(objDist2(union[i].Obj, union[j].Obj, invRange), 1)
 				}
 			}
 			sigma := sel.kth()
@@ -183,80 +267,346 @@ func assignFitness2(union []Individual, workers int, s *fitScratch) {
 		obj0[i] = union[i].Obj[0]
 		obj1[i] = union[i].Obj[1]
 	}
-	s.strength = grow(s.strength, n)
-	strength := s.strength
-	clear(strength)
-	domBy := s.domByFor(n)
-	for i := 0; i < n; i++ {
-		a0, a1 := obj0[i], obj1[i]
-		for j := i + 1; j < n; j++ {
-			b0, b1 := obj0[j], obj1[j]
-			if a0 <= b0 && a1 <= b1 {
-				if a0 < b0 || a1 < b1 {
-					strength[i]++
-					domBy[j] = append(domBy[j], int32(i))
-				}
-			} else if b0 <= a0 && b1 <= a1 {
-				strength[j]++
-				domBy[i] = append(domBy[i], int32(j))
-			}
-		}
-	}
-	inv0, inv1 := invRange2(obj0), invRange2(obj1)
-	k := kNearest(n)
-	// Sweep order for the k-NN search: indices sorted by the first
-	// objective. Expanding outward from each point in this order visits
-	// candidates by growing |Δobj0|, so once the x-distance alone reaches
-	// the current k-th best, no remaining candidate can improve it
-	// (d' ≥ Δx'² ≥ Δx² in IEEE arithmetic — rounding is monotone) and
-	// the scan stops. Typical cost per point is O(k) instead of O(n).
-	s.ord, s.pos = grow(s.ord, n), grow(s.pos, n)
-	ord, pos := s.ord, s.pos
+	// Sweep order: indices sorted lexicographically by (obj0, obj1) —
+	// the x-grouped, duplicate-contiguous order of both the
+	// strength/raw-fitness sweep and the distinct-point grouping of the
+	// density search below.
+	s.ord = grow(s.ord, n)
+	ord := s.ord
 	for i := range ord {
 		ord[i] = i
 	}
-	sort.Slice(ord, func(a, b int) bool { return obj0[ord[a]] < obj0[ord[b]] })
-	for p, i := range ord {
-		pos[i] = p
+	slices.SortFunc(ord, func(a, b int) int {
+		switch {
+		case obj0[a] < obj0[b]:
+			return -1
+		case obj0[a] > obj0[b]:
+			return 1
+		case obj1[a] < obj1[b]:
+			return -1
+		case obj1[a] > obj1[b]:
+			return 1
+		}
+		return 0
+	})
+	rawf := sweepFitness2(obj0, obj1, ord, s)
+	inv0, inv1 := invRange2(obj0), invRange2(obj1)
+	k := kNearest(n)
+
+	// Collapse exact duplicates: converged unions concentrate onto few
+	// distinct objective points, and every copy of a point has the same
+	// distance multiset — the same k-th neighbour and the same density.
+	// Runs of equal (obj0, obj1) are adjacent in ord; the k-NN search
+	// then expands over distinct points only, offering each with its
+	// multiplicity (duplicates of the query contribute exact zeros).
+	s.gs = grow(s.gs, n+1)
+	s.g0, s.g1 = grow(s.g0, n), grow(s.g1, n)
+	s.gcnt = grow(s.gcnt, n)
+	gs, g0, g1, gcnt := s.gs, s.g0, s.g1, s.gcnt
+	ng := 0
+	for st := 0; st < n; {
+		i0 := ord[st]
+		en := st + 1
+		for en < n && obj0[ord[en]] == obj0[i0] && obj1[ord[en]] == obj1[i0] {
+			en++
+		}
+		gs[ng], g0[ng], g1[ng], gcnt[ng] = st, obj0[i0], obj1[i0], en-st
+		ng++
+		st = en
 	}
-	parallelFor(n, workers, func(lo, hi int) {
+	gs[ng] = n
+
+	// Uniform grid over the normalized objective plane, ~1 distinct
+	// point per cell. A query expands Chebyshev rings of cells around
+	// its own; every point of ring r is at least (r-1)/G away in
+	// normalized max-norm, so once ((r-1)/G)^2 reaches the current k-th
+	// distance no unvisited point can improve it. The bound is shrunk
+	// by a relative 1e-9 before the comparison: cell placement and the
+	// distance products round independently by a few ulps each, and
+	// only skipping a candidate can corrupt the k-th value — visiting
+	// one ring too many never can. The grid only orders and prunes the
+	// enumeration; distances use the exact objDist2 expression, so the
+	// k-th value is the same multiset statistic the pairwise loop
+	// produces.
+	G := 1
+	for G*G < ng {
+		G++
+	}
+	lo0, lo1 := g0[0], g1[0] // g0 ascending; g1 scanned below
+	for t := 1; t < ng; t++ {
+		if g1[t] < lo1 {
+			lo1 = g1[t]
+		}
+	}
+	cellOf := func(t int) (int, int) {
+		cx := int((g0[t] - lo0) * inv0 * float64(G))
+		cy := int((g1[t] - lo1) * inv1 * float64(G))
+		if cx >= G {
+			cx = G - 1
+		}
+		if cy >= G {
+			cy = G - 1
+		}
+		return cx, cy
+	}
+	nc := G * G
+	s.cellStart = grow(s.cellStart, nc+1)
+	s.cellPts, s.cellIdx = grow(s.cellPts, ng), grow(s.cellIdx, ng)
+	s.cellD0, s.cellD1 = grow(s.cellD0, ng), grow(s.cellD1, ng)
+	s.cellC = grow(s.cellC, ng)
+	cellStart, cellPts, cellIdx := s.cellStart, s.cellPts, s.cellIdx
+	cellD0, cellD1, cellC := s.cellD0, s.cellD1, s.cellC
+	clear(cellStart[:nc+1])
+	for t := 0; t < ng; t++ {
+		cx, cy := cellOf(t)
+		cellIdx[t] = int32(cy*G + cx)
+		cellStart[cellIdx[t]+1]++
+	}
+	for c := 0; c < nc; c++ {
+		cellStart[c+1] += cellStart[c]
+	}
+	for t := 0; t < ng; t++ {
+		c := cellIdx[t]
+		p := cellStart[c]
+		cellPts[p] = int32(t)
+		cellD0[p], cellD1[p], cellC[p] = g0[t], g1[t], int32(gcnt[t])
+		cellStart[c]++
+	}
+	for c := nc; c > 0; c-- {
+		cellStart[c] = cellStart[c-1]
+	}
+	cellStart[0] = 0
+
+	invG2 := 1 / float64(G*G)
+	parallelFor(ng, workers, func(lo, hi int) {
 		sel := getKSelect(k)
 		defer putKSelect(sel)
-		for i := lo; i < hi; i++ {
-			raw := 0
-			for _, j := range domBy[i] {
-				raw += strength[j]
-			}
-			a0, a1 := obj0[i], obj1[i]
-			sel.reset()
-			l, r := pos[i]-1, pos[i]+1
-			for l >= 0 || r < n {
-				// Advance the side with the smaller |Δobj0| so the prune
-				// below terminates both directions at once.
-				var j int
-				if l >= 0 && (r >= n || a0-obj0[ord[l]] <= obj0[ord[r]]-a0) {
-					j = ord[l]
-					l--
-				} else {
-					j = ord[r]
-					r++
+		scan := func(t int, a0, a1 float64, c int) {
+			for p := cellStart[c]; p < cellStart[c+1]; p++ {
+				if int(cellPts[p]) == t {
+					continue
 				}
 				// Same expression order as objDist2, so the squared
 				// distance is bit-identical to the generic path.
-				x := (a0 - obj0[j]) * inv0
-				d := x * x
-				if len(sel.heap) == k && d >= sel.heap[0] {
-					break
+				x := (a0 - cellD0[p]) * inv0
+				y := (a1 - cellD1[p]) * inv1
+				d := x*x + y*y
+				// Duplicate of offer's warm reject test, inlined: once
+				// the buffer is full most candidates fail it, and the
+				// compare here skips the call entirely.
+				if sel.total >= k && d >= sel.buf[0].d {
+					continue
 				}
-				y := (a1 - obj1[j]) * inv1
-				d += y * y
-				sel.offer(d)
+				sel.offer(d, int(cellC[p]))
+			}
+		}
+		// cellLB is the per-cell refinement of the ring bound: every
+		// point of a cell (dx, dy) cell-offsets away (Chebyshev) is at
+		// least sqrt(max(dx-1,0)^2+max(dy-1,0)^2)/G away, so corner
+		// cells of a surviving ring become skippable up to sqrt(2)
+		// earlier than the whole ring; the same 1e-9 guard covers the
+		// placement rounding.
+		cellLB := func(dx, dy int) float64 {
+			if dx--; dx < 0 {
+				dx = 0
+			}
+			if dy--; dy < 0 {
+				dy = 0
+			}
+			return float64(dx*dx+dy*dy) * invG2
+		}
+		for t := lo; t < hi; t++ {
+			a0, a1 := g0[t], g1[t]
+			sel.reset()
+			if c := gcnt[t] - 1; c > 0 {
+				sel.offer(0, c)
+			}
+			cx, cy := cellOf(t)
+			for r := 0; ; r++ {
+				if r >= 1 && sel.total >= k {
+					lb := float64(r-1) / float64(G)
+					if lb*lb*(1-1e-9) >= sel.worst() {
+						break
+					}
+				}
+				if r == 0 {
+					scan(t, a0, a1, cy*G+cx)
+					continue
+				}
+				x0, x1 := cx-r, cx+r
+				y0, y1 := cy-r, cy+r
+				if x0 < 0 && x1 > G-1 && y0 < 0 && y1 > G-1 {
+					break // ring strictly outside: so is every later one
+				}
+				xl, xr := max(x0, 0), min(x1, G-1)
+				if y0 >= 0 {
+					for x := xl; x <= xr; x++ {
+						if sel.total >= k && cellLB(abs(x-cx), r)*(1-1e-9) >= sel.buf[0].d {
+							continue
+						}
+						scan(t, a0, a1, y0*G+x)
+					}
+				}
+				if y1 < G {
+					for x := xl; x <= xr; x++ {
+						if sel.total >= k && cellLB(abs(x-cx), r)*(1-1e-9) >= sel.buf[0].d {
+							continue
+						}
+						scan(t, a0, a1, y1*G+x)
+					}
+				}
+				yt, yb := max(y0+1, 0), min(y1-1, G-1)
+				if x0 >= 0 {
+					for y := yt; y <= yb; y++ {
+						if sel.total >= k && cellLB(r, abs(y-cy))*(1-1e-9) >= sel.buf[0].d {
+							continue
+						}
+						scan(t, a0, a1, y*G+x0)
+					}
+				}
+				if x1 < G {
+					for y := yt; y <= yb; y++ {
+						if sel.total >= k && cellLB(r, abs(y-cy))*(1-1e-9) >= sel.buf[0].d {
+							continue
+						}
+						scan(t, a0, a1, y*G+x1)
+					}
+				}
 			}
 			sigma := sel.kth()
-			union[i].density = 1 / (math.Sqrt(sigma) + 2)
-			union[i].fitness = float64(raw) + union[i].density
+			dens := 1 / (math.Sqrt(sigma) + 2)
+			for p := gs[t]; p < gs[t+1]; p++ {
+				i := ord[p]
+				union[i].density = dens
+				union[i].fitness = float64(rawf[i]) + dens
+			}
 		}
 	})
+}
+
+// sweepFitness2 computes the SPEA-2 strength and raw fitness of a
+// two-objective union in O(n log n): with two minimized objectives,
+// "i dominates j" is exactly "i precedes j in the (≤,≤) product order
+// and differs somewhere", so the strength S(i) = |{j : i dominates j}|
+// and the raw fitness R(i) = Σ_{j dominates i} S(j) are orthogonal
+// range counts — one Fenwick sweep over compressed obj1 ranks per
+// quantity, replacing the former O(n²) pairwise pass. Every sum is an
+// integer, so the results are bit-identical to the pairwise
+// computation at any n. ord must hold 0..n-1 sorted lexicographically
+// by (obj0, obj1), which makes equal-obj0 groups contiguous and exact
+// duplicates adjacent.
+//
+// With D(i) = |{j≠i : obj(j) ≥ obj(i) componentwise}| (product-order
+// successors, exact ties included) and dup(i) the count of exact
+// duplicates of i, S(i) = D(i) − dup(i); duplicates share one S value,
+// so R(i) = (Σ_{j ⪯ i} S(j)) − (dup(i)+1)·S(i), the sum running over
+// all product-order predecessors including i and its ties.
+func sweepFitness2(obj0, obj1 []float64, ord []int, s *fitScratch) []int {
+	n := len(obj0)
+	s.ys, s.rank = grow(s.ys, n), grow(s.rank, n)
+	s.strength, s.dup, s.rawf = grow(s.strength, n), grow(s.dup, n), grow(s.rawf, n)
+	ys, rank := s.ys, s.rank
+	strength, dup, rawf := s.strength, s.dup, s.rawf
+	// Compress obj1 to dense ranks 1..nr: sort a packed copy of the
+	// values (no indirection, no comparator closure), dedupe in place,
+	// then rank each individual by binary search.
+	copy(ys, obj1[:n])
+	slices.Sort(ys)
+	nr := 0
+	for i := 0; i < n; i++ {
+		if i == 0 || ys[i] != ys[nr-1] {
+			ys[nr] = ys[i]
+			nr++
+		}
+	}
+	for i := 0; i < n; i++ {
+		v := obj1[i]
+		lo, hi := 0, nr
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if ys[mid] < v {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		rank[i] = lo + 1
+	}
+	s.fen = grow(s.fen, nr+1)
+	fen := s.fen
+	clear(fen)
+
+	// Duplicate counts: exact (obj0, obj1) ties are adjacent in ord.
+	for st := 0; st < n; {
+		en := st + 1
+		for en < n && obj0[ord[en]] == obj0[ord[st]] && obj1[ord[en]] == obj1[ord[st]] {
+			en++
+		}
+		for p := st; p < en; p++ {
+			dup[ord[p]] = en - st - 1
+		}
+		st = en
+	}
+
+	// Pass 1, descending obj0 groups: after inserting a group, the tree
+	// holds every j with obj0(j) ≥ obj0(i), so the suffix count at
+	// rank(i) is |{j : obj(j) ≥ obj(i)}| including i itself.
+	inserted := 0
+	for gEnd := n; gEnd > 0; {
+		gStart := gEnd - 1
+		for gStart > 0 && obj0[ord[gStart-1]] == obj0[ord[gEnd-1]] {
+			gStart--
+		}
+		for p := gStart; p < gEnd; p++ {
+			for r := rank[ord[p]]; r <= nr; r += r & -r {
+				fen[r]++
+			}
+		}
+		inserted += gEnd - gStart
+		for p := gStart; p < gEnd; p++ {
+			i := ord[p]
+			below := 0
+			for r := rank[i] - 1; r > 0; r -= r & -r {
+				below += fen[r]
+			}
+			strength[i] = inserted - below - 1 - dup[i]
+		}
+		gEnd = gStart
+	}
+
+	// Pass 2, ascending obj0 groups: the tree accumulates strengths, so
+	// the prefix sum at rank(i) is Σ S(j) over every product-order
+	// predecessor of i (ties and i itself included, corrected below).
+	clear(fen)
+	for gStart := 0; gStart < n; {
+		gEnd := gStart + 1
+		for gEnd < n && obj0[ord[gEnd]] == obj0[ord[gStart]] {
+			gEnd++
+		}
+		for p := gStart; p < gEnd; p++ {
+			i := ord[p]
+			for r := rank[i]; r <= nr; r += r & -r {
+				fen[r] += strength[i]
+			}
+		}
+		for p := gStart; p < gEnd; p++ {
+			i := ord[p]
+			leq := 0
+			for r := rank[i]; r > 0; r -= r & -r {
+				leq += fen[r]
+			}
+			rawf[i] = leq - (dup[i]+1)*strength[i]
+		}
+		gStart = gEnd
+	}
+	return rawf
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
 }
 
 // kNearest is SPEA-2's neighbour index k = sqrt(n), at least 1.
@@ -286,17 +636,30 @@ func invRange2(v []float64) float64 {
 	return 0
 }
 
-// kSelect tracks the k smallest values of a stream with a bounded
-// max-heap: offer rejects most values with a single compare once the
-// heap is warm, and kth returns the k-th smallest seen — the exact
-// multiset value a full sort or quickselect would produce.
+// kSelect tracks the k smallest values of a weighted stream with a
+// small max-heap: offer(d, c) submits the value d with multiplicity c,
+// rejects most values with a single compare against the root once the
+// heap is warm, and kth returns the k-th smallest of the expanded
+// multiset — the exact value a full sort over all copies would
+// produce. Weighting is what makes the duplicate-grouped density loop
+// of assignFitness2 affordable: a group of m identical points is one
+// offer, not m. Warm-up (total < k) is a plain append; the buffer is
+// heapified once, the moment it first fills — a Floyd heapify is O(k)
+// where keeping the buffer sorted would pay an insertion per early
+// accept.
+type kEntry struct {
+	d float64
+	c int
+}
+
 type kSelect struct {
-	k    int
-	heap []float64
+	k     int
+	total int // Σc over the buffer
+	buf   []kEntry
 }
 
 func newKSelect(k int) *kSelect {
-	return &kSelect{k: k, heap: make([]float64, 0, k)}
+	return &kSelect{k: k, buf: make([]kEntry, 0, k+1)}
 }
 
 // kSelectPool recycles the heaps across generations and workers: every
@@ -306,65 +669,129 @@ var kSelectPool = sync.Pool{New: func() any { return &kSelect{} }}
 func getKSelect(k int) *kSelect {
 	s := kSelectPool.Get().(*kSelect)
 	s.k = k
-	if cap(s.heap) < k {
-		s.heap = make([]float64, 0, k)
+	if cap(s.buf) < k+1 {
+		s.buf = make([]kEntry, 0, k+1)
 	} else {
-		s.heap = s.heap[:0]
+		s.buf = s.buf[:0]
 	}
+	s.total = 0
 	return s
 }
 
 func putKSelect(s *kSelect) { kSelectPool.Put(s) }
 
-func (s *kSelect) reset() { s.heap = s.heap[:0] }
+func (s *kSelect) reset() { s.buf = s.buf[:0]; s.total = 0 }
 
-func (s *kSelect) offer(d float64) {
-	h := s.heap
-	if len(h) < s.k {
-		// Sift up.
-		h = append(h, d)
-		i := len(h) - 1
-		for i > 0 {
-			p := (i - 1) / 2
-			if h[p] >= h[i] {
-				break
-			}
-			h[p], h[i] = h[i], h[p]
-			i = p
+// worst returns the current k-th-smallest upper bound (the heap
+// root); valid only once total >= k (the prune guard of the density
+// loop checks that first).
+func (s *kSelect) worst() float64 { return s.buf[0].d }
+
+// offer submits c copies of the value d. Entries each carry c >= 1;
+// trimming keeps the heap at the minimal entry set covering the k
+// smallest copies, so the k-th smallest is always the root once
+// total >= k. Until the buffer reaches k copies every value is kept,
+// so warm-up is a plain append — the buffer is heapified once, the
+// moment it first fills, instead of paying a sift per early accept.
+func (s *kSelect) offer(d float64, c int) {
+	if s.total < s.k {
+		s.buf = append(s.buf, kEntry{d, c})
+		if s.total += c; s.total >= s.k {
+			s.heapify()
 		}
-		s.heap = h
 		return
 	}
-	if d >= h[0] {
+	b := s.buf
+	if d >= b[0].d {
 		return
 	}
-	// Replace the max and sift down.
-	h[0] = d
-	i := 0
+	if s.total-b[0].c+c >= s.k {
+		// The new entry displaces the root outright (the usual case:
+		// unit multiplicities keep total pinned at k): one sift-down
+		// instead of a push plus a pop.
+		s.total += c - b[0].c
+		b[0] = kEntry{d, c}
+		siftDown(b, 0)
+		s.buf = s.trim(b)
+		return
+	}
+	// The root still covers part of the k smallest: push the new entry
+	// up from the bottom; nothing becomes droppable. Order among equal
+	// d never changes the k-th value.
+	b = append(b, kEntry{d, c})
+	i := len(b) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if b[p].d >= b[i].d {
+			break
+		}
+		b[i], b[p] = b[p], b[i]
+		i = p
+	}
+	s.total += c
+	s.buf = b
+}
+
+// trim pops max entries that no longer contribute to the k smallest
+// copies and returns the shrunk heap.
+func (s *kSelect) trim(b []kEntry) []kEntry {
+	for s.total-b[0].c >= s.k {
+		s.total -= b[0].c
+		n := len(b) - 1
+		b[0] = b[n]
+		b = b[:n]
+		siftDown(b, 0)
+	}
+	return b
+}
+
+// heapify turns the warm-up buffer into a max-heap (Floyd, O(len))
+// and trims it; it runs at most once per query, the first time total
+// reaches k.
+func (s *kSelect) heapify() {
+	b := s.buf
+	for i := len(b)/2 - 1; i >= 0; i-- {
+		siftDown(b, i)
+	}
+	s.buf = s.trim(b)
+}
+
+func siftDown(b []kEntry, i int) {
+	n := len(b)
 	for {
-		l := 2*i + 1
-		if l >= len(h) {
-			break
+		m := 2*i + 1
+		if m >= n {
+			return
 		}
-		if r := l + 1; r < len(h) && h[r] > h[l] {
-			l = r
+		if r := m + 1; r < n && b[r].d > b[m].d {
+			m = r
 		}
-		if h[i] >= h[l] {
-			break
+		if b[i].d >= b[m].d {
+			return
 		}
-		h[i], h[l] = h[l], h[i]
-		i = l
+		b[i], b[m] = b[m], b[i]
+		i = m
 	}
 }
 
-// kth returns the k-th smallest offered value; with fewer than k values
+// kth returns the k-th smallest offered copy; with fewer than k copies
 // it returns the largest seen (0 when empty), matching the clamped
-// quickselect the implementation previously used.
+// quickselect the implementation previously used. An underfull buffer
+// is still in arrival order, so the maximum is found by scan.
 func (s *kSelect) kth() float64 {
-	if len(s.heap) == 0 {
+	if len(s.buf) == 0 {
 		return 0
 	}
-	return s.heap[0]
+	if s.total < s.k {
+		m := s.buf[0].d
+		for _, e := range s.buf[1:] {
+			if e.d > m {
+				m = e.d
+			}
+		}
+		return m
+	}
+	return s.buf[0].d
 }
 
 // selScratch is the reusable scratch of environmental selection: the
@@ -379,6 +806,7 @@ type selScratch struct {
 	protected []bool
 	nn        []int
 	nnD       []float64
+	o0, o1    []float64
 }
 
 // environmentalSelection builds the next archive of the given capacity.
@@ -400,7 +828,15 @@ func environmentalSelection(union []Individual, capacity, m int, s *selScratch) 
 	case len(next) > capacity:
 		next = truncate(next, capacity, m, s)
 	case len(next) < capacity:
-		sort.Slice(dominated, func(i, j int) bool { return dominated[i].fitness < dominated[j].fitness })
+		slices.SortFunc(dominated, func(a, b Individual) int {
+			switch {
+			case a.fitness < b.fitness:
+				return -1
+			case a.fitness > b.fitness:
+				return 1
+			}
+			return 0
+		})
 		need := capacity - len(next)
 		if need > len(dominated) {
 			need = len(dominated)
@@ -446,16 +882,46 @@ func truncate(set []Individual, capacity, m int, s *selScratch) []Individual {
 	s.nn, s.nnD = grow(s.nn, n), grow(s.nnD, n)
 	nn := s.nn   // index of current nearest neighbour
 	nnD := s.nnD // distance to it
+	// Two-objective fast path: flat coordinate mirrors so the pairwise
+	// scans below read contiguous floats instead of indexing objective
+	// slices per pair. The distance expression matches objDist2's
+	// accumulation (0 + x² + y²) bit for bit.
+	var o0, o1 []float64
+	var iv0, iv1 float64
+	if m == 2 {
+		s.o0, s.o1 = grow(s.o0, n), grow(s.o1, n)
+		o0, o1 = s.o0, s.o1
+		for i := range set {
+			o0[i] = set[i].Obj[0]
+			o1[i] = set[i].Obj[1]
+		}
+		iv0, iv1 = invRange[0], invRange[1]
+	}
 	recompute := func(i int) {
-		nn[i], nnD[i] = -1, math.Inf(1)
-		for j := 0; j < n; j++ {
-			if j == i || !alive[j] {
-				continue
+		bi, bd := -1, math.Inf(1)
+		if o0 != nil {
+			a0, a1 := o0[i], o1[i]
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				x := (a0 - o0[j]) * iv0
+				y := (a1 - o1[j]) * iv1
+				if d := x*x + y*y; d < bd {
+					bi, bd = j, d
+				}
 			}
-			if d := objDist2(set[i].Obj, set[j].Obj, invRange); d < nnD[i] {
-				nn[i], nnD[i] = j, d
+		} else {
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				if d := objDist2(set[i].Obj, set[j].Obj, invRange); d < bd {
+					bi, bd = j, d
+				}
 			}
 		}
+		nn[i], nnD[i] = bi, bd
 	}
 	for i := 0; i < n; i++ {
 		recompute(i)

@@ -151,6 +151,9 @@ func hardenCacheKey(req *HardenRequest) uint64 {
 	k.str("scope", o.Scope)
 	k.boolean("force", o.ForceCritical)
 	k.i64("stag", int64(o.Stagnation))
+	// Islands was canonicalized by validate (1 collapsed to 0), so the
+	// two spellings of a single-population run share one entry.
+	k.i64("islands", int64(o.Islands))
 	// Objectives were canonicalized by validate (sorted into registry
 	// order, deduplicated, default pair collapsed to empty), so a
 	// permuted spelling of the same set hashes identically.

@@ -88,6 +88,12 @@ type HardenOptions struct {
 	// Stagnation stops early after N generations without hypervolume
 	// improvement (0 = full budget).
 	Stagnation int `json:"stagnation,omitempty"`
+	// Islands partitions the population into that many independently
+	// seeded sub-populations evolving in lockstep with deterministic
+	// ring migration (0 or 1 = single population; the two spellings are
+	// one cache entry). The result depends only on (seed, islands),
+	// never on the server's worker budget.
+	Islands int `json:"islands,omitempty"`
 	// Objectives names the objectives to optimize (empty = the paper's
 	// damage/cost pair). Names are validated against the registered
 	// providers and canonicalized — trimmed, deduplicated, reordered —
@@ -145,6 +151,9 @@ type HardenResponse struct {
 	Evaluations int    `json:"evaluations"`
 	MemoHits    int64  `json:"memo_hits"`
 	MemoMisses  int64  `json:"memo_misses"`
+	// Islands is the island count of the run, present only for
+	// multi-island requests.
+	Islands int `json:"islands,omitempty"`
 	// Objectives is the canonical objective list of the run, present
 	// only when it differs from the default damage/cost pair.
 	Objectives []string     `json:"objectives,omitempty"`
@@ -263,6 +272,17 @@ func (req *HardenRequest) validate(cfg Config) error {
 	}
 	if o.Stagnation < 0 {
 		return invalidf("stagnation: must be non-negative, got %d", o.Stagnation)
+	}
+	if o.Islands < 0 || o.Islands > 16 {
+		return invalidf("islands: %d out of range [0, 16]", o.Islands)
+	}
+	if o.Islands == 1 {
+		// A single island is the single-population run; collapse so both
+		// spellings share one cache entry.
+		o.Islands = 0
+	}
+	if o.Islands > 0 && o.Population > 0 && o.Population < 2*o.Islands {
+		return invalidf("islands: population %d cannot seed %d islands (need ≥ 2 per island)", o.Population, o.Islands)
 	}
 	if o.DeadlineMS < 0 {
 		return invalidf("deadline_ms: must be non-negative, got %d", o.DeadlineMS)
