@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race determinism serve-smoke chaos fuzz bench bench-smoke benchjson bench-compare clean
+.PHONY: ci vet lint build test race determinism serve-smoke chaos chaos-fleet fuzz bench bench-smoke benchjson bench-compare clean
 
-ci: vet lint build race determinism serve-smoke bench-compare
+ci: vet lint build race determinism serve-smoke chaos-fleet bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -52,6 +52,13 @@ serve-smoke:
 # detector.
 chaos:
 	$(GO) test -race ./internal/chaos
+
+# Fleet chaos gate: the coordinator's dispatch/retry/breaker drills and
+# the checkpoint-migration kill drills — including the cross-process
+# SIGKILL drill in cmd/rsnserve — under the race detector. The run
+# regex keeps the gate targeted; `make race` still covers everything.
+chaos-fleet:
+	$(GO) test -race -run 'Proxy|Breaker|Dispatch|Fleet|Migration|HalfOpen|NoHealthy|Trace|Analyze|Coordinator' ./internal/chaos ./internal/fleet ./cmd/rsnserve
 
 # Short fuzz pass over the hostile-input decoders: the ICL parser and
 # the checkpoint codec.

@@ -11,6 +11,18 @@
 //	rsnserve -log-level debug -log-format text
 //	rsnserve -selftest            # in-process smoke test, exits 0/1
 //
+// Fleet mode splits the service into workers and a coordinator:
+//
+//	rsnserve -worker -addr 127.0.0.1:9101
+//	rsnserve -worker -addr 127.0.0.1:9102
+//	rsnserve -coordinator http://127.0.0.1:9101,http://127.0.0.1:9102 -addr :8080
+//
+// The coordinator probes worker health, routes each job to the
+// least-loaded healthy worker, retries transient failures with
+// jittered backoff, and — because it asks workers to stream
+// checkpoints — migrates a dead worker's job to another worker from
+// its last checkpoint, bit-identically. See internal/fleet.
+//
 // Logs are structured (JSONL on stderr by default), every line
 // correlated by the request's trace and request IDs.
 //
@@ -33,6 +45,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -55,10 +68,36 @@ func main() {
 		logFormat = flag.String("log-format", "json", "log format: json (one object per line) or text")
 		flight    = flag.Int("flight", 128, "flight recorder capacity in completed jobs (negative disables; dumped on drain and served at /debug/flight)")
 		selftest  = flag.Bool("selftest", false, "start the server on a loopback port, run a load-generating smoke test against it, and exit")
+
+		coordinator = flag.String("coordinator", "", "run as fleet coordinator fronting these comma-separated worker URLs instead of serving jobs locally")
+		workerMode  = flag.Bool("worker", false, "run as a fleet worker (the default serving mode; the flag just documents intent)")
+		probeIvl    = flag.Duration("probe-interval", time.Second, "coordinator: worker health-probe period")
+		retryBudget = flag.Int("retry-budget", 4, "coordinator: dispatch retries per job beyond the first attempt")
+		ckptEvery   = flag.Int("checkpoint-every", 5, "coordinator: checkpoint cadence (generations) injected into dispatched jobs; negative disables migration checkpoints")
 	)
 	flag.Parse()
 
 	logger := telemetry.NewLogger(os.Stderr, telemetry.ParseLogLevel(*logLevel), *logFormat)
+
+	if *coordinator != "" {
+		if *workerMode {
+			fmt.Fprintln(os.Stderr, "rsnserve: -coordinator and -worker are mutually exclusive")
+			os.Exit(1)
+		}
+		if err := runCoordinator(coordOptions{
+			addr:        *addr,
+			workers:     strings.Split(*coordinator, ","),
+			probeIvl:    *probeIvl,
+			retryBudget: *retryBudget,
+			ckptEvery:   *ckptEvery,
+			grace:       *grace,
+			logger:      logger,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "rsnserve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:        *workers,
@@ -74,6 +113,10 @@ func main() {
 
 	if *selftest {
 		if err := runSelftest(srv); err != nil {
+			fmt.Fprintf(os.Stderr, "rsnserve: selftest FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		if err := runFleetSelftest(); err != nil {
 			fmt.Fprintf(os.Stderr, "rsnserve: selftest FAILED: %v\n", err)
 			os.Exit(1)
 		}

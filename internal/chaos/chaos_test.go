@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"os"
 	"path/filepath"
 	"runtime"
 	"testing"
@@ -64,14 +65,8 @@ func fingerprint(res *moea.Result) string {
 // baseline (worker pools must drain even on failure paths).
 func checkNoGoroutineLeak(t *testing.T, base int) {
 	t.Helper()
-	deadline := time.Now().Add(3 * time.Second)
-	for runtime.NumGoroutine() > base {
-		if time.Now().After(deadline) {
-			buf := make([]byte, 1<<17)
-			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutine leak: %d running, baseline %d\n%s", runtime.NumGoroutine(), base, buf[:n])
-		}
-		time.Sleep(10 * time.Millisecond)
+	if err := WaitGoroutines(base, 3*time.Second); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -276,6 +271,69 @@ func TestChaosCheckpointCorruption(t *testing.T) {
 		}
 		if _, err := moea.LoadCheckpoint(path); !errors.Is(err, moea.ErrCheckpointCorrupt) {
 			t.Errorf("truncate %d: load error %v does not wrap ErrCheckpointCorrupt", cut, err)
+		}
+	}
+}
+
+// TestChaosCheckpointPowerLoss is the crash-durability drill for
+// SaveCheckpoint: the failure mode it models is a power-loss-style kill
+// that publishes a zero-length (or partial) file under the checkpoint's
+// final name — exactly what a rename-before-fsync write order can leave
+// behind. SaveCheckpoint fsyncs the temp file before the atomic rename
+// (and the directory after), so the file under the final name is always
+// a complete checkpoint; this drill asserts the recovery contract
+// around it: a truncated-to-zero or partially-truncated file is
+// detected as corrupt (never silently accepted, never a panic), and a
+// subsequent SaveCheckpoint over the damaged file restores a loadable
+// checkpoint without leaving temp-file litter.
+func TestChaosCheckpointPowerLoss(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.ckpt")
+	cp := &moea.Checkpoint{
+		Algorithm: "spea2", Seed: 1, NumBits: 40, Population: 2, Generation: 3,
+		Pop: []moea.CheckpointIndividual{
+			{Genome: moea.Genome{1}, Obj: []float64{1, 2}},
+			{Genome: moea.Genome{2}, Obj: []float64{3, 4}},
+		},
+	}
+	if err := moea.SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	size, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncate to zero: the "successful but empty" checkpoint a
+	// non-durable write order could publish.
+	if err := TruncateFile(path, size.Size()); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != 0 {
+		t.Fatalf("drill setup: file is %d bytes, want 0", fi.Size())
+	}
+	if _, err := moea.LoadCheckpoint(path); !errors.Is(err, moea.ErrCheckpointCorrupt) {
+		t.Errorf("zero-length checkpoint load error %v does not wrap ErrCheckpointCorrupt", err)
+	}
+	// Recovery: the next periodic checkpoint overwrites the damage.
+	if err := moea.SaveCheckpoint(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	re, err := moea.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("re-saved checkpoint does not load: %v", err)
+	}
+	if re.Generation != cp.Generation || re.NumBits != cp.NumBits {
+		t.Errorf("re-saved checkpoint decoded to gen %d/%d bits, want %d/%d",
+			re.Generation, re.NumBits, cp.Generation, cp.NumBits)
+	}
+	// The atomic write path must not leave temp files behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != "run.ckpt" {
+			t.Errorf("stray file %q left in checkpoint directory", e.Name())
 		}
 	}
 }

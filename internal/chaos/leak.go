@@ -1,0 +1,27 @@
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// WaitGoroutines polls until the process's goroutine count returns to
+// (or below) the given baseline, or the timeout expires. It is the
+// chaos suite's leak checker, exported so other packages' failure
+// drills (serve disconnects, fleet worker kills) can assert the same
+// contract: every failure path must drain its worker pools and stream
+// relays. On timeout the error carries a full goroutine dump.
+func WaitGoroutines(base int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for runtime.NumGoroutine() > base {
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<17)
+			n := runtime.Stack(buf, true)
+			return fmt.Errorf("goroutine leak: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), base, buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return nil
+}

@@ -1,0 +1,253 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// This file is the network half of the chaos suite: a faulty HTTP
+// proxy that sits between a client (the fleet coordinator, typically)
+// and a backend (a worker) and injects exactly the failure modes a
+// fleet must survive — added latency, 5xx without ever reaching the
+// backend, TCP connection resets before the response, and mid-stream
+// kills that cut an SSE response after a scripted number of events or
+// bytes. Faults are scripted per request index, so every drill is as
+// deterministic as the happy path: request 0 gets Script[0], request 1
+// gets Script[1], and requests beyond the script pass through clean.
+
+// FaultKind selects the failure a proxied request suffers.
+type FaultKind int
+
+const (
+	// FaultNone forwards the request untouched.
+	FaultNone FaultKind = iota
+	// FaultLatency sleeps Fault.Delay before forwarding.
+	FaultLatency
+	// FaultError500 answers 500 immediately; the backend never sees the
+	// request.
+	FaultError500
+	// FaultReset accepts the request and hard-closes the client
+	// connection without writing a response — the classic connect-level
+	// transient.
+	FaultReset
+	// FaultKillAfterEvents forwards the (SSE) response until
+	// Fault.Events complete events named Fault.Event have been relayed,
+	// then hard-closes both sides — a worker dying mid-stream at a
+	// precisely chosen point.
+	FaultKillAfterEvents
+	// FaultKillAfterBytes forwards the response body until Fault.Bytes
+	// bytes have been relayed, then hard-closes both sides.
+	FaultKillAfterBytes
+)
+
+// Fault is one scripted injection.
+type Fault struct {
+	Kind   FaultKind
+	Delay  time.Duration // FaultLatency
+	Event  string        // FaultKillAfterEvents: SSE event name to count
+	Events int           // FaultKillAfterEvents: kill after this many
+	Bytes  int64         // FaultKillAfterBytes
+}
+
+// Proxy is a deterministic fault-injecting HTTP reverse proxy.
+type Proxy struct {
+	backend string // host:port or full base URL's host
+	script  []Fault
+	ln      net.Listener
+	srv     *http.Server
+	reqs    atomic.Int64
+	killed  atomic.Int64
+}
+
+// NewProxy starts a proxy on a loopback port forwarding to backendURL
+// (scheme+host, e.g. "http://127.0.0.1:4321"); request i suffers
+// script[i]. Close it when done.
+func NewProxy(backendURL string, script []Fault) (*Proxy, error) {
+	host := strings.TrimPrefix(strings.TrimPrefix(backendURL, "http://"), "https://")
+	host = strings.TrimSuffix(host, "/")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Proxy{backend: host, script: script, ln: ln}
+	p.srv = &http.Server{Handler: http.HandlerFunc(p.handle)}
+	go p.srv.Serve(ln)
+	return p, nil
+}
+
+// URL returns the proxy's base URL, the address the client dials.
+func (p *Proxy) URL() string { return "http://" + p.ln.Addr().String() }
+
+// Requests returns how many requests the proxy has seen.
+func (p *Proxy) Requests() int64 { return p.reqs.Load() }
+
+// Killed returns how many connections the proxy has hard-closed.
+func (p *Proxy) Killed() int64 { return p.killed.Load() }
+
+// Close shuts the proxy down, hard-closing anything in flight.
+func (p *Proxy) Close() { p.srv.Close() }
+
+// fault returns the scripted injection for the n-th request (0-based).
+func (p *Proxy) fault(n int64) Fault {
+	if n < int64(len(p.script)) {
+		return p.script[n]
+	}
+	return Fault{}
+}
+
+// handle proxies one request, applying its scripted fault.
+func (p *Proxy) handle(w http.ResponseWriter, r *http.Request) {
+	n := p.reqs.Add(1) - 1
+	f := p.fault(n)
+
+	switch f.Kind {
+	case FaultLatency:
+		time.Sleep(f.Delay)
+	case FaultError500:
+		http.Error(w, fmt.Sprintf("chaos: injected 500 on request %d", n), http.StatusInternalServerError)
+		return
+	case FaultReset:
+		p.hardClose(w)
+		return
+	}
+
+	// Forward the request to the backend over a dedicated connection —
+	// streaming both directions, so SSE relays frame by frame.
+	out := r.Clone(r.Context())
+	out.URL.Scheme = "http"
+	out.URL.Host = p.backend
+	out.RequestURI = ""
+	out.Close = true
+	tr := &http.Transport{DisableKeepAlives: true}
+	defer tr.CloseIdleConnections()
+	resp, err := tr.RoundTrip(out)
+	if err != nil {
+		// The backend is gone (or the request was cancelled); surface a
+		// gateway error rather than hanging.
+		http.Error(w, fmt.Sprintf("chaos proxy: backend: %v", err), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+
+	switch f.Kind {
+	case FaultKillAfterEvents:
+		p.relayUntilEvents(w, resp.Body, f.Event, f.Events)
+	case FaultKillAfterBytes:
+		p.relayUntilBytes(w, resp.Body, f.Bytes)
+	default:
+		flushCopy(w, resp.Body)
+	}
+}
+
+// hardClose hijacks the client connection and closes it with a zero
+// linger, so the client sees a reset/EOF instead of a clean response.
+func (p *Proxy) hardClose(w http.ResponseWriter) {
+	p.killed.Add(1)
+	hj, ok := w.(http.Hijacker)
+	if !ok {
+		// Can't hijack (shouldn't happen on a real server): panic the
+		// handler, which kills the connection anyway.
+		panic("chaos proxy: response writer is not hijackable")
+	}
+	conn, _, err := hj.Hijack()
+	if err != nil {
+		return
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+// relayUntilEvents copies an SSE stream line by line, counting complete
+// events of the given name; after the limit-th one has been fully
+// relayed (terminating blank line included), the connection dies.
+func (p *Proxy) relayUntilEvents(w http.ResponseWriter, body io.Reader, event string, limit int) {
+	f, _ := w.(http.Flusher)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	seen := 0
+	inTarget := false
+	for sc.Scan() {
+		line := sc.Text()
+		if _, err := io.WriteString(w, line+"\n"); err != nil {
+			return
+		}
+		if f != nil {
+			f.Flush()
+		}
+		if line == "event: "+event {
+			inTarget = true
+		}
+		if line == "" && inTarget {
+			inTarget = false
+			seen++
+			if seen >= limit {
+				p.hardClose(w)
+				return
+			}
+		}
+	}
+}
+
+// relayUntilBytes copies the body until n bytes have been relayed, then
+// kills the connection.
+func (p *Proxy) relayUntilBytes(w http.ResponseWriter, body io.Reader, n int64) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	var total int64
+	for total < n {
+		want := int64(len(buf))
+		if rem := n - total; rem < want {
+			want = rem
+		}
+		k, err := body.Read(buf[:want])
+		if k > 0 {
+			if _, werr := w.Write(buf[:k]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+			total += int64(k)
+		}
+		if err != nil {
+			return
+		}
+	}
+	p.hardClose(w)
+}
+
+// flushCopy streams body to w, flushing after every read so SSE frames
+// pass through without buffering.
+func flushCopy(w http.ResponseWriter, body io.Reader) {
+	f, _ := w.(http.Flusher)
+	buf := make([]byte, 4096)
+	for {
+		k, err := body.Read(buf)
+		if k > 0 {
+			if _, werr := w.Write(buf[:k]); werr != nil {
+				return
+			}
+			if f != nil {
+				f.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}

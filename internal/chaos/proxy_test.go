@@ -1,0 +1,222 @@
+package chaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// proxyBackend is a small SSE-speaking backend for proxy drills: GET
+// /events streams n "tick" events then a terminal "done" event; GET
+// /plain answers a fixed body.
+func proxyBackend(t *testing.T) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /plain", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "hello from backend")
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		f := w.(http.Flusher)
+		w.Header().Set("Content-Type", "text/event-stream")
+		for i := 0; i < 5; i++ {
+			fmt.Fprintf(w, "event: tick\ndata: {\"i\":%d}\n\n", i)
+			f.Flush()
+		}
+		fmt.Fprint(w, "event: done\ndata: {}\n\n")
+		f.Flush()
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// noRetryGet issues a GET on a fresh, non-pooled connection. The
+// default client reuses keep-alive connections, and Go's transport
+// transparently replays idempotent requests that die on a reused
+// connection — which would silently consume extra script entries and
+// hide injected resets.
+func noRetryGet(url string) (*http.Response, error) {
+	tr := &http.Transport{DisableKeepAlives: true}
+	defer tr.CloseIdleConnections()
+	c := &http.Client{Transport: tr}
+	return c.Get(url)
+}
+
+// countSSE reads an SSE body to EOF counting events by name; the error
+// is whatever ended the read (nil on clean EOF).
+func countSSE(body io.Reader) (map[string]int, error) {
+	counts := map[string]int{}
+	sc := bufio.NewScanner(body)
+	cur := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "event: ") {
+			cur = strings.TrimPrefix(line, "event: ")
+		}
+		if line == "" && cur != "" {
+			counts[cur]++
+			cur = ""
+		}
+	}
+	return counts, sc.Err()
+}
+
+// TestProxyCleanForward checks that with an empty script the proxy is
+// invisible: plain bodies and full SSE streams pass through intact.
+func TestProxyCleanForward(t *testing.T) {
+	backend := proxyBackend(t)
+	p, err := NewProxy(backend.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := noRetryGet(p.URL() + "/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "hello from backend" {
+		t.Errorf("plain body = %q", body)
+	}
+
+	resp, err = noRetryGet(p.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, serr := countSSE(resp.Body)
+	resp.Body.Close()
+	if serr != nil {
+		t.Errorf("clean SSE read errored: %v", serr)
+	}
+	if counts["tick"] != 5 || counts["done"] != 1 {
+		t.Errorf("SSE counts = %v, want 5 ticks and 1 done", counts)
+	}
+	if p.Requests() != 2 || p.Killed() != 0 {
+		t.Errorf("requests=%d killed=%d, want 2/0", p.Requests(), p.Killed())
+	}
+}
+
+// TestProxyScriptedFaults drives the scripted failure modes in order —
+// 500, reset, latency — and checks each surfaces exactly as a fleet
+// client would see it, with the script index advancing per request.
+func TestProxyScriptedFaults(t *testing.T) {
+	backend := proxyBackend(t)
+	p, err := NewProxy(backend.URL, []Fault{
+		{Kind: FaultError500},
+		{Kind: FaultReset},
+		{Kind: FaultLatency, Delay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Request 0: injected 500, backend never consulted.
+	resp, err := noRetryGet(p.URL() + "/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("request 0 status = %d, want 500", resp.StatusCode)
+	}
+
+	// Request 1: connection reset — a transport error, not a status.
+	_, err = noRetryGet(p.URL() + "/plain")
+	if err == nil {
+		t.Error("request 1 succeeded, want a connection-level error")
+	}
+
+	// Request 2: latency then a clean forward.
+	start := time.Now()
+	resp, err = noRetryGet(p.URL() + "/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("request 2 status = %d, want 200", resp.StatusCode)
+	}
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Errorf("request 2 took %v, want >= 50ms of injected latency", d)
+	}
+
+	if p.Killed() != 1 {
+		t.Errorf("killed = %d, want 1 (the reset)", p.Killed())
+	}
+}
+
+// TestProxyKillAfterEvents checks the migration trigger: the stream dies
+// immediately after the Nth complete named event — the client sees
+// exactly N events then a mid-stream failure, deterministically.
+func TestProxyKillAfterEvents(t *testing.T) {
+	backend := proxyBackend(t)
+	p, err := NewProxy(backend.URL, []Fault{
+		{Kind: FaultKillAfterEvents, Event: "tick", Events: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := noRetryGet(p.URL() + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, serr := countSSE(resp.Body)
+	resp.Body.Close()
+	if serr == nil {
+		// The kill races the scanner seeing EOF vs a reset; either way
+		// the stream must be truncated — "done" must never arrive.
+		if counts["done"] != 0 {
+			t.Fatalf("terminal event arrived through a killed stream: %v", counts)
+		}
+	}
+	if counts["tick"] != 3 {
+		t.Errorf("ticks relayed = %d, want exactly 3", counts["tick"])
+	}
+	if counts["done"] != 0 {
+		t.Errorf("done events = %d, want 0 (stream killed before terminal)", counts["done"])
+	}
+	if p.Killed() != 1 {
+		t.Errorf("killed = %d, want 1", p.Killed())
+	}
+}
+
+// TestProxyKillAfterBytes checks the byte-level mid-stream kill: at most
+// the scripted prefix arrives, then the connection dies.
+func TestProxyKillAfterBytes(t *testing.T) {
+	backend := proxyBackend(t)
+	p, err := NewProxy(backend.URL, []Fault{
+		{Kind: FaultKillAfterBytes, Bytes: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	resp, err := noRetryGet(p.URL() + "/plain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if len(body) > 10 {
+		t.Errorf("got %d bytes, want at most 10", len(body))
+	}
+	if rerr == nil && len(body) == len("hello from backend") {
+		t.Error("full body arrived, want a truncated read")
+	}
+	if p.Killed() != 1 {
+		t.Errorf("killed = %d, want 1", p.Killed())
+	}
+}

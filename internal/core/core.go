@@ -121,8 +121,17 @@ type Options struct {
 	// the file continues the run bit-identically.
 	CheckpointPath string
 	// CheckpointEvery overrides the checkpoint interval in generations
-	// (0 with a CheckpointPath selects the default of 10).
+	// (0 with a CheckpointPath or CheckpointFn selects the default of
+	// 10).
 	CheckpointEvery int
+	// CheckpointFn, if non-nil, receives the run state every
+	// CheckpointEvery generations instead of writing it to a file — the
+	// transport hook remote callers (rsnserve checkpoint streaming, the
+	// fleet migration protocol) use to move a live run between
+	// processes. The *moea.Checkpoint aliases live engine buffers and is
+	// only valid for the duration of the call: encode (or deep-copy) it
+	// before returning. Mutually exclusive with CheckpointPath.
+	CheckpointFn func(*moea.Checkpoint) error
 	// Resume, if non-nil, restores the evolutionary run from a
 	// checkpoint instead of initializing a fresh population. The
 	// checkpoint must match the run (algorithm, seed, genome size,
@@ -831,14 +840,21 @@ func Synthesize(net *rsn.Network, sp *spec.Spec, opt Options) (*Synthesis, error
 	}
 	params.Context = opt.Context
 	params.Resume = opt.Resume
-	if opt.CheckpointPath != "" {
-		path := opt.CheckpointPath
+	if opt.CheckpointFn != nil && opt.CheckpointPath != "" {
+		return fail(nil, fmt.Errorf("core: CheckpointFn and CheckpointPath are mutually exclusive"))
+	}
+	if opt.CheckpointFn != nil || opt.CheckpointPath != "" {
 		params.CheckpointEvery = opt.CheckpointEvery
 		if params.CheckpointEvery <= 0 {
 			params.CheckpointEvery = 10
 		}
-		params.CheckpointFn = func(cp *moea.Checkpoint) error {
-			return moea.SaveCheckpoint(path, cp)
+		if opt.CheckpointFn != nil {
+			params.CheckpointFn = opt.CheckpointFn
+		} else {
+			path := opt.CheckpointPath
+			params.CheckpointFn = func(cp *moea.Checkpoint) error {
+				return moea.SaveCheckpoint(path, cp)
+			}
 		}
 	}
 

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit breaker.
+type breakerState int
+
+const (
+	// breakerClosed passes traffic and counts consecutive failures.
+	breakerClosed breakerState = iota
+	// breakerOpen rejects traffic until the cooldown elapses.
+	breakerOpen
+	// breakerHalfOpen has exactly one trial request in flight; its
+	// outcome decides between closed and open.
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-worker circuit breaker. Closed it counts consecutive
+// failures (dispatch errors and health-probe failures both feed it);
+// at threshold it opens and the worker takes no traffic for cooldown.
+// After the cooldown one trial request is let through (half-open): a
+// success closes the breaker, a failure re-opens it for another
+// cooldown. The clock is injectable so tests drive the state machine
+// without sleeping.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	fails     int
+	threshold int
+	cooldown  time.Duration
+	openedAt  time.Time
+	now       func() time.Time
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a request may be sent through this breaker.
+// Calling it on an open breaker whose cooldown has elapsed claims the
+// half-open trial slot, so callers must only invoke it for a worker
+// they are about to use.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) >= b.cooldown {
+			b.state = breakerHalfOpen
+			return true
+		}
+		return false
+	case breakerHalfOpen:
+		// The trial slot is already claimed; wait for its verdict.
+		return false
+	}
+	return false
+}
+
+// success records a successful request or probe: the breaker closes and
+// the failure count resets, whatever state it was in.
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.state = breakerClosed
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+// failure records a failed request or probe. A closed breaker opens at
+// the threshold; a half-open trial failure re-opens immediately.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = b.now()
+		}
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = b.now()
+	case breakerOpen:
+		// Already open; keep the original cooldown clock.
+	}
+}
+
+// State returns the state name for status reporting.
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	// An open breaker past its cooldown is reported half-open-eligible
+	// as plain "open"; the transition happens on the next allow().
+	return b.state.String()
+}

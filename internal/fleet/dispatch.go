@@ -1,0 +1,553 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// writeJSON renders v like the serve package does (no HTML escaping,
+// trailing newline), so coordinator and worker responses are uniform.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+// writeError renders the serve-uniform error body.
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]string{"error": msg})
+}
+
+// wantStream mirrors the serve package's test: Accept: text/event-stream
+// or ?stream=1 selects the streaming response form.
+func wantStream(r *http.Request) bool {
+	if r.URL.Query().Get("stream") == "1" {
+		return true
+	}
+	return strings.Contains(r.Header.Get("Accept"), "text/event-stream")
+}
+
+// hardenJob is one client harden request as the dispatcher carries it
+// across attempts: the raw request document with its options decoded
+// for patching, plus the freshest checkpoint captured from a worker
+// stream — the job's migration state.
+type hardenJob struct {
+	top  map[string]json.RawMessage
+	opts map[string]any
+
+	// clientCkpt records that the client itself asked for checkpoint
+	// events, which the coordinator then relays.
+	clientCkpt bool
+
+	resume    string // latest checkpoint blob (base64), "" before the first
+	resumeGen int
+	// haveCkpt marks that resume came from a worker stream during this
+	// dispatch (as opposed to a client-supplied options.resume), so a
+	// re-dispatch is a genuine migration.
+	haveCkpt bool
+}
+
+// newHardenJob parses the client body and injects the coordinator's
+// checkpoint cadence when the client did not choose one. The document
+// is kept as raw JSON maps so unknown fields survive the round trip and
+// the worker stays the single source of validation truth.
+func newHardenJob(body []byte, ckptEvery int) (*hardenJob, error) {
+	j := &hardenJob{}
+	if err := json.Unmarshal(body, &j.top); err != nil {
+		return nil, fmt.Errorf("request body is not a JSON object: %w", err)
+	}
+	j.opts = map[string]any{}
+	if raw, ok := j.top["options"]; ok {
+		if err := json.Unmarshal(raw, &j.opts); err != nil {
+			return nil, fmt.Errorf("options is not a JSON object: %w", err)
+		}
+	}
+	if v, ok := j.opts["checkpoint_every"].(float64); ok && v > 0 {
+		j.clientCkpt = true
+	} else if ckptEvery > 0 {
+		j.opts["checkpoint_every"] = ckptEvery
+	}
+	if v, ok := j.opts["resume"].(string); ok && v != "" {
+		j.resume = v
+	}
+	return j, nil
+}
+
+// setResume records a fresher checkpoint from a worker stream.
+func (j *hardenJob) setResume(blob string, gen int) {
+	if gen > j.resumeGen || j.resume == "" {
+		j.resume, j.resumeGen, j.haveCkpt = blob, gen, true
+	}
+}
+
+// encode renders the dispatch body for the next attempt, resume blob
+// included.
+func (j *hardenJob) encode() ([]byte, error) {
+	opts := j.opts
+	if j.resume != "" {
+		opts = make(map[string]any, len(j.opts)+1)
+		for k, v := range j.opts {
+			opts[k] = v
+		}
+		opts["resume"] = j.resume
+	}
+	raw, err := json.Marshal(opts)
+	if err != nil {
+		return nil, err
+	}
+	top := make(map[string]json.RawMessage, len(j.top))
+	for k, v := range j.top {
+		top[k] = v
+	}
+	top["options"] = raw
+	return json.Marshal(top)
+}
+
+// relay is the client-facing half of a dispatch: it remembers whether
+// the response stream has started and filters relayed events so a
+// migration never re-emits a generation the client already saw.
+type relay struct {
+	w             http.ResponseWriter
+	f             http.Flusher
+	streaming     bool // client asked for SSE
+	started       bool // SSE headers sent
+	relayCkpt     bool
+	lastGen       int
+	lastCkptGen   int
+	wroteTerminal bool
+}
+
+func newRelay(w http.ResponseWriter, streaming, relayCkpt bool) *relay {
+	f, _ := w.(http.Flusher)
+	return &relay{w: w, f: f, streaming: streaming, relayCkpt: relayCkpt, lastGen: -1, lastCkptGen: -1}
+}
+
+// start sends the SSE preamble once.
+func (rl *relay) start() {
+	if rl.started {
+		return
+	}
+	rl.started = true
+	h := rl.w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	rl.w.WriteHeader(http.StatusOK)
+	if rl.f != nil {
+		rl.f.Flush()
+	}
+}
+
+// event relays one SSE event verbatim.
+func (rl *relay) event(name string, data []byte) {
+	rl.start()
+	var buf bytes.Buffer
+	buf.Grow(len(data) + len(name) + 16)
+	buf.WriteString("event: ")
+	buf.WriteString(name)
+	buf.WriteString("\ndata: ")
+	buf.Write(data)
+	buf.WriteString("\n\n")
+	rl.w.Write(buf.Bytes())
+	if rl.f != nil {
+		rl.f.Flush()
+	}
+}
+
+// result relays the terminal result: the result event for a streaming
+// client, or a plain 200 whose body is byte-identical to what the
+// worker's plain endpoint would have answered.
+func (rl *relay) result(data []byte) {
+	rl.wroteTerminal = true
+	if rl.streaming {
+		rl.event("result", data)
+		return
+	}
+	rl.w.Header().Set("Content-Type", "application/json")
+	rl.w.WriteHeader(http.StatusOK)
+	rl.w.Write(append(data, '\n'))
+}
+
+// fail reports a terminal failure: an error event if the stream has
+// started (the status line is long gone), a plain error response
+// otherwise.
+func (rl *relay) fail(status int, msg string) {
+	rl.wroteTerminal = true
+	if rl.streaming && rl.started {
+		data, _ := json.Marshal(map[string]any{"error": msg, "status": status})
+		rl.event("error", data)
+		return
+	}
+	writeError(rl.w, status, msg)
+}
+
+// plain relays a worker's non-streamed response (a validation 4xx,
+// typically) verbatim — or as an error event when the client stream has
+// already started.
+func (rl *relay) plain(status int, contentType string, body []byte) {
+	rl.wroteTerminal = true
+	if rl.streaming && rl.started {
+		var m map[string]any
+		if json.Unmarshal(body, &m) != nil {
+			m = map[string]any{"error": strings.TrimSpace(string(body))}
+		}
+		m["status"] = status
+		data, _ := json.Marshal(m)
+		rl.event("error", data)
+		return
+	}
+	if contentType != "" {
+		rl.w.Header().Set("Content-Type", contentType)
+	}
+	rl.w.WriteHeader(status)
+	rl.w.Write(body)
+}
+
+// outcome is one dispatch attempt's verdict.
+type outcome struct {
+	terminal   bool          // a response reached the client; stop
+	success    bool          // the worker did its job (feeds the breaker)
+	retryAfter time.Duration // >0: the worker said 429 with this hint
+	err        error         // retryable failure detail
+}
+
+// errStopStream stops readSSE once the terminal event has arrived.
+var errStopStream = errors.New("fleet: stream complete")
+
+// handleHarden accepts one harden job and keeps it alive across worker
+// failures: least-loaded dispatch, jittered-backoff retries for
+// transient failures, and checkpoint-based migration when a worker dies
+// mid-run.
+func (c *Coordinator) handleHarden(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	job, err := newHardenJob(body, c.cfg.CheckpointEvery)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	rl := newRelay(w, wantStream(r), job.clientCkpt)
+	ctx := r.Context()
+
+	var avoid *worker
+	var lastRetryAfter time.Duration
+	var lastErr error
+	attempts := c.cfg.RetryBudget + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retriesC.Inc()
+			delay := c.backoff(attempt - 1)
+			if lastRetryAfter > 0 {
+				// Honor the worker's own backpressure hint, capped.
+				delay = min(lastRetryAfter, c.cfg.RetryAfterMax)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(delay):
+			}
+		}
+		wk := c.reg.pick(avoid)
+		if wk == nil {
+			// Nothing eligible — refresh health once (covers the
+			// cold-start race before the first sweep and workers that
+			// just came back) and retry the pick.
+			c.reg.sweep()
+			wk = c.reg.pick(avoid)
+		}
+		if wk == nil {
+			lastErr = errors.New("no healthy workers")
+			lastRetryAfter = 0
+			continue
+		}
+		if job.haveCkpt && attempt > 0 {
+			// Re-dispatching with a checkpoint captured from a dead
+			// worker's stream: this attempt is a migration.
+			c.migrationsC.Inc()
+			c.log.InfoContext(ctx, "migrating job", "to", wk.url, "from_gen", job.resumeGen)
+		}
+		c.dispatchesC.Inc()
+		c.reg.markDispatched(wk)
+		out := c.tryHarden(ctx, wk, job, rl)
+		c.reg.markDone(wk)
+		switch {
+		case out.terminal:
+			if out.success {
+				c.reg.markSuccess(wk)
+			}
+			return
+		case out.retryAfter > 0:
+			// Backpressure is the worker being healthy and full — not a
+			// fault, so the breaker is not fed.
+			lastRetryAfter = out.retryAfter
+			lastErr = fmt.Errorf("worker %s busy", wk.url)
+			avoid = wk
+		default:
+			if ctx.Err() != nil {
+				return // client hung up; nothing to answer
+			}
+			c.reg.markFailure(wk)
+			lastRetryAfter = 0
+			lastErr = out.err
+			avoid = wk
+		}
+	}
+	// Retry budget exhausted.
+	msg := "dispatch failed: retry budget exhausted"
+	if lastErr != nil {
+		msg = fmt.Sprintf("%s: %v", msg, lastErr)
+	}
+	status := http.StatusBadGateway
+	if lastRetryAfter > 0 {
+		status = http.StatusTooManyRequests
+		if !rl.started {
+			sec := int((min(lastRetryAfter, c.cfg.RetryAfterMax) + time.Second - 1) / time.Second)
+			w.Header().Set("Retry-After", strconv.Itoa(max(sec, 1)))
+		}
+	} else if lastErr != nil && strings.Contains(lastErr.Error(), "no healthy workers") {
+		status = http.StatusServiceUnavailable
+	}
+	rl.fail(status, msg)
+}
+
+// tryHarden runs one dispatch attempt against one worker, relaying the
+// stream to the client as it goes and capturing checkpoints for a
+// possible migration.
+func (c *Coordinator) tryHarden(ctx context.Context, wk *worker, job *hardenJob, rl *relay) outcome {
+	body, err := job.encode()
+	if err != nil {
+		rl.fail(http.StatusInternalServerError, err.Error())
+		return outcome{terminal: true}
+	}
+	resp, err := c.send(ctx, wk, "/v1/harden?stream=1", body, true)
+	if err != nil {
+		return outcome{err: err}
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+
+	if resp.StatusCode == http.StatusTooManyRequests {
+		ra := time.Second
+		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+			ra = time.Duration(sec) * time.Second
+		}
+		return outcome{retryAfter: ra}
+	}
+	if resp.StatusCode >= 500 {
+		return outcome{err: fmt.Errorf("worker %s: status %d", wk.url, resp.StatusCode)}
+	}
+	if !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		// A plain response despite the stream request: a validation 4xx.
+		// The worker answered definitively; relay verbatim.
+		b, rerr := io.ReadAll(resp.Body)
+		if rerr != nil {
+			return outcome{err: rerr}
+		}
+		rl.plain(resp.StatusCode, resp.Header.Get("Content-Type"), b)
+		return outcome{terminal: true, success: true}
+	}
+
+	var result []byte
+	var jobErr []byte
+	jobErrStatus := 0
+	err = readSSE(resp.Body, func(ev sseEvent) error {
+		switch ev.name {
+		case "generation":
+			var g struct {
+				Gen int `json:"gen"`
+			}
+			if json.Unmarshal(ev.data, &g) != nil {
+				return nil
+			}
+			// The monotonic filter: a resumed run replays nothing, but
+			// its first events may overlap the failed worker's last —
+			// the client must see each generation exactly once.
+			if g.Gen > rl.lastGen {
+				rl.lastGen = g.Gen
+				if rl.streaming {
+					rl.event("generation", ev.data)
+				}
+			}
+		case "checkpoint":
+			var cp struct {
+				Gen  int    `json:"gen"`
+				Blob string `json:"blob"`
+			}
+			if json.Unmarshal(ev.data, &cp) != nil || cp.Blob == "" {
+				return nil
+			}
+			job.setResume(cp.Blob, cp.Gen)
+			if rl.relayCkpt && cp.Gen > rl.lastCkptGen {
+				rl.lastCkptGen = cp.Gen
+				if rl.streaming {
+					rl.event("checkpoint", ev.data)
+				}
+			}
+		case "result":
+			result = append([]byte(nil), ev.data...)
+			return errStopStream
+		case "error":
+			var e struct {
+				Status int `json:"status"`
+			}
+			_ = json.Unmarshal(ev.data, &e)
+			jobErrStatus = e.Status
+			jobErr = append([]byte(nil), ev.data...)
+			return errStopStream
+		}
+		return nil
+	})
+	if result != nil {
+		rl.result(result)
+		return outcome{terminal: true, success: true}
+	}
+	if jobErr != nil {
+		if jobErrStatus >= 500 {
+			// The job failed inside the worker; treat like a 5xx.
+			return outcome{err: fmt.Errorf("worker %s: job error status %d", wk.url, jobErrStatus)}
+		}
+		if rl.streaming {
+			rl.wroteTerminal = true
+			rl.event("error", jobErr)
+		} else {
+			if jobErrStatus == 0 {
+				jobErrStatus = http.StatusInternalServerError
+			}
+			rl.wroteTerminal = true
+			rl.w.Header().Set("Content-Type", "application/json")
+			rl.w.WriteHeader(jobErrStatus)
+			rl.w.Write(append(jobErr, '\n'))
+		}
+		return outcome{terminal: true, success: true}
+	}
+	// The stream ended without a terminal event: the worker died
+	// mid-run. Whatever checkpoints were captured make the retry a
+	// migration rather than a restart.
+	if err == nil || errors.Is(err, errStopStream) {
+		err = fmt.Errorf("worker %s: stream ended without result", wk.url)
+	}
+	return outcome{err: err}
+}
+
+// handleAnalyze dispatches an analyze request with the same retry
+// policy; analyze is stateless, so a retry is simply a re-run.
+func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		return
+	}
+	ctx := r.Context()
+	var avoid *worker
+	var lastRetryAfter time.Duration
+	var lastErr error
+	attempts := c.cfg.RetryBudget + 1
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			c.retriesC.Inc()
+			delay := c.backoff(attempt - 1)
+			if lastRetryAfter > 0 {
+				delay = min(lastRetryAfter, c.cfg.RetryAfterMax)
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(delay):
+			}
+		}
+		wk := c.reg.pick(avoid)
+		if wk == nil {
+			c.reg.sweep()
+			wk = c.reg.pick(avoid)
+		}
+		if wk == nil {
+			lastErr = errors.New("no healthy workers")
+			lastRetryAfter = 0
+			continue
+		}
+		c.dispatchesC.Inc()
+		c.reg.markDispatched(wk)
+		resp, err := c.send(ctx, wk, "/v1/analyze", body, false)
+		if err != nil {
+			c.reg.markDone(wk)
+			if ctx.Err() != nil {
+				return
+			}
+			c.reg.markFailure(wk)
+			lastErr, lastRetryAfter, avoid = err, 0, wk
+			continue
+		}
+		b, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		c.reg.markDone(wk)
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			ra := time.Second
+			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
+				ra = time.Duration(sec) * time.Second
+			}
+			lastRetryAfter, lastErr, avoid = ra, fmt.Errorf("worker %s busy", wk.url), wk
+		case resp.StatusCode >= 500 || rerr != nil:
+			c.reg.markFailure(wk)
+			lastErr, lastRetryAfter, avoid = fmt.Errorf("worker %s: status %d", wk.url, resp.StatusCode), 0, wk
+		default:
+			c.reg.markSuccess(wk)
+			if ct := resp.Header.Get("Content-Type"); ct != "" {
+				w.Header().Set("Content-Type", ct)
+			}
+			w.WriteHeader(resp.StatusCode)
+			w.Write(b)
+			return
+		}
+	}
+	msg := "dispatch failed: retry budget exhausted"
+	if lastErr != nil {
+		msg = fmt.Sprintf("%s: %v", msg, lastErr)
+	}
+	status := http.StatusBadGateway
+	if lastRetryAfter > 0 {
+		status = http.StatusTooManyRequests
+		sec := int((min(lastRetryAfter, c.cfg.RetryAfterMax) + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(max(sec, 1)))
+	} else if lastErr != nil && strings.Contains(lastErr.Error(), "no healthy workers") {
+		status = http.StatusServiceUnavailable
+	}
+	writeError(w, status, msg)
+}
+
+// send issues one upstream request with the trace context propagated,
+// so the worker's spans and logs join the client's trace.
+func (c *Coordinator) send(ctx context.Context, wk *worker, path string, body []byte, stream bool) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, wk.url+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if stream {
+		req.Header.Set("Accept", "text/event-stream")
+	}
+	if tc, ok := telemetry.TraceFrom(ctx); ok {
+		req.Header.Set("traceparent", tc.Traceparent())
+	}
+	if id, ok := telemetry.RequestIDFrom(ctx); ok {
+		req.Header.Set("X-Request-Id", id)
+	}
+	return c.client.Do(req)
+}

@@ -1,0 +1,316 @@
+// Package fleet is the fault-tolerant coordination layer above the
+// serve workers: one coordinator process fronts N rsnserve workers and
+// keeps hardening jobs running through worker crashes, resets, and
+// overload.
+//
+//	POST /v1/harden   — dispatched to the least-loaded healthy worker;
+//	                    transient failures (connect errors, 5xx, 429)
+//	                    are retried with jittered exponential backoff,
+//	                    and a worker dying mid-job migrates the job to
+//	                    another worker from its last streamed
+//	                    checkpoint, bit-identically.
+//	POST /v1/analyze  — dispatched with the same retry policy (analyze
+//	                    is stateless, so migration is plain retry).
+//	GET  /v1/fleet    — per-worker health, breaker state, load.
+//	GET  /healthz     — coordinator liveness.
+//	GET  /readyz      — 200 while at least one worker is healthy.
+//	GET  /metrics     — fleet gauges and counters (text or
+//	                    ?format=json).
+//
+// The worker registry is driven by a periodic probe loop: /readyz
+// decides health, the serve queue gauges from /metrics become the load
+// hint, and every probe or dispatch outcome feeds a per-worker circuit
+// breaker (closed → open after consecutive failures → one half-open
+// trial after a cooldown). Dispatch always asks the worker for the
+// streaming form of the job with checkpoints at a configured cadence;
+// the coordinator retains the latest checkpoint blob so a dead
+// worker's job resumes on another worker exactly where it left off —
+// the serve resume-equivalence property is what makes the migrated
+// result byte-identical to an uninterrupted run.
+package fleet
+
+import (
+	"fmt"
+	"log/slog"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// Config sizes the coordinator. Workers is required; everything else
+// has a usable zero value via Defaults.
+type Config struct {
+	// Workers are the base URLs of the rsnserve workers to front, e.g.
+	// "http://127.0.0.1:9101".
+	Workers []string
+	// ProbeInterval is the health-probe period (default 1s).
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe request (default 2s).
+	ProbeTimeout time.Duration
+	// CheckpointEvery is the checkpoint cadence (in generations) the
+	// coordinator injects into dispatched harden jobs when the client
+	// did not ask for checkpoints itself (default 5). Checkpoints are
+	// what make migration possible; 0 keeps the default, <0 disables
+	// injection (jobs then restart from scratch on migration).
+	CheckpointEvery int
+	// RetryBudget is the number of dispatch attempts per job beyond the
+	// first (default 4).
+	RetryBudget int
+	// BackoffBase and BackoffMax bound the jittered exponential backoff
+	// between attempts (defaults 50ms and 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// RetryAfterMax caps how long a worker's Retry-After header can
+	// make the coordinator wait (default 5s).
+	RetryAfterMax time.Duration
+	// BreakerThreshold is the consecutive-failure count that opens a
+	// worker's circuit breaker (default 3); BreakerCooldown is how long
+	// it stays open before one half-open trial (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// MaxBodyBytes bounds an accepted request body (default 8 MiB).
+	MaxBodyBytes int64
+	// Seed makes the backoff jitter deterministic (default 1) — chaos
+	// drills replay identically.
+	Seed int64
+	// Telemetry receives the fleet gauges and counters; nil creates a
+	// fresh collector. Logger receives structured dispatch logs; nil
+	// discards.
+	Telemetry *telemetry.Collector
+	Logger    *slog.Logger
+
+	// now is the injectable clock for breaker tests.
+	now func() time.Time
+}
+
+// Defaults returns cfg with every unset field filled in.
+func (cfg Config) Defaults() Config {
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = 2 * time.Second
+	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 5
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.RetryAfterMax <= 0 {
+		cfg.RetryAfterMax = 5 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 8 << 20
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = telemetry.DiscardLogger()
+	}
+	if cfg.now == nil {
+		cfg.now = time.Now
+	}
+	return cfg
+}
+
+// Coordinator fronts the worker fleet. Create one with New, call
+// Start to begin health probing, mount Handler, and Close on shutdown.
+type Coordinator struct {
+	cfg Config
+	tel *telemetry.Collector
+	log *slog.Logger
+	reg *registry
+	mux *http.ServeMux
+
+	// client carries dispatch traffic. No overall timeout: harden jobs
+	// stream for as long as they run.
+	client *http.Client
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	healthyG    *telemetry.Gauge
+	openG       *telemetry.Gauge
+	dispatchesC *telemetry.Counter
+	retriesC    *telemetry.Counter
+	migrationsC *telemetry.Counter
+	probeFailC  *telemetry.Counter
+}
+
+// New builds a Coordinator from the configuration.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.Defaults()
+	if len(cfg.Workers) == 0 {
+		return nil, fmt.Errorf("fleet: no workers configured")
+	}
+	c := &Coordinator{
+		cfg:         cfg,
+		tel:         cfg.Telemetry,
+		log:         cfg.Logger,
+		client:      &http.Client{},
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		healthyG:    cfg.Telemetry.Gauge("fleet.workers.healthy"),
+		openG:       cfg.Telemetry.Gauge("fleet.breakers.open"),
+		dispatchesC: cfg.Telemetry.Counter("fleet.dispatches"),
+		retriesC:    cfg.Telemetry.Counter("fleet.retries"),
+		migrationsC: cfg.Telemetry.Counter("fleet.migrations"),
+		probeFailC:  cfg.Telemetry.Counter("fleet.probe.failures"),
+	}
+	c.reg = newRegistry(cfg.Workers, cfg.BreakerThreshold, cfg.BreakerCooldown,
+		cfg.ProbeTimeout, cfg.ProbeInterval, cfg.now, (*coordSink)(c))
+	c.mux = http.NewServeMux()
+	c.mux.Handle("POST /v1/harden", c.instrument("harden", c.handleHarden))
+	c.mux.Handle("POST /v1/analyze", c.instrument("analyze", c.handleAnalyze))
+	c.mux.Handle("GET /v1/fleet", c.instrument("fleet", c.handleFleet))
+	c.mux.Handle("GET /healthz", c.instrument("healthz", c.handleHealthz))
+	c.mux.Handle("GET /readyz", c.instrument("readyz", c.handleReadyz))
+	c.mux.Handle("GET /metrics", c.instrument("metrics", c.handleMetrics))
+	return c, nil
+}
+
+// coordSink adapts the Coordinator's instruments to the registry's
+// telemetry interface.
+type coordSink Coordinator
+
+func (s *coordSink) setHealthy(n int) { s.healthyG.Set(float64(n)) }
+func (s *coordSink) setOpen(n int)    { s.openG.Set(float64(n)) }
+func (s *coordSink) probeFailed()     { s.probeFailC.Inc() }
+
+// Start launches the probe loop: one immediate sweep, then one per
+// ProbeInterval.
+func (c *Coordinator) Start() { c.reg.start() }
+
+// Close stops the probe loop.
+func (c *Coordinator) Close() { c.reg.close() }
+
+// ProbeNow forces one synchronous probe sweep — drills use it to make
+// health state deterministic instead of waiting out the interval.
+func (c *Coordinator) ProbeNow() { c.reg.sweep() }
+
+// Handler returns the coordinator's HTTP handler.
+func (c *Coordinator) Handler() http.Handler { return c.mux }
+
+// Telemetry returns the collector the coordinator reports into.
+func (c *Coordinator) Telemetry() *telemetry.Collector { return c.tel }
+
+// backoff returns the jittered exponential delay before retry attempt
+// n (0-based): uniformly random in [d/2, d] where d doubles from
+// BackoffBase up to BackoffMax.
+func (c *Coordinator) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase << uint(attempt)
+	if d > c.cfg.BackoffMax || d <= 0 {
+		d = c.cfg.BackoffMax
+	}
+	c.rngMu.Lock()
+	jit := time.Duration(c.rng.Int63n(int64(d)/2 + 1))
+	c.rngMu.Unlock()
+	return d/2 + jit
+}
+
+// instrument is the coordinator's request middleware: trace adoption or
+// minting, X-Request-Id echo, request counters, access log, and a panic
+// backstop — the same observability contract the workers honor, so one
+// trace follows a job through both hops.
+func (c *Coordinator) instrument(route string, h http.HandlerFunc) http.Handler {
+	requests := c.tel.Counter("fleet.http.requests")
+	panics := c.tel.Counter("fleet.http.panics")
+	latency := c.tel.Histogram("fleet.http.latency_ms." + route)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		t0 := time.Now()
+		tc, err := telemetry.ParseTraceparent(r.Header.Get("traceparent"))
+		if err != nil {
+			tc = telemetry.NewTraceContext()
+		} else {
+			tc.SpanID = telemetry.NewSpanID()
+		}
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = telemetry.NewRequestID()
+		}
+		ctx := telemetry.WithRequestID(telemetry.WithTrace(r.Context(), tc), reqID)
+		r = r.WithContext(ctx)
+		w.Header().Set("X-Request-Id", reqID)
+		w.Header().Set("traceparent", tc.Traceparent())
+		defer func() {
+			if v := recover(); v != nil {
+				panics.Inc()
+				c.log.ErrorContext(ctx, "handler panic", "route", route, "panic", fmt.Sprint(v))
+				writeError(w, http.StatusInternalServerError, fmt.Sprintf("internal error: %v", v))
+			}
+			durMS := float64(time.Since(t0)) / float64(time.Millisecond)
+			latency.Observe(durMS)
+			c.log.InfoContext(ctx, "request", "route", route, "method", r.Method,
+				"path", r.URL.Path, "dur_ms", durMS, "remote", r.RemoteAddr)
+		}()
+		h(w, r)
+	})
+}
+
+// handleFleet serves the registry snapshot.
+func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	workers := c.reg.snapshot()
+	healthy := 0
+	for _, wk := range workers {
+		if wk.Healthy {
+			healthy++
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workers": workers,
+		"healthy": healthy,
+	})
+}
+
+// handleHealthz reports coordinator liveness.
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is ready while at least one worker is healthy — a
+// coordinator with an empty fleet should be rotated out.
+func (c *Coordinator) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	for _, wk := range c.reg.snapshot() {
+		if wk.Healthy {
+			writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy workers"})
+}
+
+// handleMetrics exposes the coordinator's collector, text by default,
+// the full JSON snapshot with ?format=json — the same contract as the
+// workers' endpoint.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	telemetry.SampleProcessMetrics(c.tel)
+	snap := c.tel.Snapshot()
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := telemetry.WriteMetricsText(w, snap); err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}

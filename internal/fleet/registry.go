@@ -1,0 +1,257 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Worker is one registered worker's live view, as reported by
+// GET /v1/fleet.
+type Worker struct {
+	URL        string  `json:"url"`
+	Healthy    bool    `json:"healthy"`
+	Breaker    string  `json:"breaker"`
+	Load       float64 `json:"load"`
+	Dispatched int64   `json:"dispatched"`
+	Failures   int64   `json:"failures"`
+}
+
+// worker is the registry's record of one backend.
+type worker struct {
+	url string
+	br  *breaker
+
+	healthy    atomic.Bool
+	load       atomic.Int64 // running+waiting jobs, scaled by loadScale
+	dispatched atomic.Int64
+	failures   atomic.Int64
+}
+
+// loadScale keeps fractional gauge sums exact enough in an int64.
+const loadScale = 1000
+
+// registry tracks the fleet's workers: a periodic probe loop refreshes
+// health (GET /readyz) and load hints (GET /metrics?format=json, the
+// serve queue gauges), and dispatch outcomes feed each worker's
+// breaker. pick() is the routing decision: the least-loaded healthy
+// worker whose breaker admits traffic.
+type registry struct {
+	workers []*worker
+	probe   *http.Client
+	tel     telemetrySink
+
+	mu sync.Mutex // serializes pick()
+
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+	once     sync.Once
+}
+
+// telemetrySink is the slice of the telemetry collector the registry
+// needs; an interface so registry tests need no collector.
+type telemetrySink interface {
+	setHealthy(n int)
+	setOpen(n int)
+	probeFailed()
+}
+
+func newRegistry(urls []string, threshold int, cooldown time.Duration, probeTimeout time.Duration, interval time.Duration, now func() time.Time, tel telemetrySink) *registry {
+	rg := &registry{
+		probe:    &http.Client{Timeout: probeTimeout},
+		tel:      tel,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, u := range urls {
+		rg.workers = append(rg.workers, &worker{
+			url: u,
+			br:  newBreaker(threshold, cooldown, now),
+		})
+	}
+	return rg
+}
+
+// start launches the periodic probe loop (one immediate sweep, then one
+// per interval).
+func (rg *registry) start() {
+	go func() {
+		defer close(rg.done)
+		rg.sweep()
+		t := time.NewTicker(rg.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rg.stop:
+				return
+			case <-t.C:
+				rg.sweep()
+			}
+		}
+	}()
+}
+
+// close stops the probe loop and waits for it to exit.
+func (rg *registry) close() {
+	rg.once.Do(func() { close(rg.stop) })
+	<-rg.done
+}
+
+// sweep probes every worker concurrently and refreshes the fleet
+// gauges. Exported to the coordinator (via ProbeNow) so tests can force
+// a deterministic refresh instead of waiting out the interval.
+func (rg *registry) sweep() {
+	var wg sync.WaitGroup
+	for _, w := range rg.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			rg.probeOne(w)
+		}(w)
+	}
+	wg.Wait()
+	healthy, open := 0, 0
+	for _, w := range rg.workers {
+		if w.healthy.Load() {
+			healthy++
+		}
+		if w.br.State() != "closed" {
+			open++
+		}
+	}
+	rg.tel.setHealthy(healthy)
+	rg.tel.setOpen(open)
+}
+
+// probeOne checks one worker: /readyz decides health, and on success
+// the serve queue gauges from /metrics become the load hint. Probe
+// outcomes feed the breaker, so a dead worker's breaker opens without
+// any dispatch traffic and a recovered worker's closes again.
+func (rg *registry) probeOne(w *worker) {
+	ready, err := rg.checkReady(w.url)
+	if err != nil || !ready {
+		w.healthy.Store(false)
+		w.br.failure()
+		rg.tel.probeFailed()
+		return
+	}
+	w.healthy.Store(true)
+	w.br.success()
+	if load, err := rg.fetchLoad(w.url); err == nil {
+		w.load.Store(int64(load * loadScale))
+	}
+}
+
+func (rg *registry) checkReady(url string) (bool, error) {
+	resp, err := rg.probe.Get(url + "/readyz")
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK, nil
+}
+
+// fetchLoad reads the worker's telemetry snapshot and sums the serve
+// admission-queue gauges — running plus waiting jobs is exactly how
+// much work is ahead of a new dispatch.
+func (rg *registry) fetchLoad(url string) (float64, error) {
+	resp, err := rg.probe.Get(url + "/metrics?format=json")
+	if err != nil {
+		return 0, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("metrics: status %d", resp.StatusCode)
+	}
+	var snap struct {
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return 0, err
+	}
+	return snap.Gauges["serve.queue.running"] + snap.Gauges["serve.queue.waiting"], nil
+}
+
+// pick selects the dispatch target: healthy workers whose breakers
+// admit traffic, least-loaded first, avoiding the worker that just
+// failed when any alternative exists. nil means no worker is currently
+// eligible.
+func (rg *registry) pick(avoid *worker) *worker {
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	cands := make([]*worker, 0, len(rg.workers))
+	for _, w := range rg.workers {
+		if w.healthy.Load() {
+			cands = append(cands, w)
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		// The avoided worker sorts last regardless of load.
+		if (cands[i] == avoid) != (cands[j] == avoid) {
+			return cands[j] == avoid
+		}
+		return cands[i].load.Load() < cands[j].load.Load()
+	})
+	for _, w := range cands {
+		// allow() may claim a half-open trial slot, so it is only asked
+		// once we are committed to using this worker.
+		if w.br.allow() {
+			return w
+		}
+	}
+	return nil
+}
+
+// markDispatched bumps the worker's load hint immediately, so a burst
+// of dispatches between two probe sweeps still spreads across workers.
+func (rg *registry) markDispatched(w *worker) {
+	w.dispatched.Add(1)
+	w.load.Add(loadScale)
+}
+
+// markDone undoes markDispatched's optimistic load bump.
+func (rg *registry) markDone(w *worker) {
+	if w.load.Add(-loadScale) < 0 {
+		w.load.Store(0)
+	}
+}
+
+// markFailure records a dispatch failure: breaker food plus an eager
+// health flip, so the very next pick avoids this worker even before the
+// probe loop notices it is gone.
+func (rg *registry) markFailure(w *worker) {
+	w.failures.Add(1)
+	w.br.failure()
+}
+
+// markSuccess records a successful dispatch.
+func (rg *registry) markSuccess(w *worker) {
+	w.br.success()
+}
+
+// snapshot renders the registry for GET /v1/fleet.
+func (rg *registry) snapshot() []Worker {
+	out := make([]Worker, 0, len(rg.workers))
+	for _, w := range rg.workers {
+		out = append(out, Worker{
+			URL:        w.url,
+			Healthy:    w.healthy.Load(),
+			Breaker:    w.br.State(),
+			Load:       float64(w.load.Load()) / loadScale,
+			Dispatched: w.dispatched.Load(),
+			Failures:   w.failures.Load(),
+		})
+	}
+	return out
+}

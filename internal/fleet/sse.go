@@ -1,0 +1,45 @@
+package fleet
+
+import (
+	"bufio"
+	"io"
+	"strings"
+)
+
+// sseEvent is one parsed server-sent event from a worker stream: the
+// event name and the raw data payload (single-line JSON, no trailing
+// newline — exactly what the worker's data line carried).
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// readSSE consumes a worker's event stream, invoking fn for each
+// complete event. It returns nil when the stream ends cleanly at an
+// event boundary and the transport error otherwise (a worker dying
+// mid-stream surfaces here as an unexpected EOF or reset). fn returning
+// an error stops the read and returns that error.
+func readSSE(r io.Reader, fn func(ev sseEvent) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var name string
+	var data []byte
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = append(data, line[len("data: "):]...)
+		case line == "":
+			if name != "" || len(data) > 0 {
+				ev := sseEvent{name: name, data: data}
+				name, data = "", nil
+				if err := fn(ev); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return sc.Err()
+}

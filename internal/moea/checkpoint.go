@@ -329,10 +329,16 @@ func decodeCheckpoint(data []byte, depth int) (*Checkpoint, error) {
 	return cp, nil
 }
 
-// SaveCheckpoint atomically writes the encoded checkpoint: the bytes
-// land in a temp file in the target directory, which is renamed over
-// the destination, so an interrupted write never corrupts a previously
-// valid checkpoint.
+// SaveCheckpoint atomically and durably writes the encoded checkpoint:
+// the bytes land in a temp file in the target directory, the file is
+// fsynced BEFORE the rename, the temp file is renamed over the
+// destination, and the parent directory is fsynced after. The ordering
+// matters: rename-before-fsync lets a power loss publish an empty (or
+// partially written) file under the final name as a "successful"
+// checkpoint, because the rename can reach the disk before the data
+// does. With the write→fsync→rename→fsync(dir) order, a kill at any
+// instant leaves either the previous valid checkpoint or the new valid
+// one — never a truncated hybrid.
 func SaveCheckpoint(path string, cp *Checkpoint) error {
 	data := EncodeCheckpoint(cp)
 	dir := filepath.Dir(path)
@@ -345,6 +351,11 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("moea: checkpoint write: %w", err)
 	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("moea: checkpoint sync: %w", err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("moea: checkpoint write: %w", err)
@@ -353,6 +364,21 @@ func SaveCheckpoint(path string, cp *Checkpoint) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("moea: checkpoint write: %w", err)
 	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename inside it is
+// durable. Filesystems that refuse to fsync directories (some network
+// and FUSE mounts) degrade gracefully: the rename itself already
+// succeeded, so the checkpoint is valid, just not yet guaranteed on
+// stable storage.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	defer d.Close()
+	_ = d.Sync()
 	return nil
 }
 

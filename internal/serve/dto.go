@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"encoding/base64"
 	"fmt"
 	"slices"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"rsnrobust/internal/core"
 	"rsnrobust/internal/faults"
 	"rsnrobust/internal/icl"
+	"rsnrobust/internal/moea"
 	"rsnrobust/internal/rsn"
 	"rsnrobust/internal/spec"
 )
@@ -112,6 +114,21 @@ type HardenOptions struct {
 	// events/second). Like DeadlineMS and NoCache it is a transport
 	// knob, excluded from the result cache key.
 	StreamEvery int `json:"stream_every,omitempty"`
+	// CheckpointEvery, for streamed requests, emits a "checkpoint" SSE
+	// event every N generations whose payload carries the full encoded
+	// run state (base64). A client holding the latest blob can resume
+	// the job bit-identically on any replica — the fleet coordinator's
+	// migration protocol rides on this. Transport knob, excluded from
+	// the cache key; ignored on non-streamed requests.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
+	// Resume, if non-empty, is a base64-encoded checkpoint blob
+	// (as emitted by a "checkpoint" event): the run restores from it and
+	// continues bit-identically to an uninterrupted run with the same
+	// parameters — same front, same exact evaluation and memo
+	// accounting. The request's options must match the checkpointed run
+	// (algorithm, seed, population, islands); a mismatch is a 400.
+	// Resumed requests bypass the result cache in both directions.
+	Resume string `json:"resume,omitempty"`
 }
 
 // HardenRequest is the body of POST /v1/harden.
@@ -119,6 +136,10 @@ type HardenRequest struct {
 	Network NetworkRef    `json:"network"`
 	Spec    SpecRef       `json:"spec"`
 	Options HardenOptions `json:"options"`
+
+	// resumeCkpt is the decoded Options.Resume blob, populated by
+	// validate so the handler never parses the base64 twice.
+	resumeCkpt *moea.Checkpoint
 }
 
 // FrontPoint is one trade-off point of the returned front. Values
@@ -289,6 +310,23 @@ func (req *HardenRequest) validate(cfg Config) error {
 	}
 	if o.StreamEvery < 0 {
 		return invalidf("stream_every: must be non-negative, got %d", o.StreamEvery)
+	}
+	if o.CheckpointEvery < 0 {
+		return invalidf("checkpoint_every: must be non-negative, got %d", o.CheckpointEvery)
+	}
+	if o.Resume != "" {
+		if o.Stagnation > 0 {
+			return invalidf("resume: cannot be combined with stagnation (the early-stop state is not checkpointed)")
+		}
+		blob, err := base64.StdEncoding.DecodeString(o.Resume)
+		if err != nil {
+			return invalidf("resume: not valid base64: %v", err)
+		}
+		cp, err := moea.DecodeCheckpoint(blob)
+		if err != nil {
+			return invalidf("resume: %v", err)
+		}
+		req.resumeCkpt = cp
 	}
 	if len(o.Objectives) > 0 {
 		// Canonicalize in place so permutations and duplicates of the

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -62,7 +63,7 @@ func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), 
 		return nil, false
 	}
 	if !s.queue.enter() {
-		sec := int(s.queue.retryAfter() / time.Second)
+		sec := s.queue.retryAfterSeconds()
 		w.Header().Set("Retry-After", strconv.Itoa(sec))
 		writeError(w, r, http.StatusTooManyRequests,
 			fmt.Sprintf("queue full (%d running + %d waiting); retry after ~%ds",
@@ -289,7 +290,11 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := wantStream(r)
 	key := hardenCacheKey(&req)
-	if !req.Options.NoCache {
+	// A resumed request bypasses the cache in both directions: it exists
+	// to continue a specific interrupted run, and a cached terminal
+	// answer would skip the continuation the caller is orchestrating.
+	useCache := !req.Options.NoCache && req.Options.Resume == ""
+	if useCache {
 		if resp, ok := s.cache.get(key); ok {
 			if stream {
 				if sse, ok := startSSE(w); ok {
@@ -342,8 +347,30 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 		}
 		return true
 	}
+	// Checkpoint streaming: every CheckpointEvery generations the full
+	// encoded run state rides the stream as a "checkpoint" event, so the
+	// caller (the fleet coordinator, typically) can resume the job
+	// elsewhere if this worker dies. The blob is encoded inside the
+	// callback — the *moea.Checkpoint aliases live engine buffers. A
+	// write failure (client gone) is NOT a job error: the run keeps
+	// going and the request context handles the disconnect.
+	var onCheckpoint func(*moea.Checkpoint) error
+	if sse != nil && req.Options.CheckpointEvery > 0 {
+		ckpts := s.tel.Counter("serve.checkpoints.streamed")
+		onCheckpoint = func(cp *moea.Checkpoint) error {
+			blob := moea.EncodeCheckpoint(cp)
+			sse.event("checkpoint", checkpointEvent{
+				Gen:  cp.Generation,
+				Blob: base64.StdEncoding.EncodeToString(blob),
+			})
+			if sse.Err() == nil {
+				ckpts.Inc()
+			}
+			return nil
+		}
+	}
 	resp, err := runQueued(s, ctx, "harden", deadline, func(jctx context.Context, sp *telemetry.Span) (*HardenResponse, error) {
-		return s.harden(jctx, &req, sp, onProgress)
+		return s.harden(jctx, &req, sp, onProgress, onCheckpoint)
 	})
 	interrupted := err == nil && resp.Interrupted
 	s.jobs.finish(jobID, jobStatus(err, interrupted), errString(err), time.Since(t0))
@@ -367,7 +394,7 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 	}
 	if resp.Interrupted {
 		s.tel.Counter("serve.jobs.interrupted").Inc()
-	} else if !req.Options.NoCache {
+	} else if useCache {
 		s.cache.put(key, resp)
 	}
 	if sse != nil {
@@ -379,8 +406,10 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 
 // harden is the body of one harden job: a full, self-contained
 // synthesis parented under the job's telemetry span. onProgress, if
-// non-nil, receives the run's exact per-generation progress.
-func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry.Span, onProgress func(core.Progress) bool) (*HardenResponse, error) {
+// non-nil, receives the run's exact per-generation progress;
+// onCheckpoint, if non-nil, receives the periodic run state for
+// checkpoint streaming.
+func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry.Span, onProgress func(core.Progress) bool, onCheckpoint func(*moea.Checkpoint) error) (*HardenResponse, error) {
 	net, err := req.Network.load()
 	if err != nil {
 		return nil, err
@@ -412,6 +441,13 @@ func (s *Server) harden(ctx context.Context, req *HardenRequest, span *telemetry
 	opt.Telemetry = s.tel
 	opt.ParentSpan = span
 	opt.OnProgress = onProgress
+	if onCheckpoint != nil {
+		opt.CheckpointFn = onCheckpoint
+		opt.CheckpointEvery = o.CheckpointEvery
+	}
+	if req.resumeCkpt != nil {
+		opt.Resume = req.resumeCkpt
+	}
 
 	syn, err := core.Synthesize(net, sp, opt)
 	if err != nil {

@@ -94,6 +94,19 @@ func (q *jobQueue) retryAfter() time.Duration {
 	return time.Duration(sec) * time.Second
 }
 
+// retryAfterSeconds is retryAfter as the whole-second value the
+// Retry-After header carries. Sub-second estimates round UP and the
+// result is clamped to ≥1 — a truncating division here once emitted
+// "Retry-After: 0" whenever the mean job time was sub-second, which
+// tells well-behaved clients to hammer the queue with zero delay.
+func (q *jobQueue) retryAfterSeconds() int {
+	sec := int((q.retryAfter() + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
+}
+
 // runQueued executes fn as a single-job moea.RunSet run, inheriting the
 // scheduler's panic isolation (a panicking job surfaces as a
 // *moea.PanicError, not a crashed process), its per-job deadline (a job

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// TestRetryAfterSubSecondJobs is the regression test for the
+// Retry-After truncation: with a sub-second mean job time the header
+// once computed int(dur/time.Second) = 0, telling bounced clients to
+// retry immediately — the opposite of backpressure. The header must be
+// ≥ 1 whatever the job-time history says.
+func TestRetryAfterSubSecondJobs(t *testing.T) {
+	q := newJobQueue(4, 2, telemetry.New())
+	// No history at all: still ≥ 1.
+	if sec := q.retryAfterSeconds(); sec < 1 {
+		t.Fatalf("retryAfterSeconds with no history = %d, want >= 1", sec)
+	}
+	// A history of fast sub-second jobs (mean 50ms) must round UP.
+	for i := 0; i < 20; i++ {
+		q.jobMS.Observe(50)
+	}
+	if sec := q.retryAfterSeconds(); sec < 1 {
+		t.Fatalf("retryAfterSeconds with 50ms mean jobs = %d, want >= 1", sec)
+	}
+	// And a long history keeps the upper clamp.
+	for i := 0; i < 50; i++ {
+		q.jobMS.Observe(10 * 60 * 1000)
+	}
+	if sec := q.retryAfterSeconds(); sec > 60 {
+		t.Fatalf("retryAfterSeconds = %d, want <= 60", sec)
+	}
+}
+
+// TestRetryAfterHeaderOn429 drives the whole 429 path over HTTP: the
+// queue is saturated, the mean job time is sub-second, and the bounced
+// request must carry Retry-After ≥ 1.
+func TestRetryAfterHeaderOn429(t *testing.T) {
+	srv := New(Config{Workers: 1, QueueDepth: -1})
+	// Sub-second job history: exactly the regime that used to emit 0.
+	for i := 0; i < 10; i++ {
+		srv.queue.jobMS.Observe(120)
+	}
+	// Saturate admission directly (one worker, no waiting room).
+	if !srv.queue.enter() {
+		t.Fatal("could not take the only admission token")
+	}
+	defer srv.queue.leave()
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/harden", "application/json", strings.NewReader(
+		`{"network":{"name":"TreeFlat"},"spec":{"seed":1},"options":{"generations":5,"seed":1}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	ra := resp.Header.Get("Retry-After")
+	sec, err := strconv.Atoi(ra)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", ra, err)
+	}
+	if sec < 1 || sec > 60 {
+		t.Fatalf("Retry-After = %d, want in [1, 60]", sec)
+	}
+}

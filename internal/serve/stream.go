@@ -93,6 +93,16 @@ type generationEvent struct {
 	ElapsedMS   float64 `json:"elapsed_ms"`
 }
 
+// checkpointEvent is the payload of one "checkpoint" SSE event of a
+// streamed harden with checkpoint_every set: the generation the state
+// was captured at and the full encoded checkpoint, base64'd. Feeding
+// the blob back as options.resume on any replica continues the run
+// bit-identically — the transport half of the fleet migration protocol.
+type checkpointEvent struct {
+	Gen  int    `json:"gen"`
+	Blob string `json:"blob"`
+}
+
 // errorEvent is the terminal payload of a failed streamed job — the
 // uniform error body plus the status the plain endpoint would have
 // answered with.
