@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: ci vet lint build test race determinism serve-smoke chaos chaos-fleet fuzz bench bench-smoke benchjson bench-compare clean
+.PHONY: ci vet lint build test race determinism serve-smoke chaos chaos-fleet chaos-cache fuzz bench bench-smoke benchjson bench-compare clean
 
-ci: vet lint build race determinism serve-smoke chaos-fleet bench-compare
+ci: vet lint build race determinism serve-smoke chaos-fleet chaos-cache bench-compare
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,14 @@ chaos:
 # regex keeps the gate targeted; `make race` still covers everything.
 chaos-fleet:
 	$(GO) test -race -run 'Proxy|Breaker|Dispatch|Fleet|Migration|HalfOpen|NoHealthy|Trace|Analyze|Coordinator' ./internal/chaos ./internal/fleet ./cmd/rsnserve
+
+# Fleet cache gate: the shared result-cache drills under the race
+# detector — L1 repeats (plain, streamed, and after a SIGKILL-forced
+# migration), cache-affinity routing and rendezvous resharding, the
+# registry clamp/health regressions, Retry-After parsing, and the
+# worker-side cache-key/disabled-cache semantics.
+chaos-cache:
+	$(GO) test -race -run 'FleetCache|Rendezvous|Affinity|RegistryMark|RetryAfter|ResultCacheDisabled|CacheKey' ./internal/fleet ./internal/serve
 
 # Short fuzz pass over the hostile-input decoders: the ICL parser and
 # the checkpoint codec.

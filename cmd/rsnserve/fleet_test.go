@@ -10,6 +10,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"rsnrobust/internal/serve"
 )
 
 var elapsedRe = regexp.MustCompile(`"elapsed_ms":[0-9.e+-]+`)
@@ -42,14 +44,15 @@ func metricsSnap(t *testing.T, base string) (map[string]int64, map[string]float6
 // the worker running it is SIGKILLed after it has streamed at least
 // one checkpoint. The job must complete on the surviving worker with a
 // response byte-identical (modulo wall clock) to an uninterrupted run,
-// and the coordinator must account exactly one migration — zero lost
-// work, zero duplicated work.
+// the coordinator must account exactly one migration — zero lost work,
+// zero duplicated work — and a repeat of the request must be served
+// from the coordinator's L1 cache with zero re-evaluations.
 func TestCoordinatorKillWorkerMigration(t *testing.T) {
 	if testing.Short() {
 		t.Skip("subprocess test")
 	}
 	w1cmd, w1base, _ := startServer(t)
-	_, w2base, _ := startServer(t)
+	w2cmd, w2base, _ := startServer(t)
 	_, coordBase, coordErr := startServer(t,
 		"-coordinator", w1base+","+w2base,
 		"-probe-interval", "100ms",
@@ -94,24 +97,35 @@ func TestCoordinatorKillWorkerMigration(t *testing.T) {
 		done <- result{status: resp.StatusCode, body: b, err: err}
 	}()
 
-	// Worker 1 holds the job (both workers idle, registry order picks
-	// it first). Kill it the moment it has streamed a checkpoint the
-	// coordinator can resume from.
+	// Affinity routing sends the job to its cache key's rendezvous owner
+	// — either worker, depending on the ephemeral ports — so poll both
+	// and SIGKILL whichever is streaming checkpoints the moment the
+	// coordinator has one to resume from.
+	holders := []struct {
+		cmd  *exec.Cmd
+		base string
+	}{{w1cmd, w1base}, {w2cmd, w2base}}
 	killDeadline := time.Now().Add(30 * time.Second)
-	for {
-		counters, _ := metricsSnap(t, w1base)
-		if counters["serve.checkpoints.streamed"] >= 1 {
-			break
+	killed := false
+	for !killed {
+		for _, h := range holders {
+			counters, _ := metricsSnap(t, h.base)
+			if counters["serve.checkpoints.streamed"] >= 1 {
+				if err := h.cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
+					t.Fatal(err)
+				}
+				h.cmd.Wait()
+				killed = true
+				break
+			}
 		}
-		if time.Now().After(killDeadline) {
-			t.Fatal("worker 1 never streamed a checkpoint")
+		if !killed {
+			if time.Now().After(killDeadline) {
+				t.Fatal("no worker ever streamed a checkpoint")
+			}
+			time.Sleep(5 * time.Millisecond)
 		}
-		time.Sleep(5 * time.Millisecond)
 	}
-	if err := w1cmd.Process.Kill(); err != nil { // SIGKILL: no drain, no goodbye
-		t.Fatal(err)
-	}
-	w1cmd.Wait()
 
 	var r result
 	select {
@@ -185,6 +199,38 @@ func TestCoordinatorKillWorkerMigration(t *testing.T) {
 	}
 	if st.Healthy != 1 {
 		t.Errorf("/v1/fleet healthy = %d, want 1", st.Healthy)
+	}
+
+	// The repeat drill: workers never cache resumed runs, so only the
+	// coordinator's L1 holds the migrated job's result. A repeat must be
+	// answered from it — marked cached, zero new dispatches, and
+	// byte-identical to the first response modulo the cached flag and
+	// wall clock — even though the owner has just resharded.
+	rresp, err := http.Post(coordBase+"/v1/harden", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	rbody, _ := io.ReadAll(rresp.Body)
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat status = %d: %s", rresp.StatusCode, rbody)
+	}
+	if key := rresp.Header.Get(serve.CacheKeyHeader); len(key) != 16 {
+		t.Errorf("repeat %s = %q, want a 16-hex-digit key", serve.CacheKeyHeader, key)
+	}
+	if !strings.Contains(string(rbody), `"cached":true`) {
+		t.Errorf("repeat after migration not served from the L1: %s", rbody)
+	}
+	uncache := func(s string) string { return strings.Replace(s, `"cached":true`, `"cached":false`, 1) }
+	if uncache(normalizeElapsed(rbody)) != uncache(normalizeElapsed(r.body)) {
+		t.Errorf("cached repeat differs from migrated result\n got %s\nwant %s", rbody, r.body)
+	}
+	counters, _ = metricsSnap(t, coordBase)
+	if counters["fleet.cache.hits"] < 1 {
+		t.Errorf("fleet.cache.hits = %d, want >= 1", counters["fleet.cache.hits"])
+	}
+	if counters["fleet.dispatches"] != 2 {
+		t.Errorf("fleet.dispatches = %d after cached repeat, want still 2", counters["fleet.dispatches"])
 	}
 }
 

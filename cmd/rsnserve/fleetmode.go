@@ -22,6 +22,8 @@ type coordOptions struct {
 	probeIvl    time.Duration
 	retryBudget int
 	ckptEvery   int
+	l1Cache     int
+	affDelta    float64
 	grace       time.Duration
 	logger      *slog.Logger
 }
@@ -40,11 +42,13 @@ func runCoordinator(opt coordOptions) error {
 		}
 	}
 	coord, err := fleet.New(fleet.Config{
-		Workers:         urls,
-		ProbeInterval:   opt.probeIvl,
-		RetryBudget:     opt.retryBudget,
-		CheckpointEvery: opt.ckptEvery,
-		Logger:          opt.logger,
+		Workers:           urls,
+		ProbeInterval:     opt.probeIvl,
+		RetryBudget:       opt.retryBudget,
+		CheckpointEvery:   opt.ckptEvery,
+		L1CacheEntries:    opt.l1Cache,
+		AffinityLoadDelta: opt.affDelta,
+		Logger:            opt.logger,
 	})
 	if err != nil {
 		return err

@@ -64,7 +64,12 @@ func runFleetSelftest() error {
 		RetryBudget:   3,
 		BackoffBase:   10 * time.Millisecond,
 		BackoffMax:    50 * time.Millisecond,
-		Seed:          42,
+		// Affinity routing is off so the job deterministically lands on
+		// the proxied worker (registry order), keeping the scripted fault
+		// placement exact; the L1 cache stays on — the repeat step below
+		// proves a migrated job's repeat is served without re-dispatch.
+		AffinityLoadDelta: -1,
+		Seed:              42,
 	})
 	if err != nil {
 		return err
@@ -81,6 +86,10 @@ func runFleetSelftest() error {
 	const job = `{"network":{"name":"TreeFlat"},"spec":{"seed":3},` +
 		`"options":{"generations":40,"population":30,"seed":7}}`
 
+	// The migration step's response, kept for the cache-repeat step's
+	// byte comparison.
+	var firstResult []byte
+
 	steps := []struct {
 		name string
 		fn   func() error
@@ -95,6 +104,7 @@ func runFleetSelftest() error {
 			if resp.StatusCode != http.StatusOK {
 				return fmt.Errorf("status %d: %s", resp.StatusCode, got)
 			}
+			firstResult = got
 			// The uninterrupted reference runs on a fresh worker so
 			// neither cache nor resume state can mask a divergence.
 			ref, stopRef, err := startWorker()
@@ -117,7 +127,40 @@ func runFleetSelftest() error {
 			}
 			return nil
 		}},
+		{"fleet cache repeat", func() error {
+			// Workers never cache resumed runs, so only the coordinator's
+			// L1 can answer this repeat — with zero new dispatches (the
+			// metrics step pins fleet.dispatches at 2).
+			resp, err := http.Post(base+"/v1/harden", "application/json", strings.NewReader(job))
+			if err != nil {
+				return err
+			}
+			defer resp.Body.Close()
+			got, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				return fmt.Errorf("status %d: %s", resp.StatusCode, got)
+			}
+			if key := resp.Header.Get(serve.CacheKeyHeader); len(key) != 16 {
+				return fmt.Errorf("%s = %q, want a 16-hex-digit key", serve.CacheKeyHeader, key)
+			}
+			if !strings.Contains(string(got), `"cached":true`) {
+				return fmt.Errorf("repeat not served from the L1 cache: %s", got)
+			}
+			norm := func(b []byte) string {
+				s := strings.Replace(string(b), `"cached":true`, `"cached":false`, 1)
+				return selftestElapsedRe.ReplaceAllString(s, `"elapsed_ms":0`)
+			}
+			if norm(got) != norm(firstResult) {
+				return fmt.Errorf("cached repeat differs from first result\n got %s\nwant %s", got, firstResult)
+			}
+			return nil
+		}},
 		{"fleet status", func() error {
+			// The kill marked worker 1 unhealthy eagerly; its backend is
+			// actually fine (the proxy killed one connection, not the
+			// worker), so a probe sweep — manual here, periodic in
+			// production — must restore it to the healthy set.
+			coord.ProbeNow()
 			resp, err := http.Get(base + "/v1/fleet")
 			if err != nil {
 				return err
@@ -154,7 +197,10 @@ func runFleetSelftest() error {
 				return fmt.Errorf("fleet.migrations = %d, want >= 1", snap.Counters["fleet.migrations"])
 			}
 			if snap.Counters["fleet.dispatches"] != 2 {
-				return fmt.Errorf("fleet.dispatches = %d, want 2", snap.Counters["fleet.dispatches"])
+				return fmt.Errorf("fleet.dispatches = %d, want 2 — the cached repeat must not have dispatched", snap.Counters["fleet.dispatches"])
+			}
+			if snap.Counters["fleet.cache.hits"] < 1 {
+				return fmt.Errorf("fleet.cache.hits = %d, want >= 1", snap.Counters["fleet.cache.hits"])
 			}
 			if snap.Gauges["fleet.workers.healthy"] != 2 {
 				return fmt.Errorf("fleet.workers.healthy = %v, want 2", snap.Gauges["fleet.workers.healthy"])

@@ -1,0 +1,111 @@
+package fleet
+
+import (
+	"bytes"
+	"container/list"
+	"sync"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// l1Cache is the coordinator's own layer of the fleet-wide result
+// cache: a fixed-capacity LRU of completed harden response bodies,
+// keyed by the same content address every worker-local cache uses
+// (serve.HardenBodyCacheKey). A hit answers the repeat without any
+// dispatch at all — no routing, no worker round-trip — which is what
+// makes a repeat after a migration free even though a migrated
+// (resumed) run is never stored worker-side. The stored value is the
+// raw result payload exactly as the winning worker emitted it, so a
+// cached response stays byte-identical to the original modulo the
+// "cached" flag flip; interrupted results are never stored (the caller
+// checks), mirroring the worker cache's rule that a truncated front
+// must not shadow the real one.
+type l1Cache struct {
+	mu      sync.Mutex
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+
+	size *telemetry.Gauge
+}
+
+type l1Entry struct {
+	key  string
+	data []byte
+}
+
+// newL1Cache builds a cache of the given capacity; capacity ≤ 0
+// disables it entirely — no lock, no counters — matching the disabled
+// semantics of the worker-side resultCache.
+func newL1Cache(capacity int, tel *telemetry.Collector) *l1Cache {
+	return &l1Cache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		cap:     capacity,
+		size:    tel.Gauge("fleet.cache.size"),
+	}
+}
+
+// enabled reports whether lookups can ever hit.
+func (c *l1Cache) enabled() bool { return c.cap > 0 }
+
+var (
+	cachedFalse = []byte(`"cached":false`)
+	cachedTrue  = []byte(`"cached":true`)
+)
+
+// get returns a copy of the cached result payload for key with its
+// "cached" flag set. The flag flip is a byte substitution rather than a
+// re-encode on purpose: decoding and re-marshalling would reorder keys
+// and break the byte-identity contract between cached and fresh
+// responses. HardenResponse always carries exactly one "cached" field
+// and no response string can contain the quoted pattern, so the single
+// replacement is exact.
+func (c *l1Cache) get(key string) ([]byte, bool) {
+	if c.cap <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	// bytes.Replace always allocates, so the caller owns the returned
+	// slice and cannot corrupt the cached value.
+	return bytes.Replace(el.Value.(*l1Entry).data, cachedFalse, cachedTrue, 1), true
+}
+
+// put stores a completed (never interrupted — caller's contract) result
+// payload under key, evicting the least recently used entry when full.
+func (c *l1Cache) put(key string, data []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cp := append([]byte(nil), data...)
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*l1Entry).data = cp
+		c.order.MoveToFront(el)
+		return
+	}
+	for len(c.entries) >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*l1Entry).key)
+	}
+	c.entries[key] = c.order.PushFront(&l1Entry{key: key, data: cp})
+	c.size.Set(float64(len(c.entries)))
+}
+
+// len reports the current entry count (for the /v1/fleet cache column).
+func (c *l1Cache) len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

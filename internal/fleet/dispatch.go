@@ -12,6 +12,7 @@ import (
 	"strings"
 	"time"
 
+	"rsnrobust/internal/serve"
 	"rsnrobust/internal/telemetry"
 )
 
@@ -51,6 +52,11 @@ type hardenJob struct {
 	// events, which the coordinator then relays.
 	clientCkpt bool
 
+	// noCache records options.no_cache: the client opted out of the
+	// result cache, so the coordinator must not consult or fill its L1
+	// (and gains nothing from affinity routing).
+	noCache bool
+
 	resume    string // latest checkpoint blob (base64), "" before the first
 	resumeGen int
 	// haveCkpt marks that resume came from a worker stream during this
@@ -81,6 +87,9 @@ func newHardenJob(body []byte, ckptEvery int) (*hardenJob, error) {
 	}
 	if v, ok := j.opts["resume"].(string); ok && v != "" {
 		j.resume = v
+	}
+	if v, ok := j.opts["no_cache"].(bool); ok && v {
+		j.noCache = true
 	}
 	return j, nil
 }
@@ -219,17 +228,45 @@ func (rl *relay) plain(status int, contentType string, body []byte) {
 type outcome struct {
 	terminal   bool          // a response reached the client; stop
 	success    bool          // the worker did its job (feeds the breaker)
+	result     []byte        // the terminal result payload, when one arrived
 	retryAfter time.Duration // >0: the worker said 429 with this hint
 	err        error         // retryable failure detail
+}
+
+// parseRetryAfter interprets a Retry-After header value in either form
+// RFC 9110 allows: delta-seconds, or an HTTP-date resolved against now.
+// ok is false for an absent or unparseable value (callers keep their
+// default hint), and a date at-or-before now collapses to one second —
+// the worker is still signalling backpressure, just with no wait left.
+func parseRetryAfter(v string, now time.Time) (time.Duration, bool) {
+	if v == "" {
+		return 0, false
+	}
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec <= 0 {
+			return 0, false
+		}
+		return time.Duration(sec) * time.Second, true
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
+		return 0, false
+	}
+	if d := t.Sub(now); d > time.Second {
+		return d, true
+	}
+	return time.Second, true
 }
 
 // errStopStream stops readSSE once the terminal event has arrived.
 var errStopStream = errors.New("fleet: stream complete")
 
 // handleHarden accepts one harden job and keeps it alive across worker
-// failures: least-loaded dispatch, jittered-backoff retries for
+// failures: cache-affinity dispatch (rendezvous owner of the request's
+// content address, least-loaded fallback), jittered-backoff retries for
 // transient failures, and checkpoint-based migration when a worker dies
-// mid-run.
+// mid-run. Repeats of completed jobs are answered straight from the
+// coordinator's L1 cache with zero dispatches.
 func (c *Coordinator) handleHarden(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, c.cfg.MaxBodyBytes))
 	if err != nil {
@@ -243,6 +280,27 @@ func (c *Coordinator) handleHarden(w http.ResponseWriter, r *http.Request) {
 	}
 	rl := newRelay(w, wantStream(r), job.clientCkpt)
 	ctx := r.Context()
+
+	// The fleet-wide cache identity: derived from the client body with
+	// the worker's own canonicalization, so the coordinator's L1, the
+	// routing decision, and every worker-local cache share one address
+	// space. NoCache and client-driven resume opt out exactly as they do
+	// worker-side.
+	var key string
+	if !job.noCache && job.resume == "" {
+		if k, ok := serve.HardenBodyCacheKey(body); ok {
+			key = k
+			w.Header().Set(serve.CacheKeyHeader, k)
+		}
+	}
+	if key != "" && c.l1.enabled() {
+		if data, ok := c.l1.get(key); ok {
+			c.cacheHitsC.Inc()
+			rl.result(data)
+			return
+		}
+		c.cacheMissesC.Inc()
+	}
 
 	var avoid *worker
 	var lastRetryAfter time.Duration
@@ -262,13 +320,13 @@ func (c *Coordinator) handleHarden(w http.ResponseWriter, r *http.Request) {
 			case <-time.After(delay):
 			}
 		}
-		wk := c.reg.pick(avoid)
+		wk, aff := c.reg.pick(avoid, key)
 		if wk == nil {
 			// Nothing eligible — refresh health once (covers the
 			// cold-start race before the first sweep and workers that
 			// just came back) and retry the pick.
 			c.reg.sweep()
-			wk = c.reg.pick(avoid)
+			wk, aff = c.reg.pick(avoid, key)
 		}
 		if wk == nil {
 			lastErr = errors.New("no healthy workers")
@@ -277,18 +335,41 @@ func (c *Coordinator) handleHarden(w http.ResponseWriter, r *http.Request) {
 		}
 		if job.haveCkpt && attempt > 0 {
 			// Re-dispatching with a checkpoint captured from a dead
-			// worker's stream: this attempt is a migration.
+			// worker's stream: this attempt is a migration. The pick above
+			// already resharded: markFailure flipped the dead owner
+			// unhealthy, so the key's rendezvous owner is recomputed over
+			// the survivors.
 			c.migrationsC.Inc()
 			c.log.InfoContext(ctx, "migrating job", "to", wk.url, "from_gen", job.resumeGen)
 		}
 		c.dispatchesC.Inc()
-		c.reg.markDispatched(wk)
+		c.reg.markDispatched(wk, aff)
 		out := c.tryHarden(ctx, wk, job, rl)
 		c.reg.markDone(wk)
 		switch {
 		case out.terminal:
 			if out.success {
 				c.reg.markSuccess(wk)
+			}
+			if key != "" && len(out.result) > 0 {
+				var meta struct {
+					Interrupted bool `json:"interrupted"`
+					Cached      bool `json:"cached"`
+				}
+				if json.Unmarshal(out.result, &meta) == nil {
+					if aff && meta.Cached {
+						// The owner answered from its local cache: the
+						// affinity routing saved a recompute on its own.
+						c.affinityHitsC.Inc()
+					}
+					if !meta.Interrupted {
+						// Mirror the worker rule: only completed results are
+						// cacheable. Notably this is the only cache that
+						// holds a migrated job's result — workers never
+						// store resumed runs.
+						c.l1.put(key, out.result)
+					}
+				}
 			}
 			return
 		case out.retryAfter > 0:
@@ -345,8 +426,8 @@ func (c *Coordinator) tryHarden(ctx context.Context, wk *worker, job *hardenJob,
 
 	if resp.StatusCode == http.StatusTooManyRequests {
 		ra := time.Second
-		if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
-			ra = time.Duration(sec) * time.Second
+		if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+			ra = d
 		}
 		return outcome{retryAfter: ra}
 	}
@@ -416,7 +497,7 @@ func (c *Coordinator) tryHarden(ctx context.Context, wk *worker, job *hardenJob,
 	})
 	if result != nil {
 		rl.result(result)
-		return outcome{terminal: true, success: true}
+		return outcome{terminal: true, success: true, result: result}
 	}
 	if jobErr != nil {
 		if jobErrStatus >= 500 {
@@ -472,10 +553,10 @@ func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			case <-time.After(delay):
 			}
 		}
-		wk := c.reg.pick(avoid)
+		wk, _ := c.reg.pick(avoid, "")
 		if wk == nil {
 			c.reg.sweep()
-			wk = c.reg.pick(avoid)
+			wk, _ = c.reg.pick(avoid, "")
 		}
 		if wk == nil {
 			lastErr = errors.New("no healthy workers")
@@ -483,7 +564,7 @@ func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		c.dispatchesC.Inc()
-		c.reg.markDispatched(wk)
+		c.reg.markDispatched(wk, false)
 		resp, err := c.send(ctx, wk, "/v1/analyze", body, false)
 		if err != nil {
 			c.reg.markDone(wk)
@@ -500,8 +581,8 @@ func (c *Coordinator) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case resp.StatusCode == http.StatusTooManyRequests:
 			ra := time.Second
-			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && sec > 0 {
-				ra = time.Duration(sec) * time.Second
+			if d, ok := parseRetryAfter(resp.Header.Get("Retry-After"), time.Now()); ok {
+				ra = d
 			}
 			lastRetryAfter, lastErr, avoid = ra, fmt.Errorf("worker %s busy", wk.url), wk
 		case resp.StatusCode >= 500 || rerr != nil:

@@ -3,15 +3,22 @@
 // keeps hardening jobs running through worker crashes, resets, and
 // overload.
 //
-//	POST /v1/harden   — dispatched to the least-loaded healthy worker;
-//	                    transient failures (connect errors, 5xx, 429)
+//	POST /v1/harden   — answered from the coordinator's L1 result cache
+//	                    when the content address matches a completed
+//	                    job; otherwise dispatched to the cache key's
+//	                    rendezvous owner among the healthy workers
+//	                    (least-loaded fallback), so identical requests
+//	                    land on the worker already holding the result.
+//	                    Transient failures (connect errors, 5xx, 429)
 //	                    are retried with jittered exponential backoff,
 //	                    and a worker dying mid-job migrates the job to
 //	                    another worker from its last streamed
 //	                    checkpoint, bit-identically.
 //	POST /v1/analyze  — dispatched with the same retry policy (analyze
 //	                    is stateless, so migration is plain retry).
-//	GET  /v1/fleet    — per-worker health, breaker state, load.
+//	GET  /v1/fleet    — per-worker health, breaker state, load, plus
+//	                    the cache column (L1 fill, hit/miss/affinity
+//	                    counters).
 //	GET  /healthz     — coordinator liveness.
 //	GET  /readyz      — 200 while at least one worker is healthy.
 //	GET  /metrics     — fleet gauges and counters (text or
@@ -73,6 +80,17 @@ type Config struct {
 	BreakerCooldown  time.Duration
 	// MaxBodyBytes bounds an accepted request body (default 8 MiB).
 	MaxBodyBytes int64
+	// L1CacheEntries sizes the coordinator's own LRU of completed harden
+	// responses, keyed by the fleet-wide content address: a hit answers
+	// a repeat request with zero dispatches. 0 = default 256, negative
+	// disables the L1 (repeats then rely on cache-affinity routing and
+	// the worker-local caches).
+	L1CacheEntries int
+	// AffinityLoadDelta is the load headroom (in jobs) the rendezvous
+	// owner of a request's cache key is granted over the least-loaded
+	// worker before cache-affinity routing falls back to least-loaded.
+	// 0 = default 4, negative disables affinity routing.
+	AffinityLoadDelta float64
 	// Seed makes the backoff jitter deterministic (default 1) — chaos
 	// drills replay identically.
 	Seed int64
@@ -118,6 +136,12 @@ func (cfg Config) Defaults() Config {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 8 << 20
 	}
+	if cfg.L1CacheEntries == 0 {
+		cfg.L1CacheEntries = 256
+	}
+	if cfg.AffinityLoadDelta == 0 {
+		cfg.AffinityLoadDelta = 4
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -149,12 +173,18 @@ type Coordinator struct {
 	rngMu sync.Mutex
 	rng   *rand.Rand
 
-	healthyG    *telemetry.Gauge
-	openG       *telemetry.Gauge
-	dispatchesC *telemetry.Counter
-	retriesC    *telemetry.Counter
-	migrationsC *telemetry.Counter
-	probeFailC  *telemetry.Counter
+	// l1 is the coordinator's layer of the fleet-wide result cache.
+	l1 *l1Cache
+
+	healthyG      *telemetry.Gauge
+	openG         *telemetry.Gauge
+	dispatchesC   *telemetry.Counter
+	retriesC      *telemetry.Counter
+	migrationsC   *telemetry.Counter
+	probeFailC    *telemetry.Counter
+	cacheHitsC    *telemetry.Counter
+	cacheMissesC  *telemetry.Counter
+	affinityHitsC *telemetry.Counter
 }
 
 // New builds a Coordinator from the configuration.
@@ -175,9 +205,21 @@ func New(cfg Config) (*Coordinator, error) {
 		retriesC:    cfg.Telemetry.Counter("fleet.retries"),
 		migrationsC: cfg.Telemetry.Counter("fleet.migrations"),
 		probeFailC:  cfg.Telemetry.Counter("fleet.probe.failures"),
+		// fleet.cache.{hits,misses} account L1 lookups for cacheable
+		// requests; fleet.cache.affinity_hits counts dispatches that the
+		// rendezvous owner answered from its worker-local cache — the
+		// routing did its job even though the L1 did not hold the entry.
+		cacheHitsC:    cfg.Telemetry.Counter("fleet.cache.hits"),
+		cacheMissesC:  cfg.Telemetry.Counter("fleet.cache.misses"),
+		affinityHitsC: cfg.Telemetry.Counter("fleet.cache.affinity_hits"),
+	}
+	c.l1 = newL1Cache(cfg.L1CacheEntries, cfg.Telemetry)
+	affinityDelta := int64(cfg.AffinityLoadDelta * loadScale)
+	if cfg.AffinityLoadDelta < 0 {
+		affinityDelta = -1
 	}
 	c.reg = newRegistry(cfg.Workers, cfg.BreakerThreshold, cfg.BreakerCooldown,
-		cfg.ProbeTimeout, cfg.ProbeInterval, cfg.now, (*coordSink)(c))
+		cfg.ProbeTimeout, cfg.ProbeInterval, cfg.now, (*coordSink)(c), affinityDelta)
 	c.mux = http.NewServeMux()
 	c.mux.Handle("POST /v1/harden", c.instrument("harden", c.handleHarden))
 	c.mux.Handle("POST /v1/analyze", c.instrument("analyze", c.handleAnalyze))
@@ -279,6 +321,13 @@ func (c *Coordinator) handleFleet(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"workers": workers,
 		"healthy": healthy,
+		"cache": map[string]any{
+			"l1_entries":    c.l1.len(),
+			"l1_capacity":   c.l1.cap,
+			"hits":          c.cacheHitsC.Value(),
+			"misses":        c.cacheMissesC.Value(),
+			"affinity_hits": c.affinityHitsC.Value(),
+		},
 	})
 }
 

@@ -87,26 +87,34 @@ func newWorker(t *testing.T) *httptest.Server {
 // newCoordinator builds a coordinator over the given worker URLs with
 // fast, deterministic settings; the probe loop is NOT started — tests
 // rely on the dispatch path's own sweep (and ProbeNow) so the request
-// sequence any chaos proxy sees is fully scripted.
+// sequence any chaos proxy sees is fully scripted. Affinity routing is
+// disabled so dispatch order stays registry-order/least-loaded: the
+// rendezvous owner depends on the ephemeral test ports, which would
+// make scripted fault placement nondeterministic. Affinity behavior has
+// its own owner-agnostic tests in cache_test.go.
 func newCoordinator(t *testing.T, workers ...string) (*Coordinator, *httptest.Server) {
 	t.Helper()
-	c, err := New(Config{
-		Workers:         workers,
-		ProbeInterval:   time.Hour, // effectively manual
-		ProbeTimeout:    2 * time.Second,
-		RetryBudget:     3,
-		BackoffBase:     10 * time.Millisecond,
-		BackoffMax:      50 * time.Millisecond,
-		RetryAfterMax:   50 * time.Millisecond,
-		BreakerCooldown: 100 * time.Millisecond,
-		Seed:            42,
-	})
+	c, err := newTestCoordinator(Config{Workers: workers, AffinityLoadDelta: -1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(c.Handler())
 	t.Cleanup(ts.Close)
 	return c, ts
+}
+
+// newTestCoordinator fills the fast deterministic defaults shared by
+// every fleet test on top of the caller's config.
+func newTestCoordinator(cfg Config) (*Coordinator, error) {
+	cfg.ProbeInterval = time.Hour // effectively manual
+	cfg.ProbeTimeout = 2 * time.Second
+	cfg.RetryBudget = 3
+	cfg.BackoffBase = 10 * time.Millisecond
+	cfg.BackoffMax = 50 * time.Millisecond
+	cfg.RetryAfterMax = 50 * time.Millisecond
+	cfg.BreakerCooldown = 100 * time.Millisecond
+	cfg.Seed = 42
+	return New(cfg)
 }
 
 const fleetHardenBody = `{"network":{"name":"TreeFlat"},"spec":{"seed":3},` +

@@ -28,10 +28,13 @@ func TestDispatchRetriesTransient(t *testing.T) {
 	// The proxy request sequence is fully scripted: the dispatch path's
 	// first pick finds no healthy worker and sweeps once — requests 0
 	// (readyz) and 1 (metrics) — then dispatches: 2 is the injected
-	// 500, 3 the reset, 4 the clean forward.
+	// 500. markFailure eagerly flips the worker unhealthy, so each retry
+	// re-probes before it can dispatch again: 3/4 are the second sweep,
+	// 5 is the reset dispatch, 6/7 the third sweep, 8 the clean forward.
 	p, err := chaos.NewProxy(worker.URL, []chaos.Fault{
 		{}, {},
 		{Kind: chaos.FaultError500},
+		{}, {},
 		{Kind: chaos.FaultReset},
 	})
 	if err != nil {

@@ -1,0 +1,281 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// nopSink satisfies telemetrySink for registry-only tests.
+type nopSink struct{}
+
+func (nopSink) setHealthy(int) {}
+func (nopSink) setOpen(int)    {}
+func (nopSink) probeFailed()   {}
+
+// newTestRegistry builds a registry over synthetic URLs, every worker
+// marked healthy, with affinity routing enabled at the given delta
+// (scaled by loadScale; pass -1 to disable).
+func newTestRegistry(urls []string, affinityDelta int64) *registry {
+	rg := newRegistry(urls, 3, time.Minute, time.Second, time.Hour, time.Now, nopSink{}, affinityDelta)
+	for _, w := range rg.workers {
+		w.healthy.Store(true)
+	}
+	return rg
+}
+
+func testURLs(n int) []string {
+	urls := make([]string, n)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://worker-%d.test:9000", i)
+	}
+	return urls
+}
+
+// TestRendezvousOwnerSubsetStability: the defining HRW property — for
+// any key, removing workers that do NOT own it never changes the owner,
+// at every intermediate fleet size. This is what makes affinity routing
+// reshard minimally: a worker joining or leaving only remaps the keys
+// it wins or held.
+func TestRendezvousOwnerSubsetStability(t *testing.T) {
+	rg := newTestRegistry(testURLs(5), 0)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+		owner := rendezvousOwner(key, rg.workers)
+		if owner == nil {
+			t.Fatal("nil owner over a non-empty set")
+		}
+		// Strip non-owners one at a time; the owner must never change.
+		remaining := append([]*worker(nil), rg.workers...)
+		for len(remaining) > 1 {
+			victim := -1
+			for j, w := range remaining {
+				if w != owner {
+					victim = j
+					break
+				}
+			}
+			remaining = append(remaining[:victim], remaining[victim+1:]...)
+			if got := rendezvousOwner(key, remaining); got != owner {
+				t.Fatalf("key %s: owner changed from %s to %s when a non-owner left (%d left)",
+					key, owner.url, got.url, len(remaining))
+			}
+		}
+	}
+}
+
+// TestRendezvousOwnerDeathDeterministic: when the owner dies, every
+// pick agrees on the same successor — the highest-scoring survivor —
+// and keys owned by other workers do not move.
+func TestRendezvousOwnerDeathDeterministic(t *testing.T) {
+	rg := newTestRegistry(testURLs(4), 0)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		owner := rendezvousOwner(key, rg.workers)
+		survivors := make([]*worker, 0, len(rg.workers)-1)
+		for _, w := range rg.workers {
+			if w != owner {
+				survivors = append(survivors, w)
+			}
+		}
+		heir := rendezvousOwner(key, survivors)
+		for rep := 0; rep < 5; rep++ {
+			if got := rendezvousOwner(key, survivors); got != heir {
+				t.Fatalf("key %s: successor flapped between %s and %s", key, heir.url, got.url)
+			}
+		}
+		// The heir must be a genuine survivor and differ from the corpse.
+		if heir == owner {
+			t.Fatalf("key %s: dead owner still selected", key)
+		}
+	}
+}
+
+// TestRendezvousDistribution: FNV-based HRW spreads 1k keys roughly
+// uniformly over 5 workers (expected 200 each; the fixed key set makes
+// the assertion deterministic, the generous band makes it honest).
+func TestRendezvousDistribution(t *testing.T) {
+	rg := newTestRegistry(testURLs(5), 0)
+	counts := map[string]int{}
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("%016x", uint64(i)*0x9e3779b97f4a7c15)
+		counts[rendezvousOwner(key, rg.workers).url]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("only %d of 5 workers own any keys: %v", len(counts), counts)
+	}
+	for url, n := range counts {
+		if n < 100 || n > 350 {
+			t.Errorf("worker %s owns %d of 1000 keys, want within [100, 350] (counts: %v)", url, n, counts)
+		}
+	}
+}
+
+// TestPickAffinityRouting: with a key, pick prefers the rendezvous
+// owner while its load headroom lasts, falls back to least-loaded when
+// the owner is overloaded or is the avoided worker, and reports the
+// affinity bit accurately.
+func TestPickAffinityRouting(t *testing.T) {
+	const delta = 4 * loadScale
+	rg := newTestRegistry(testURLs(3), delta)
+	key := "deadbeefdeadbeef"
+	owner := rendezvousOwner(key, rg.workers)
+
+	w, aff := rg.pick(nil, key)
+	if w != owner || !aff {
+		t.Fatalf("pick(key) = %s aff=%v, want owner %s aff=true", w.url, aff, owner.url)
+	}
+	// Repeats keep landing on the owner.
+	for i := 0; i < 5; i++ {
+		if w, aff = rg.pick(nil, key); w != owner || !aff {
+			t.Fatalf("repeat pick left the owner: got %s aff=%v", w.url, aff)
+		}
+	}
+	// No key → plain least-loaded, no affinity.
+	if _, aff = rg.pick(nil, ""); aff {
+		t.Error("keyless pick reported affinity")
+	}
+	// Overloaded owner → least-loaded fallback.
+	owner.load.Store(delta + loadScale)
+	w, aff = rg.pick(nil, key)
+	if w == owner || aff {
+		t.Fatalf("overloaded owner still picked (got %s aff=%v)", w.url, aff)
+	}
+	// Back under the delta → affinity resumes.
+	owner.load.Store(delta)
+	if w, aff = rg.pick(nil, key); w != owner || !aff {
+		t.Fatalf("owner within delta not picked: got %s aff=%v", w.url, aff)
+	}
+	// The avoided worker is never the affinity target.
+	w, aff = rg.pick(owner, key)
+	if w == owner || aff {
+		t.Fatalf("pick(avoid=owner) returned the owner (aff=%v)", aff)
+	}
+	// Unhealthy owner → resharded to the surviving owner.
+	owner.load.Store(0)
+	owner.healthy.Store(false)
+	survivors := make([]*worker, 0, 2)
+	for _, wk := range rg.workers {
+		if wk != owner {
+			survivors = append(survivors, wk)
+		}
+	}
+	heir := rendezvousOwner(key, survivors)
+	if w, aff = rg.pick(nil, key); w != heir || !aff {
+		t.Fatalf("after owner death pick = %s aff=%v, want heir %s aff=true", w.url, aff, heir.url)
+	}
+	// Affinity disabled: owner is not preferred over load order.
+	rgOff := newTestRegistry(testURLs(3), -1)
+	if _, aff = rgOff.pick(nil, key); aff {
+		t.Error("affinity-disabled registry reported an affinity pick")
+	}
+}
+
+// TestRegistryMarkFailureEagerHealthFlip: the regression for the
+// markFailure bug — a dispatch failure must flip the worker unhealthy
+// immediately, so the very next pick avoids it even though its breaker
+// (threshold 3) is still closed. Before the fix, health stayed true and
+// pick kept routing to the corpse until the breaker tripped or a probe
+// sweep noticed.
+func TestRegistryMarkFailureEagerHealthFlip(t *testing.T) {
+	rg := newTestRegistry(testURLs(2), -1)
+	w0, w1 := rg.workers[0], rg.workers[1]
+
+	// Equal load: registry order makes w0 the first pick.
+	if w, _ := rg.pick(nil, ""); w != w0 {
+		t.Fatalf("baseline pick = %v, want w0", w.url)
+	}
+	rg.markFailure(w0)
+	if w0.healthy.Load() {
+		t.Fatal("markFailure did not flip health eagerly")
+	}
+	if w0.br.State() != "closed" {
+		t.Fatalf("one failure tripped the breaker (threshold 3): %s", w0.br.State())
+	}
+	if w, _ := rg.pick(nil, ""); w != w1 {
+		t.Fatalf("pick after failure = %v, want w1 (w0 just hard-failed)", w)
+	}
+	// A successful probe restores health (the probe loop's job).
+	w0.healthy.Store(true)
+	if w, _ := rg.pick(nil, ""); w != w0 {
+		t.Fatal("restored worker not picked again")
+	}
+}
+
+// TestRegistryMarkDoneLostUpdate: the regression for the markDone bug.
+// The old implementation clamped with a non-atomic pair —
+// Add(-loadScale) observing a negative value followed by a blind
+// Store(0) — so markDispatched bumps landing between the two were
+// erased, leaving the load hint permanently understated. A
+// probabilistic schedule cannot pin the two-instruction window (on a
+// single-core runner it essentially never splits), so the test drives
+// the interleaving deterministically through the markDoneYield seam:
+// two dispatches land exactly inside the clamp window of a spurious
+// done (the "saw negative" case, e.g. after a probe stored a smaller
+// absolute load). The old code stored 0 over them; the CAS loop's swap
+// fails and retries against the bumped value, retiring exactly one job.
+func TestRegistryMarkDoneLostUpdate(t *testing.T) {
+	rg := newTestRegistry(testURLs(1), -1)
+	w := rg.workers[0]
+
+	injected := false
+	markDoneYield = func() {
+		if injected {
+			return
+		}
+		injected = true
+		rg.markDispatched(w, false)
+		rg.markDispatched(w, false)
+	}
+	defer func() { markDoneYield = nil }()
+
+	rg.markDone(w)
+	if got := w.load.Load(); got != loadScale {
+		t.Fatalf("load = %d after 2 dispatches raced 1 done, want %d — markDone clobbered the concurrent bumps",
+			got, loadScale)
+	}
+}
+
+// TestRegistryMarkDoneConcurrentClamp exercises the CAS clamp under
+// free-running contention (run with -race via make chaos-cache) and
+// pins the conservation invariant: a done retires at most one dispatch
+// and never drives the load below zero, so with margin more dispatches
+// than dones the final load cannot drop under the margin.
+func TestRegistryMarkDoneConcurrentClamp(t *testing.T) {
+	rg := newTestRegistry(testURLs(1), -1)
+	w := rg.workers[0]
+
+	const (
+		goroutines = 4
+		perG       = 2500
+		margin     = 64
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				rg.markDone(w)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG+margin/goroutines; i++ {
+				rg.markDispatched(w, false)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := w.load.Load(); got < margin*loadScale {
+		t.Fatalf("load = %d after %d dispatches and %d dones, want ≥ %d",
+			got, goroutines*perG+margin, goroutines*perG, margin*loadScale)
+	}
+	// Sequential sanity: done below zero clamps, never goes negative.
+	w.load.Store(0)
+	rg.markDone(w)
+	if got := w.load.Load(); got != 0 {
+		t.Fatalf("markDone on idle worker left load %d, want 0", got)
+	}
+}

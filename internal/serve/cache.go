@@ -3,6 +3,8 @@ package serve
 import (
 	"container/list"
 	"encoding/binary"
+	"encoding/json"
+	"fmt"
 	"hash/fnv"
 	"strings"
 	"sync"
@@ -35,8 +37,10 @@ type cacheEntry struct {
 	val *HardenResponse
 }
 
-// newResultCache builds a cache of the given capacity; capacity < 0
-// disables caching (every lookup misses, stores are dropped).
+// newResultCache builds a cache of the given capacity; capacity ≤ 0
+// disables caching entirely — lookups return false and stores are
+// dropped without taking the lock or touching the hit/miss counters,
+// so a disabled cache is free and invisible in /metrics.
 func newResultCache(capacity int, tel *telemetry.Collector) *resultCache {
 	return &resultCache{
 		entries: make(map[uint64]*list.Element),
@@ -50,8 +54,11 @@ func newResultCache(capacity int, tel *telemetry.Collector) *resultCache {
 
 // get returns a copy of the cached response for key, with Cached set.
 func (c *resultCache) get(key uint64) (*HardenResponse, bool) {
-	if c.cap < 0 {
-		c.misses.Inc()
+	if c.cap <= 0 {
+		// Disabled caches mirror put: no lock, no map probe, no miss
+		// accounting. (The read path used to check cap < 0, so capacity
+		// 0 — disabled for writes — still burned a lock and counted a
+		// miss per request.)
 		return nil, false
 	}
 	c.mu.Lock()
@@ -159,4 +166,47 @@ func hardenCacheKey(req *HardenRequest) uint64 {
 	// permuted spelling of the same set hashes identically.
 	k.str("objs", strings.Join(o.Objectives, ","))
 	return k.sum()
+}
+
+// CacheKeyHeader is the response header carrying the content address of
+// a harden request. Workers set it on every /v1/harden response (cached
+// or not, plain or streamed) right after validation; the coordinator
+// sets it on cacheable requests it routes or answers from its own L1.
+// The same key also appears as "cache_key" in /v1/jobs entries, so a
+// client can correlate a response with the job that produced it and
+// predict whether a repeat will hit.
+const CacheKeyHeader = "X-RSN-Cache-Key"
+
+// formatCacheKey renders a key in its canonical wire form: 16 lowercase
+// hex digits, zero-padded.
+func formatCacheKey(key uint64) string { return fmt.Sprintf("%016x", key) }
+
+// CacheKey returns the request's content address in wire form. The
+// request must already be canonical — validate (server side) or
+// canonicalizeKeyFields (HardenBodyCacheKey) has run — otherwise the
+// two spellings of a default (generations 0 vs 500, islands 1 vs 0,
+// permuted objectives) would hash apart.
+func (req *HardenRequest) CacheKey() string {
+	return formatCacheKey(hardenCacheKey(req))
+}
+
+// HardenBodyCacheKey derives the cache key straight from a raw
+// /v1/harden request body, applying the same canonicalization a worker
+// applies during validation. This is how the fleet coordinator shares
+// one address space with every worker-local cache without holding a
+// server Config: the key it computes for routing and for its L1 is
+// bit-for-bit the key the worker will stamp on the response. ok is
+// false for bodies that do not decode as a harden request; range errors
+// (which a worker would 400) are deliberately not re-checked here —
+// such a request produces no cache entry anywhere, so a key for it is
+// harmless.
+func HardenBodyCacheKey(body []byte) (key string, ok bool) {
+	var req HardenRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return "", false
+	}
+	if err := req.Options.canonicalizeKeyFields(); err != nil {
+		return "", false
+	}
+	return req.CacheKey(), true
 }

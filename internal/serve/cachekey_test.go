@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+
+	"rsnrobust/internal/telemetry"
+)
+
+// TestResultCacheDisabledSemantics: the regression for the disabled-
+// cache bug — capacity 0 disabled stores (put returned early) but the
+// read path only checked cap < 0, so every request still took the lock,
+// probed the map and counted a miss. Disabled must mean disabled on
+// both paths, for both spellings (0 and negative): lookups fail, stores
+// vanish, and the hit/miss counters never move.
+func TestResultCacheDisabledSemantics(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		t.Run(fmt.Sprintf("cap=%d", capacity), func(t *testing.T) {
+			tel := telemetry.New()
+			c := newResultCache(capacity, tel)
+			if _, ok := c.get(42); ok {
+				t.Fatal("empty disabled cache claimed a hit")
+			}
+			c.put(42, &HardenResponse{Network: "x"})
+			if _, ok := c.get(42); ok {
+				t.Fatal("disabled cache returned a stored value")
+			}
+			snap := tel.Snapshot()
+			if h, m := snap.Counters["serve.cache.hits"], snap.Counters["serve.cache.misses"]; h != 0 || m != 0 {
+				t.Errorf("disabled cache touched counters: hits=%d misses=%d, want 0/0", h, m)
+			}
+			if s := snap.Gauges["serve.cache.size"]; s != 0 {
+				t.Errorf("disabled cache reported size %v", s)
+			}
+		})
+	}
+	// Sanity contrast: an enabled cache does count the miss.
+	tel := telemetry.New()
+	c := newResultCache(4, tel)
+	if _, ok := c.get(42); ok {
+		t.Fatal("empty enabled cache claimed a hit")
+	}
+	if m := tel.Snapshot().Counters["serve.cache.misses"]; m != 1 {
+		t.Errorf("enabled cache misses = %d, want 1", m)
+	}
+}
+
+// TestHardenBodyCacheKeyCanonical: the coordinator-facing key function
+// must land every spelling of the same request on the same address —
+// and that address must be bit-for-bit what the worker stamps on its
+// response. Each group lists bodies that are one request in different
+// clothes; keys must agree within a group and differ across groups.
+func TestHardenBodyCacheKeyCanonical(t *testing.T) {
+	groups := [][]string{
+		{
+			// generations absent vs the explicit default, islands 1 vs
+			// absent, default objectives spelled out (in either order) vs
+			// omitted, effort/cache knobs excluded from the key.
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"population":24,"seed":7}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":500,"population":24,"seed":7}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":500,"population":24,"seed":7,"islands":1}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":500,"population":24,"seed":7,"objectives":["damage","cost"]}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":500,"population":24,"seed":7,"objectives":["cost","damage"]}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":500,"population":24,"seed":7,"deadline_ms":60000}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":500,"population":24,"seed":7,"no_cache":true}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":500,"population":24,"seed":7,"stream_every":2,"checkpoint_every":5}}`,
+		},
+		{
+			// A different generation count is a different result.
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":30,"population":24,"seed":7}}`,
+		},
+		{
+			// Permuted non-default objectives agree with each other but not
+			// with the default set.
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"population":24,"seed":7,"objectives":["damage","cost","test_time"]}}`,
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"population":24,"seed":7,"objectives":["test_time","cost","damage"]}}`,
+		},
+		{
+			// Two real islands are not a single population.
+			`{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"population":24,"seed":7,"islands":2}}`,
+		},
+	}
+	keys := make([]string, len(groups))
+	for gi, group := range groups {
+		for bi, body := range group {
+			key, ok := HardenBodyCacheKey([]byte(body))
+			if !ok {
+				t.Fatalf("group %d body %d: HardenBodyCacheKey not ok", gi, bi)
+			}
+			if len(key) != 16 {
+				t.Fatalf("group %d body %d: key %q not 16 hex digits", gi, bi, key)
+			}
+			if bi == 0 {
+				keys[gi] = key
+			} else if key != keys[gi] {
+				t.Errorf("group %d: body %d keyed %s, body 0 keyed %s — same request, different address",
+					gi, bi, key, keys[gi])
+			}
+		}
+	}
+	for a := 0; a < len(keys); a++ {
+		for b := a + 1; b < len(keys); b++ {
+			if keys[a] == keys[b] {
+				t.Errorf("groups %d and %d collide on %s — different requests, same address", a, b, keys[a])
+			}
+		}
+	}
+	// Non-harden bodies key to nothing.
+	if _, ok := HardenBodyCacheKey([]byte(`"just a string"`)); ok {
+		t.Error("non-object body produced a key")
+	}
+	if _, ok := HardenBodyCacheKey([]byte(`{"options":{"objectives":["no_such_objective","cost"]}}`)); ok {
+		t.Error("uncanonicalizable objectives produced a key")
+	}
+}
+
+// TestCacheKeyHeaderAndJobs: a worker stamps X-RSN-Cache-Key on its
+// harden responses, the differently-spelled repeat carries the same key
+// and hits the cache, and /v1/jobs records the key on the finished job.
+func TestCacheKeyHeaderAndJobs(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	body := `{"network":{"name":"TreeFlat"},"spec":{"seed":3},"options":{"generations":20,"population":16,"seed":7}}`
+
+	status, hdr, b := post(t, ts, "/v1/harden", body)
+	if status != http.StatusOK {
+		t.Fatalf("status = %d: %s", status, b)
+	}
+	key := hdr.Get(CacheKeyHeader)
+	if len(key) != 16 {
+		t.Fatalf("%s = %q, want 16 hex digits", CacheKeyHeader, key)
+	}
+	if want, ok := HardenBodyCacheKey([]byte(body)); !ok || key != want {
+		t.Errorf("worker stamped %s, HardenBodyCacheKey derives %s — the fleet would route on the wrong address", key, want)
+	}
+
+	// Same request, islands spelled 1 and objectives spelled out: the
+	// canonicalized key matches and the cache answers.
+	respelled := `{"network":{"name":"TreeFlat"},"spec":{"seed":3},` +
+		`"options":{"generations":20,"population":16,"seed":7,"islands":1,"objectives":["cost","damage"]}}`
+	status, hdr2, b2 := post(t, ts, "/v1/harden", respelled)
+	if status != http.StatusOK {
+		t.Fatalf("respelled status = %d: %s", status, b2)
+	}
+	if hdr2.Get(CacheKeyHeader) != key {
+		t.Errorf("respelled request keyed %s, want %s", hdr2.Get(CacheKeyHeader), key)
+	}
+	if resp := decode[HardenResponse](t, b2); !resp.Cached {
+		t.Error("respelled repeat was not served from the result cache")
+	}
+
+	// The computed run's job record carries the key; the cache hit
+	// answered before job registration, so it adds no second record.
+	status, jb := get(t, ts, "/v1/jobs")
+	if status != http.StatusOK {
+		t.Fatalf("/v1/jobs status = %d", status)
+	}
+	jobs := decode[jobsSnapshot](t, jb)
+	if n := len(jobs.Recent); n != 1 {
+		t.Fatalf("%d recent jobs after one compute and one cache hit, want 1: %+v", n, jobs.Recent)
+	}
+	if j := jobs.Recent[0]; j.Route != "harden" || j.CacheKey != key {
+		t.Errorf("finished job carries route %q cache key %q, want harden/%s", j.Route, j.CacheKey, key)
+	}
+}

@@ -285,9 +285,6 @@ func (req *HardenRequest) validate(cfg Config) error {
 	if o.Generations < 0 || o.Generations > cfg.MaxGenerations {
 		return invalidf("generations: %d out of range [0, %d]", o.Generations, cfg.MaxGenerations)
 	}
-	if o.Generations == 0 {
-		o.Generations = 500
-	}
 	if o.Population < 0 || o.Population == 1 || o.Population > cfg.MaxPopulation {
 		return invalidf("population: %d out of range ({0} ∪ [2, %d])", o.Population, cfg.MaxPopulation)
 	}
@@ -297,12 +294,7 @@ func (req *HardenRequest) validate(cfg Config) error {
 	if o.Islands < 0 || o.Islands > 16 {
 		return invalidf("islands: %d out of range [0, 16]", o.Islands)
 	}
-	if o.Islands == 1 {
-		// A single island is the single-population run; collapse so both
-		// spellings share one cache entry.
-		o.Islands = 0
-	}
-	if o.Islands > 0 && o.Population > 0 && o.Population < 2*o.Islands {
+	if o.Islands > 1 && o.Population > 0 && o.Population < 2*o.Islands {
 		return invalidf("islands: population %d cannot seed %d islands (need ≥ 2 per island)", o.Population, o.Islands)
 	}
 	if o.DeadlineMS < 0 {
@@ -327,6 +319,26 @@ func (req *HardenRequest) validate(cfg Config) error {
 			return invalidf("resume: %v", err)
 		}
 		req.resumeCkpt = cp
+	}
+	return o.canonicalizeKeyFields()
+}
+
+// canonicalizeKeyFields normalizes, in place, exactly the option fields
+// that feed the content-addressed cache key: the generations default,
+// the single-island collapse, and the objective-set canonical form.
+// validate applies it after the range checks; HardenBodyCacheKey
+// applies it on its own so the fleet coordinator derives the same key a
+// worker will, without a server Config. Keeping both callers on this
+// one method is what guarantees the coordinator's and workers' cache
+// address spaces never drift.
+func (o *HardenOptions) canonicalizeKeyFields() error {
+	if o.Generations == 0 {
+		o.Generations = 500
+	}
+	if o.Islands == 1 {
+		// A single island is the single-population run; collapse so both
+		// spellings share one cache entry.
+		o.Islands = 0
 	}
 	if len(o.Objectives) > 0 {
 		// Canonicalize in place so permutations and duplicates of the

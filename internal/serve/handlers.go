@@ -290,6 +290,11 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 	}
 	stream := wantStream(r)
 	key := hardenCacheKey(&req)
+	// Stamp the content address on every harden response — cached or
+	// fresh, plain or streamed, even a later 4xx/5xx — so callers (and
+	// the fleet coordinator in particular) can correlate responses with
+	// cache entries without recomputing the hash.
+	w.Header().Set(CacheKeyHeader, formatCacheKey(key))
 	// A resumed request bypasses the cache in both directions: it exists
 	// to continue a specific interrupted run, and a cached terminal
 	// answer would skip the continuation the caller is orchestrating.
@@ -326,7 +331,9 @@ func (s *Server) handleHarden(w http.ResponseWriter, r *http.Request) {
 	}
 
 	t0 := time.Now()
-	jobID := s.jobs.begin(s.jobInfo(r, "harden", req.Network))
+	info := s.jobInfo(r, "harden", req.Network)
+	info.CacheKey = formatCacheKey(key)
+	jobID := s.jobs.begin(info)
 	throttle := newStreamThrottle(req.Options.StreamEvery)
 	// The job runs on this goroutine (the queue degrades its single-job
 	// RunSet to a serial loop), so emitting SSE frames from the progress

@@ -16,6 +16,10 @@ type JobInfo struct {
 	TraceID   string    `json:"trace_id,omitempty"`
 	RequestID string    `json:"request_id,omitempty"`
 	Started   time.Time `json:"started"`
+	// CacheKey is the content address of a harden job (the same value
+	// the response carries in X-RSN-Cache-Key); empty for routes whose
+	// results are not content-addressed.
+	CacheKey string `json:"cache_key,omitempty"`
 	// State is "running" or "done".
 	State string `json:"state"`
 	// Status is set once done: "ok", "error", "panic" or "interrupted".
